@@ -1,0 +1,168 @@
+//! Aggregate-statistics categorization (the Devarajan-style baseline).
+//!
+//! Classifies a trace from totals alone — bytes read/written, metadata
+//! request count, rank count. The paper's §II-B critique: "this type of
+//! categorization only makes it possible to establish very high-level
+//! patterns that do not provide temporal information". The classes here are
+//! deliberately that coarse; benches compare their information content
+//! against MOSAIC's category sets.
+
+use mosaic_darshan::ops::{OpKind, OperationView};
+use serde::{Deserialize, Serialize};
+
+/// Coarse aggregate classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggregateClass {
+    /// Below both volume thresholds and light on metadata.
+    IoInactive,
+    /// Reads dominate (≥ 4× more read than written).
+    ReadIntensive,
+    /// Writes dominate (≥ 4× more written than read).
+    WriteIntensive,
+    /// Significant volume in both directions.
+    Balanced,
+    /// Little data but heavy metadata traffic.
+    MetadataIntensive,
+}
+
+impl AggregateClass {
+    /// Snake-case label.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggregateClass::IoInactive => "io_inactive",
+            AggregateClass::ReadIntensive => "read_intensive",
+            AggregateClass::WriteIntensive => "write_intensive",
+            AggregateClass::Balanced => "balanced",
+            AggregateClass::MetadataIntensive => "metadata_intensive",
+        }
+    }
+}
+
+/// The aggregate categorizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateCategorizer {
+    /// Volume below which a direction is ignored (default 100 MB, matching
+    /// MOSAIC's significance threshold for comparability).
+    pub volume_threshold: u64,
+    /// Read/write ratio beyond which one direction "dominates".
+    pub dominance_ratio: f64,
+    /// Metadata requests per rank beyond which a low-volume trace is
+    /// metadata-intensive.
+    pub meta_per_rank: f64,
+}
+
+impl Default for AggregateCategorizer {
+    fn default() -> Self {
+        AggregateCategorizer {
+            volume_threshold: 100 * 1024 * 1024,
+            dominance_ratio: 4.0,
+            meta_per_rank: 10.0,
+        }
+    }
+}
+
+impl AggregateCategorizer {
+    /// Classify one trace.
+    pub fn classify(&self, view: &OperationView) -> AggregateClass {
+        let read = view.total_bytes(OpKind::Read);
+        let write = view.total_bytes(OpKind::Write);
+        let meta = view.total_meta_requests();
+        let read_sig = read >= self.volume_threshold;
+        let write_sig = write >= self.volume_threshold;
+
+        if !read_sig && !write_sig {
+            let meta_heavy = meta as f64 >= self.meta_per_rank * view.nprocs.max(1) as f64;
+            return if meta_heavy {
+                AggregateClass::MetadataIntensive
+            } else {
+                AggregateClass::IoInactive
+            };
+        }
+        let (rf, wf) = (read as f64, write as f64);
+        if read_sig && (!write_sig || rf >= self.dominance_ratio * wf) {
+            AggregateClass::ReadIntensive
+        } else if write_sig && (!read_sig || wf >= self.dominance_ratio * rf) {
+            AggregateClass::WriteIntensive
+        } else {
+            AggregateClass::Balanced
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_darshan::ops::{MetaEvent, MetaKind, Operation};
+
+    const MB: u64 = 1 << 20;
+
+    fn view(read: u64, write: u64, meta: u64) -> OperationView {
+        let mk_op = |kind, bytes| Operation { kind, start: 1.0, end: 2.0, bytes, ranks: 4 };
+        OperationView {
+            runtime: 100.0,
+            nprocs: 4,
+            reads: if read > 0 { vec![mk_op(OpKind::Read, read)] } else { vec![] },
+            writes: if write > 0 { vec![mk_op(OpKind::Write, write)] } else { vec![] },
+            meta: if meta > 0 {
+                vec![MetaEvent { time: 1.0, kind: MetaKind::Open, count: meta }]
+            } else {
+                vec![]
+            },
+        }
+    }
+
+    #[test]
+    fn classes() {
+        let c = AggregateCategorizer::default();
+        assert_eq!(c.classify(&view(0, 0, 2)), AggregateClass::IoInactive);
+        assert_eq!(c.classify(&view(10 * MB, 5 * MB, 2)), AggregateClass::IoInactive);
+        assert_eq!(c.classify(&view(900 * MB, 0, 0)), AggregateClass::ReadIntensive);
+        assert_eq!(c.classify(&view(0, 900 * MB, 0)), AggregateClass::WriteIntensive);
+        assert_eq!(c.classify(&view(900 * MB, 800 * MB, 0)), AggregateClass::Balanced);
+        assert_eq!(c.classify(&view(10 * MB, 0, 5000)), AggregateClass::MetadataIntensive);
+    }
+
+    #[test]
+    fn dominance_ratio_boundary() {
+        let c = AggregateCategorizer::default();
+        // Exactly 4× read vs write: read-intensive.
+        assert_eq!(c.classify(&view(800 * MB, 200 * MB, 0)), AggregateClass::ReadIntensive);
+        // 3× is balanced.
+        assert_eq!(c.classify(&view(600 * MB, 200 * MB, 0)), AggregateClass::Balanced);
+    }
+
+    #[test]
+    fn names_are_snake_case() {
+        for class in [
+            AggregateClass::IoInactive,
+            AggregateClass::ReadIntensive,
+            AggregateClass::WriteIntensive,
+            AggregateClass::Balanced,
+            AggregateClass::MetadataIntensive,
+        ] {
+            assert!(class.name().chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn no_temporal_information() {
+        // The critique made concrete: read-on-start and read-on-end traces
+        // classify identically.
+        let c = AggregateCategorizer::default();
+        let on_start = OperationView {
+            runtime: 1000.0,
+            nprocs: 4,
+            reads: vec![Operation { kind: OpKind::Read, start: 1.0, end: 10.0, bytes: 900 * MB, ranks: 4 }],
+            writes: vec![],
+            meta: vec![],
+        };
+        let on_end = OperationView {
+            runtime: 1000.0,
+            nprocs: 4,
+            reads: vec![Operation { kind: OpKind::Read, start: 990.0, end: 999.0, bytes: 900 * MB, ranks: 4 }],
+            writes: vec![],
+            meta: vec![],
+        };
+        assert_eq!(c.classify(&on_start), c.classify(&on_end));
+    }
+}

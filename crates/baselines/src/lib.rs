@@ -1,0 +1,22 @@
+//! # mosaic-baselines
+//!
+//! The comparison methods the MOSAIC paper positions itself against:
+//!
+//! * [`fft`] — frequency-technique periodicity detection (after Tarraf et
+//!   al., IPDPS 2024): rasterize the trace into an activity signal, take a
+//!   periodogram, pick spectral peaks. The paper's §II-B claims this
+//!   "fails to distinguish between two intricate periodic behaviors" —
+//!   the `baseline_fft_vs_mosaic` bench reproduces that comparison.
+//! * [`aggregate`] — categorization from aggregate statistics only
+//!   (after Devarajan & Mohror): total volumes, rank counts, file counts.
+//!   Fast and simple, but blind to temporality and periodicity — which is
+//!   exactly the gap MOSAIC fills.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aggregate;
+pub mod fft;
+
+pub use aggregate::{AggregateCategorizer, AggregateClass};
+pub use fft::{DetectedPeriod, FftDetector};

@@ -1,0 +1,46 @@
+//! Criterion: full per-trace categorization cost across archetypes — the
+//! number that decides whether MOSAIC can run inline in a job scheduler
+//! (the paper's motivating deployment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosaic_core::Categorizer;
+use mosaic_synth::archetype::Archetype;
+use mosaic_synth::build::{build_run, RunSpec};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn trace_for(archetype: Archetype) -> mosaic_darshan::TraceLog {
+    let spec = RunSpec {
+        archetype,
+        job_id: 1,
+        uid: 1,
+        nprocs: 256,
+        base_runtime: 7200.0,
+        start_epoch: 0,
+        exe: "/apps/bench/app".into(),
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    build_run(&spec, &mut rng).0
+}
+
+fn bench_categorize(c: &mut Criterion) {
+    let categorizer = Categorizer::default();
+    let mut group = c.benchmark_group("categorize");
+    for (name, archetype) in [
+        ("quiet", Archetype::Quiet),
+        ("read_compute_write", Archetype::ReadComputeWrite),
+        ("checkpointer", Archetype::CheckpointerRead),
+        ("periodic_reader", Archetype::PeriodicReader),
+        ("metadata_storm", Archetype::MetadataStorm),
+    ] {
+        let log = trace_for(archetype);
+        group.bench_with_input(BenchmarkId::new("full_trace", name), &log, |b, log| {
+            b.iter(|| categorizer.categorize_log(black_box(log)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_categorize);
+criterion_main!(benches);

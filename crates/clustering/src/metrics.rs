@@ -1,0 +1,147 @@
+//! Cluster-quality metrics used by tests and ablation benches.
+
+use crate::point::{dist, dist2, Clustering};
+
+/// Sum of squared distances of each point to its cluster center (noise
+/// points excluded). Lower is tighter.
+pub fn inertia<const D: usize>(points: &[[f64; D]], c: &Clustering<D>) -> f64 {
+    points
+        .iter()
+        .zip(&c.labels)
+        .filter(|(_, &l)| l != Clustering::<D>::NOISE)
+        .map(|(p, &l)| dist2(p, &c.centers[l]))
+        .sum()
+}
+
+/// Mean silhouette coefficient over all clustered points, in `[-1, 1]`.
+/// Higher means better-separated clusters. Returns `None` when fewer than
+/// two clusters have members (silhouette is undefined there).
+pub fn silhouette<const D: usize>(points: &[[f64; D]], c: &Clustering<D>) -> Option<f64> {
+    let live: Vec<usize> = (0..points.len())
+        .filter(|&i| c.labels[i] != Clustering::<D>::NOISE)
+        .collect();
+    let labels_present: std::collections::BTreeSet<usize> =
+        live.iter().map(|&i| c.labels[i]).collect();
+    if labels_present.len() < 2 {
+        return None;
+    }
+
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for &i in &live {
+        let own = c.labels[i];
+        let mut intra = 0.0;
+        let mut intra_n = 0usize;
+        // mean distance to every other cluster, keyed by label
+        let mut inter: std::collections::BTreeMap<usize, (f64, usize)> = Default::default();
+        for &j in &live {
+            if i == j {
+                continue;
+            }
+            let d = dist(&points[i], &points[j]);
+            if c.labels[j] == own {
+                intra += d;
+                intra_n += 1;
+            } else {
+                let e = inter.entry(c.labels[j]).or_insert((0.0, 0));
+                e.0 += d;
+                e.1 += 1;
+            }
+        }
+        if intra_n == 0 {
+            // Singleton clusters contribute silhouette 0 by convention.
+            counted += 1;
+            continue;
+        }
+        let a = intra / intra_n as f64;
+        let b = inter
+            .values()
+            .map(|&(sum, n)| sum / n as f64)
+            .fold(f64::INFINITY, f64::min);
+        total += (b - a) / a.max(b);
+        counted += 1;
+    }
+    Some(total / counted as f64)
+}
+
+/// Pairwise-agreement Rand index between two labelings of the same points,
+/// in `[0, 1]`. Used to compare clustering algorithms against ground truth.
+pub fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same points");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut agree = 0usize;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let same_a = a[i] == a[j];
+            let same_b = b[i] == b[j];
+            if same_a == same_b {
+                agree += 1;
+            }
+            pairs += 1;
+        }
+    }
+    agree as f64 / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight_two() -> (Vec<[f64; 2]>, Clustering<2>) {
+        let points = vec![[0.0, 0.0], [0.1, 0.0], [10.0, 10.0], [10.1, 10.0]];
+        let c = Clustering {
+            labels: vec![0, 0, 1, 1],
+            centers: vec![[0.05, 0.0], [10.05, 10.0]],
+        };
+        (points, c)
+    }
+
+    #[test]
+    fn inertia_of_tight_clusters_is_small() {
+        let (points, c) = tight_two();
+        assert!(inertia(&points, &c) < 0.02);
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_clusters() {
+        let (points, c) = tight_two();
+        let s = silhouette(&points, &c).unwrap();
+        assert!(s > 0.9, "s = {s}");
+    }
+
+    #[test]
+    fn silhouette_none_for_single_cluster() {
+        let points = vec![[0.0], [1.0]];
+        let c = Clustering { labels: vec![0, 0], centers: vec![[0.5]] };
+        assert_eq!(silhouette(&points, &c), None);
+    }
+
+    #[test]
+    fn silhouette_ignores_noise() {
+        let points = vec![[0.0], [0.1], [10.0], [10.1], [500.0]];
+        let c = Clustering {
+            labels: vec![0, 0, 1, 1, Clustering::<1>::NOISE],
+            centers: vec![[0.05], [10.05]],
+        };
+        assert!(silhouette(&points, &c).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn rand_index_extremes() {
+        assert_eq!(rand_index(&[0, 0, 1, 1], &[1, 1, 0, 0]), 1.0); // same partition
+        assert_eq!(rand_index(&[0, 0, 0], &[0, 0, 0]), 1.0);
+        let low = rand_index(&[0, 0, 1, 1], &[0, 1, 0, 1]);
+        assert!(low < 0.5, "{low}");
+        assert_eq!(rand_index(&[0], &[5]), 1.0); // degenerate
+    }
+
+    #[test]
+    #[should_panic(expected = "same points")]
+    fn rand_index_length_mismatch_panics() {
+        let _ = rand_index(&[0, 1], &[0]);
+    }
+}

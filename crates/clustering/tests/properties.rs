@@ -1,0 +1,121 @@
+//! Property-based tests for the clustering substrate: structural invariants
+//! that must hold for any input, not just the curated fixtures.
+
+use mosaic_clustering::dbscan::Dbscan;
+use mosaic_clustering::kmeans::KMeans;
+use mosaic_clustering::metrics::{inertia, rand_index};
+use mosaic_clustering::scale::{scale_uniform, ScaleKind};
+use mosaic_clustering::{Clustering, MeanShift};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_points() -> impl Strategy<Value = Vec<[f64; 2]>> {
+    prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 0..80)
+        .prop_map(|v| v.into_iter().map(|(a, b)| [a, b]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn meanshift_labels_are_valid_and_total(points in arb_points()) {
+        let c = MeanShift::new(5.0).fit(&points);
+        prop_assert_eq!(c.labels.len(), points.len());
+        for &l in &c.labels {
+            prop_assert!(l < c.centers.len());
+        }
+        // Every cluster has at least one member.
+        let sizes = c.cluster_sizes();
+        prop_assert!(sizes.iter().all(|&s| s >= 1));
+        prop_assert_eq!(sizes.iter().sum::<usize>(), points.len());
+    }
+
+    #[test]
+    fn meanshift_centers_are_finite(points in arb_points()) {
+        let c = MeanShift::new(2.0).fit(&points);
+        for center in &c.centers {
+            prop_assert!(center.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn meanshift_is_deterministic(points in arb_points()) {
+        let ms = MeanShift::new(3.0);
+        prop_assert_eq!(ms.fit(&points), ms.fit(&points));
+    }
+
+    #[test]
+    fn kmeans_partitions_everything(points in arb_points(), k in 1usize..6) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let c = KMeans::new(k).fit(&points, &mut rng);
+        prop_assert_eq!(c.labels.len(), points.len());
+        if !points.is_empty() {
+            prop_assert!(c.n_clusters() <= k.min(points.len()));
+            for &l in &c.labels {
+                prop_assert!(l < c.centers.len());
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_inertia_never_worse_than_single_cluster(points in arb_points()) {
+        prop_assume!(points.len() >= 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let k1 = KMeans::new(1).fit(&points, &mut rng);
+        let k3 = KMeans::new(3).fit(&points, &mut rng);
+        // More clusters can only reduce (or match) within-cluster scatter,
+        // modulo Lloyd's local optima — allow small slack.
+        prop_assert!(inertia(&points, &k3) <= inertia(&points, &k1) * 1.0001 + 1e-9);
+    }
+
+    #[test]
+    fn dbscan_noise_label_is_consistent(points in arb_points()) {
+        let c = Dbscan::new(1.5, 3).fit(&points);
+        prop_assert_eq!(c.labels.len(), points.len());
+        for &l in &c.labels {
+            prop_assert!(l == Clustering::<2>::NOISE || l < c.centers.len());
+        }
+    }
+
+    #[test]
+    fn rand_index_is_symmetric_and_reflexive(points in arb_points()) {
+        prop_assume!(points.len() >= 2);
+        let a = MeanShift::new(3.0).fit(&points).labels;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let b = KMeans::new(2).fit(&points, &mut rng).labels;
+        prop_assert_eq!(rand_index(&a, &b), rand_index(&b, &a));
+        prop_assert_eq!(rand_index(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn scaling_preserves_point_count_and_finiteness(points in arb_points()) {
+        for kind in [ScaleKind::Log, ScaleKind::MinMax, ScaleKind::ZScore, ScaleKind::Identity] {
+            let out = scale_uniform(&points, kind);
+            prop_assert_eq!(out.len(), points.len());
+            for p in &out {
+                prop_assert!(p.iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn minmax_output_is_in_unit_box(points in arb_points()) {
+        let out = scale_uniform(&points, ScaleKind::MinMax);
+        for p in &out {
+            prop_assert!(p.iter().all(|&v| (-1e-9..=1.0 + 1e-9).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn meanshift_respects_bandwidth_separation(gap in 20.0f64..100.0) {
+        // Two blobs farther apart than 3x the bandwidth must never merge.
+        let mut points = Vec::new();
+        for i in 0..8 {
+            let o = i as f64 * 0.1;
+            points.push([o, o]);
+            points.push([gap + o, gap - o]);
+        }
+        let c = MeanShift::new(3.0).fit(&points);
+        prop_assert!(c.n_clusters() >= 2, "gap {gap} merged into {}", c.n_clusters());
+    }
+}

@@ -1,0 +1,355 @@
+//! The categorization pipeline: merging → segmentation → the three
+//! characterizations → a category set (Fig 1 of the paper).
+
+use crate::category::{Category, OpKindTag};
+use crate::config::{CategorizerConfig, PeriodicityMethod};
+use crate::merge::merge_all;
+use crate::metadata::{self, MetadataResult};
+use crate::periodicity::{detect_periodic, PeriodicPattern};
+use crate::segment::segment;
+use crate::temporality::{self, TemporalityResult};
+use mosaic_darshan::ops::{OpKind, Operation, OperationView};
+use mosaic_darshan::TraceLog;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Per-direction analysis detail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DirectionReport {
+    /// Operations surviving the two merge passes.
+    pub merged_ops: usize,
+    /// Operations before merging.
+    pub raw_ops: usize,
+    /// Temporality verdict.
+    pub temporality: TemporalityResult,
+    /// Detected periodic patterns (possibly several).
+    pub periodic: Vec<PeriodicPattern>,
+}
+
+/// The complete MOSAIC output for one trace (§III-B4's JSON payload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// The assigned non-exclusive category set.
+    pub categories: BTreeSet<Category>,
+    /// Read-direction detail.
+    pub read: DirectionReport,
+    /// Write-direction detail.
+    pub write: DirectionReport,
+    /// Metadata detail.
+    pub metadata: MetadataResult,
+    /// Job runtime (seconds), echoed for downstream consumers.
+    pub runtime: f64,
+    /// Rank count, echoed for downstream consumers.
+    pub nprocs: u32,
+}
+
+impl TraceReport {
+    /// Canonical category names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.categories.iter().map(Category::name).collect()
+    }
+
+    /// `true` if the trace carries the category.
+    pub fn has(&self, category: Category) -> bool {
+        self.categories.contains(&category)
+    }
+
+    /// Direction detail by kind.
+    pub fn direction(&self, kind: OpKind) -> &DirectionReport {
+        match kind {
+            OpKind::Read => &self.read,
+            OpKind::Write => &self.write,
+        }
+    }
+
+    /// Serialize to the JSON document MOSAIC writes per trace.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+
+    /// Parse a JSON report back.
+    pub fn from_json(json: &str) -> Result<TraceReport, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// The MOSAIC categorizer. Cheap to clone; holds only configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Categorizer {
+    config: CategorizerConfig,
+}
+
+impl Categorizer {
+    /// Build with the given thresholds.
+    pub fn new(config: CategorizerConfig) -> Self {
+        Categorizer { config: config.validated() }
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &CategorizerConfig {
+        &self.config
+    }
+
+    /// Categorize a full trace log (extracts the operation view first).
+    pub fn categorize_log(&self, log: &TraceLog) -> TraceReport {
+        self.categorize(&OperationView::from_log(log))
+    }
+
+    /// Categorize an operation view. The core entry point.
+    pub fn categorize(&self, view: &OperationView) -> TraceReport {
+        let mut categories = BTreeSet::new();
+
+        let read = self.direction(&view.reads, view.runtime, OpKind::Read, &mut categories);
+        let write = self.direction(&view.writes, view.runtime, OpKind::Write, &mut categories);
+
+        let metadata =
+            metadata::characterize(&view.meta, view.runtime, view.nprocs, &self.config);
+        for label in &metadata.labels {
+            categories.insert(Category::Metadata(*label));
+        }
+
+        TraceReport {
+            categories,
+            read,
+            write,
+            metadata,
+            runtime: view.runtime,
+            nprocs: view.nprocs,
+        }
+    }
+
+    fn direction(
+        &self,
+        raw: &[Operation],
+        runtime: f64,
+        kind: OpKind,
+        categories: &mut BTreeSet<Category>,
+    ) -> DirectionReport {
+        let tag = OpKindTag::from(kind);
+        let merged = merge_all(raw, runtime, &self.config);
+        let temporality = temporality::characterize(&merged, runtime, &self.config);
+        categories.insert(Category::Temporality { kind: tag, label: temporality.label });
+
+        // Periodicity is only meaningful for significant directions: an
+        // insignificant direction contributes no periodic categories even if
+        // its few tiny operations happen to be evenly spaced.
+        let significant = temporality.label != crate::category::TemporalityLabel::Insignificant;
+        let periodic = if significant {
+            let segments = segment(&merged, runtime);
+            match self.config.periodicity_method {
+                PeriodicityMethod::MeanShift => detect_periodic(&segments, &self.config),
+                PeriodicityMethod::Spectral => {
+                    crate::spectral::detect_periodic_spectral(&segments, runtime, &self.config)
+                }
+                PeriodicityMethod::Hybrid => {
+                    // Clustering first; the spectral pass then only gets the
+                    // segments clustering did not explain, so the two
+                    // methods complement rather than double-report.
+                    let mut patterns = detect_periodic(&segments, &self.config);
+                    let explained: std::collections::BTreeSet<usize> =
+                        patterns.iter().flat_map(|p| p.members.iter().copied()).collect();
+                    let leftover_idx: Vec<usize> =
+                        (0..segments.len()).filter(|i| !explained.contains(i)).collect();
+                    let leftovers: Vec<_> =
+                        leftover_idx.iter().map(|&i| segments[i]).collect();
+                    let mut extra = crate::spectral::detect_periodic_spectral(
+                        &leftovers,
+                        runtime,
+                        &self.config,
+                    );
+                    // Remap member indices back into the full segment list.
+                    for p in &mut extra {
+                        for m in &mut p.members {
+                            *m = leftover_idx[*m];
+                        }
+                    }
+                    patterns.extend(extra);
+                    patterns.sort_by(|a, b| {
+                        b.occurrences.cmp(&a.occurrences).then(a.period.total_cmp(&b.period))
+                    });
+                    patterns
+                }
+            }
+        } else {
+            Vec::new()
+        };
+
+        if !periodic.is_empty() {
+            categories.insert(Category::Periodic { kind: tag });
+            for p in &periodic {
+                categories.insert(Category::PeriodicMagnitude { kind: tag, magnitude: p.magnitude });
+                if p.is_low_busy(self.config.busy_time_split) {
+                    categories.insert(Category::PeriodicLowBusyTime { kind: tag });
+                } else {
+                    categories.insert(Category::PeriodicHighBusyTime { kind: tag });
+                }
+            }
+        }
+
+        DirectionReport { merged_ops: merged.len(), raw_ops: raw.len(), temporality, periodic }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::{MetadataLabel, PeriodMagnitude, TemporalityLabel};
+    use mosaic_darshan::ops::{MetaEvent, MetaKind};
+
+    const MB: u64 = 1 << 20;
+
+    fn op(kind: OpKind, start: f64, end: f64, bytes: u64) -> Operation {
+        Operation { kind, start, end, bytes, ranks: 8 }
+    }
+
+    fn view(reads: Vec<Operation>, writes: Vec<Operation>, meta: Vec<MetaEvent>) -> OperationView {
+        OperationView { runtime: 1000.0, nprocs: 8, reads, writes, meta }
+    }
+
+    fn categorizer() -> Categorizer {
+        Categorizer::new(CategorizerConfig::default())
+    }
+
+    #[test]
+    fn read_compute_write_pattern() {
+        // The classic: read input on start, write result on end.
+        let v = view(
+            vec![op(OpKind::Read, 5.0, 30.0, 800 * MB)],
+            vec![op(OpKind::Write, 950.0, 990.0, 500 * MB)],
+            vec![],
+        );
+        let r = categorizer().categorize(&v);
+        assert!(r.has(Category::Temporality {
+            kind: OpKindTag::Read,
+            label: TemporalityLabel::OnStart
+        }));
+        assert!(r.has(Category::Temporality {
+            kind: OpKindTag::Write,
+            label: TemporalityLabel::OnEnd
+        }));
+        assert!(r.has(Category::Metadata(MetadataLabel::InsignificantLoad)));
+    }
+
+    #[test]
+    fn periodic_checkpointing_detected_with_final_write() {
+        // Numerical simulation: checkpoints every ~100 s plus a final
+        // result — the paper's introduction example ("periodic" and
+        // "write on end" both).
+        let mut writes: Vec<Operation> = (0..9)
+            .map(|i| op(OpKind::Write, 50.0 + 100.0 * i as f64, 58.0 + 100.0 * i as f64, 300 * MB))
+            .collect();
+        writes.push(op(OpKind::Write, 995.0, 999.0, 64 * MB));
+        let r = categorizer().categorize(&view(vec![], writes, vec![]));
+        assert!(r.has(Category::Periodic { kind: OpKindTag::Write }));
+        assert!(r.has(Category::PeriodicMagnitude {
+            kind: OpKindTag::Write,
+            magnitude: PeriodMagnitude::Minute
+        }));
+        assert!(r.has(Category::PeriodicLowBusyTime { kind: OpKindTag::Write }));
+        // The 9th checkpoint's segment stretches to the final write, which
+        // may fall just outside the cluster window; at least 8 of the 9
+        // checkpoint segments must group.
+        assert!(r.write.periodic[0].occurrences >= 8);
+        assert!(r.has(Category::Temporality {
+            kind: OpKindTag::Read,
+            label: TemporalityLabel::Insignificant
+        }));
+    }
+
+    #[test]
+    fn insignificant_direction_has_no_periodicity() {
+        // Tiny, regular writes: insignificant volume suppresses periodic
+        // labels.
+        let writes: Vec<Operation> =
+            (0..10).map(|i| op(OpKind::Write, 100.0 * i as f64, 100.0 * i as f64 + 1.0, MB)).collect();
+        let r = categorizer().categorize(&view(vec![], writes, vec![]));
+        assert!(!r.has(Category::Periodic { kind: OpKindTag::Write }));
+        assert!(r.write.periodic.is_empty());
+    }
+
+    #[test]
+    fn desynchronized_ranks_merge_before_detection() {
+        // 8 ranks × 6 checkpoints, ranks staggered 0.2 s: raw 48 ops,
+        // merged 6, periodic.
+        let mut writes = Vec::new();
+        for round in 0..6 {
+            for rank in 0..8 {
+                let t = 100.0 * round as f64 + rank as f64 * 0.2;
+                writes.push(op(OpKind::Write, t, t + 4.0, 100 * MB));
+            }
+        }
+        let r = categorizer().categorize(&view(vec![], writes, vec![]));
+        assert_eq!(r.write.raw_ops, 48);
+        assert_eq!(r.write.merged_ops, 6);
+        assert!(r.has(Category::Periodic { kind: OpKindTag::Write }));
+    }
+
+    #[test]
+    fn metadata_categories_flow_through() {
+        let meta: Vec<MetaEvent> = (0..10)
+            .map(|i| MetaEvent { time: 100.0 * i as f64, kind: MetaKind::Open, count: 300 })
+            .collect();
+        let r = categorizer().categorize(&view(vec![], vec![], meta));
+        assert!(r.has(Category::Metadata(MetadataLabel::HighSpike)));
+        assert!(r.has(Category::Metadata(MetadataLabel::MultipleSpikes)));
+        assert_eq!(r.metadata.peak_rps, 300);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let v = view(
+            vec![op(OpKind::Read, 5.0, 30.0, 800 * MB)],
+            vec![op(OpKind::Write, 950.0, 990.0, 500 * MB)],
+            vec![MetaEvent { time: 1.0, kind: MetaKind::Open, count: 16 }],
+        );
+        let r = categorizer().categorize(&v);
+        let json = r.to_json();
+        let back = TraceReport::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        assert!(json.contains("read_on_start"));
+    }
+
+    #[test]
+    fn empty_view_is_doubly_insignificant() {
+        let r = categorizer().categorize(&view(vec![], vec![], vec![]));
+        assert!(r.has(Category::Temporality {
+            kind: OpKindTag::Read,
+            label: TemporalityLabel::Insignificant
+        }));
+        assert!(r.has(Category::Temporality {
+            kind: OpKindTag::Write,
+            label: TemporalityLabel::Insignificant
+        }));
+        assert!(r.has(Category::Metadata(MetadataLabel::InsignificantLoad)));
+        assert_eq!(r.categories.len(), 3);
+    }
+
+    #[test]
+    fn category_names_are_exposed() {
+        let v = view(vec![op(OpKind::Read, 5.0, 30.0, 800 * MB)], vec![], vec![]);
+        let names = categorizer().categorize(&v).names();
+        assert!(names.iter().any(|n| n == "read_on_start"));
+        assert!(names.iter().any(|n| n == "write_insignificant"));
+    }
+
+    #[test]
+    fn categorize_log_matches_categorize_view() {
+        use mosaic_darshan::counter::PosixCounter as C;
+        use mosaic_darshan::counter::PosixFCounter as F;
+        use mosaic_darshan::job::JobHeader;
+        use mosaic_darshan::log::TraceLogBuilder;
+        let mut b = TraceLogBuilder::new(JobHeader::new(1, 1, 8, 0, 1000));
+        let h = b.begin_record("/in", -1);
+        b.record_mut(h)
+            .set(C::Reads, 8)
+            .set(C::BytesRead, (800 * MB) as i64)
+            .set(C::Opens, 8)
+            .setf(F::OpenStartTimestamp, 4.0)
+            .setf(F::ReadStartTimestamp, 5.0)
+            .setf(F::ReadEndTimestamp, 30.0);
+        let log = b.finish();
+        let a = categorizer().categorize_log(&log);
+        let b = categorizer().categorize(&OperationView::from_log(&log));
+        assert_eq!(a, b);
+    }
+}

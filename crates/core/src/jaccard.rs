@@ -1,0 +1,211 @@
+//! Jaccard co-occurrence analysis (§III-B4, Fig 5).
+//!
+//! For every pair of categories `(a, b)`, the Jaccard index
+//! `J = |Tₐ ∩ T_b| / |Tₐ ∪ T_b|` over the sets of traces carrying each
+//! category measures how systematically the two behaviours co-occur. The
+//! paper uses the resulting heatmap to surface scheduler-relevant
+//! correlations (e.g. *read on start* ∧ *write on end* — the classic
+//! read-compute-write motif).
+
+use crate::category::Category;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A symmetric category × category Jaccard matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JaccardMatrix {
+    /// Categories present in at least one input set, sorted.
+    pub categories: Vec<Category>,
+    /// Row-major `categories.len()²` matrix of Jaccard indices.
+    pub values: Vec<f64>,
+    /// Number of traces carrying each category (diagonal support).
+    pub support: Vec<usize>,
+    /// Number of trace sets analyzed.
+    pub n_traces: usize,
+}
+
+impl JaccardMatrix {
+    /// Compute the matrix from one category set per trace.
+    pub fn compute(sets: &[BTreeSet<Category>]) -> JaccardMatrix {
+        let mut members: BTreeMap<Category, BTreeSet<usize>> = BTreeMap::new();
+        for (i, set) in sets.iter().enumerate() {
+            for &c in set {
+                members.entry(c).or_default().insert(i);
+            }
+        }
+        let categories: Vec<Category> = members.keys().copied().collect();
+        let n = categories.len();
+        let mut values = vec![0.0; n * n];
+        let support: Vec<usize> = categories.iter().map(|c| members[c].len()).collect();
+        for (i, a) in categories.iter().enumerate() {
+            for (j, b) in categories.iter().enumerate() {
+                let (ta, tb) = (&members[a], &members[b]);
+                let inter = ta.intersection(tb).count();
+                let union = ta.union(tb).count();
+                values[i * n + j] = if union == 0 { 0.0 } else { inter as f64 / union as f64 };
+            }
+        }
+        JaccardMatrix { categories, values, support, n_traces: sets.len() }
+    }
+
+    /// Jaccard index of a pair, `None` if either category never occurred.
+    pub fn get(&self, a: Category, b: Category) -> Option<f64> {
+        let i = self.categories.iter().position(|&c| c == a)?;
+        let j = self.categories.iter().position(|&c| c == b)?;
+        Some(self.values[i * self.categories.len() + j])
+    }
+
+    /// Conditional co-occurrence `P(b | a) = |Tₐ ∩ T_b| / |Tₐ|` — the form
+    /// behind statements like "66 % of applications reading on start write
+    /// on end". `None` if `a` never occurred.
+    pub fn conditional(&self, sets: &[BTreeSet<Category>], a: Category, b: Category) -> Option<f64> {
+        let with_a: Vec<&BTreeSet<Category>> = sets.iter().filter(|s| s.contains(&a)).collect();
+        if with_a.is_empty() {
+            return None;
+        }
+        let both = with_a.iter().filter(|s| s.contains(&b)).count();
+        Some(both as f64 / with_a.len() as f64)
+    }
+
+    /// Pairs with an index of at least `threshold`, excluding the diagonal,
+    /// sorted by descending index. This is the "relevant correlations" view
+    /// Fig 5 plots (the paper shows values above 1 %).
+    pub fn relevant_pairs(&self, threshold: f64) -> Vec<(Category, Category, f64)> {
+        let n = self.categories.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = self.values[i * n + j];
+                if v >= threshold {
+                    out.push((self.categories[i], self.categories[j], v));
+                }
+            }
+        }
+        out.sort_by(|a, b| b.2.total_cmp(&a.2));
+        out
+    }
+
+    /// Render the matrix as an aligned text heatmap (category names down the
+    /// side, percentages in the cells), the terminal stand-in for Fig 5.
+    pub fn render_text(&self) -> String {
+        let n = self.categories.len();
+        let names: Vec<String> = self.categories.iter().map(Category::name).collect();
+        let width = names.iter().map(String::len).max().unwrap_or(8).max(6);
+        let mut out = String::new();
+        out.push_str(&format!("{:width$}  ", "", width = width));
+        for j in 0..n {
+            out.push_str(&format!("{:>6}", format!("[{j}]")));
+        }
+        out.push('\n');
+        #[allow(clippy::needless_range_loop)] // paired row/column indexing
+        for i in 0..n {
+            out.push_str(&format!("{:width$}  ", names[i], width = width));
+            for j in 0..n {
+                let v = self.values[i * n + j];
+                if v < 0.01 && i != j {
+                    out.push_str(&format!("{:>6}", "."));
+                } else {
+                    out.push_str(&format!("{:>6.0}", v * 100.0));
+                }
+            }
+            out.push_str(&format!("  [{i}]\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::{MetadataLabel, OpKindTag, TemporalityLabel};
+
+    fn read_on_start() -> Category {
+        Category::Temporality { kind: OpKindTag::Read, label: TemporalityLabel::OnStart }
+    }
+    fn write_on_end() -> Category {
+        Category::Temporality { kind: OpKindTag::Write, label: TemporalityLabel::OnEnd }
+    }
+    fn meta_spike() -> Category {
+        Category::Metadata(MetadataLabel::HighSpike)
+    }
+
+    fn sets() -> Vec<BTreeSet<Category>> {
+        vec![
+            [read_on_start(), write_on_end()].into_iter().collect(),
+            [read_on_start(), write_on_end()].into_iter().collect(),
+            [read_on_start()].into_iter().collect(),
+            [meta_spike()].into_iter().collect(),
+        ]
+    }
+
+    #[test]
+    fn jaccard_values() {
+        let m = JaccardMatrix::compute(&sets());
+        // read_on_start: {0,1,2}; write_on_end: {0,1} → J = 2/3.
+        assert!((m.get(read_on_start(), write_on_end()).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        // Disjoint pair.
+        assert_eq!(m.get(read_on_start(), meta_spike()).unwrap(), 0.0);
+        // Diagonal is 1.
+        assert_eq!(m.get(meta_spike(), meta_spike()).unwrap(), 1.0);
+        assert_eq!(m.n_traces, 4);
+    }
+
+    #[test]
+    fn symmetry() {
+        let m = JaccardMatrix::compute(&sets());
+        let n = m.categories.len();
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(m.values[i * n + j], m.values[j * n + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_probability() {
+        let m = JaccardMatrix::compute(&sets());
+        let s = sets();
+        // P(write_on_end | read_on_start) = 2/3.
+        assert!((m.conditional(&s, read_on_start(), write_on_end()).unwrap() - 2.0 / 3.0).abs()
+            < 1e-12);
+        // P(read_on_start | write_on_end) = 1.
+        assert_eq!(m.conditional(&s, write_on_end(), read_on_start()).unwrap(), 1.0);
+        let absent = Category::Metadata(MetadataLabel::HighDensity);
+        assert_eq!(m.conditional(&s, absent, read_on_start()), None);
+    }
+
+    #[test]
+    fn relevant_pairs_sorted_and_thresholded() {
+        let m = JaccardMatrix::compute(&sets());
+        let pairs = m.relevant_pairs(0.5);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].0, pairs[0].1), (read_on_start(), write_on_end()));
+        let all = m.relevant_pairs(0.0);
+        assert!(all.len() >= pairs.len());
+        assert!(all.windows(2).all(|w| w[0].2 >= w[1].2));
+    }
+
+    #[test]
+    fn support_counts() {
+        let m = JaccardMatrix::compute(&sets());
+        let i = m.categories.iter().position(|&c| c == read_on_start()).unwrap();
+        assert_eq!(m.support[i], 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = JaccardMatrix::compute(&[]);
+        assert!(m.categories.is_empty());
+        assert!(m.relevant_pairs(0.0).is_empty());
+        assert_eq!(m.get(read_on_start(), write_on_end()), None);
+    }
+
+    #[test]
+    fn text_rendering_contains_names_and_percentages() {
+        let m = JaccardMatrix::compute(&sets());
+        let text = m.render_text();
+        assert!(text.contains("read_on_start"));
+        assert!(text.contains("metadata_high_spike"));
+        assert!(text.contains("100")); // diagonal
+    }
+}

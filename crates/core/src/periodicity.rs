@@ -1,0 +1,268 @@
+//! Periodic-operation detection (§III-B3a, second half).
+//!
+//! Mean Shift groups segments whose opening operations "share comparable
+//! duration and data size"; every group with more than one member is a
+//! periodic operation candidate. Several groups — hence several interleaved
+//! periodic operations — can be detected in one trace, which is exactly
+//! where plain DFT peak-picking struggles.
+//!
+//! Two refinements over the paper's one-paragraph description, both needed
+//! to make the multi-behaviour claim actually hold:
+//!
+//! * the clustering features are the **operation** duration and volume
+//!   (log-scaled). When two periodic behaviours interleave, the *segment*
+//!   length (start → next start of *any* operation) of the sparser
+//!   behaviour is clipped by the denser one and no longer reflects its
+//!   period — but its operations themselves stay self-similar;
+//! * the **period** of a group is the mean inter-arrival time of its
+//!   member operations (for a lone behaviour this equals the mean segment
+//!   length, so nothing changes in the simple case), and a group is only
+//!   accepted as periodic when those inter-arrivals are *regular*
+//!   (coefficient of variation below a threshold) — merely looking alike
+//!   is not periodicity.
+
+use crate::category::PeriodMagnitude;
+use crate::config::CategorizerConfig;
+use crate::segment::Segment;
+use mosaic_clustering::meanshift::MeanShift;
+use serde::{Deserialize, Serialize};
+
+/// One detected periodic operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodicPattern {
+    /// Number of occurrences (cluster size).
+    pub occurrences: usize,
+    /// Mean period in seconds (mean inter-arrival of member operations).
+    pub period: f64,
+    /// Order of magnitude of the period.
+    pub magnitude: PeriodMagnitude,
+    /// Mean bytes moved per occurrence.
+    pub mean_bytes: f64,
+    /// Mean fraction of the period spent doing I/O.
+    pub busy_fraction: f64,
+    /// Regularity of the inter-arrivals (coefficient of variation; 0 =
+    /// perfectly regular).
+    pub regularity_cv: f64,
+    /// Indices (into the segment list) of the member segments.
+    pub members: Vec<usize>,
+}
+
+impl PeriodicPattern {
+    /// `true` when the pattern spends less than `split` of each period doing
+    /// I/O (the paper observes 96 % of periodic writes below 25 %).
+    pub fn is_low_busy(&self, split: f64) -> bool {
+        self.busy_fraction < split
+    }
+}
+
+/// Clustering feature of one segment's opening operation:
+/// `(log10(1 + op duration), log10(1 + volume))`.
+fn op_feature(s: &Segment) -> [f64; 2] {
+    [(1.0 + s.op_duration.max(0.0)).log10(), (1.0 + s.bytes as f64).log10()]
+}
+
+/// Detect periodic operations among `segments` (which must be sorted by
+/// start time, as [`crate::segment::segment`] produces them).
+///
+/// Returns patterns sorted by descending occurrence count.
+pub fn detect_periodic(
+    segments: &[Segment],
+    config: &CategorizerConfig,
+) -> Vec<PeriodicPattern> {
+    if segments.len() < config.min_periodic_occurrences {
+        return Vec::new();
+    }
+    let features: Vec<[f64; 2]> = segments.iter().map(op_feature).collect();
+    let clustering = MeanShift::new(config.meanshift_bandwidth).fit(&features);
+
+    let mut patterns = Vec::new();
+    for (_, mut members) in clustering.clusters() {
+        if members.len() < config.min_periodic_occurrences {
+            continue;
+        }
+        members.sort_unstable();
+        let starts: Vec<f64> = members.iter().map(|&i| segments[i].start).collect();
+        let gaps: Vec<f64> = starts.windows(2).map(|w| w[1] - w[0]).collect();
+        debug_assert!(!gaps.is_empty());
+        let period = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        if period <= 0.0 {
+            continue;
+        }
+        // Regularity gate: similar-looking operations at irregular times
+        // are repetition, not periodicity.
+        let var = gaps.iter().map(|g| (g - period).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let regularity_cv = var.sqrt() / period;
+        if regularity_cv > config.periodic_regularity_cv {
+            continue;
+        }
+        let n = members.len() as f64;
+        let mean_bytes = members.iter().map(|&i| segments[i].bytes as f64).sum::<f64>() / n;
+        let busy_fraction = (members
+            .iter()
+            .map(|&i| segments[i].op_duration)
+            .sum::<f64>()
+            / n
+            / period)
+            .clamp(0.0, 1.0);
+        patterns.push(PeriodicPattern {
+            occurrences: members.len(),
+            period,
+            magnitude: PeriodMagnitude::of(period),
+            mean_bytes,
+            busy_fraction,
+            regularity_cv,
+            members,
+        });
+    }
+    patterns.sort_by(|a, b| b.occurrences.cmp(&a.occurrences).then(a.period.total_cmp(&b.period)));
+    patterns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a regular train of operations: `count` segments starting at
+    /// multiples of `period`, each `op_duration` long with `bytes` volume.
+    fn train(period: f64, count: usize, bytes: u64, op_duration: f64) -> Vec<Segment> {
+        (0..count)
+            .map(|i| Segment {
+                start: period * (i as f64 + 0.3),
+                duration: period,
+                bytes,
+                op_duration,
+            })
+            .collect()
+    }
+
+    fn by_start(mut segs: Vec<Segment>) -> Vec<Segment> {
+        segs.sort_by(|a, b| a.start.total_cmp(&b.start));
+        segs
+    }
+
+    fn cfg() -> CategorizerConfig {
+        CategorizerConfig::default()
+    }
+
+    #[test]
+    fn uniform_checkpoints_form_one_pattern() {
+        let segments = train(120.0, 8, 256 << 20, 10.0);
+        let patterns = detect_periodic(&segments, &cfg());
+        assert_eq!(patterns.len(), 1);
+        let p = &patterns[0];
+        assert_eq!(p.occurrences, 8);
+        assert!((p.period - 120.0).abs() < 1.0);
+        assert_eq!(p.magnitude, PeriodMagnitude::Minute);
+        assert!(p.is_low_busy(0.25));
+        assert!(p.regularity_cv < 0.01);
+    }
+
+    #[test]
+    fn two_interleaved_periodic_behaviors_are_separated() {
+        // The paper's key scenario: checkpoint writes (10-min period,
+        // 2 GiB, 24 s ops) interleaved with frequent small writes (20-s
+        // period, 150 MiB, 2 s ops).
+        let mut segments = train(600.0, 12, 2 << 30, 24.0);
+        segments.extend(train(20.0, 340, 150 << 20, 2.0));
+        let segments = by_start(segments);
+        let patterns = detect_periodic(&segments, &cfg());
+        assert_eq!(patterns.len(), 2, "{patterns:?}");
+        assert!((patterns[0].period - 20.0).abs() < 2.0, "{patterns:?}");
+        assert_eq!(patterns[0].magnitude, PeriodMagnitude::Second);
+        assert!((patterns[1].period - 600.0).abs() < 20.0, "{patterns:?}");
+        assert_eq!(patterns[1].magnitude, PeriodMagnitude::Minute);
+    }
+
+    #[test]
+    fn jittered_periods_still_cluster() {
+        // ±10 % jitter on op duration and volume stays within the log-space
+        // bandwidth; inter-arrival jitter stays under the regularity gate.
+        let segments: Vec<Segment> = (0..10)
+            .map(|i| {
+                let j = 1.0 + 0.1 * ((i % 3) as f64 - 1.0);
+                Segment {
+                    start: 300.0 * i as f64 + 10.0 * ((i % 3) as f64 - 1.0),
+                    duration: 300.0,
+                    bytes: ((64u64 << 20) as f64 * j) as u64,
+                    op_duration: 5.0 * j,
+                }
+            })
+            .collect();
+        let patterns = detect_periodic(&segments, &cfg());
+        assert_eq!(patterns.len(), 1);
+        assert_eq!(patterns[0].occurrences, 10);
+        assert!((patterns[0].period - 300.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn similar_but_irregular_ops_are_not_periodic() {
+        // Identical ops at wildly irregular times: repetition without
+        // periodicity — the regularity gate must reject them.
+        let starts = [0.0, 11.0, 300.0, 304.0, 2100.0, 2111.0];
+        let segments: Vec<Segment> = starts
+            .iter()
+            .map(|&s| Segment { start: s, duration: 10.0, bytes: 1 << 30, op_duration: 3.0 })
+            .collect();
+        assert!(detect_periodic(&segments, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn one_off_operations_are_not_periodic() {
+        let segments = vec![
+            Segment { start: 10.0, duration: 10.0, bytes: 1 << 30, op_duration: 5.0 },
+            Segment { start: 4000.0, duration: 5000.0, bytes: 100, op_duration: 1.0 },
+            Segment { start: 9000.0, duration: 0.5, bytes: 5 << 20, op_duration: 0.5 },
+        ];
+        assert!(detect_periodic(&segments, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn too_few_segments_short_circuit() {
+        assert!(detect_periodic(&[], &cfg()).is_empty());
+        let one = train(60.0, 1, 100, 1.0);
+        assert!(detect_periodic(&one, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn magnitude_labels_span_buckets() {
+        for (period, magnitude) in [
+            (30.0, PeriodMagnitude::Second),
+            (600.0, PeriodMagnitude::Minute),
+            (7200.0, PeriodMagnitude::Hour),
+            (172_800.0, PeriodMagnitude::DayOrMore),
+        ] {
+            let segments = train(period, 4, 1 << 20, 1.0);
+            let patterns = detect_periodic(&segments, &cfg());
+            assert_eq!(patterns[0].magnitude, magnitude, "period {period}");
+        }
+    }
+
+    #[test]
+    fn high_busy_pattern_detected() {
+        let segments = train(100.0, 5, 1 << 20, 60.0);
+        let patterns = detect_periodic(&segments, &cfg());
+        assert!(!patterns[0].is_low_busy(0.25));
+        assert!((patterns[0].busy_fraction - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_occurrence_threshold_respected() {
+        let config = CategorizerConfig { min_periodic_occurrences: 4, ..cfg() };
+        assert!(detect_periodic(&train(60.0, 3, 1 << 20, 1.0), &config).is_empty());
+        assert_eq!(detect_periodic(&train(60.0, 4, 1 << 20, 1.0), &config).len(), 1);
+    }
+
+    #[test]
+    fn regularity_gate_is_configurable() {
+        // Mild irregularity passes a loose gate, fails a strict one.
+        let starts = [0.0, 95.0, 210.0, 290.0, 405.0];
+        let segments: Vec<Segment> = starts
+            .iter()
+            .map(|&s| Segment { start: s, duration: 100.0, bytes: 1 << 30, op_duration: 3.0 })
+            .collect();
+        let loose = CategorizerConfig { periodic_regularity_cv: 0.5, ..cfg() };
+        assert_eq!(detect_periodic(&segments, &loose).len(), 1);
+        let strict = CategorizerConfig { periodic_regularity_cv: 0.05, ..cfg() };
+        assert!(detect_periodic(&segments, &strict).is_empty());
+    }
+}

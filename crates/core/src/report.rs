@@ -1,0 +1,241 @@
+//! Aggregate statistics over many trace reports (§III-B4's "statistics
+//! about the global behavior").
+//!
+//! MOSAIC reports every distribution twice: over the **deduplicated**
+//! single-run set (application behaviour) and over **all runs** (load on
+//! the parallel file system). [`CategoryCounts`] is the building block for
+//! both views; the pipeline crate owns the dedup bookkeeping.
+
+use crate::category::Category;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How many traces carry each category, with the population size for
+/// percentage math.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CategoryCounts {
+    counts: BTreeMap<Category, usize>,
+    /// Number of trace category-sets aggregated.
+    pub total: usize,
+}
+
+impl CategoryCounts {
+    /// Aggregate a collection of category sets.
+    pub fn from_sets<'a, I: IntoIterator<Item = &'a BTreeSet<Category>>>(sets: I) -> Self {
+        let mut out = CategoryCounts::default();
+        for set in sets {
+            out.add(set);
+        }
+        out
+    }
+
+    /// Fold one more trace in.
+    pub fn add(&mut self, set: &BTreeSet<Category>) {
+        self.total += 1;
+        for &c in set {
+            *self.counts.entry(c).or_insert(0) += 1;
+        }
+    }
+
+    /// Count for one category.
+    pub fn count(&self, c: Category) -> usize {
+        self.counts.get(&c).copied().unwrap_or(0)
+    }
+
+    /// Fraction of traces carrying `c`, in `[0, 1]`.
+    pub fn fraction(&self, c: Category) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(c) as f64 / self.total as f64
+        }
+    }
+
+    /// All `(category, count)` pairs, sorted by descending count.
+    pub fn ranked(&self) -> Vec<(Category, usize)> {
+        let mut v: Vec<(Category, usize)> = self.counts.iter().map(|(&c, &n)| (c, n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Iterate `(category, count)` in category order.
+    pub fn iter(&self) -> impl Iterator<Item = (Category, usize)> + '_ {
+        self.counts.iter().map(|(&c, &n)| (c, n))
+    }
+
+    /// CSV export (`category,count,fraction`), for downstream plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("category,count,fraction\n");
+        for (c, n) in self.ranked() {
+            out.push_str(&format!("{},{},{:.6}\n", c.name(), n, self.fraction(c)));
+        }
+        out
+    }
+
+    /// Half-L1 drift between the per-category share marginals: 0 means
+    /// identical mixes, larger means more drift. Because MOSAIC categories
+    /// are **non-exclusive** (a trace carries several), this is a sum over
+    /// marginals, not a probability-distribution distance — it can exceed
+    /// 1 when many categories move at once.
+    pub fn l1_drift(&self, other: &CategoryCounts) -> f64 {
+        let cats: std::collections::BTreeSet<Category> = self
+            .counts
+            .keys()
+            .chain(other.counts.keys())
+            .copied()
+            .collect();
+        0.5 * cats
+            .into_iter()
+            .map(|c| (self.fraction(c) - other.fraction(c)).abs())
+            .sum::<f64>()
+    }
+
+    /// The categories whose share moved the most between `self` and
+    /// `other`, as `(category, share delta)` sorted by |delta| descending.
+    pub fn biggest_movers(&self, other: &CategoryCounts, top: usize) -> Vec<(Category, f64)> {
+        let cats: std::collections::BTreeSet<Category> = self
+            .counts
+            .keys()
+            .chain(other.counts.keys())
+            .copied()
+            .collect();
+        let mut moves: Vec<(Category, f64)> = cats
+            .into_iter()
+            .map(|c| (c, other.fraction(c) - self.fraction(c)))
+            .collect();
+        moves.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
+        moves.truncate(top);
+        moves
+    }
+
+    /// Render a `name  count  percent` table, the terminal stand-in for the
+    /// paper's distribution tables.
+    pub fn render_table(&self, title: &str) -> String {
+        let mut out = format!("{title} ({} traces)\n", self.total);
+        let width = self
+            .counts
+            .keys()
+            .map(|c| c.name().len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        for (c, n) in self.ranked() {
+            out.push_str(&format!(
+                "  {:width$}  {:>8}  {:>5.1}%\n",
+                c.name(),
+                n,
+                100.0 * self.fraction(c),
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::{MetadataLabel, OpKindTag, TemporalityLabel};
+
+    fn c_read_start() -> Category {
+        Category::Temporality { kind: OpKindTag::Read, label: TemporalityLabel::OnStart }
+    }
+    fn c_spike() -> Category {
+        Category::Metadata(MetadataLabel::HighSpike)
+    }
+
+    #[test]
+    fn counting_and_fractions() {
+        let sets: Vec<BTreeSet<Category>> = vec![
+            [c_read_start(), c_spike()].into_iter().collect(),
+            [c_read_start()].into_iter().collect(),
+            BTreeSet::new(),
+            [c_spike()].into_iter().collect(),
+        ];
+        let counts = CategoryCounts::from_sets(&sets);
+        assert_eq!(counts.total, 4);
+        assert_eq!(counts.count(c_read_start()), 2);
+        assert_eq!(counts.fraction(c_read_start()), 0.5);
+        assert_eq!(counts.fraction(c_spike()), 0.5);
+        let absent = Category::Metadata(MetadataLabel::HighDensity);
+        assert_eq!(counts.count(absent), 0);
+        assert_eq!(counts.fraction(absent), 0.0);
+    }
+
+    #[test]
+    fn ranked_is_descending() {
+        let sets: Vec<BTreeSet<Category>> = vec![
+            [c_read_start(), c_spike()].into_iter().collect(),
+            [c_read_start()].into_iter().collect(),
+        ];
+        let ranked = CategoryCounts::from_sets(&sets).ranked();
+        assert_eq!(ranked[0], (c_read_start(), 2));
+        assert_eq!(ranked[1], (c_spike(), 1));
+    }
+
+    #[test]
+    fn empty_population() {
+        let counts = CategoryCounts::default();
+        assert_eq!(counts.fraction(c_spike()), 0.0);
+        assert!(counts.ranked().is_empty());
+    }
+
+    #[test]
+    fn table_rendering() {
+        let sets: Vec<BTreeSet<Category>> =
+            vec![[c_read_start()].into_iter().collect(), [c_read_start()].into_iter().collect()];
+        let t = CategoryCounts::from_sets(&sets).render_table("Temporality");
+        assert!(t.contains("Temporality (2 traces)"));
+        assert!(t.contains("read_on_start"));
+        assert!(t.contains("100.0%"));
+    }
+
+    #[test]
+    fn csv_export() {
+        let sets: Vec<BTreeSet<Category>> =
+            vec![[c_read_start()].into_iter().collect(), BTreeSet::new()];
+        let csv = CategoryCounts::from_sets(&sets).to_csv();
+        assert!(csv.starts_with("category,count,fraction\n"));
+        assert!(csv.contains("read_on_start,1,0.500000"));
+    }
+
+    #[test]
+    fn l1_drift_distance() {
+        let a = CategoryCounts::from_sets(&[
+            [c_read_start()].into_iter().collect::<BTreeSet<Category>>(),
+            [c_read_start()].into_iter().collect(),
+        ]);
+        let b = CategoryCounts::from_sets(&[
+            [c_read_start()].into_iter().collect::<BTreeSet<Category>>(),
+            [c_spike()].into_iter().collect(),
+        ]);
+        // a: read 100%, spike 0%; b: read 50%, spike 50% → TV = 0.5.
+        assert!((a.l1_drift(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(a.l1_drift(&a), 0.0);
+        // Symmetry.
+        assert_eq!(a.l1_drift(&b), b.l1_drift(&a));
+    }
+
+    #[test]
+    fn biggest_movers_ranked_by_magnitude() {
+        let a = CategoryCounts::from_sets(&[
+            [c_read_start()].into_iter().collect::<BTreeSet<Category>>(),
+        ]);
+        let b = CategoryCounts::from_sets(&[
+            [c_spike()].into_iter().collect::<BTreeSet<Category>>(),
+        ]);
+        let movers = a.biggest_movers(&b, 5);
+        assert_eq!(movers.len(), 2);
+        assert!(movers.iter().any(|&(c, d)| c == c_read_start() && d == -1.0));
+        assert!(movers.iter().any(|&(c, d)| c == c_spike() && d == 1.0));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let sets: Vec<BTreeSet<Category>> = vec![[c_spike()].into_iter().collect()];
+        let counts = CategoryCounts::from_sets(&sets);
+        let json = serde_json::to_string(&counts).unwrap();
+        let back: CategoryCounts = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, counts);
+    }
+}

@@ -1,0 +1,150 @@
+//! Error types for parsing and validating traces.
+
+use std::fmt;
+
+/// Errors raised while encoding or decoding a trace serialization (binary MDF
+/// or the text format).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// The input does not begin with the expected magic bytes.
+    BadMagic,
+    /// The format version is newer than this library understands.
+    UnsupportedVersion(u16),
+    /// The input ended before a complete structure could be decoded.
+    Truncated {
+        /// What was being decoded when the input ran out.
+        context: &'static str,
+    },
+    /// The trailing CRC does not match the payload.
+    ChecksumMismatch {
+        /// CRC recorded in the file footer.
+        expected: u32,
+        /// CRC computed over the payload actually read.
+        actual: u32,
+    },
+    /// A module tag byte did not name a known module.
+    UnknownModule(u8),
+    /// A length or count field exceeds sane bounds (decompression-bomb guard).
+    ImplausibleLength {
+        /// What was being decoded.
+        context: &'static str,
+        /// The offending length.
+        len: u64,
+    },
+    /// A string field contained invalid UTF-8.
+    InvalidUtf8 {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// Text-format specific: a malformed line.
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+        /// Short description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::BadMagic => write!(f, "bad magic bytes: not an MDF trace"),
+            FormatError::UnsupportedVersion(v) => write!(f, "unsupported MDF version {v}"),
+            FormatError::Truncated { context } => write!(f, "truncated input while reading {context}"),
+            FormatError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: footer says {expected:#010x}, payload hashes to {actual:#010x}"
+            ),
+            FormatError::UnknownModule(t) => write!(f, "unknown module tag {t}"),
+            FormatError::ImplausibleLength { context, len } => {
+                write!(f, "implausible length {len} while reading {context}")
+            }
+            FormatError::InvalidUtf8 { context } => write!(f, "invalid UTF-8 in {context}"),
+            FormatError::MalformedLine { line, reason } => {
+                write!(f, "malformed text-format line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// A validity violation found in an otherwise decodable trace.
+///
+/// MOSAIC's pre-processing step ① deletes corrupted entries; the paper calls
+/// out "a deallocation happens before the end of the application's execution"
+/// as the canonical example. Each variant names one rule; a trace may violate
+/// several at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValidityError {
+    /// Job end time is not after job start time.
+    NonPositiveRuntime,
+    /// A record was deallocated (closed out) before the application finished
+    /// while I/O activity was still attributed to it.
+    DeallocatedBeforeEnd,
+    /// A timestamp counter is negative.
+    NegativeTimestamp,
+    /// An interval end precedes its start (e.g. read end < read start).
+    InvertedInterval,
+    /// A timestamp exceeds the job's wallclock runtime.
+    TimestampBeyondRuntime,
+    /// Byte counters are negative.
+    NegativeBytes,
+    /// A record reports bytes moved but zero corresponding operations.
+    BytesWithoutOps,
+    /// The job header reports zero processes.
+    ZeroProcs,
+    /// A record references a rank outside `[-1, nprocs)`.
+    RankOutOfRange,
+    /// A record id has no entry in the file-name table.
+    MissingName,
+}
+
+impl ValidityError {
+    /// Human-readable rule description.
+    pub fn describe(self) -> &'static str {
+        match self {
+            ValidityError::NonPositiveRuntime => "job end time not after start time",
+            ValidityError::DeallocatedBeforeEnd => {
+                "record deallocated before end of application execution"
+            }
+            ValidityError::NegativeTimestamp => "negative timestamp counter",
+            ValidityError::InvertedInterval => "interval end precedes its start",
+            ValidityError::TimestampBeyondRuntime => "timestamp beyond job runtime",
+            ValidityError::NegativeBytes => "negative byte counter",
+            ValidityError::BytesWithoutOps => "bytes moved with zero operations",
+            ValidityError::ZeroProcs => "job header reports zero processes",
+            ValidityError::RankOutOfRange => "record rank outside [-1, nprocs)",
+            ValidityError::MissingName => "record id missing from name table",
+        }
+    }
+}
+
+impl fmt::Display for ValidityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.describe())
+    }
+}
+
+impl std::error::Error for ValidityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FormatError::ChecksumMismatch { expected: 1, actual: 2 };
+        let s = e.to_string();
+        assert!(s.contains("checksum"));
+        assert!(s.contains("0x00000001"));
+        assert!(ValidityError::DeallocatedBeforeEnd.to_string().contains("deallocated"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&FormatError::BadMagic);
+        takes_err(&ValidityError::ZeroProcs);
+    }
+}

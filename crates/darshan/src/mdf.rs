@@ -1,0 +1,296 @@
+//! MDF — the MOSAIC Darshan Format.
+//!
+//! A compact little-endian binary serialization of [`TraceLog`] with a
+//! CRC-32 footer, playing the role of Darshan's `.darshan` log files.
+//!
+//! ```text
+//! +----------------------------+
+//! | magic  "MOSAICDF"  (8 B)   |
+//! | version u16 | flags u16    |
+//! | job header                 |
+//! |   job_id u64, uid u32,     |
+//! |   nprocs u32,              |
+//! |   start i64, end i64,      |
+//! |   exe (u32 len + bytes)    |
+//! | n_records u32              |
+//! | records ×n                 |
+//! |   record_id u64, rank i32, |
+//! |   module u8,               |
+//! |   counters  ×25 i64,       |
+//! |   fcounters ×11 f64        |
+//! | name table                 |
+//! |   count u32, entries:      |
+//! |   id u64, len u16, bytes   |
+//! | crc32 u32 over all above   |
+//! +----------------------------+
+//! ```
+//!
+//! The parser is strict: bad magic, unknown versions, truncation, implausible
+//! lengths and checksum mismatches are all reported as distinct
+//! [`FormatError`]s, which the MOSAIC pre-processing step ① counts as
+//! *corrupted traces* and evicts.
+
+use crate::counter::{Module, N_POSIX_COUNTERS, N_POSIX_FCOUNTERS};
+use crate::error::FormatError;
+use crate::job::JobHeader;
+use crate::log::TraceLog;
+use crate::record::PosixRecord;
+use crate::synthutil::Crc32;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::BTreeMap;
+
+/// File magic.
+pub const MAGIC: &[u8; 8] = b"MOSAICDF";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+// Decompression-bomb guards.
+const MAX_EXE_LEN: u32 = 64 * 1024;
+const MAX_RECORDS: u32 = 64 * 1024 * 1024;
+const MAX_NAMES: u32 = 64 * 1024 * 1024;
+
+/// Serialize a trace to MDF bytes.
+pub fn to_bytes(log: &TraceLog) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(estimated_size(log));
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(0); // flags, reserved
+    let h = log.header();
+    buf.put_u64_le(h.job_id);
+    buf.put_u32_le(h.uid);
+    buf.put_u32_le(h.nprocs);
+    buf.put_i64_le(h.start_time);
+    buf.put_i64_le(h.end_time);
+    buf.put_u32_le(h.exe.len() as u32);
+    buf.put_slice(h.exe.as_bytes());
+    buf.put_u32_le(log.records().len() as u32);
+    for r in log.records() {
+        buf.put_u64_le(r.record_id);
+        buf.put_i32_le(r.rank);
+        buf.put_u8(r.module.tag());
+        for &c in &r.counters {
+            buf.put_i64_le(c);
+        }
+        for &c in &r.fcounters {
+            buf.put_f64_le(c);
+        }
+    }
+    buf.put_u32_le(log.names().len() as u32);
+    for (id, name) in log.names() {
+        buf.put_u64_le(*id);
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name.as_bytes());
+    }
+    let crc = Crc32::checksum(&buf);
+    buf.put_u32_le(crc);
+    buf.to_vec()
+}
+
+/// Conservative size estimate used to pre-allocate the encode buffer.
+pub fn estimated_size(log: &TraceLog) -> usize {
+    let rec = 8 + 4 + 1 + N_POSIX_COUNTERS * 8 + N_POSIX_FCOUNTERS * 8;
+    let names: usize = log.names().values().map(|n| 10 + n.len()).sum();
+    64 + log.header().exe.len() + log.records().len() * rec + names
+}
+
+/// Parse MDF bytes into a [`TraceLog`].
+///
+/// The whole payload is checksummed before structural decoding so that a
+/// flipped bit anywhere is reported as [`FormatError::ChecksumMismatch`]
+/// rather than as garbage data.
+pub fn from_bytes(data: &[u8]) -> Result<TraceLog, FormatError> {
+    if data.len() < MAGIC.len() + 4 + 4 {
+        return Err(FormatError::Truncated { context: "file header" });
+    }
+    if &data[..8] != MAGIC {
+        return Err(FormatError::BadMagic);
+    }
+    let (payload, footer) = data.split_at(data.len() - 4);
+    let expected = u32::from_le_bytes(footer.try_into().expect("4-byte footer"));
+    let actual = Crc32::checksum(payload);
+    if expected != actual {
+        return Err(FormatError::ChecksumMismatch { expected, actual });
+    }
+
+    let mut buf = Bytes::copy_from_slice(&payload[8..]);
+    let version = get_u16(&mut buf, "version")?;
+    if version > VERSION {
+        return Err(FormatError::UnsupportedVersion(version));
+    }
+    let _flags = get_u16(&mut buf, "flags")?;
+
+    let job_id = get_u64(&mut buf, "job_id")?;
+    let uid = get_u32(&mut buf, "uid")?;
+    let nprocs = get_u32(&mut buf, "nprocs")?;
+    let start = get_i64(&mut buf, "start_time")?;
+    let end = get_i64(&mut buf, "end_time")?;
+    let exe_len = get_u32(&mut buf, "exe length")?;
+    if exe_len > MAX_EXE_LEN {
+        return Err(FormatError::ImplausibleLength { context: "exe", len: exe_len as u64 });
+    }
+    let exe = get_string(&mut buf, exe_len as usize, "exe")?;
+    let header = JobHeader::new(job_id, uid, nprocs, start, end).with_exe(exe);
+
+    let n_records = get_u32(&mut buf, "record count")?;
+    if n_records > MAX_RECORDS {
+        return Err(FormatError::ImplausibleLength {
+            context: "record count",
+            len: n_records as u64,
+        });
+    }
+    let mut records = Vec::with_capacity(n_records as usize);
+    for _ in 0..n_records {
+        let record_id = get_u64(&mut buf, "record id")?;
+        let rank = get_i32(&mut buf, "record rank")?;
+        let tag = get_u8(&mut buf, "record module")?;
+        let module = Module::from_tag(tag).ok_or(FormatError::UnknownModule(tag))?;
+        let mut rec = PosixRecord::new(record_id, rank);
+        rec.module = module;
+        for c in rec.counters.iter_mut() {
+            *c = get_i64(&mut buf, "counter")?;
+        }
+        for c in rec.fcounters.iter_mut() {
+            *c = get_f64(&mut buf, "fcounter")?;
+        }
+        records.push(rec);
+    }
+
+    let n_names = get_u32(&mut buf, "name count")?;
+    if n_names > MAX_NAMES {
+        return Err(FormatError::ImplausibleLength { context: "name count", len: n_names as u64 });
+    }
+    let mut names = BTreeMap::new();
+    for _ in 0..n_names {
+        let id = get_u64(&mut buf, "name id")?;
+        let len = get_u16(&mut buf, "name length")? as usize;
+        let name = get_string(&mut buf, len, "name")?;
+        names.insert(id, name);
+    }
+    if buf.has_remaining() {
+        return Err(FormatError::ImplausibleLength {
+            context: "trailing bytes",
+            len: buf.remaining() as u64,
+        });
+    }
+    Ok(TraceLog::from_parts(header, records, names))
+}
+
+macro_rules! getter {
+    ($name:ident, $ty:ty, $get:ident, $size:expr) => {
+        fn $name(buf: &mut Bytes, context: &'static str) -> Result<$ty, FormatError> {
+            if buf.remaining() < $size {
+                return Err(FormatError::Truncated { context });
+            }
+            Ok(buf.$get())
+        }
+    };
+}
+
+getter!(get_u8, u8, get_u8, 1);
+getter!(get_u16, u16, get_u16_le, 2);
+getter!(get_u32, u32, get_u32_le, 4);
+getter!(get_i32, i32, get_i32_le, 4);
+getter!(get_u64, u64, get_u64_le, 8);
+getter!(get_i64, i64, get_i64_le, 8);
+getter!(get_f64, f64, get_f64_le, 8);
+
+fn get_string(buf: &mut Bytes, len: usize, context: &'static str) -> Result<String, FormatError> {
+    if buf.remaining() < len {
+        return Err(FormatError::Truncated { context });
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| FormatError::InvalidUtf8 { context })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::PosixCounter as C;
+    use crate::counter::PosixFCounter as F;
+    use crate::log::TraceLogBuilder;
+
+    fn sample() -> TraceLog {
+        let mut b =
+            TraceLogBuilder::new(JobHeader::new(99, 1234, 256, 1_500_000_000, 1_500_007_200)
+                .with_exe("/apps/milc/su3_rmd in.milc"));
+        for i in 0..5 {
+            let r = b.begin_record(&format!("/scratch/file.{i}"), if i == 0 { -1 } else { i });
+            b.record_mut(r)
+                .set(C::Reads, i as i64 * 10)
+                .set(C::BytesRead, i as i64 * 1024)
+                .set(C::Opens, 2)
+                .setf(F::ReadStartTimestamp, i as f64)
+                .setf(F::ReadEndTimestamp, i as f64 + 0.5);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let log = sample();
+        let bytes = to_bytes(&log);
+        let parsed = from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn roundtrip_empty_log() {
+        let log = TraceLogBuilder::new(JobHeader::new(0, 0, 0, 0, 0)).finish();
+        let parsed = from_bytes(&to_bytes(&log)).unwrap();
+        assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let mut bytes = to_bytes(&sample());
+        bytes[0] = b'X';
+        assert_eq!(from_bytes(&bytes), Err(FormatError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = to_bytes(&sample());
+        for cut in [bytes.len() - 1, bytes.len() / 2, 10] {
+            let err = from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    FormatError::ChecksumMismatch { .. } | FormatError::Truncated { .. }
+                ),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bitflip_anywhere_fails_checksum() {
+        let bytes = to_bytes(&sample());
+        // Flip a bit in the middle of the record section.
+        let mut corrupted = bytes.clone();
+        let mid = bytes.len() / 2;
+        corrupted[mid] ^= 0x40;
+        assert!(matches!(from_bytes(&corrupted), Err(FormatError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let log = TraceLogBuilder::new(JobHeader::new(0, 0, 0, 0, 0)).finish();
+        let mut bytes = to_bytes(&log);
+        bytes[8] = 0xff; // version LSB
+        bytes[9] = 0x00;
+        // Re-checksum so the version check is what fires.
+        let n = bytes.len();
+        let crc = Crc32::checksum(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(from_bytes(&bytes), Err(FormatError::UnsupportedVersion(255)));
+    }
+
+    #[test]
+    fn estimated_size_is_an_upper_bound_ballpark() {
+        let log = sample();
+        let est = estimated_size(&log);
+        let actual = to_bytes(&log).len();
+        assert!(est >= actual, "estimate {est} < actual {actual}");
+        assert!(est <= actual * 2, "estimate {est} way above actual {actual}");
+    }
+}

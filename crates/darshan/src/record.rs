@@ -1,0 +1,217 @@
+//! Per-`(rank, file)` trace records.
+
+use crate::counter::{
+    Module, PosixCounter, PosixFCounter, N_POSIX_COUNTERS, N_POSIX_FCOUNTERS,
+};
+use serde::{Deserialize, Serialize};
+
+/// Rank value meaning "shared across all ranks".
+///
+/// Darshan collapses files accessed collectively by every process into a
+/// single record with rank `-1`; per-process files keep their rank.
+pub const SHARED_RANK: i32 = -1;
+
+/// One instrumented file, as seen by one rank (or by all ranks collectively
+/// when [`PosixRecord::rank`] is [`SHARED_RANK`]).
+///
+/// Counters are dense arrays indexed by [`PosixCounter`] / [`PosixFCounter`],
+/// exactly like Darshan's in-memory layout. All timestamps are seconds
+/// relative to the job start.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PosixRecord {
+    /// Stable hash of the file path (see [`crate::synthutil::record_id`]).
+    pub record_id: u64,
+    /// Rank that produced the record, or [`SHARED_RANK`].
+    pub rank: i32,
+    /// Which API layer captured the record.
+    pub module: Module,
+    /// Integer counters, indexed by [`PosixCounter`].
+    pub counters: [i64; N_POSIX_COUNTERS],
+    /// Float counters, indexed by [`PosixFCounter`].
+    pub fcounters: [f64; N_POSIX_FCOUNTERS],
+}
+
+impl PosixRecord {
+    /// A zeroed record for the given file and rank.
+    pub fn new(record_id: u64, rank: i32) -> Self {
+        PosixRecord {
+            record_id,
+            rank,
+            module: Module::Posix,
+            counters: [0; N_POSIX_COUNTERS],
+            fcounters: [0.0; N_POSIX_FCOUNTERS],
+        }
+    }
+
+    /// Read an integer counter.
+    #[inline]
+    pub fn get(&self, c: PosixCounter) -> i64 {
+        self.counters[c.index()]
+    }
+
+    /// Read a float counter.
+    #[inline]
+    pub fn getf(&self, c: PosixFCounter) -> f64 {
+        self.fcounters[c.index()]
+    }
+
+    /// Set an integer counter (chainable).
+    #[inline]
+    pub fn set(&mut self, c: PosixCounter, v: i64) -> &mut Self {
+        self.counters[c.index()] = v;
+        self
+    }
+
+    /// Set a float counter (chainable).
+    #[inline]
+    pub fn setf(&mut self, c: PosixFCounter, v: f64) -> &mut Self {
+        self.fcounters[c.index()] = v;
+        self
+    }
+
+    /// Add to an integer counter (chainable).
+    #[inline]
+    pub fn add(&mut self, c: PosixCounter, v: i64) -> &mut Self {
+        self.counters[c.index()] += v;
+        self
+    }
+
+    /// Number of ranks this record stands for, given the job's `nprocs`.
+    #[inline]
+    pub fn rank_count(&self, nprocs: u32) -> u32 {
+        if self.rank == SHARED_RANK {
+            nprocs
+        } else {
+            1
+        }
+    }
+
+    /// Bytes read by this record.
+    #[inline]
+    pub fn bytes_read(&self) -> i64 {
+        self.get(PosixCounter::BytesRead)
+    }
+
+    /// Bytes written by this record.
+    #[inline]
+    pub fn bytes_written(&self) -> i64 {
+        self.get(PosixCounter::BytesWritten)
+    }
+
+    /// Total metadata operations (opens + closes + seeks + stats).
+    #[inline]
+    pub fn meta_ops(&self) -> i64 {
+        self.get(PosixCounter::Opens)
+            + self.get(PosixCounter::Closes)
+            + self.get(PosixCounter::Seeks)
+            + self.get(PosixCounter::Stats)
+    }
+
+    /// `true` if the record observed any read activity.
+    #[inline]
+    pub fn has_reads(&self) -> bool {
+        self.get(PosixCounter::Reads) > 0 && self.bytes_read() > 0
+    }
+
+    /// `true` if the record observed any write activity.
+    #[inline]
+    pub fn has_writes(&self) -> bool {
+        self.get(PosixCounter::Writes) > 0 && self.bytes_written() > 0
+    }
+
+    /// The `[start, end]` interval (relative seconds) covering this record's
+    /// read activity, if any. Darshan aggregates between open and close, so
+    /// this is all the temporal information a record carries.
+    pub fn read_interval(&self) -> Option<(f64, f64)> {
+        if self.has_reads() {
+            Some((
+                self.getf(PosixFCounter::ReadStartTimestamp),
+                self.getf(PosixFCounter::ReadEndTimestamp),
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// The `[start, end]` interval covering this record's write activity.
+    pub fn write_interval(&self) -> Option<(f64, f64)> {
+        if self.has_writes() {
+            Some((
+                self.getf(PosixFCounter::WriteStartTimestamp),
+                self.getf(PosixFCounter::WriteEndTimestamp),
+            ))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::PosixCounter as C;
+    use crate::counter::PosixFCounter as F;
+
+    fn rec() -> PosixRecord {
+        PosixRecord::new(0xdead_beef, 3)
+    }
+
+    #[test]
+    fn counters_start_zeroed() {
+        let r = rec();
+        for c in C::ALL {
+            assert_eq!(r.get(c), 0);
+        }
+        for c in F::ALL {
+            assert_eq!(r.getf(c), 0.0);
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut r = rec();
+        r.set(C::BytesRead, 4096).setf(F::ReadStartTimestamp, 1.5);
+        assert_eq!(r.get(C::BytesRead), 4096);
+        assert_eq!(r.getf(F::ReadStartTimestamp), 1.5);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut r = rec();
+        r.add(C::Opens, 2).add(C::Opens, 3);
+        assert_eq!(r.get(C::Opens), 5);
+    }
+
+    #[test]
+    fn rank_count_expands_shared() {
+        let mut r = rec();
+        assert_eq!(r.rank_count(128), 1);
+        r.rank = SHARED_RANK;
+        assert_eq!(r.rank_count(128), 128);
+    }
+
+    #[test]
+    fn meta_ops_sums_all_kinds() {
+        let mut r = rec();
+        r.set(C::Opens, 1).set(C::Closes, 2).set(C::Seeks, 3).set(C::Stats, 4);
+        assert_eq!(r.meta_ops(), 10);
+    }
+
+    #[test]
+    fn intervals_require_both_count_and_bytes() {
+        let mut r = rec();
+        assert_eq!(r.read_interval(), None);
+        r.set(C::Reads, 10); // ops but no bytes: still no interval
+        assert_eq!(r.read_interval(), None);
+        r.set(C::BytesRead, 100)
+            .setf(F::ReadStartTimestamp, 2.0)
+            .setf(F::ReadEndTimestamp, 5.0);
+        assert_eq!(r.read_interval(), Some((2.0, 5.0)));
+        assert_eq!(r.write_interval(), None);
+        r.set(C::Writes, 1)
+            .set(C::BytesWritten, 7)
+            .setf(F::WriteStartTimestamp, 6.0)
+            .setf(F::WriteEndTimestamp, 6.5);
+        assert_eq!(r.write_interval(), Some((6.0, 6.5)));
+    }
+}

@@ -1,0 +1,253 @@
+//! `darshan-parser`-style text format.
+//!
+//! Real workflows often operate on the output of `darshan-parser`, a
+//! line-oriented dump: a commented header followed by one
+//! `<module>\t<rank>\t<record id>\t<counter>\t<value>\t<path>` line per
+//! non-zero counter. This module emits and parses that shape so traces are
+//! inspectable with standard Unix tools and so the parsing cost can be
+//! benchmarked against the binary MDF path.
+
+use crate::counter::{Module, PosixCounter, PosixFCounter};
+use crate::error::FormatError;
+use crate::job::JobHeader;
+use crate::log::TraceLog;
+use crate::record::PosixRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Serialize a trace to the text format.
+pub fn to_text(log: &TraceLog) -> String {
+    let h = log.header();
+    let mut out = String::new();
+    let _ = writeln!(out, "# darshan log version: mdf-{}", crate::mdf::VERSION);
+    let _ = writeln!(out, "# exe: {}", h.exe);
+    let _ = writeln!(out, "# uid: {}", h.uid);
+    let _ = writeln!(out, "# jobid: {}", h.job_id);
+    let _ = writeln!(out, "# nprocs: {}", h.nprocs);
+    let _ = writeln!(out, "# start_time: {}", h.start_time);
+    let _ = writeln!(out, "# end_time: {}", h.end_time);
+    for rec in log.records() {
+        let path = log.path_of(rec.record_id).unwrap_or("<unknown>");
+        let module = rec.module.name();
+        for c in PosixCounter::ALL {
+            let v = rec.get(c);
+            if v != 0 {
+                let _ = writeln!(
+                    out,
+                    "{module}\t{}\t{}\t{}\t{v}\t{path}",
+                    rec.rank,
+                    rec.record_id,
+                    c.name()
+                );
+            }
+        }
+        for c in PosixFCounter::ALL {
+            let v = rec.getf(c);
+            if v != 0.0 {
+                let _ = writeln!(
+                    out,
+                    "{module}\t{}\t{}\t{}\t{v}\t{path}",
+                    rec.rank,
+                    rec.record_id,
+                    c.name()
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Parse the text format back into a [`TraceLog`].
+///
+/// Counter lines for the same `(record id, rank)` pair are accumulated into
+/// one record, in first-appearance order, matching what [`to_text`] emits.
+pub fn parse(text: &str) -> Result<TraceLog, FormatError> {
+    let mut exe = String::new();
+    let mut uid = 0u32;
+    let mut job_id = 0u64;
+    let mut nprocs = 0u32;
+    let mut start_time = 0i64;
+    let mut end_time = 0i64;
+    let mut saw_version = false;
+
+    let mut order: Vec<(u64, i32)> = Vec::new();
+    let mut recs: BTreeMap<(u64, i32), PosixRecord> = BTreeMap::new();
+    let mut names: BTreeMap<u64, String> = BTreeMap::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some((key, value)) = rest.split_once(':') {
+                let value = value.trim();
+                match key.trim() {
+                    "darshan log version" => saw_version = true,
+                    "exe" => exe = value.to_owned(),
+                    "uid" => uid = parse_num(value, lineno, "uid")?,
+                    "jobid" => job_id = parse_num(value, lineno, "jobid")?,
+                    "nprocs" => nprocs = parse_num(value, lineno, "nprocs")?,
+                    "start_time" => start_time = parse_num(value, lineno, "start_time")?,
+                    "end_time" => end_time = parse_num(value, lineno, "end_time")?,
+                    _ => {} // unknown header comments are ignored
+                }
+            }
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let (module, rank, id, counter, value, path) = match (
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+        ) {
+            (Some(m), Some(r), Some(i), Some(c), Some(v), Some(p)) => (m, r, i, c, v, p),
+            _ => {
+                return Err(FormatError::MalformedLine {
+                    line: lineno,
+                    reason: "expected 6 tab-separated fields".into(),
+                })
+            }
+        };
+        let module = Module::from_name(module).ok_or_else(|| FormatError::MalformedLine {
+            line: lineno,
+            reason: format!("unknown module {module:?}"),
+        })?;
+        let rank: i32 = parse_num(rank, lineno, "rank")?;
+        let id: u64 = parse_num(id, lineno, "record id")?;
+        let rec = recs.entry((id, rank)).or_insert_with(|| {
+            order.push((id, rank));
+            let mut r = PosixRecord::new(id, rank);
+            r.module = module;
+            r
+        });
+        if let Some(c) = PosixCounter::from_name(counter) {
+            rec.set(c, parse_num(value, lineno, "counter value")?);
+        } else if let Some(c) = PosixFCounter::from_name(counter) {
+            let v: f64 = value.parse().map_err(|_| FormatError::MalformedLine {
+                line: lineno,
+                reason: format!("bad float {value:?}"),
+            })?;
+            rec.setf(c, v);
+        } else {
+            return Err(FormatError::MalformedLine {
+                line: lineno,
+                reason: format!("unknown counter {counter:?}"),
+            });
+        }
+        names.entry(id).or_insert_with(|| path.to_owned());
+    }
+
+    if !saw_version {
+        return Err(FormatError::BadMagic);
+    }
+    let header = JobHeader::new(job_id, uid, nprocs, start_time, end_time).with_exe(exe);
+    let records =
+        order.into_iter().map(|k| recs.remove(&k).expect("record registered")).collect();
+    Ok(TraceLog::from_parts(header, records, names))
+}
+
+fn parse_num<T: std::str::FromStr>(
+    s: &str,
+    line: usize,
+    what: &str,
+) -> Result<T, FormatError> {
+    s.trim().parse().map_err(|_| FormatError::MalformedLine {
+        line,
+        reason: format!("bad {what}: {s:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::PosixCounter as C;
+    use crate::counter::PosixFCounter as F;
+    use crate::log::TraceLogBuilder;
+
+    fn sample() -> TraceLog {
+        let mut b = TraceLogBuilder::new(
+            JobHeader::new(42, 777, 32, 1_600_000_000, 1_600_000_600).with_exe("/bin/vasp INCAR"),
+        );
+        let r = b.begin_record("/scratch/POSCAR", -1);
+        b.record_mut(r)
+            .set(C::Reads, 32)
+            .set(C::BytesRead, 123_456)
+            .set(C::Opens, 32)
+            .setf(F::ReadStartTimestamp, 0.25)
+            .setf(F::ReadEndTimestamp, 1.5);
+        let w = b.begin_record("/scratch/OUTCAR", 0);
+        b.record_mut(w).set(C::Writes, 9).set(C::BytesWritten, 999).setf(
+            F::WriteEndTimestamp,
+            599.875,
+        );
+        b.finish()
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let log = sample();
+        let text = to_text(&log);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn text_omits_zero_counters() {
+        let text = to_text(&sample());
+        assert!(!text.contains("POSIX_STATS"));
+        assert!(text.contains("POSIX_BYTES_READ"));
+    }
+
+    #[test]
+    fn parse_rejects_missing_version() {
+        assert!(matches!(parse("# exe: /bin/x\n"), Err(FormatError::BadMagic)));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        let mut text = String::from("# darshan log version: mdf-1\n");
+        text.push_str("POSIX\tnot-a-rank\t1\tPOSIX_OPENS\t1\t/f\n");
+        let err = parse(&text).unwrap_err();
+        assert!(matches!(err, FormatError::MalformedLine { line: 2, .. }), "{err:?}");
+
+        let mut text = String::from("# darshan log version: mdf-1\n");
+        text.push_str("POSIX\t0\t1\tPOSIX_BOGUS\t1\t/f\n");
+        assert!(matches!(parse(&text), Err(FormatError::MalformedLine { .. })));
+
+        let mut text = String::from("# darshan log version: mdf-1\n");
+        text.push_str("HDF5\t0\t1\tPOSIX_OPENS\t1\t/f\n");
+        assert!(matches!(parse(&text), Err(FormatError::MalformedLine { .. })));
+
+        let mut text = String::from("# darshan log version: mdf-1\n");
+        text.push_str("POSIX\t0\t1\tPOSIX_OPENS\n");
+        assert!(matches!(parse(&text), Err(FormatError::MalformedLine { .. })));
+    }
+
+    #[test]
+    fn parse_tolerates_unknown_header_comments_and_blank_lines() {
+        let text = "# darshan log version: mdf-1\n# compression: none\n\n# nprocs: 4\n";
+        let log = parse(text).unwrap();
+        assert_eq!(log.header().nprocs, 4);
+        assert!(log.records().is_empty());
+    }
+
+    #[test]
+    fn accumulates_counters_per_record() {
+        let text = "# darshan log version: mdf-1\n\
+                    POSIX\t2\t10\tPOSIX_OPENS\t3\t/f\n\
+                    POSIX\t2\t10\tPOSIX_CLOSES\t3\t/f\n\
+                    POSIX\t3\t10\tPOSIX_OPENS\t1\t/f\n";
+        let log = parse(text).unwrap();
+        assert_eq!(log.records().len(), 2);
+        assert_eq!(log.records()[0].get(C::Opens), 3);
+        assert_eq!(log.records()[0].get(C::Closes), 3);
+        assert_eq!(log.records()[1].rank, 3);
+        assert_eq!(log.names().len(), 1);
+    }
+}

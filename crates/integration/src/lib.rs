@@ -1,0 +1,3 @@
+//! Empty library; this package exists to wire the repo-level `tests/`
+//! directory (cross-crate integration tests) into the cargo workspace via
+//! explicit `[[test]]` path entries in its manifest.

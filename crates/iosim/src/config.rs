@@ -1,0 +1,89 @@
+//! Machine parameters for the simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the simulated machine's I/O path.
+///
+/// Defaults are scaled-down Blue Waters-flavoured numbers: what matters for
+/// MOSAIC is not absolute speed but the *relationships* — metadata latency
+/// that degrades near saturation, bandwidth that is shared fairly across
+/// concurrent flows, and ranks that drift slightly apart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Aggregate parallel-file-system bandwidth, bytes per second.
+    pub pfs_bandwidth: f64,
+    /// Metadata server capacity, requests per second (Mistral-like ≈ 3000;
+    /// the paper's thresholds derive from this figure).
+    pub mds_capacity: f64,
+    /// Metadata request service time at zero load, seconds.
+    pub mds_base_latency: f64,
+    /// Standard deviation of per-rank start/compute jitter, as a fraction of
+    /// the phase duration (process desynchronization).
+    pub rank_jitter: f64,
+    /// Per-rank bandwidth ceiling, bytes per second (a single client cannot
+    /// use the whole machine).
+    pub per_rank_bandwidth: f64,
+    /// Number of OSTs. `0` selects the flat fair-share bandwidth model;
+    /// any positive count enables per-OST striping (Blue Waters: 1440).
+    pub n_osts: usize,
+    /// Per-OST bandwidth, bytes per second (used when `n_osts > 0`).
+    pub ost_bandwidth: f64,
+    /// Default stripe count for files (Lustre default layout).
+    pub stripe_count: usize,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            // 100 GB/s aggregate, 1 GB/s per client — Blue Waters-ish ratios.
+            pfs_bandwidth: 100.0e9,
+            per_rank_bandwidth: 1.0e9,
+            mds_capacity: 3000.0,
+            mds_base_latency: 0.001,
+            rank_jitter: 0.02,
+            n_osts: 0,
+            ost_bandwidth: 500.0e6,
+            stripe_count: 4,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Validate parameter sanity; panics on nonsensical configurations so
+    /// misuse fails fast in tests rather than producing silent nonsense.
+    pub fn validated(self) -> Self {
+        assert!(self.pfs_bandwidth > 0.0, "pfs_bandwidth must be positive");
+        assert!(self.per_rank_bandwidth > 0.0, "per_rank_bandwidth must be positive");
+        assert!(self.mds_capacity > 0.0, "mds_capacity must be positive");
+        assert!(self.mds_base_latency >= 0.0, "mds_base_latency must be non-negative");
+        assert!((0.0..1.0).contains(&self.rank_jitter), "rank_jitter must be in [0, 1)");
+        if self.n_osts > 0 {
+            assert!(self.ost_bandwidth > 0.0, "ost_bandwidth must be positive");
+            assert!(self.stripe_count >= 1, "stripe_count must be at least 1");
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let c = MachineConfig::default().validated();
+        assert!(c.pfs_bandwidth > c.per_rank_bandwidth);
+    }
+
+    #[test]
+    #[should_panic(expected = "pfs_bandwidth")]
+    fn bad_bandwidth_panics() {
+        let _ = MachineConfig { pfs_bandwidth: 0.0, ..Default::default() }.validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "rank_jitter")]
+    fn bad_jitter_panics() {
+        let _ = MachineConfig { rank_jitter: 1.5, ..Default::default() }.validated();
+    }
+}

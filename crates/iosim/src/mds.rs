@@ -1,0 +1,128 @@
+//! Metadata-server latency and saturation model.
+//!
+//! The paper sets its metadata thresholds from Kunkel & Markomanolis'
+//! `mdworkbench` measurements: a Lustre metadata server comparable to Blue
+//! Waters' (DKRZ's Mistral) saturates at roughly **3000 requests per
+//! second**. This model keeps a per-second arrival histogram and serves each
+//! request with a latency that grows as the current second's load
+//! approaches capacity — an M/M/1-flavoured `base / (1 - ρ)` curve, clamped
+//! so overload degrades sharply but finitely.
+
+use serde::{Deserialize, Serialize};
+
+/// Metadata server state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetadataServer {
+    capacity: f64,
+    base_latency: f64,
+    /// Requests observed per 1-second bin.
+    histogram: Vec<u64>,
+    total_requests: u64,
+}
+
+/// Latency multiplier cap at/beyond saturation.
+const MAX_SLOWDOWN: f64 = 100.0;
+
+impl MetadataServer {
+    /// New server with `capacity` requests/s and `base_latency` seconds of
+    /// zero-load service time.
+    pub fn new(capacity: f64, base_latency: f64) -> Self {
+        assert!(capacity > 0.0, "capacity must be positive");
+        MetadataServer { capacity, base_latency, histogram: Vec::new(), total_requests: 0 }
+    }
+
+    /// Submit a burst of `count` requests at time `now`; returns the time at
+    /// which the burst completes (now + modeled latency).
+    pub fn submit(&mut self, now: f64, count: u64) -> f64 {
+        let bin = now.max(0.0) as usize;
+        if self.histogram.len() <= bin {
+            self.histogram.resize(bin + 1, 0);
+        }
+        self.histogram[bin] += count;
+        self.total_requests += count;
+
+        let rho = (self.histogram[bin] as f64 / self.capacity).min(1.0);
+        let slowdown = if rho >= 1.0 { MAX_SLOWDOWN } else { (1.0 / (1.0 - rho)).min(MAX_SLOWDOWN) };
+        now + self.base_latency * slowdown * count as f64
+    }
+
+    /// Requests observed in second `bin`.
+    pub fn load_at(&self, bin: usize) -> u64 {
+        self.histogram.get(bin).copied().unwrap_or(0)
+    }
+
+    /// Peak requests per second observed.
+    pub fn peak_load(&self) -> u64 {
+        self.histogram.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total requests served.
+    pub fn total_requests(&self) -> u64 {
+        self.total_requests
+    }
+
+    /// `true` if any second exceeded the saturation capacity.
+    pub fn saturated(&self) -> bool {
+        self.peak_load() as f64 >= self.capacity
+    }
+
+    /// The full per-second load histogram.
+    pub fn histogram(&self) -> &[u64] {
+        &self.histogram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_load_latency_is_base() {
+        let mut mds = MetadataServer::new(3000.0, 0.001);
+        let done = mds.submit(0.0, 1);
+        assert!((done - 0.001 / (1.0 - 1.0 / 3000.0)).abs() < 1e-9);
+        assert_eq!(mds.total_requests(), 1);
+        assert!(!mds.saturated());
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let mut mds = MetadataServer::new(100.0, 0.001);
+        let t1 = mds.submit(0.0, 1) - 0.0;
+        for _ in 0..89 {
+            mds.submit(0.2, 1);
+        }
+        let t2 = mds.submit(0.5, 1) - 0.5;
+        assert!(t2 > t1 * 5.0, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn saturation_is_detected_and_clamped() {
+        let mut mds = MetadataServer::new(100.0, 0.001);
+        let done = mds.submit(2.0, 500);
+        assert!(mds.saturated());
+        assert_eq!(mds.peak_load(), 500);
+        // Slowdown clamped: 0.001 * 100 * 500 requests.
+        assert!((done - (2.0 + 0.001 * 100.0 * 500.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_bins_by_second() {
+        let mut mds = MetadataServer::new(1000.0, 0.0);
+        mds.submit(0.1, 3);
+        mds.submit(0.9, 2);
+        mds.submit(5.5, 7);
+        assert_eq!(mds.load_at(0), 5);
+        assert_eq!(mds.load_at(5), 7);
+        assert_eq!(mds.load_at(3), 0);
+        assert_eq!(mds.histogram().len(), 6);
+        assert_eq!(mds.peak_load(), 7);
+    }
+
+    #[test]
+    fn negative_time_clamps_to_first_bin() {
+        let mut mds = MetadataServer::new(1000.0, 0.0);
+        mds.submit(-3.0, 4);
+        assert_eq!(mds.load_at(0), 4);
+    }
+}

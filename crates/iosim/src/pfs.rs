@@ -1,0 +1,198 @@
+//! Fluid-flow model of the parallel file system's bandwidth.
+//!
+//! Concurrent transfers share the aggregate bandwidth max–min fairly,
+//! subject to a per-client ceiling: with `n` active flows each receives
+//! `min(per_rank_bandwidth, pfs_bandwidth / n)`. Rates are piecewise
+//! constant between flow arrivals/departures; the engine advances all flows
+//! by the elapsed time at each state change and asks for the next completion
+//! time. This is the standard "progressive filling" fluid approximation used
+//! by I/O and network simulators when per-packet detail is irrelevant — and
+//! for MOSAIC only interval shapes matter.
+
+use std::collections::HashMap;
+
+/// Identifier of an active flow.
+pub type FlowId = u64;
+
+/// The shared-bandwidth state.
+#[derive(Debug, Clone)]
+pub struct Pfs {
+    aggregate_bw: f64,
+    per_client_bw: f64,
+    flows: HashMap<FlowId, Flow>,
+    last_update: f64,
+    next_id: FlowId,
+    bytes_moved: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Flow {
+    remaining: f64,
+}
+
+impl Pfs {
+    /// New model with the given aggregate and per-client bandwidths
+    /// (bytes/s).
+    pub fn new(aggregate_bw: f64, per_client_bw: f64) -> Self {
+        assert!(aggregate_bw > 0.0 && per_client_bw > 0.0);
+        Pfs {
+            aggregate_bw,
+            per_client_bw,
+            flows: HashMap::new(),
+            last_update: 0.0,
+            next_id: 0,
+            bytes_moved: 0.0,
+        }
+    }
+
+    /// Current per-flow rate under fair sharing.
+    pub fn current_rate(&self) -> f64 {
+        let n = self.flows.len();
+        if n == 0 {
+            return 0.0;
+        }
+        (self.aggregate_bw / n as f64).min(self.per_client_bw)
+    }
+
+    /// Number of active flows.
+    pub fn active(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total bytes transferred so far (reads + writes).
+    pub fn bytes_moved(&self) -> f64 {
+        self.bytes_moved
+    }
+
+    /// Advance all flows to absolute time `now` at the current rate.
+    /// Must be called (by the engine) before any state change.
+    pub fn advance_to(&mut self, now: f64) {
+        debug_assert!(now + 1e-9 >= self.last_update, "time went backwards");
+        let dt = (now - self.last_update).max(0.0);
+        if dt > 0.0 && !self.flows.is_empty() {
+            let rate = self.current_rate();
+            let moved = rate * dt;
+            for f in self.flows.values_mut() {
+                let step = moved.min(f.remaining);
+                f.remaining -= step;
+                self.bytes_moved += step;
+            }
+        }
+        self.last_update = now;
+    }
+
+    /// Start a transfer of `bytes` at time `now`. Returns the flow id.
+    pub fn start_flow(&mut self, now: f64, bytes: u64) -> FlowId {
+        self.advance_to(now);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.flows.insert(id, Flow { remaining: bytes as f64 });
+        id
+    }
+
+    /// Remove a flow (on completion). Returns any residual bytes (should be
+    /// ~0 when removed at its completion time).
+    pub fn finish_flow(&mut self, now: f64, id: FlowId) -> f64 {
+        self.advance_to(now);
+        self.flows.remove(&id).map(|f| f.remaining).unwrap_or(0.0)
+    }
+
+    /// Absolute time at which the earliest active flow completes, given the
+    /// current rate, or `None` when idle. Valid until the next state change.
+    pub fn next_completion(&self) -> Option<(FlowId, f64)> {
+        let rate = self.current_rate();
+        if rate <= 0.0 {
+            return None;
+        }
+        self.flows
+            .iter()
+            .map(|(&id, f)| (id, self.last_update + f.remaining / rate))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+    }
+
+    /// `true` when flow `id` has no bytes left.
+    pub fn is_done(&self, id: FlowId) -> bool {
+        self.flows.get(&id).map(|f| f.remaining <= 1e-6).unwrap_or(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_runs_at_client_ceiling() {
+        let mut pfs = Pfs::new(100.0, 10.0);
+        let id = pfs.start_flow(0.0, 50);
+        assert_eq!(pfs.current_rate(), 10.0);
+        let (cid, t) = pfs.next_completion().unwrap();
+        assert_eq!(cid, id);
+        assert!((t - 5.0).abs() < 1e-9);
+        pfs.finish_flow(t, id);
+        assert!(pfs.is_done(id));
+        assert_eq!(pfs.active(), 0);
+        assert!((pfs.bytes_moved() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn many_flows_split_aggregate() {
+        let mut pfs = Pfs::new(100.0, 60.0);
+        for _ in 0..4 {
+            pfs.start_flow(0.0, 100);
+        }
+        // 100/4 = 25 < 60: aggregate-bound.
+        assert!((pfs.current_rate() - 25.0).abs() < 1e-9);
+        let (_, t) = pfs.next_completion().unwrap();
+        assert!((t - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn departures_speed_up_remaining_flows() {
+        let mut pfs = Pfs::new(100.0, 100.0);
+        let a = pfs.start_flow(0.0, 100); // alone: 100 B/s
+        let b = pfs.start_flow(0.5, 100); // both: 50 B/s each
+        // a has 50 left at t=0.5; completes at 0.5 + 50/50 = 1.5
+        let (first, t1) = pfs.next_completion().unwrap();
+        assert_eq!(first, a);
+        assert!((t1 - 1.5).abs() < 1e-9);
+        let residual = pfs.finish_flow(t1, a);
+        assert!(residual.abs() < 1e-6);
+        // b moved 50 by t=1.5, runs alone at 100 B/s: completes at 2.0.
+        let (second, t2) = pfs.next_completion().unwrap();
+        assert_eq!(second, b);
+        assert!((t2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_pfs_has_no_completion() {
+        let pfs = Pfs::new(10.0, 10.0);
+        assert!(pfs.next_completion().is_none());
+        assert_eq!(pfs.current_rate(), 0.0);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut pfs = Pfs::new(10.0, 10.0);
+        let id = pfs.start_flow(1.0, 0);
+        let (cid, t) = pfs.next_completion().unwrap();
+        assert_eq!(cid, id);
+        assert!((t - 1.0).abs() < 1e-12);
+        assert!(pfs.is_done(id));
+    }
+
+    #[test]
+    fn conservation_of_bytes() {
+        let mut pfs = Pfs::new(7.0, 3.0);
+        let ids: Vec<_> = (0..3).map(|i| pfs.start_flow(i as f64 * 0.3, 10 + i)).collect();
+        let mut finished = 0;
+        let mut guard = 0;
+        while finished < ids.len() {
+            let (id, t) = pfs.next_completion().unwrap();
+            pfs.finish_flow(t, id);
+            finished += 1;
+            guard += 1;
+            assert!(guard < 100, "did not converge");
+        }
+        assert!((pfs.bytes_moved() - (10.0 + 11.0 + 12.0)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,223 @@
+//! The workload language: per-rank programs built from I/O phases.
+
+use serde::{Deserialize, Serialize};
+
+/// Which file a phase targets.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileSpec {
+    /// One file accessed collectively by every rank (N-to-1 pattern; the
+    /// shim can reduce it to a Darshan shared record).
+    Shared(String),
+    /// File-per-process pattern: rank `r` touches `"{prefix}.{r}"`.
+    PerRank(String),
+}
+
+impl FileSpec {
+    /// Shared-file spec.
+    pub fn shared(path: impl Into<String>) -> Self {
+        FileSpec::Shared(path.into())
+    }
+
+    /// File-per-process spec.
+    pub fn per_rank(prefix: impl Into<String>) -> Self {
+        FileSpec::PerRank(prefix.into())
+    }
+
+    /// Concrete path for a given rank.
+    pub fn path_for(&self, rank: u32) -> String {
+        match self {
+            FileSpec::Shared(p) => p.clone(),
+            FileSpec::PerRank(prefix) => format!("{prefix}.{rank}"),
+        }
+    }
+
+    /// `true` when every rank resolves to the same path.
+    pub fn is_shared(&self) -> bool {
+        matches!(self, FileSpec::Shared(_))
+    }
+}
+
+/// One step of a rank's execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Pure computation — occupies wallclock, no I/O resources.
+    Compute {
+        /// Nominal duration in seconds (jittered per rank by the engine).
+        seconds: f64,
+    },
+    /// `open()` — a metadata request.
+    Open {
+        /// Target file.
+        file: FileSpec,
+    },
+    /// Read `bytes` from `file` — a bandwidth flow.
+    Read {
+        /// Target file.
+        file: FileSpec,
+        /// Bytes per rank.
+        bytes: u64,
+    },
+    /// Write `bytes` to `file` — a bandwidth flow.
+    Write {
+        /// Target file.
+        file: FileSpec,
+        /// Bytes per rank.
+        bytes: u64,
+    },
+    /// `lseek()` bursts — metadata requests without data movement.
+    Seek {
+        /// Target file.
+        file: FileSpec,
+        /// Number of seeks issued.
+        count: u32,
+    },
+    /// `close()` — a metadata request.
+    Close {
+        /// Target file.
+        file: FileSpec,
+    },
+    /// `stat()` bursts — metadata requests without opening the file.
+    Stat {
+        /// Target file.
+        file: FileSpec,
+        /// Number of stats issued.
+        count: u32,
+    },
+    /// Synchronize all ranks (MPI_Barrier).
+    Barrier,
+    /// Repeat `body` a number of times — the checkpoint-loop idiom.
+    Repeat {
+        /// Iteration count.
+        times: u32,
+        /// Phases repeated each iteration.
+        body: Vec<Phase>,
+    },
+}
+
+/// A complete program: the phase list every rank executes (SPMD).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    phases: Vec<Phase>,
+}
+
+impl Program {
+    /// Build a program from a phase list.
+    pub fn new(phases: Vec<Phase>) -> Self {
+        Program { phases }
+    }
+
+    /// The raw (possibly nested) phase list.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Flatten `Repeat` blocks into a linear instruction list for execution.
+    pub fn flatten(&self) -> Vec<Phase> {
+        let mut out = Vec::new();
+        flatten_into(&self.phases, &mut out);
+        out
+    }
+
+    /// Total bytes a single rank reads (static analysis, for tests).
+    pub fn bytes_read_per_rank(&self) -> u64 {
+        self.flatten()
+            .iter()
+            .map(|p| match p {
+                Phase::Read { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total bytes a single rank writes.
+    pub fn bytes_written_per_rank(&self) -> u64 {
+        self.flatten()
+            .iter()
+            .map(|p| match p {
+                Phase::Write { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Lower bound on one rank's wallclock (compute only, no contention).
+    pub fn min_compute_seconds(&self) -> f64 {
+        self.flatten()
+            .iter()
+            .map(|p| match p {
+                Phase::Compute { seconds } => *seconds,
+                _ => 0.0,
+            })
+            .sum()
+    }
+}
+
+fn flatten_into(phases: &[Phase], out: &mut Vec<Phase>) {
+    for p in phases {
+        match p {
+            Phase::Repeat { times, body } => {
+                for _ in 0..*times {
+                    flatten_into(body, out);
+                }
+            }
+            other => out.push(other.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filespec_paths() {
+        let s = FileSpec::shared("/data/mesh");
+        assert_eq!(s.path_for(0), "/data/mesh");
+        assert_eq!(s.path_for(7), "/data/mesh");
+        assert!(s.is_shared());
+        let p = FileSpec::per_rank("/ckpt/dump");
+        assert_eq!(p.path_for(3), "/ckpt/dump.3");
+        assert!(!p.is_shared());
+    }
+
+    #[test]
+    fn flatten_expands_repeats() {
+        let prog = Program::new(vec![
+            Phase::Compute { seconds: 1.0 },
+            Phase::Repeat {
+                times: 3,
+                body: vec![
+                    Phase::Compute { seconds: 2.0 },
+                    Phase::Repeat {
+                        times: 2,
+                        body: vec![Phase::Barrier],
+                    },
+                ],
+            },
+        ]);
+        let flat = prog.flatten();
+        assert_eq!(flat.len(), 1 + 3 * (1 + 2));
+        assert_eq!(flat.iter().filter(|p| matches!(p, Phase::Barrier)).count(), 6);
+        assert_eq!(prog.min_compute_seconds(), 1.0 + 3.0 * 2.0);
+    }
+
+    #[test]
+    fn static_byte_analysis() {
+        let f = FileSpec::per_rank("/x");
+        let prog = Program::new(vec![
+            Phase::Read { file: f.clone(), bytes: 100 },
+            Phase::Repeat {
+                times: 4,
+                body: vec![Phase::Write { file: f.clone(), bytes: 25 }],
+            },
+        ]);
+        assert_eq!(prog.bytes_read_per_rank(), 100);
+        assert_eq!(prog.bytes_written_per_rank(), 100);
+    }
+
+    #[test]
+    fn zero_repeat_contributes_nothing() {
+        let prog = Program::new(vec![Phase::Repeat { times: 0, body: vec![Phase::Barrier] }]);
+        assert!(prog.flatten().is_empty());
+    }
+}

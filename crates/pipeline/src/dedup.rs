@@ -1,0 +1,96 @@
+//! Application deduplication (§III-B1).
+//!
+//! "Since we want to categorize application behavior, we assume that all
+//! executions of an application from a given user will belong to the same
+//! categories. [...] For a set of executions, MOSAIC only analyzes the
+//! heaviest (i.e. the most I/O-intensive) trace."
+
+use std::collections::BTreeMap;
+
+/// The `(uid, application basename)` grouping key.
+pub type AppKey = (u32, String);
+
+/// Pick, for every application group, the position of its heaviest trace.
+///
+/// `items` provides `(app key, I/O weight)` per trace; ties break toward the
+/// earliest trace for determinism. Returns positions sorted ascending.
+pub fn heaviest_per_app<I>(items: I) -> Vec<usize>
+where
+    I: IntoIterator<Item = (AppKey, i64)>,
+{
+    let mut best: BTreeMap<AppKey, (usize, i64)> = BTreeMap::new();
+    for (pos, (key, weight)) in items.into_iter().enumerate() {
+        match best.get_mut(&key) {
+            Some(entry) => {
+                if weight > entry.1 {
+                    *entry = (pos, weight);
+                }
+            }
+            None => {
+                best.insert(key, (pos, weight));
+            }
+        }
+    }
+    let mut positions: Vec<usize> = best.into_values().map(|(pos, _)| pos).collect();
+    positions.sort_unstable();
+    positions
+}
+
+/// Group trace positions by application key (used by the stability
+/// analysis, which needs *all* runs of each app).
+pub fn group_by_app<I>(items: I) -> BTreeMap<AppKey, Vec<usize>>
+where
+    I: IntoIterator<Item = AppKey>,
+{
+    let mut groups: BTreeMap<AppKey, Vec<usize>> = BTreeMap::new();
+    for (pos, key) in items.into_iter().enumerate() {
+        groups.entry(key).or_default().push(pos);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(uid: u32, name: &str) -> AppKey {
+        (uid, name.to_owned())
+    }
+
+    #[test]
+    fn heaviest_wins_per_group() {
+        let items = vec![
+            (key(1, "lmp"), 100),
+            (key(1, "lmp"), 500),
+            (key(1, "lmp"), 300),
+            (key(2, "vasp"), 50),
+        ];
+        assert_eq!(heaviest_per_app(items), vec![1, 3]);
+    }
+
+    #[test]
+    fn ties_break_to_first() {
+        let items = vec![(key(1, "a"), 100), (key(1, "a"), 100)];
+        assert_eq!(heaviest_per_app(items), vec![0]);
+    }
+
+    #[test]
+    fn same_name_different_user_stays_separate() {
+        let items = vec![(key(1, "app"), 10), (key(2, "app"), 20)];
+        assert_eq!(heaviest_per_app(items).len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(heaviest_per_app(Vec::new()).is_empty());
+        assert!(group_by_app(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn grouping_collects_all_positions() {
+        let keys = vec![key(1, "a"), key(2, "b"), key(1, "a"), key(1, "a")];
+        let groups = group_by_app(keys);
+        assert_eq!(groups[&key(1, "a")], vec![0, 2, 3]);
+        assert_eq!(groups[&key(2, "b")], vec![1]);
+    }
+}

@@ -1,0 +1,332 @@
+//! The parallel executor: ingest → validate → categorize → aggregate.
+
+use crate::dedup::{heaviest_per_app, AppKey};
+use crate::funnel::FunnelStats;
+use crate::source::{TraceInput, TraceSource};
+use mosaic_core::category::Category;
+use mosaic_core::report::CategoryCounts;
+use mosaic_core::{Categorizer, CategorizerConfig, JaccardMatrix, TraceReport};
+use mosaic_darshan::{mdf, validate};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Progress callback: `(traces done, traces total)`. Called from worker
+/// threads; must be cheap and thread-safe.
+pub type ProgressFn = Arc<dyn Fn(usize, usize) + Send + Sync>;
+
+/// Executor configuration.
+#[derive(Clone, Default)]
+pub struct PipelineConfig {
+    /// Worker threads; `None` uses Rayon's global default (one per core).
+    pub threads: Option<usize>,
+    /// Categorizer thresholds.
+    pub categorizer: CategorizerConfig,
+    /// Optional progress callback, invoked after every ingested trace with
+    /// a relaxed atomic counter — contention-free even at full parallelism.
+    pub progress: Option<ProgressFn>,
+}
+
+impl std::fmt::Debug for PipelineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineConfig")
+            .field("threads", &self.threads)
+            .field("categorizer", &self.categorizer)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+/// One valid trace's pipeline outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Index in the source.
+    pub index: usize,
+    /// Application grouping key.
+    pub app_key: AppKey,
+    /// I/O weight (total bytes moved) used by dedup.
+    pub weight: i64,
+    /// Number of records deleted by per-record sanitization.
+    pub sanitized_records: usize,
+    /// Job start (Unix seconds) — wallclock placement for interference
+    /// analysis.
+    pub start_time: i64,
+    /// Job end (Unix seconds).
+    pub end_time: i64,
+    /// The full MOSAIC report.
+    pub report: TraceReport,
+}
+
+/// Aggregated pipeline result.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// Funnel accounting (Fig 3).
+    pub funnel: FunnelStats,
+    /// Valid traces, sorted by source index.
+    pub outcomes: Vec<RunOutcome>,
+    /// Positions (into `outcomes`) of the single-run representatives: the
+    /// heaviest trace of each application.
+    pub representatives: Vec<usize>,
+}
+
+impl PipelineResult {
+    /// Category sets of every valid run (the all-runs view).
+    pub fn all_runs_sets(&self) -> Vec<BTreeSet<Category>> {
+        self.outcomes.iter().map(|o| o.report.categories.clone()).collect()
+    }
+
+    /// Category sets of the single-run representatives.
+    pub fn single_run_sets(&self) -> Vec<BTreeSet<Category>> {
+        self.representatives
+            .iter()
+            .map(|&p| self.outcomes[p].report.categories.clone())
+            .collect()
+    }
+
+    /// Category distribution over all valid runs (PFS-load view).
+    pub fn all_runs_counts(&self) -> CategoryCounts {
+        CategoryCounts::from_sets(self.all_runs_sets().iter())
+    }
+
+    /// Category distribution over the single-run set (application view).
+    pub fn single_run_counts(&self) -> CategoryCounts {
+        CategoryCounts::from_sets(self.single_run_sets().iter())
+    }
+
+    /// Jaccard matrix over the single-run set (Fig 5 is computed on the
+    /// categorized, deduplicated traces).
+    pub fn jaccard_single_run(&self) -> JaccardMatrix {
+        JaccardMatrix::compute(&self.single_run_sets())
+    }
+
+    /// The representative outcomes themselves.
+    pub fn representatives(&self) -> impl Iterator<Item = &RunOutcome> + '_ {
+        self.representatives.iter().map(move |&p| &self.outcomes[p])
+    }
+}
+
+enum Ingested {
+    FormatCorrupt,
+    Invalid,
+    Valid(Box<RunOutcome>),
+}
+
+fn ingest_one(input: TraceInput, index: usize, categorizer: &Categorizer) -> Ingested {
+    let mut log = match input {
+        TraceInput::Bytes(bytes) => match mdf::from_bytes(&bytes) {
+            Ok(log) => log,
+            Err(_) => return Ingested::FormatCorrupt,
+        },
+        TraceInput::Log(log) => log,
+    };
+    let sanitized_records = match validate::sanitize(&mut log) {
+        Ok(deleted) => deleted,
+        Err(_) => return Ingested::Invalid,
+    };
+    let report = categorizer.categorize_log(&log);
+    Ingested::Valid(Box::new(RunOutcome {
+        index,
+        app_key: log.header().app_key(),
+        weight: log.io_weight(),
+        sanitized_records,
+        start_time: log.header().start_time,
+        end_time: log.header().end_time,
+        report,
+    }))
+}
+
+/// Run the full pipeline over a source.
+pub fn process<S: TraceSource>(source: &S, config: &PipelineConfig) -> PipelineResult {
+    let categorizer = Categorizer::new(config.categorizer.clone());
+    let done = AtomicUsize::new(0);
+    let total = source.len();
+    let run = || {
+        (0..source.len())
+            .into_par_iter()
+            .map(|i| {
+                let out = ingest_one(source.fetch(i), i, &categorizer);
+                if let Some(progress) = &config.progress {
+                    // Relaxed is enough: the count is monotonic telemetry,
+                    // not a synchronization point.
+                    let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    progress(n, total);
+                }
+                out
+            })
+            .collect::<Vec<Ingested>>()
+    };
+    let ingested = match config.threads {
+        Some(n) => rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("thread pool construction")
+            .install(run),
+        None => run(),
+    };
+
+    let mut funnel = FunnelStats { total: source.len(), ..Default::default() };
+    let mut outcomes: Vec<RunOutcome> = Vec::new();
+    for item in ingested {
+        match item {
+            Ingested::FormatCorrupt => funnel.format_corrupt += 1,
+            Ingested::Invalid => funnel.invalid += 1,
+            Ingested::Valid(outcome) => outcomes.push(*outcome),
+        }
+    }
+    funnel.valid = outcomes.len();
+
+    let representatives =
+        heaviest_per_app(outcomes.iter().map(|o| (o.app_key.clone(), o.weight)));
+    funnel.unique_apps = representatives.len();
+
+    PipelineResult { funnel, outcomes, representatives }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::VecSource;
+    use mosaic_darshan::counter::PosixCounter as C;
+    use mosaic_darshan::counter::PosixFCounter as F;
+    use mosaic_darshan::job::JobHeader;
+    use mosaic_darshan::log::TraceLogBuilder;
+    use mosaic_darshan::TraceLog;
+
+    fn log_for(uid: u32, exe: &str, bytes: i64) -> TraceLog {
+        let mut b = TraceLogBuilder::new(JobHeader::new(1, uid, 4, 0, 1000).with_exe(exe));
+        let r = b.begin_record("/in", -1);
+        b.record_mut(r)
+            .set(C::Reads, 4)
+            .set(C::BytesRead, bytes)
+            .set(C::Opens, 4)
+            .setf(F::OpenStartTimestamp, 1.0)
+            .setf(F::ReadStartTimestamp, 1.0)
+            .setf(F::ReadEndTimestamp, 50.0);
+        b.finish()
+    }
+
+    #[test]
+    fn funnel_counts_each_fate() {
+        let inputs = vec![
+            TraceInput::Log(log_for(1, "/bin/a", 1000)),
+            TraceInput::Bytes(vec![0, 1, 2, 3]), // format corrupt
+            TraceInput::Log({
+                // fatally invalid: zero-runtime header
+                let b = TraceLogBuilder::new(JobHeader::new(1, 1, 4, 5, 5));
+                b.finish()
+            }),
+            TraceInput::Log(log_for(1, "/bin/a", 2000)),
+        ];
+        let result = process(&VecSource::new(inputs), &PipelineConfig::default());
+        assert_eq!(result.funnel.total, 4);
+        assert_eq!(result.funnel.format_corrupt, 1);
+        assert_eq!(result.funnel.invalid, 1);
+        assert_eq!(result.funnel.valid, 2);
+        assert_eq!(result.funnel.unique_apps, 1);
+    }
+
+    #[test]
+    fn dedup_keeps_heaviest() {
+        let inputs = vec![
+            TraceInput::Log(log_for(1, "/bin/a x", 1000)),
+            TraceInput::Log(log_for(1, "/bin/a y", 9000)),
+            TraceInput::Log(log_for(2, "/bin/b", 500)),
+        ];
+        let result = process(&VecSource::new(inputs), &PipelineConfig::default());
+        assert_eq!(result.representatives.len(), 2);
+        let reps: Vec<i64> = result.representatives().map(|o| o.weight).collect();
+        assert!(reps.contains(&9000));
+        assert!(!reps.contains(&1000));
+    }
+
+    #[test]
+    fn outcomes_are_index_sorted_regardless_of_parallel_order() {
+        let inputs: Vec<TraceInput> =
+            (0..50).map(|i| TraceInput::Log(log_for(i, &format!("/bin/app{i}"), 100))).collect();
+        let result = process(&VecSource::new(inputs), &PipelineConfig::default());
+        assert!(result.outcomes.windows(2).all(|w| w[0].index < w[1].index));
+        assert_eq!(result.funnel.unique_apps, 50);
+    }
+
+    #[test]
+    fn explicit_thread_count_gives_same_answer() {
+        let inputs: Vec<TraceInput> =
+            (0..40).map(|i| TraceInput::Log(log_for(i % 5, "/bin/a", i as i64 * 10))).collect();
+        let a = process(&VecSource::new(inputs.clone()), &PipelineConfig::default());
+        let two = PipelineConfig { threads: Some(2), ..Default::default() };
+        let b = process(&VecSource::new(inputs.clone()), &two);
+        let one = PipelineConfig { threads: Some(1), ..Default::default() };
+        let c = process(&VecSource::new(inputs), &one);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(b.outcomes, c.outcomes);
+        assert_eq!(a.representatives, c.representatives);
+    }
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let inputs = vec![
+            TraceInput::Log(log_for(1, "/bin/a", 500 << 20)),
+            TraceInput::Log(log_for(1, "/bin/a", 600 << 20)),
+            TraceInput::Log(log_for(2, "/bin/b", 700 << 20)),
+        ];
+        let result = process(&VecSource::new(inputs), &PipelineConfig::default());
+        assert_eq!(result.all_runs_counts().total, 3);
+        assert_eq!(result.single_run_counts().total, 2);
+        let jaccard = result.jaccard_single_run();
+        assert!(!jaccard.categories.is_empty());
+    }
+
+    #[test]
+    fn empty_source() {
+        let result = process(&VecSource::new(vec![]), &PipelineConfig::default());
+        assert_eq!(result.funnel.total, 0);
+        assert!(result.outcomes.is_empty());
+        assert!(result.representatives.is_empty());
+    }
+
+    #[test]
+    fn progress_callback_fires_once_per_trace() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inputs: Vec<TraceInput> =
+            (0..25).map(|i| TraceInput::Log(log_for(i, "/bin/a", 100))).collect();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let max_seen = Arc::new(AtomicUsize::new(0));
+        let c2 = calls.clone();
+        let m2 = max_seen.clone();
+        let config = PipelineConfig {
+            progress: Some(Arc::new(move |done, total| {
+                assert_eq!(total, 25);
+                c2.fetch_add(1, Ordering::Relaxed);
+                m2.fetch_max(done, Ordering::Relaxed);
+            })),
+            ..Default::default()
+        };
+        let _ = process(&VecSource::new(inputs), &config);
+        assert_eq!(calls.load(Ordering::Relaxed), 25);
+        assert_eq!(max_seen.load(Ordering::Relaxed), 25);
+    }
+
+    #[test]
+    fn partially_corrupt_log_is_sanitized_not_evicted() {
+        let mut log = log_for(1, "/bin/a", 1000);
+        // Add one bad record: negative bytes.
+        let mut b = TraceLogBuilder::new(log.header().clone());
+        let h = b.begin_record("/bad", 0);
+        b.record_mut(h).set(C::BytesRead, -5);
+        let extra = b.finish();
+        let mut records = log.records().to_vec();
+        records.extend(extra.records().iter().cloned());
+        let mut names = log.names().clone();
+        names.extend(extra.names().clone());
+        log = TraceLog::from_parts(log.header().clone(), records, names);
+
+        let result = process(
+            &VecSource::new(vec![TraceInput::Log(log)]),
+            &PipelineConfig::default(),
+        );
+        assert_eq!(result.funnel.valid, 1);
+        assert_eq!(result.outcomes[0].sanitized_records, 1);
+    }
+}

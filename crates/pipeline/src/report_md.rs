@@ -1,0 +1,159 @@
+//! One-document Markdown analysis report — §III-B4's "statistics about the
+//! global behavior of an application", packaged for humans.
+//!
+//! Produces a self-contained Markdown document with the pre-processing
+//! funnel, both category distribution tables, the strongest Jaccard
+//! correlations and the most-executed applications with their stability —
+//! everything a storage or scheduling team would want from one run of the
+//! pipeline.
+
+use crate::executor::PipelineResult;
+use crate::stability::{app_stability, mean_stability};
+use std::fmt::Write as _;
+
+/// Render the full analysis as Markdown.
+pub fn render(result: &PipelineResult, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}\n");
+
+    // Funnel.
+    let f = &result.funnel;
+    let _ = writeln!(out, "## Pre-processing funnel\n");
+    let _ = writeln!(out, "| stage | traces | share |");
+    let _ = writeln!(out, "|---|---:|---:|");
+    let pct = |x: f64| format!("{:.1}%", 100.0 * x);
+    let _ = writeln!(out, "| input | {} | 100% |", f.total);
+    let _ = writeln!(
+        out,
+        "| evicted (format-corrupt) | {} | {} |",
+        f.format_corrupt,
+        pct(f.format_corrupt as f64 / f.total.max(1) as f64)
+    );
+    let _ = writeln!(
+        out,
+        "| evicted (invalid) | {} | {} |",
+        f.invalid,
+        pct(f.invalid as f64 / f.total.max(1) as f64)
+    );
+    let _ = writeln!(out, "| valid | {} | {} |", f.valid, pct(f.valid as f64 / f.total.max(1) as f64));
+    let _ = writeln!(
+        out,
+        "| unique applications | {} | {} of valid |\n",
+        f.unique_apps,
+        pct(f.unique_fraction())
+    );
+
+    // Distributions.
+    for (name, counts) in [
+        ("Single-run categories (application view)", result.single_run_counts()),
+        ("All-runs categories (file-system load view)", result.all_runs_counts()),
+    ] {
+        let _ = writeln!(out, "## {name}\n");
+        let _ = writeln!(out, "| category | traces | share |");
+        let _ = writeln!(out, "|---|---:|---:|");
+        for (cat, n) in counts.ranked() {
+            let _ = writeln!(out, "| `{}` | {} | {} |", cat.name(), n, pct(counts.fraction(cat)));
+        }
+        let _ = writeln!(out);
+    }
+
+    // Correlations.
+    let jaccard = result.jaccard_single_run();
+    let _ = writeln!(out, "## Strongest category co-occurrences (Jaccard)\n");
+    let _ = writeln!(out, "| index | pair |");
+    let _ = writeln!(out, "|---:|---|");
+    for (a, b, v) in jaccard.relevant_pairs(0.10).into_iter().take(15) {
+        let _ = writeln!(out, "| {} | `{}` ∧ `{}` |", pct(v), a.name(), b.name());
+    }
+    let _ = writeln!(out);
+
+    // Stability of the most-run applications.
+    let stats = app_stability(&result.outcomes, 10);
+    if !stats.is_empty() {
+        let _ = writeln!(out, "## Most-executed applications\n");
+        let _ = writeln!(out, "| application | runs | stability | modal categories |");
+        let _ = writeln!(out, "|---|---:|---:|---|");
+        for s in stats.iter().take(12) {
+            let cats: Vec<String> =
+                s.modal_categories.iter().map(|c| format!("`{}`", c.name())).collect();
+            let _ = writeln!(
+                out,
+                "| {} (uid {}) | {} | {} | {} |",
+                s.app.1,
+                s.app.0,
+                s.runs,
+                pct(s.stability()),
+                cats.join(" ")
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\nRun-weighted mean stability: **{}** (the §III-B1 dedup premise).",
+            pct(mean_stability(&stats))
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{process, PipelineConfig};
+    use crate::source::{TraceInput, VecSource};
+    use mosaic_darshan::counter::PosixCounter as C;
+    use mosaic_darshan::counter::PosixFCounter as F;
+    use mosaic_darshan::job::JobHeader;
+    use mosaic_darshan::log::TraceLogBuilder;
+
+    fn result() -> PipelineResult {
+        let mut inputs = Vec::new();
+        for i in 0..30 {
+            let uid = 1 + (i % 3);
+            let mut b = TraceLogBuilder::new(
+                JobHeader::new(i as u64, uid, 4, 0, 1000).with_exe(format!("/bin/app{}", uid)),
+            );
+            let r = b.begin_record("/in", -1);
+            b.record_mut(r)
+                .set(C::Reads, 4)
+                .set(C::BytesRead, 500 << 20)
+                .set(C::Opens, 4)
+                .setf(F::ReadStartTimestamp, 1.0)
+                .setf(F::ReadEndTimestamp, 40.0);
+            inputs.push(TraceInput::Log(b.finish()));
+        }
+        inputs.push(TraceInput::Bytes(vec![1, 2, 3]));
+        process(&VecSource::new(inputs), &PipelineConfig::default())
+    }
+
+    #[test]
+    fn report_contains_every_section() {
+        let md = render(&result(), "Test Analysis");
+        assert!(md.starts_with("# Test Analysis"));
+        for section in [
+            "## Pre-processing funnel",
+            "## Single-run categories",
+            "## All-runs categories",
+            "## Strongest category co-occurrences",
+            "## Most-executed applications",
+        ] {
+            assert!(md.contains(section), "missing {section}");
+        }
+        assert!(md.contains("`read_on_start`"));
+        assert!(md.contains("mean stability"));
+    }
+
+    #[test]
+    fn funnel_numbers_are_rendered() {
+        let md = render(&result(), "t");
+        assert!(md.contains("| input | 31 | 100% |"));
+        assert!(md.contains("| evicted (format-corrupt) | 1 |"));
+    }
+
+    #[test]
+    fn empty_result_renders_without_panic() {
+        let empty = process(&VecSource::new(vec![]), &PipelineConfig::default());
+        let md = render(&empty, "empty");
+        assert!(md.contains("## Pre-processing funnel"));
+        assert!(!md.contains("Most-executed"));
+    }
+}

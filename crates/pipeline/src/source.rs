@@ -1,0 +1,176 @@
+//! Trace sources: where the pipeline pulls its inputs from.
+
+use mosaic_darshan::TraceLog;
+
+/// One raw input: either undecoded MDF bytes (as read from disk) or an
+/// already-decoded log (as handed over by a generator or simulator).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceInput {
+    /// Raw MDF bytes; the pipeline parses (and may reject) them.
+    Bytes(Vec<u8>),
+    /// A decoded log; the pipeline still validates it.
+    Log(TraceLog),
+}
+
+/// A random-access collection of trace inputs. `fetch` must be thread-safe
+/// and pure — the pipeline calls it from worker threads in arbitrary order.
+pub trait TraceSource: Sync {
+    /// Number of traces available.
+    fn len(&self) -> usize;
+
+    /// `true` when the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch trace `i`.
+    fn fetch(&self, i: usize) -> TraceInput;
+}
+
+/// Adapts any `Fn(usize) -> TraceInput` closure (plus a length) into a
+/// source — the glue between the pipeline and e.g.
+/// `mosaic_synth::Dataset::generate`.
+pub struct ClosureSource<F: Fn(usize) -> TraceInput + Sync> {
+    len: usize,
+    fetch: F,
+}
+
+impl<F: Fn(usize) -> TraceInput + Sync> ClosureSource<F> {
+    /// Wrap a closure.
+    pub fn new(len: usize, fetch: F) -> Self {
+        ClosureSource { len, fetch }
+    }
+}
+
+impl<F: Fn(usize) -> TraceInput + Sync> TraceSource for ClosureSource<F> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn fetch(&self, i: usize) -> TraceInput {
+        debug_assert!(i < self.len);
+        (self.fetch)(i)
+    }
+}
+
+/// An in-memory source (tests, small experiments).
+pub struct VecSource {
+    items: Vec<TraceInput>,
+}
+
+impl VecSource {
+    /// Wrap a vector of inputs.
+    pub fn new(items: Vec<TraceInput>) -> Self {
+        VecSource { items }
+    }
+}
+
+impl TraceSource for VecSource {
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn fetch(&self, i: usize) -> TraceInput {
+        self.items[i].clone()
+    }
+}
+
+/// A directory of `.mdf` trace files — the production ingestion path.
+///
+/// Files are enumerated once at construction (sorted, for determinism) and
+/// read lazily per fetch, so a directory of hundreds of thousands of traces
+/// costs memory proportional to the path list only.
+pub struct DirSource {
+    paths: Vec<std::path::PathBuf>,
+}
+
+impl DirSource {
+    /// Scan `dir` for `*.mdf` files.
+    pub fn scan(dir: &std::path::Path) -> std::io::Result<DirSource> {
+        let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().map(|e| e == "mdf").unwrap_or(false))
+            .collect();
+        paths.sort();
+        Ok(DirSource { paths })
+    }
+
+    /// The enumerated file paths.
+    pub fn paths(&self) -> &[std::path::PathBuf] {
+        &self.paths
+    }
+}
+
+impl TraceSource for DirSource {
+    fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    fn fetch(&self, i: usize) -> TraceInput {
+        // An unreadable file is indistinguishable from a corrupt one for
+        // the funnel's purposes: deliver bytes that will not parse.
+        TraceInput::Bytes(std::fs::read(&self.paths[i]).unwrap_or_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_darshan::job::JobHeader;
+    use mosaic_darshan::log::TraceLogBuilder;
+
+    fn tiny_log() -> TraceLog {
+        TraceLogBuilder::new(JobHeader::new(1, 1, 1, 0, 10)).finish()
+    }
+
+    #[test]
+    fn closure_source_delegates() {
+        let s = ClosureSource::new(3, |i| TraceInput::Bytes(vec![i as u8]));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.fetch(2), TraceInput::Bytes(vec![2]));
+    }
+
+    #[test]
+    fn vec_source_round_trips() {
+        let s = VecSource::new(vec![TraceInput::Log(tiny_log())]);
+        assert_eq!(s.len(), 1);
+        match s.fetch(0) {
+            TraceInput::Log(l) => assert_eq!(l.header().job_id, 1),
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn empty_source() {
+        let s = VecSource::new(vec![]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn dir_source_scans_only_mdf_files_in_order() {
+        let dir = std::env::temp_dir().join(format!("mosaic_dirsource_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = tiny_log();
+        let bytes = mosaic_darshan::mdf::to_bytes(&log);
+        std::fs::write(dir.join("b.mdf"), &bytes).unwrap();
+        std::fs::write(dir.join("a.mdf"), &bytes).unwrap();
+        std::fs::write(dir.join("ignore.txt"), b"nope").unwrap();
+
+        let source = DirSource::scan(&dir).unwrap();
+        assert_eq!(source.len(), 2);
+        assert!(source.paths()[0].ends_with("a.mdf"));
+        match source.fetch(0) {
+            TraceInput::Bytes(b) => {
+                assert_eq!(mosaic_darshan::mdf::from_bytes(&b).unwrap(), log)
+            }
+            _ => panic!("expected bytes"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dir_source_on_missing_dir_errors() {
+        assert!(DirSource::scan(std::path::Path::new("/definitely/not/here")).is_err());
+    }
+}

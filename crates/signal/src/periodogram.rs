@@ -1,0 +1,123 @@
+//! Power spectra and dominant-frequency detection.
+
+use crate::fft::rfft;
+
+/// One detected spectral peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Frequency in cycles per unit time of the original signal.
+    pub frequency: f64,
+    /// Corresponding period (1/frequency).
+    pub period: f64,
+    /// Power at the peak, normalized so the strongest peak is 1.
+    pub power: f64,
+}
+
+/// Periodogram (one-sided power spectrum) of a real signal sampled at
+/// `sample_rate` samples per unit time.
+///
+/// Returns `(frequencies, powers)` for bins `1..n/2` (the DC bin is
+/// excluded — callers should mean-remove first anyway).
+pub fn periodogram(signal: &[f64], sample_rate: f64) -> (Vec<f64>, Vec<f64>) {
+    let spec = rfft(signal);
+    let n = spec.len();
+    let half = n / 2;
+    let mut freqs = Vec::with_capacity(half.saturating_sub(1));
+    let mut powers = Vec::with_capacity(half.saturating_sub(1));
+    for (k, c) in spec.iter().enumerate().take(half).skip(1) {
+        freqs.push(k as f64 * sample_rate / n as f64);
+        powers.push(c.norm2() / n as f64);
+    }
+    (freqs, powers)
+}
+
+/// Find up to `max_peaks` local maxima of the periodogram that stand above
+/// `threshold` × the strongest peak, sorted by descending power.
+///
+/// A bin is a local maximum if it exceeds both neighbours; this simple
+/// criterion is what basic frequency-technique detectors use and is exactly
+/// the mechanism that struggles with two interleaved periodic behaviours of
+/// similar energy (the MOSAIC paper's critique).
+pub fn find_peaks(freqs: &[f64], powers: &[f64], max_peaks: usize, threshold: f64) -> Vec<Peak> {
+    if powers.is_empty() {
+        return Vec::new();
+    }
+    let max_power = powers.iter().cloned().fold(0.0_f64, f64::max);
+    if max_power <= 0.0 {
+        return Vec::new();
+    }
+    let mut peaks: Vec<Peak> = Vec::new();
+    for i in 0..powers.len() {
+        let left = if i == 0 { 0.0 } else { powers[i - 1] };
+        let right = if i + 1 == powers.len() { 0.0 } else { powers[i + 1] };
+        if powers[i] >= left && powers[i] > right && powers[i] >= threshold * max_power {
+            peaks.push(Peak {
+                frequency: freqs[i],
+                period: if freqs[i] > 0.0 { 1.0 / freqs[i] } else { f64::INFINITY },
+                power: powers[i] / max_power,
+            });
+        }
+    }
+    peaks.sort_by(|a, b| b.power.total_cmp(&a.power));
+    peaks.truncate(max_peaks);
+    peaks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::remove_mean;
+
+    fn tone(n: usize, period: f64, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|t| amp * (2.0 * std::f64::consts::PI * t as f64 / period).sin())
+            .collect()
+    }
+
+    #[test]
+    fn detects_single_tone_period() {
+        let mut s = tone(512, 16.0, 1.0);
+        remove_mean(&mut s);
+        let (f, p) = periodogram(&s, 1.0);
+        let peaks = find_peaks(&f, &p, 3, 0.3);
+        assert!(!peaks.is_empty());
+        assert!((peaks[0].period - 16.0).abs() < 1.0, "period {}", peaks[0].period);
+    }
+
+    #[test]
+    fn detects_two_well_separated_tones() {
+        let mut s: Vec<f64> =
+            tone(1024, 8.0, 1.0).iter().zip(tone(1024, 64.0, 1.0)).map(|(a, b)| a + b).collect();
+        remove_mean(&mut s);
+        let (f, p) = periodogram(&s, 1.0);
+        let peaks = find_peaks(&f, &p, 5, 0.2);
+        assert!(peaks.len() >= 2, "{peaks:?}");
+        let periods: Vec<f64> = peaks.iter().map(|p| p.period).collect();
+        assert!(periods.iter().any(|&t| (t - 8.0).abs() < 0.5));
+        assert!(periods.iter().any(|&t| (t - 64.0).abs() < 4.0));
+    }
+
+    #[test]
+    fn silence_has_no_peaks() {
+        let s = vec![0.0; 256];
+        let (f, p) = periodogram(&s, 1.0);
+        assert!(find_peaks(&f, &p, 5, 0.1).is_empty());
+    }
+
+    #[test]
+    fn sample_rate_scales_frequencies() {
+        let mut s = tone(256, 32.0, 1.0); // period 32 samples
+        remove_mean(&mut s);
+        // At 2 samples/sec, 32 samples = 16 seconds.
+        let (f, p) = periodogram(&s, 2.0);
+        let peaks = find_peaks(&f, &p, 1, 0.5);
+        assert!((peaks[0].period - 16.0).abs() < 1.0, "{peaks:?}");
+    }
+
+    #[test]
+    fn empty_signal() {
+        let (f, p) = periodogram(&[], 1.0);
+        assert!(f.is_empty() || p.iter().all(|&x| x == 0.0));
+        assert!(find_peaks(&f, &p, 5, 0.1).is_empty());
+    }
+}

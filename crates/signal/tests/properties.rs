@@ -1,0 +1,98 @@
+//! Property-based tests for the signal substrate: Fourier identities and
+//! autocorrelation bounds that must hold for any input.
+
+use mosaic_signal::autocorr::autocorrelation;
+use mosaic_signal::fft::{fft_in_place, ifft_in_place, rfft, Complex};
+use mosaic_signal::periodogram::{find_peaks, periodogram};
+use mosaic_signal::window::{rasterize, remove_mean};
+use proptest::prelude::*;
+
+fn arb_signal() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1000.0f64..1000.0, 1..256)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fft_ifft_is_identity(signal in arb_signal()) {
+        let n = signal.len().next_power_of_two();
+        let mut data: Vec<Complex> =
+            signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        data.resize(n, Complex::zero());
+        let original = data.clone();
+        fft_in_place(&mut data);
+        ifft_in_place(&mut data);
+        for (a, b) in data.iter().zip(&original) {
+            prop_assert!((a.re - b.re).abs() < 1e-6 * (1.0 + b.re.abs()));
+            prop_assert!((a.im - b.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved(signal in arb_signal()) {
+        // Σ|x|² = (1/N) Σ|X|² for the unnormalized forward transform.
+        let spec = rfft(&signal);
+        let n = spec.len() as f64;
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let freq_energy: f64 = spec.iter().map(|c| c.norm2()).sum::<f64>() / n;
+        prop_assert!(
+            (time_energy - freq_energy).abs() <= 1e-6 * (1.0 + time_energy),
+            "time {time_energy} vs freq {freq_energy}"
+        );
+    }
+
+    #[test]
+    fn autocorrelation_is_bounded_and_normalized(signal in arb_signal()) {
+        let r = autocorrelation(&signal);
+        prop_assert_eq!(r.len(), signal.len());
+        // r[0] is 1 for non-degenerate signals, 0 for constant ones.
+        if r[0] != 0.0 {
+            prop_assert!((r[0] - 1.0).abs() < 1e-9);
+        }
+        for &v in &r {
+            prop_assert!(v.abs() <= 1.0 + 1e-6, "autocorr out of bounds: {v}");
+        }
+    }
+
+    #[test]
+    fn periodogram_powers_are_non_negative(signal in arb_signal()) {
+        let (freqs, powers) = periodogram(&signal, 1.0);
+        prop_assert_eq!(freqs.len(), powers.len());
+        prop_assert!(powers.iter().all(|&p| p >= 0.0));
+        prop_assert!(freqs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn peak_power_is_normalized(signal in arb_signal()) {
+        let (freqs, powers) = periodogram(&signal, 1.0);
+        let peaks = find_peaks(&freqs, &powers, 10, 0.0);
+        for p in &peaks {
+            prop_assert!(p.power > 0.0 && p.power <= 1.0 + 1e-12);
+        }
+        prop_assert!(peaks.windows(2).all(|w| w[0].power >= w[1].power));
+    }
+
+    #[test]
+    fn rasterize_conserves_in_range_weight(
+        intervals in prop::collection::vec(
+            (0.0f64..90.0, 0.0f64..10.0, 0.0f64..1000.0), 0..20),
+        bins in 1usize..512,
+    ) {
+        let spec: Vec<(f64, f64, f64)> =
+            intervals.iter().map(|&(s, l, w)| (s, s + l, w)).collect();
+        let signal = rasterize(&spec, 100.0, bins);
+        let total_in: f64 = spec.iter().map(|&(_, _, w)| w).sum();
+        let total_out: f64 = signal.iter().sum();
+        // All intervals fit inside [0, 100], so weight is conserved.
+        prop_assert!((total_in - total_out).abs() < 1e-6 * (1.0 + total_in));
+    }
+
+    #[test]
+    fn remove_mean_centers(signal in arb_signal()) {
+        let mut s = signal;
+        remove_mean(&mut s);
+        let mean: f64 = s.iter().sum::<f64>() / s.len() as f64;
+        prop_assert!(mean.abs() < 1e-7);
+    }
+}

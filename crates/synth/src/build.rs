@@ -1,0 +1,663 @@
+//! Direct trace builders: archetype + seeded RNG → `TraceLog` + ground truth.
+//!
+//! Builders construct Darshan-shaped records (aggregated intervals, open
+//! bursts) whose *intended* behaviour is known exactly. Temporality and
+//! periodicity truths come from the construction; the metadata truth is
+//! computed by running the (deterministic, lossless) metadata
+//! characterization on the events actually injected, so it is exact by
+//! definition under the default thresholds.
+//!
+//! The [`Archetype::HardUneven`] builder deliberately produces traces whose
+//! Darshan-level evidence *misleads* uniform byte apportioning — the
+//! paper's stated source of its ≈8 % misclassifications: the real activity
+//! is concentrated at the start of a long-lived open/close interval, but
+//! the trace only shows the smeared interval.
+
+use crate::archetype::Archetype;
+use crate::truth::GroundTruth;
+use mosaic_core::category::{PeriodMagnitude, TemporalityLabel};
+use mosaic_core::CategorizerConfig;
+use mosaic_darshan::counter::PosixCounter as C;
+use mosaic_darshan::counter::PosixFCounter as F;
+use mosaic_darshan::job::JobHeader;
+use mosaic_darshan::log::TraceLogBuilder;
+use mosaic_darshan::ops::OperationView;
+use mosaic_darshan::record::SHARED_RANK;
+use mosaic_darshan::TraceLog;
+use rand::Rng;
+
+const MB: u64 = 1 << 20;
+const GB: u64 = 1 << 30;
+
+/// Everything fixed about a run before the builder rolls its dice.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Behaviour to generate.
+    pub archetype: Archetype,
+    /// Scheduler job id recorded in the header.
+    pub job_id: u64,
+    /// Owning user.
+    pub uid: u32,
+    /// Rank count (stable per application).
+    pub nprocs: u32,
+    /// Nominal runtime in seconds (each run jitters ±20 %).
+    pub base_runtime: f64,
+    /// Job start, Unix seconds.
+    pub start_epoch: i64,
+    /// Executable line.
+    pub exe: String,
+}
+
+/// Log-uniform sample in `[lo, hi]`.
+pub fn log_uniform<R: Rng>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo > 0.0 && hi >= lo);
+    (rng.gen_range(lo.ln()..=hi.ln())).exp()
+}
+
+/// Internal sketch: a `TraceLogBuilder` plus the runtime bound, with helpers
+/// that keep every timestamp inside the job and every counter consistent
+/// with the validator's rules.
+struct Sketch {
+    builder: TraceLogBuilder,
+    runtime: f64,
+    nprocs: u32,
+}
+
+impl Sketch {
+    fn new(spec: &RunSpec, runtime: f64) -> Sketch {
+        let header = JobHeader::new(
+            spec.job_id,
+            spec.uid,
+            spec.nprocs,
+            spec.start_epoch,
+            spec.start_epoch + runtime.ceil() as i64,
+        )
+        .with_exe(spec.exe.clone());
+        Sketch { builder: TraceLogBuilder::new(header), runtime, nprocs: spec.nprocs }
+    }
+
+    fn clamp(&self, t: f64) -> f64 {
+        t.clamp(0.0, self.runtime)
+    }
+
+    /// A shared (rank −1) record reading `bytes` over `[start, end]`, opened
+    /// by every rank at `start` (with `seeks_per_rank` co-located seeks) and
+    /// closed at `end`.
+    fn shared_read(&mut self, path: &str, start: f64, end: f64, bytes: u64, seeks_per_rank: u32) {
+        let (start, end) = (self.clamp(start), self.clamp(end).max(self.clamp(start)));
+        let n = self.nprocs as i64;
+        let h = self.builder.begin_record(path, SHARED_RANK);
+        self.builder
+            .record_mut(h)
+            .set(C::Opens, n)
+            .set(C::Closes, n)
+            .set(C::Seeks, n * seeks_per_rank as i64)
+            .set(C::Reads, (n * 8).max(1))
+            .set(C::BytesRead, bytes as i64)
+            .set(C::SeqReads, (n * 8).max(1))
+            .set(C::MaxByteRead, bytes.saturating_sub(1) as i64)
+            .setf(F::OpenStartTimestamp, start)
+            .setf(F::OpenEndTimestamp, start)
+            .setf(F::ReadStartTimestamp, start)
+            .setf(F::ReadEndTimestamp, end)
+            .setf(F::CloseStartTimestamp, end)
+            .setf(F::CloseEndTimestamp, end)
+            .setf(F::ReadTime, (end - start) * 0.8);
+    }
+
+    /// A shared record writing `bytes` over `[start, end]`.
+    fn shared_write(&mut self, path: &str, start: f64, end: f64, bytes: u64, seeks_per_rank: u32) {
+        let (start, end) = (self.clamp(start), self.clamp(end).max(self.clamp(start)));
+        let n = self.nprocs as i64;
+        let h = self.builder.begin_record(path, SHARED_RANK);
+        self.builder
+            .record_mut(h)
+            .set(C::Opens, n)
+            .set(C::Closes, n)
+            .set(C::Seeks, n * seeks_per_rank as i64)
+            .set(C::Writes, (n * 8).max(1))
+            .set(C::BytesWritten, bytes as i64)
+            .set(C::SeqWrites, (n * 8).max(1))
+            .set(C::MaxByteWritten, bytes.saturating_sub(1) as i64)
+            .setf(F::OpenStartTimestamp, start)
+            .setf(F::OpenEndTimestamp, start)
+            .setf(F::WriteStartTimestamp, start)
+            .setf(F::WriteEndTimestamp, end)
+            .setf(F::CloseStartTimestamp, end)
+            .setf(F::CloseEndTimestamp, end)
+            .setf(F::WriteTime, (end - start) * 0.8);
+    }
+
+    /// A rank-0-only record (config files, logs): one open, tiny data, so a
+    /// quiet app's metadata stays below the rank-count threshold.
+    fn solo_read(&mut self, path: &str, start: f64, end: f64, bytes: u64) {
+        let (start, end) = (self.clamp(start), self.clamp(end).max(self.clamp(start)));
+        let h = self.builder.begin_record(path, 0);
+        self.builder
+            .record_mut(h)
+            .set(C::Opens, 1)
+            .set(C::Closes, 1)
+            .set(C::Reads, 4)
+            .set(C::BytesRead, bytes as i64)
+            .set(C::SeqReads, 4)
+            .setf(F::OpenStartTimestamp, start)
+            .setf(F::OpenEndTimestamp, start)
+            .setf(F::ReadStartTimestamp, start)
+            .setf(F::ReadEndTimestamp, end)
+            .setf(F::CloseStartTimestamp, end)
+            .setf(F::CloseEndTimestamp, end);
+    }
+
+    /// A rank-0-only write record.
+    fn solo_write(&mut self, path: &str, start: f64, end: f64, bytes: u64) {
+        let (start, end) = (self.clamp(start), self.clamp(end).max(self.clamp(start)));
+        let h = self.builder.begin_record(path, 0);
+        self.builder
+            .record_mut(h)
+            .set(C::Opens, 1)
+            .set(C::Closes, 1)
+            .set(C::Writes, 4)
+            .set(C::BytesWritten, bytes as i64)
+            .set(C::SeqWrites, 4)
+            .setf(F::OpenStartTimestamp, start)
+            .setf(F::OpenEndTimestamp, start)
+            .setf(F::WriteStartTimestamp, start)
+            .setf(F::WriteEndTimestamp, end)
+            .setf(F::CloseStartTimestamp, end)
+            .setf(F::CloseEndTimestamp, end);
+    }
+
+    /// A metadata-only burst: `opens` opens (plus seeks) at `t`, closes at
+    /// `t + 1`. No data movement.
+    fn meta_burst(&mut self, path: &str, t: f64, opens: i64, seeks: i64) {
+        let t = self.clamp(t);
+        let t_close = self.clamp(t + 1.0);
+        let h = self.builder.begin_record(path, SHARED_RANK);
+        self.builder
+            .record_mut(h)
+            .set(C::Opens, opens)
+            .set(C::Closes, opens)
+            .set(C::Seeks, seeks)
+            .setf(F::OpenStartTimestamp, t)
+            .setf(F::OpenEndTimestamp, t)
+            .setf(F::CloseStartTimestamp, t_close)
+            .setf(F::CloseEndTimestamp, t_close)
+            .setf(F::MetaTime, 0.1);
+    }
+
+    fn finish(self) -> TraceLog {
+        self.builder.finish()
+    }
+}
+
+/// Build one run: the trace and its ground truth.
+pub fn build_run<R: Rng>(spec: &RunSpec, rng: &mut R) -> (TraceLog, GroundTruth) {
+    let mut runtime = spec.base_runtime * rng.gen_range(0.8..1.2);
+    // Checkpointers plan period-first so detected periods span the paper's
+    // "between a few minutes and a few hours" range (Table II): the period
+    // is drawn log-uniformly and the runtime derived from it.
+    let ckpt_plan = if matches!(
+        spec.archetype,
+        Archetype::CheckpointerRead | Archetype::CheckpointerQuiet
+    ) {
+        let period = log_uniform(rng, 90.0, 7200.0);
+        let rounds = rng.gen_range(12..=24u32);
+        runtime = period * rounds as f64;
+        Some((period, rounds))
+    } else {
+        None
+    };
+    // Metadata storms are short ensemble jobs: a compressed runtime keeps
+    // the *mean* request rate high enough for the high_density category
+    // (≥ 50 req/s over the whole execution), as Fig 4 requires.
+    if spec.archetype == Archetype::MetadataStorm {
+        runtime = rng.gen_range(180.0..900.0);
+    }
+    let mut sketch = Sketch::new(spec, runtime);
+    let mut truth = GroundTruth::quiet();
+
+    match spec.archetype {
+        Archetype::Quiet => build_quiet(&mut sketch, rng, runtime),
+        Archetype::ReadStartOnly => {
+            read_on_start(&mut sketch, rng, runtime);
+            truth.read_temporality = TemporalityLabel::OnStart;
+            build_quiet_writes(&mut sketch, rng, runtime);
+        }
+        Archetype::ReadComputeWrite => {
+            read_on_start(&mut sketch, rng, runtime);
+            write_on_end(&mut sketch, rng, runtime);
+            truth.read_temporality = TemporalityLabel::OnStart;
+            truth.write_temporality = TemporalityLabel::OnEnd;
+        }
+        Archetype::WriteEndOnly => {
+            write_on_end(&mut sketch, rng, runtime);
+            truth.write_temporality = TemporalityLabel::OnEnd;
+            build_quiet_reads(&mut sketch, rng, runtime);
+        }
+        Archetype::SteadyReadWrite => {
+            steady_stream(&mut sketch, rng, runtime, true);
+            steady_stream(&mut sketch, rng, runtime, false);
+            staggered_meta(&mut sketch, rng, runtime);
+            truth.read_temporality = TemporalityLabel::Steady;
+            truth.write_temporality = TemporalityLabel::Steady;
+        }
+        Archetype::SteadyWriter => {
+            steady_stream(&mut sketch, rng, runtime, false);
+            staggered_meta(&mut sketch, rng, runtime);
+            truth.write_temporality = TemporalityLabel::Steady;
+            build_quiet_reads(&mut sketch, rng, runtime);
+        }
+        Archetype::CheckpointerRead | Archetype::CheckpointerQuiet => {
+            let (period, rounds) = ckpt_plan.expect("planned above");
+            let magnitude = checkpoints(&mut sketch, rng, period, rounds);
+            truth.write_temporality = TemporalityLabel::Steady;
+            truth.write_periodic = Some(magnitude);
+            if spec.archetype == Archetype::CheckpointerRead {
+                read_on_start(&mut sketch, rng, runtime);
+                truth.read_temporality = TemporalityLabel::OnStart;
+            } else {
+                build_quiet_reads(&mut sketch, rng, runtime);
+            }
+        }
+        Archetype::PeriodicReader => {
+            let magnitude = periodic_reads(&mut sketch, rng, runtime);
+            truth.read_temporality = TemporalityLabel::Steady;
+            truth.read_periodic = Some(magnitude);
+            build_quiet_writes(&mut sketch, rng, runtime);
+        }
+        Archetype::MetadataStorm => {
+            metadata_storm(&mut sketch, rng, runtime);
+            // Many storms are ensemble pipelines that also slurp input on
+            // start — the §IV-D correlation between metadata density and
+            // read_on_start.
+            if rng.gen_bool(0.4) {
+                read_on_start(&mut sketch, rng, runtime);
+                truth.read_temporality = TemporalityLabel::OnStart;
+            } else {
+                build_quiet_reads(&mut sketch, rng, runtime);
+            }
+            build_quiet_writes(&mut sketch, rng, runtime);
+        }
+        Archetype::MidBurst => {
+            let label = mid_burst(&mut sketch, rng, runtime);
+            truth.read_temporality = label;
+            build_quiet_writes(&mut sketch, rng, runtime);
+        }
+        Archetype::HardUneven => {
+            truth.read_temporality = hard_uneven(&mut sketch, rng, runtime);
+            build_quiet_writes(&mut sketch, rng, runtime);
+        }
+    }
+
+    let log = sketch.finish();
+    // Metadata truth is exact by construction: the characterization is a
+    // deterministic function of the events we just injected.
+    let view = OperationView::from_log(&log);
+    let meta = mosaic_core::metadata::characterize(
+        &view.meta,
+        view.runtime,
+        view.nprocs,
+        &CategorizerConfig::default(),
+    );
+    truth.metadata = meta.labels.iter().copied().collect();
+    (log, truth)
+}
+
+// ---- per-archetype pieces -------------------------------------------------
+
+fn build_quiet<R: Rng>(sketch: &mut Sketch, rng: &mut R, runtime: f64) {
+    build_quiet_reads(sketch, rng, runtime);
+    build_quiet_writes(sketch, rng, runtime);
+}
+
+/// Insignificant reads: a handful of MB (libraries, config files) touched by
+/// rank 0 only — well below the 100 MB threshold, and below the rank count
+/// in metadata requests.
+fn build_quiet_reads<R: Rng>(sketch: &mut Sketch, rng: &mut R, runtime: f64) {
+    let files = rng.gen_range(1..=3);
+    for i in 0..files {
+        let t = rng.gen_range(0.0..runtime * 0.2);
+        let bytes = rng.gen_range(64 * 1024..=8 * MB);
+        sketch.solo_read(&format!("/sw/lib/conf.{i}"), t, t + 0.5, bytes);
+    }
+}
+
+/// Insignificant writes: a rank-0 log file, a few MB.
+fn build_quiet_writes<R: Rng>(sketch: &mut Sketch, rng: &mut R, runtime: f64) {
+    let t = rng.gen_range(0.0..runtime * 0.9);
+    let bytes = rng.gen_range(16 * 1024..=4 * MB);
+    sketch.solo_write("/scratch/job.log", t, (t + 1.0).min(runtime), bytes);
+}
+
+/// Significant read fully inside the first quarter.
+fn read_on_start<R: Rng>(sketch: &mut Sketch, rng: &mut R, runtime: f64) {
+    let start = rng.gen_range(0.0..runtime * 0.02);
+    let end = start + rng.gen_range(0.02..0.15) * runtime;
+    let bytes = log_uniform(rng, 0.2 * GB as f64, 20.0 * GB as f64) as u64;
+    sketch.shared_read("/scratch/input/mesh.dat", start, end.min(runtime * 0.22), bytes, 2);
+}
+
+/// Significant write fully inside the last quarter.
+fn write_on_end<R: Rng>(sketch: &mut Sketch, rng: &mut R, runtime: f64) {
+    let end = runtime * rng.gen_range(0.96..0.995);
+    let start = (runtime * 0.80).max(end - rng.gen_range(0.02..0.15) * runtime);
+    let bytes = log_uniform(rng, 0.2 * GB as f64, 10.0 * GB as f64) as u64;
+    sketch.shared_write("/scratch/output/result.h5", start, end, bytes, 1);
+}
+
+/// A single file held open the whole run: one aggregated interval covering
+/// ~everything — exactly what Darshan reports for steady streamers, and why
+/// §IV-A suspects many `steady` traces hide periodic behaviour.
+fn steady_stream<R: Rng>(sketch: &mut Sketch, rng: &mut R, runtime: f64, read: bool) {
+    let start = rng.gen_range(0.0..runtime * 0.01);
+    let end = runtime * rng.gen_range(0.985..1.0);
+    let bytes = log_uniform(rng, 0.5 * GB as f64, 40.0 * GB as f64) as u64;
+    if read {
+        sketch.shared_read("/scratch/stream/in.dat", start, end, bytes, 4);
+    } else {
+        sketch.shared_write("/scratch/stream/out.dat", start, end, bytes, 4);
+    }
+}
+
+/// Scratch files opened by every rank at staggered times: visible metadata
+/// spikes for long-lived production apps.
+fn staggered_meta<R: Rng>(sketch: &mut Sketch, rng: &mut R, runtime: f64) {
+    let bursts = rng.gen_range(6..=12);
+    for b in 0..bursts {
+        let t = runtime * (b as f64 + 0.5) / bursts as f64;
+        let opens = sketch.nprocs as i64;
+        sketch.meta_burst(&format!("/scratch/tmp/part.{b}"), t, opens, opens);
+    }
+}
+
+/// Periodic checkpoint dumps: a fresh shared file per round, evenly spaced
+/// with the planned period. Returns the period magnitude for the truth
+/// record.
+fn checkpoints<R: Rng>(
+    sketch: &mut Sketch,
+    rng: &mut R,
+    period: f64,
+    rounds: u32,
+) -> PeriodMagnitude {
+    let bytes = log_uniform(rng, 0.15 * GB as f64, 4.0 * GB as f64) as u64;
+    let busy = rng.gen_range(0.01..0.12);
+    for i in 0..rounds {
+        let t = period * (i as f64 + 0.3);
+        sketch.shared_write(&format!("/scratch/ckpt/dump.{i:04}"), t, t + period * busy, bytes, 1);
+    }
+    PeriodMagnitude::of(period)
+}
+
+/// Periodic small reads on fresh reference chunks.
+fn periodic_reads<R: Rng>(sketch: &mut Sketch, rng: &mut R, runtime: f64) -> PeriodMagnitude {
+    let rounds = rng.gen_range(20..=60);
+    let period = runtime / rounds as f64;
+    // Keep total volume clearly significant.
+    let bytes = rng.gen_range(8 * MB..=64 * MB).max((150 * MB) / rounds as u64 + MB);
+    let busy = rng.gen_range(0.02..0.15);
+    for i in 0..rounds {
+        let t = period * (i as f64 + 0.2);
+        sketch.shared_read(&format!("/scratch/ref/chunk.{i:04}"), t, t + period * busy, bytes, 1);
+    }
+    PeriodMagnitude::of(period)
+}
+
+/// Metadata storm: bursts of hundreds-to-thousands of opens with trivial
+/// data volume.
+fn metadata_storm<R: Rng>(sketch: &mut Sketch, rng: &mut R, runtime: f64) {
+    let bursts = rng.gen_range(8..=30);
+    for b in 0..bursts {
+        let t = runtime * rng.gen_range(0.02..0.98);
+        let opens = rng.gen_range(600..=3000);
+        sketch.meta_burst(&format!("/scratch/many/f.{b}"), t, opens, opens / 2);
+    }
+}
+
+/// One burst in the middle of the run; the returned label is both the truth
+/// and (barring edge effects) the detected category.
+fn mid_burst<R: Rng>(sketch: &mut Sketch, rng: &mut R, runtime: f64) -> TemporalityLabel {
+    let bytes = log_uniform(rng, 0.2 * GB as f64, 5.0 * GB as f64) as u64;
+    match rng.gen_range(0..3u32) {
+        0 => {
+            // Fully inside the second quarter.
+            let start = runtime * rng.gen_range(0.27..0.35);
+            let end = runtime * rng.gen_range(0.38..0.48);
+            sketch.shared_read("/scratch/phase/mid.dat", start, end, bytes, 1);
+            TemporalityLabel::AfterStart
+        }
+        1 => {
+            // Fully inside the third quarter.
+            let start = runtime * rng.gen_range(0.52..0.60);
+            let end = runtime * rng.gen_range(0.63..0.73);
+            sketch.shared_read("/scratch/phase/mid.dat", start, end, bytes, 1);
+            TemporalityLabel::BeforeEnd
+        }
+        _ => {
+            // Spanning both middle quarters.
+            let start = runtime * rng.gen_range(0.27..0.32);
+            let end = runtime * rng.gen_range(0.68..0.73);
+            sketch.shared_read("/scratch/phase/mid.dat", start, end, bytes, 1);
+            TemporalityLabel::AfterStartBeforeEnd
+        }
+    }
+}
+
+/// The deliberately ambiguous case: the application really reads everything
+/// right after start, but holds the file open far longer, so the single
+/// Darshan interval smears the bytes across several chunks. Truth is
+/// `OnStart`; uniform apportioning usually lands on `steady` or a fallback
+/// label instead.
+fn hard_uneven<R: Rng>(sketch: &mut Sketch, rng: &mut R, runtime: f64) -> TemporalityLabel {
+    let bytes = log_uniform(rng, 0.3 * GB as f64, 8.0 * GB as f64) as u64;
+    let start = runtime * rng.gen_range(0.0..0.03);
+    // How far the open/close interval stretches decides what the detector
+    // sees: nearly the whole run → steady; about half → fallback labels.
+    let stretch = if rng.gen_bool(0.65) {
+        rng.gen_range(0.90..0.99)
+    } else {
+        rng.gen_range(0.45..0.60)
+    };
+    let end = runtime * stretch;
+    sketch.shared_read("/scratch/input/big_then_idle.dat", start, end, bytes, 2);
+    TemporalityLabel::OnStart
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_core::Categorizer;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn spec(archetype: Archetype) -> RunSpec {
+        RunSpec {
+            archetype,
+            job_id: 1,
+            uid: 100,
+            nprocs: 128,
+            base_runtime: 7200.0,
+            start_epoch: 1_546_300_800,
+            exe: "/apps/test/app --input x".to_owned(),
+        }
+    }
+
+    fn build(archetype: Archetype, seed: u64) -> (TraceLog, GroundTruth) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        build_run(&spec(archetype), &mut rng)
+    }
+
+    #[test]
+    fn all_archetypes_produce_valid_traces() {
+        for archetype in [
+            Archetype::Quiet,
+            Archetype::ReadStartOnly,
+            Archetype::ReadComputeWrite,
+            Archetype::WriteEndOnly,
+            Archetype::SteadyReadWrite,
+            Archetype::SteadyWriter,
+            Archetype::CheckpointerRead,
+            Archetype::CheckpointerQuiet,
+            Archetype::PeriodicReader,
+            Archetype::MetadataStorm,
+            Archetype::MidBurst,
+            Archetype::HardUneven,
+        ] {
+            for seed in 0..5 {
+                let (log, _) = build(archetype, seed);
+                let report = mosaic_darshan::validate::validate(&log);
+                assert!(report.is_clean(), "{archetype:?} seed {seed}: {report:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_matches_truth() {
+        for seed in 0..10 {
+            let (log, truth) = build(Archetype::Quiet, seed);
+            let report = Categorizer::default().categorize_log(&log);
+            assert!(truth.matches(&report), "seed {seed}: {:?}", truth.mismatches(&report));
+        }
+    }
+
+    #[test]
+    fn read_compute_write_matches_truth() {
+        let mut ok = 0;
+        for seed in 0..20 {
+            let (log, truth) = build(Archetype::ReadComputeWrite, seed);
+            let report = Categorizer::default().categorize_log(&log);
+            if truth.matches(&report) {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 18, "only {ok}/20 matched");
+    }
+
+    #[test]
+    fn checkpointer_is_detected_periodic() {
+        let mut ok = 0;
+        for seed in 0..20 {
+            let (log, truth) = build(Archetype::CheckpointerQuiet, seed);
+            assert!(truth.write_periodic.is_some());
+            let report = Categorizer::default().categorize_log(&log);
+            if truth.matches(&report) {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 15, "only {ok}/20 matched");
+    }
+
+    #[test]
+    fn periodic_reader_is_detected() {
+        let mut ok = 0;
+        for seed in 0..20 {
+            let (log, truth) = build(Archetype::PeriodicReader, seed);
+            assert!(truth.read_periodic.is_some());
+            let report = Categorizer::default().categorize_log(&log);
+            if truth.matches(&report) {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 14, "only {ok}/20 matched");
+    }
+
+    #[test]
+    fn hard_uneven_usually_fools_the_detector() {
+        let mut fooled = 0;
+        for seed in 0..30 {
+            let (log, truth) = build(Archetype::HardUneven, seed);
+            assert_eq!(truth.read_temporality, TemporalityLabel::OnStart);
+            let report = Categorizer::default().categorize_log(&log);
+            if !truth.matches(&report) {
+                fooled += 1;
+            }
+        }
+        assert!(
+            (15..=30).contains(&fooled),
+            "expected most hard cases to misclassify, got {fooled}/30"
+        );
+    }
+
+    #[test]
+    fn metadata_storm_spikes() {
+        let (log, truth) = build(Archetype::MetadataStorm, 3);
+        use mosaic_core::category::MetadataLabel;
+        assert!(truth.metadata.contains(&MetadataLabel::HighSpike));
+        let report = Categorizer::default().categorize_log(&log);
+        assert!(truth.matches(&report), "{:?}", truth.mismatches(&report));
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        let a = build(Archetype::ReadComputeWrite, 42);
+        let b = build(Archetype::ReadComputeWrite, 42);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn log_uniform_stays_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = log_uniform(&mut rng, 10.0, 1000.0);
+            assert!((10.0..=1000.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn truth_table_matches_archetype_intent() {
+        // Locks in each archetype's intended ground-truth shape; a builder
+        // change that silently shifts an archetype's meaning fails here.
+        use Archetype::*;
+        use TemporalityLabel as T;
+        let cases: Vec<(Archetype, T, T, bool, bool)> = vec![
+            // (archetype, read temporality, write temporality,
+            //  read periodic?, write periodic?)
+            (Quiet, T::Insignificant, T::Insignificant, false, false),
+            (ReadStartOnly, T::OnStart, T::Insignificant, false, false),
+            (ReadComputeWrite, T::OnStart, T::OnEnd, false, false),
+            (WriteEndOnly, T::Insignificant, T::OnEnd, false, false),
+            (SteadyReadWrite, T::Steady, T::Steady, false, false),
+            (SteadyWriter, T::Insignificant, T::Steady, false, false),
+            (CheckpointerRead, T::OnStart, T::Steady, false, true),
+            (CheckpointerQuiet, T::Insignificant, T::Steady, false, true),
+            (PeriodicReader, T::Steady, T::Insignificant, true, false),
+            (MidBurst, T::AfterStart, T::Insignificant, false, false), // or Before/Middle
+            (HardUneven, T::OnStart, T::Insignificant, false, false),
+        ];
+        for (archetype, read_t, write_t, read_p, write_p) in cases {
+            let (_, truth) = build(archetype, 11);
+            if archetype != MidBurst {
+                assert_eq!(truth.read_temporality, read_t, "{archetype:?} read");
+            } else {
+                assert!(
+                    matches!(
+                        truth.read_temporality,
+                        T::AfterStart | T::BeforeEnd | T::AfterStartBeforeEnd
+                    ),
+                    "{archetype:?} read = {:?}",
+                    truth.read_temporality
+                );
+            }
+            assert_eq!(truth.write_temporality, write_t, "{archetype:?} write");
+            assert_eq!(truth.read_periodic.is_some(), read_p, "{archetype:?} read periodic");
+            assert_eq!(truth.write_periodic.is_some(), write_p, "{archetype:?} write periodic");
+        }
+        // MetadataStorm truth varies (40% read on start); check metadata.
+        let (_, truth) = build(MetadataStorm, 11);
+        use mosaic_core::category::MetadataLabel;
+        assert!(truth.metadata.contains(&MetadataLabel::HighSpike));
+    }
+
+    #[test]
+    fn mid_burst_label_is_detected() {
+        let mut ok = 0;
+        for seed in 0..20 {
+            let (log, truth) = build(Archetype::MidBurst, seed);
+            let report = Categorizer::default().categorize_log(&log);
+            if report.read.temporality.label == truth.read_temporality {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 16, "only {ok}/20 mid-burst labels detected");
+    }
+}

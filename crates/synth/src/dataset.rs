@@ -1,0 +1,369 @@
+//! The year-scale dataset model: applications, run counts, lazy generation.
+//!
+//! Blue Waters 2019 was ~462k traces from far fewer applications — the same
+//! app rerun tens to thousands of times (LAMMPS alone ≈12,000 runs). The
+//! model here samples an application population from the
+//! [`crate::archetype::default_mix`], gives each app a geometric run count
+//! around its archetype's mean (with a rare heavy-tail multiplier for the
+//! LAMMPS-like outliers), and exposes the runs as a lazily-generated,
+//! deterministically-seeded sequence: `generate(i)` is a pure function of
+//! `(config.seed, i)`, so a million-trace dataset never has to exist in
+//! memory and parallel workers can claim indices freely.
+
+use crate::archetype::{default_mix, Archetype, MixEntry, APP_NAMES};
+use crate::build::{build_run, RunSpec};
+use crate::corrupt::{corrupt, CorruptArtifact, CorruptionKind};
+use crate::truth::GroundTruth;
+use mosaic_darshan::TraceLog;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// 2019-01-01T00:00:00Z — the analyzed year's start.
+pub const YEAR_EPOCH: i64 = 1_546_300_800;
+const YEAR_SECONDS: i64 = 365 * 24 * 3600;
+
+/// Dataset-level knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Total number of traces (runs) to model. The paper's full year is
+    /// 462,502; the default keeps experiments laptop-sized.
+    pub n_traces: usize,
+    /// Fraction of runs corrupted (paper: 32 %).
+    pub corruption_rate: f64,
+    /// Master seed; everything is deterministic given it.
+    pub seed: u64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig { n_traces: 10_000, corruption_rate: 0.32, seed: 42 }
+    }
+}
+
+/// One application in the population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Index in [`Dataset::apps`].
+    pub index: usize,
+    /// Owning user id.
+    pub uid: u32,
+    /// Executable line (unique per app; dedup groups on `(uid, basename)`).
+    pub exe: String,
+    /// Rank count, stable across the app's runs.
+    pub nprocs: u32,
+    /// Nominal runtime, jittered ±20 % per run.
+    pub base_runtime: f64,
+    /// Behaviour archetype.
+    pub archetype: Archetype,
+    /// Probability a run behaves nominally (else it degrades to `Quiet`).
+    pub stability: f64,
+    /// Number of runs this app contributes.
+    pub runs: usize,
+}
+
+/// What one generated run carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedRun {
+    /// Global run index (doubles as the scheduler job id).
+    pub job_id: u64,
+    /// Index of the owning [`AppSpec`].
+    pub app: usize,
+    /// The trace artifact.
+    pub payload: Payload,
+    /// Ground truth; `None` for corrupted runs.
+    pub truth: Option<GroundTruth>,
+    /// `true` when the run was corrupted (and must be evicted).
+    pub corrupt: bool,
+    /// The corruption applied, if any.
+    pub corruption: Option<CorruptionKind>,
+    /// The archetype this particular run actually followed (differs from
+    /// the app's nominal archetype for unstable runs).
+    pub effective_archetype: Archetype,
+}
+
+/// Trace artifact: a decoded log, or raw (corrupt) MDF bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Decoded trace (valid, or semantically corrupt).
+    Log(TraceLog),
+    /// Raw bytes (format-level corruption; will not parse).
+    Bytes(Vec<u8>),
+}
+
+/// The sampled population plus the run → app index.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    config: DatasetConfig,
+    apps: Vec<AppSpec>,
+    run_app: Vec<u32>,
+}
+
+impl Dataset {
+    /// Sample the application population and lay out `n_traces` runs.
+    pub fn new(config: DatasetConfig) -> Dataset {
+        assert!((0.0..1.0).contains(&config.corruption_rate));
+        let mix = default_mix();
+        let weights: Vec<f64> = mix.iter().map(|m| m.app_fraction).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_mul(0x9e37_79b9));
+
+        let mut apps: Vec<AppSpec> = Vec::new();
+        let mut run_app: Vec<u32> = Vec::with_capacity(config.n_traces);
+        while run_app.len() < config.n_traces {
+            let entry = sample_mix(&mix, &weights, &mut rng);
+            let index = apps.len();
+            let runs = sample_runs(entry, &mut rng);
+            let name = APP_NAMES[index % APP_NAMES.len()];
+            let app = AppSpec {
+                index,
+                uid: rng.gen_range(1000..9000),
+                exe: format!("/sw/apps/{name}/{name}-{index} --case c{index}"),
+                nprocs: 1 << rng.gen_range(4..=10u32), // 16..1024 ranks
+                base_runtime: crate::build::log_uniform(&mut rng, 600.0, 43_200.0),
+                archetype: entry.archetype,
+                stability: entry.stability,
+                runs,
+            };
+            for _ in 0..runs {
+                if run_app.len() == config.n_traces {
+                    break;
+                }
+                run_app.push(index as u32);
+            }
+            apps.push(app);
+        }
+        // Trim the run count of the last app to what was actually used.
+        if let Some(last) = apps.last_mut() {
+            last.runs = run_app.iter().filter(|&&a| a as usize == last.index).count();
+        }
+        // Interleave the runs across the year (the archive is time-ordered,
+        // not app-ordered); also makes any prefix a representative sample.
+        use rand::seq::SliceRandom;
+        run_app.shuffle(&mut rng);
+        Dataset { config, apps, run_app }
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.run_app.len()
+    }
+
+    /// `true` when the dataset holds no runs.
+    pub fn is_empty(&self) -> bool {
+        self.run_app.is_empty()
+    }
+
+    /// The application population.
+    pub fn apps(&self) -> &[AppSpec] {
+        &self.apps
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+
+    /// Generate run `i`. Pure function of `(seed, i)`: callable from any
+    /// thread, in any order.
+    pub fn generate(&self, i: usize) -> GeneratedRun {
+        let app = &self.apps[self.run_app[i] as usize];
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.config.seed ^ (i as u64).wrapping_mul(0xff51_afd7_ed55_8ccd));
+
+        let effective_archetype = if rng.gen_bool(app.stability.clamp(0.0, 1.0)) {
+            app.archetype
+        } else {
+            Archetype::Quiet
+        };
+        let spec = RunSpec {
+            archetype: effective_archetype,
+            job_id: i as u64,
+            uid: app.uid,
+            nprocs: app.nprocs,
+            base_runtime: app.base_runtime,
+            start_epoch: YEAR_EPOCH + rng.gen_range(0..YEAR_SECONDS - 90_000),
+            exe: app.exe.clone(),
+        };
+        let (log, truth) = build_run(&spec, &mut rng);
+
+        if rng.gen_bool(self.config.corruption_rate) {
+            let (kind, artifact) = corrupt(log, &mut rng);
+            let payload = match artifact {
+                CorruptArtifact::Bytes(b) => Payload::Bytes(b),
+                CorruptArtifact::Log(l) => Payload::Log(l),
+            };
+            GeneratedRun {
+                job_id: i as u64,
+                app: app.index,
+                payload,
+                truth: None,
+                corrupt: true,
+                corruption: Some(kind),
+                effective_archetype,
+            }
+        } else {
+            GeneratedRun {
+                job_id: i as u64,
+                app: app.index,
+                payload: Payload::Log(log),
+                truth: Some(truth),
+                corrupt: false,
+                corruption: None,
+                effective_archetype,
+            }
+        }
+    }
+
+    /// Iterate all runs lazily.
+    pub fn iter(&self) -> impl Iterator<Item = GeneratedRun> + '_ {
+        (0..self.len()).map(move |i| self.generate(i))
+    }
+}
+
+fn sample_mix<'m, R: Rng>(mix: &'m [MixEntry], weights: &[f64], rng: &mut R) -> &'m MixEntry {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (entry, &w) in mix.iter().zip(weights) {
+        if x < w {
+            return entry;
+        }
+        x -= w;
+    }
+    mix.last().expect("mix is non-empty")
+}
+
+/// Geometric run count with the archetype's mean, plus a rare ×20 heavy-tail
+/// multiplier modeling the LAMMPS-like outliers (≈12k runs of one app).
+fn sample_runs<R: Rng>(entry: &MixEntry, rng: &mut R) -> usize {
+    let mean = entry.mean_runs.max(1.0);
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let mut runs = (1.0 + (-u.ln()) * (mean - 1.0)).round() as usize;
+    if rng.gen_bool(0.01) {
+        runs = runs.saturating_mul(20);
+    }
+    runs.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        Dataset::new(DatasetConfig { n_traces: 500, corruption_rate: 0.32, seed: 7 })
+    }
+
+    #[test]
+    fn layout_covers_exactly_n_traces() {
+        let ds = small();
+        assert_eq!(ds.len(), 500);
+        assert!(!ds.is_empty());
+        assert!(ds.apps().len() < 500);
+        let total_runs: usize = ds.apps().iter().map(|a| a.runs).sum();
+        assert_eq!(total_runs, 500);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_order_independent() {
+        let ds = small();
+        let a = ds.generate(123);
+        let b = ds.generate(123);
+        assert_eq!(a, b);
+        // A second dataset with the same config generates the same run.
+        let ds2 = small();
+        assert_eq!(ds2.generate(123), a);
+    }
+
+    #[test]
+    fn corruption_rate_is_respected() {
+        let ds = small();
+        let corrupt = ds.iter().filter(|r| r.corrupt).count();
+        let rate = corrupt as f64 / ds.len() as f64;
+        assert!((0.25..0.40).contains(&rate), "corruption rate {rate}");
+    }
+
+    #[test]
+    fn corrupted_runs_have_no_truth_and_vice_versa() {
+        let ds = small();
+        for run in ds.iter().take(200) {
+            assert_eq!(run.truth.is_some(), !run.corrupt);
+            assert_eq!(run.corruption.is_some(), run.corrupt);
+        }
+    }
+
+    #[test]
+    fn valid_payloads_are_valid_traces() {
+        let ds = small();
+        for run in ds.iter().take(100) {
+            if !run.corrupt {
+                match &run.payload {
+                    Payload::Log(log) => {
+                        assert!(mosaic_darshan::validate::validate(log).is_clean());
+                    }
+                    Payload::Bytes(_) => panic!("valid run delivered bytes"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apps_are_rerun_many_times() {
+        let ds = Dataset::new(DatasetConfig { n_traces: 5000, corruption_rate: 0.0, seed: 3 });
+        let mean_runs = ds.len() as f64 / ds.apps().len() as f64;
+        assert!(mean_runs > 4.0, "mean runs per app {mean_runs}");
+        let max_runs = ds.apps().iter().map(|a| a.runs).max().unwrap();
+        assert!(max_runs > 50, "heavy tail missing, max {max_runs}");
+    }
+
+    #[test]
+    fn quiet_dominates_apps_but_not_runs() {
+        let ds = Dataset::new(DatasetConfig { n_traces: 8000, corruption_rate: 0.0, seed: 11 });
+        let quiet_apps = ds
+            .apps()
+            .iter()
+            .filter(|a| a.archetype == Archetype::Quiet)
+            .count() as f64
+            / ds.apps().len() as f64;
+        assert!(quiet_apps > 0.6, "quiet app share {quiet_apps}");
+        let quiet_runs = ds
+            .apps()
+            .iter()
+            .filter(|a| a.archetype == Archetype::Quiet)
+            .map(|a| a.runs)
+            .sum::<usize>() as f64
+            / ds.len() as f64;
+        assert!(quiet_runs < quiet_apps, "run share {quiet_runs} vs app share {quiet_apps}");
+    }
+
+    #[test]
+    fn unstable_runs_degrade_to_quiet() {
+        // With stability < 1, at least some runs of a non-quiet app should
+        // be quiet. Use a periodic reader (stability 0.8) with many runs.
+        let ds = Dataset::new(DatasetConfig { n_traces: 3000, corruption_rate: 0.0, seed: 5 });
+        let app = ds
+            .apps()
+            .iter()
+            .find(|a| a.archetype == Archetype::PeriodicReader && a.runs >= 30);
+        if let Some(app) = app {
+            let runs: Vec<GeneratedRun> = (0..ds.len())
+                .filter(|&i| ds.run_app[i] as usize == app.index)
+                .map(|i| ds.generate(i))
+                .collect();
+            let degraded =
+                runs.iter().filter(|r| r.effective_archetype == Archetype::Quiet).count();
+            assert!(degraded > 0, "no unstable runs among {}", runs.len());
+            assert!(degraded < runs.len(), "all runs degraded");
+        }
+    }
+
+    #[test]
+    fn start_times_stay_in_the_year() {
+        let ds = small();
+        for run in ds.iter().take(50) {
+            if let Payload::Log(log) = &run.payload {
+                assert!(log.header().start_time >= YEAR_EPOCH);
+                assert!(log.header().end_time <= YEAR_EPOCH + YEAR_SECONDS + 90_000);
+            }
+        }
+    }
+}

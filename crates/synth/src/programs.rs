@@ -1,0 +1,152 @@
+//! Workload programs for [`mosaic_iosim`]: execution-derived trace sources
+//! for the same archetypes the statistical builders sample.
+//!
+//! Where [`crate::build`] *asserts* interval shapes, these programs *earn*
+//! them by running through the event-driven machine model — desynchronized
+//! ranks, shared bandwidth, metadata latency and all. The examples and the
+//! realism-oriented integration tests use this path; the year-scale dataset
+//! uses the direct builders for speed.
+
+use mosaic_iosim::program::{FileSpec, Phase, Program};
+
+/// A checkpointing simulation: read a shared input deck, then `rounds`
+/// compute+checkpoint cycles (file-per-process dumps), then a final shared
+/// result — the paper's introduction example, which MOSAIC labels
+/// *periodic* and *write on end*.
+pub fn checkpointer(rounds: u32, compute_seconds: f64, ckpt_bytes_per_rank: u64) -> Program {
+    let mut phases = vec![
+        Phase::Open { file: FileSpec::shared("/scratch/input/deck.dat") },
+        Phase::Read { file: FileSpec::shared("/scratch/input/deck.dat"), bytes: 64 << 20 },
+        Phase::Close { file: FileSpec::shared("/scratch/input/deck.dat") },
+        Phase::Barrier,
+    ];
+    // A fresh dump file per round (dump0000, dump0001, …): without this,
+    // Darshan-style per-file aggregation would fold every round into one
+    // record and the periodicity would be invisible — exactly the trace
+    // shape real checkpointers produce.
+    for round in 0..rounds {
+        let file = FileSpec::per_rank(format!("/scratch/ckpt/dump{round:04}"));
+        phases.push(Phase::Compute { seconds: compute_seconds });
+        phases.push(Phase::Open { file: file.clone() });
+        phases.push(Phase::Write { file: file.clone(), bytes: ckpt_bytes_per_rank });
+        phases.push(Phase::Close { file });
+        phases.push(Phase::Barrier);
+    }
+    phases.extend([
+        Phase::Open { file: FileSpec::shared("/scratch/output/final.h5") },
+        Phase::Write { file: FileSpec::shared("/scratch/output/final.h5"), bytes: 256 << 20 },
+        Phase::Close { file: FileSpec::shared("/scratch/output/final.h5") },
+    ]);
+    Program::new(phases)
+}
+
+/// The read-compute-write motif: big shared input, long compute, big shared
+/// output.
+pub fn read_compute_write(
+    input_bytes_per_rank: u64,
+    compute_seconds: f64,
+    output_bytes_per_rank: u64,
+) -> Program {
+    Program::new(vec![
+        Phase::Open { file: FileSpec::shared("/scratch/input/mesh.dat") },
+        Phase::Seek { file: FileSpec::shared("/scratch/input/mesh.dat"), count: 4 },
+        Phase::Read { file: FileSpec::shared("/scratch/input/mesh.dat"), bytes: input_bytes_per_rank },
+        Phase::Close { file: FileSpec::shared("/scratch/input/mesh.dat") },
+        Phase::Barrier,
+        Phase::Compute { seconds: compute_seconds },
+        Phase::Barrier,
+        Phase::Open { file: FileSpec::shared("/scratch/output/result.h5") },
+        Phase::Write {
+            file: FileSpec::shared("/scratch/output/result.h5"),
+            bytes: output_bytes_per_rank,
+        },
+        Phase::Close { file: FileSpec::shared("/scratch/output/result.h5") },
+    ])
+}
+
+/// A metadata storm: cycles of open/close on fresh small per-rank files with
+/// barely any data — heavy MDS load, negligible volume.
+pub fn metadata_storm(cycles: u32, files_per_cycle: u32) -> Program {
+    let mut body = Vec::new();
+    for f in 0..files_per_cycle {
+        let file = FileSpec::per_rank(format!("/scratch/many/f{f}"));
+        body.push(Phase::Open { file: file.clone() });
+        body.push(Phase::Write { file: file.clone(), bytes: 512 });
+        body.push(Phase::Close { file });
+    }
+    body.push(Phase::Compute { seconds: 5.0 });
+    Program::new(vec![Phase::Repeat { times: cycles, body }])
+}
+
+/// A steady streamer: one long-lived output file written in many small slabs
+/// without closing — Darshan aggregates it into a single interval.
+pub fn steady_writer(slabs: u32, slab_bytes: u64, compute_between: f64) -> Program {
+    let file = FileSpec::per_rank("/scratch/stream/out");
+    let mut phases = vec![Phase::Open { file: file.clone() }];
+    for _ in 0..slabs {
+        phases.push(Phase::Compute { seconds: compute_between });
+        phases.push(Phase::Write { file: file.clone(), bytes: slab_bytes });
+    }
+    phases.push(Phase::Close { file });
+    Program::new(phases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_core::category::{Category, OpKindTag};
+    use mosaic_core::Categorizer;
+    use mosaic_iosim::{MachineConfig, Simulation};
+
+    fn machine() -> MachineConfig {
+        MachineConfig {
+            pfs_bandwidth: 50.0e9,
+            per_rank_bandwidth: 1.0e9,
+            ..MachineConfig::default()
+        }
+    }
+
+    #[test]
+    fn simulated_checkpointer_is_periodic() {
+        let program = checkpointer(12, 60.0, 256 << 20);
+        let trace = Simulation::new(machine(), 16, 1).run(&program, "/apps/sim/ckpt");
+        let report = Categorizer::default().categorize_log(&trace);
+        assert!(
+            report.has(Category::Periodic { kind: OpKindTag::Write }),
+            "{:?}",
+            report.names()
+        );
+    }
+
+    #[test]
+    fn simulated_rcw_reads_on_start_writes_on_end() {
+        let program = read_compute_write(64 << 20, 1800.0, 32 << 20);
+        let trace = Simulation::new(machine(), 32, 2).run(&program, "/apps/sim/rcw");
+        let report = Categorizer::default().categorize_log(&trace);
+        let names = report.names();
+        assert!(names.iter().any(|n| n == "read_on_start"), "{names:?}");
+        assert!(names.iter().any(|n| n == "write_on_end"), "{names:?}");
+    }
+
+    #[test]
+    fn simulated_storm_hits_metadata_categories() {
+        let program = metadata_storm(10, 40);
+        let trace = Simulation::new(machine(), 64, 3).run(&program, "/apps/sim/storm");
+        let report = Categorizer::default().categorize_log(&trace);
+        assert!(report.metadata.peak_rps > 50, "peak {}", report.metadata.peak_rps);
+        assert!(
+            !report.metadata.labels.is_empty(),
+            "expected metadata labels, got none (peak {})",
+            report.metadata.peak_rps
+        );
+    }
+
+    #[test]
+    fn simulated_steady_writer_is_steady() {
+        let program = steady_writer(40, 32 << 20, 30.0);
+        let trace = Simulation::new(machine(), 8, 4).run(&program, "/apps/sim/stream");
+        let report = Categorizer::default().categorize_log(&trace);
+        use mosaic_core::category::TemporalityLabel;
+        assert_eq!(report.write.temporality.label, TemporalityLabel::Steady);
+    }
+}

@@ -1,0 +1,102 @@
+//! The Fig 4-style category distribution bar chart, with the paper's
+//! single-run vs all-runs split.
+
+use crate::svg::{Svg, PALETTE};
+use mosaic_core::report::CategoryCounts;
+
+const ROW_H: f64 = 22.0;
+const LABEL_W: f64 = 230.0;
+const BAR_W: f64 = 480.0;
+const MARGIN: f64 = 16.0;
+
+/// Render paired horizontal bars (single-run vs all-runs share) for every
+/// category present in either population, sorted by all-runs share.
+pub fn render(single_run: &CategoryCounts, all_runs: &CategoryCounts, title: &str) -> String {
+    let mut cats: Vec<_> = all_runs.iter().map(|(c, _)| c).collect();
+    for (c, _) in single_run.iter() {
+        if !cats.contains(&c) {
+            cats.push(c);
+        }
+    }
+    cats.sort_by(|&a, &b| {
+        all_runs
+            .fraction(b)
+            .total_cmp(&all_runs.fraction(a))
+            .then_with(|| a.cmp(&b))
+    });
+
+    let height = MARGIN * 2.0 + 30.0 + cats.len() as f64 * ROW_H + 24.0;
+    let mut svg = Svg::new(LABEL_W + BAR_W + MARGIN * 2.0 + 60.0, height.max(120.0));
+    svg.text(MARGIN, 18.0, 12.0, "start", "black", title);
+    svg.rect(MARGIN, 26.0, 10.0, 10.0, PALETTE[0], None);
+    svg.text(MARGIN + 14.0, 35.0, 9.0, "start", "black", "all runs (PFS load view)");
+    svg.rect(MARGIN + 180.0, 26.0, 10.0, 10.0, PALETTE[1], None);
+    svg.text(MARGIN + 194.0, 35.0, 9.0, "start", "black", "single-run (application view)");
+
+    let x0 = LABEL_W + MARGIN;
+    let y0 = 48.0;
+    for (row, &cat) in cats.iter().enumerate() {
+        let y = y0 + row as f64 * ROW_H;
+        svg.text(x0 - 6.0, y + ROW_H * 0.65, 9.0, "end", "black", &cat.name());
+        let all_frac = all_runs.fraction(cat);
+        let single_frac = single_run.fraction(cat);
+        svg.rect(x0, y + 2.0, BAR_W * all_frac, ROW_H / 2.0 - 2.0, PALETTE[0], None);
+        svg.rect(
+            x0,
+            y + ROW_H / 2.0 + 1.0,
+            BAR_W * single_frac,
+            ROW_H / 2.0 - 3.0,
+            PALETTE[1],
+            None,
+        );
+        svg.text(
+            x0 + BAR_W * all_frac + 4.0,
+            y + ROW_H * 0.40,
+            8.0,
+            "start",
+            "black",
+            &format!("{:.1}%", 100.0 * all_frac),
+        );
+        svg.text(
+            x0 + BAR_W * single_frac + 4.0,
+            y + ROW_H * 0.90,
+            8.0,
+            "start",
+            "#555555",
+            &format!("{:.1}%", 100.0 * single_frac),
+        );
+    }
+    svg.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_core::category::{Category, MetadataLabel};
+    use std::collections::BTreeSet;
+
+    fn counts(with_spike: usize, total: usize) -> CategoryCounts {
+        let spike: BTreeSet<Category> =
+            [Category::Metadata(MetadataLabel::HighSpike)].into_iter().collect();
+        let quiet: BTreeSet<Category> = BTreeSet::new();
+        let mut sets = vec![spike; with_spike];
+        sets.extend(vec![quiet; total - with_spike]);
+        CategoryCounts::from_sets(sets.iter())
+    }
+
+    #[test]
+    fn renders_paired_bars_with_percentages() {
+        let svg = render(&counts(1, 10), &counts(6, 10), "Fig 4");
+        assert!(svg.contains("metadata_high_spike"));
+        assert!(svg.contains("60.0%"));
+        assert!(svg.contains("10.0%"));
+        assert!(svg.contains("all runs"));
+    }
+
+    #[test]
+    fn empty_populations_render() {
+        let empty = CategoryCounts::default();
+        let svg = render(&empty, &empty, "empty");
+        assert!(svg.contains("</svg>"));
+    }
+}

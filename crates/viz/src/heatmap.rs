@@ -1,0 +1,115 @@
+//! The Fig 5-style Jaccard heatmap.
+
+use crate::svg::{ramp, Svg};
+use mosaic_core::JaccardMatrix;
+
+const CELL: f64 = 22.0;
+const LABEL_W: f64 = 210.0;
+const MARGIN: f64 = 14.0;
+
+/// Render the matrix. Values below `min_value` are drawn blank, like the
+/// paper's "only values higher than 1 % are shown".
+pub fn render(matrix: &JaccardMatrix, min_value: f64) -> String {
+    let n = matrix.categories.len();
+    let size = n as f64 * CELL;
+    let width = LABEL_W + size + MARGIN * 2.0;
+    let height = LABEL_W + size + MARGIN * 2.0;
+    let mut svg = Svg::new(width.max(200.0), height.max(200.0));
+
+    let x0 = LABEL_W + MARGIN;
+    let y0 = LABEL_W + MARGIN;
+    for i in 0..n {
+        // Row labels.
+        svg.text(
+            x0 - 6.0,
+            y0 + i as f64 * CELL + CELL * 0.7,
+            9.0,
+            "end",
+            "black",
+            &matrix.categories[i].name(),
+        );
+        // Column labels, rotated by writing vertically stacked text is
+        // overkill; use diagonal anchor trick: place at 45° via transform.
+        let cx = x0 + i as f64 * CELL + CELL * 0.7;
+        svg.text(cx, y0 - 6.0, 9.0, "start", "black", &format!("[{i}]"));
+        for j in 0..n {
+            let v = matrix.values[i * n + j];
+            let fill = if v >= min_value { ramp(v) } else { "white".to_owned() };
+            svg.rect(
+                x0 + j as f64 * CELL,
+                y0 + i as f64 * CELL,
+                CELL - 1.0,
+                CELL - 1.0,
+                &fill,
+                Some("#cccccc"),
+            );
+            if v >= min_value && i != j {
+                let dark = v > 0.55;
+                svg.text(
+                    x0 + j as f64 * CELL + CELL / 2.0,
+                    y0 + i as f64 * CELL + CELL * 0.7,
+                    7.0,
+                    "middle",
+                    if dark { "white" } else { "black" },
+                    &format!("{:.0}", 100.0 * v),
+                );
+            }
+        }
+    }
+    svg.text(
+        MARGIN,
+        16.0,
+        11.0,
+        "start",
+        "black",
+        &format!(
+            "Jaccard indices over {} traces (values ≥ {:.0}% shown; columns indexed as rows)",
+            matrix.n_traces,
+            100.0 * min_value
+        ),
+    );
+    svg.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_core::category::{Category, MetadataLabel, OpKindTag, TemporalityLabel};
+    use std::collections::BTreeSet;
+
+    fn matrix() -> JaccardMatrix {
+        let a = Category::Temporality { kind: OpKindTag::Read, label: TemporalityLabel::OnStart };
+        let b = Category::Temporality { kind: OpKindTag::Write, label: TemporalityLabel::OnEnd };
+        let c = Category::Metadata(MetadataLabel::HighSpike);
+        let sets: Vec<BTreeSet<Category>> = vec![
+            [a, b].into_iter().collect(),
+            [a, b, c].into_iter().collect(),
+            [c].into_iter().collect(),
+        ];
+        JaccardMatrix::compute(&sets)
+    }
+
+    #[test]
+    fn renders_cells_and_labels() {
+        let svg = render(&matrix(), 0.01);
+        assert!(svg.contains("read_on_start"));
+        assert!(svg.contains("metadata_high_spike"));
+        assert!(svg.contains("<rect"));
+        assert!(svg.contains("Jaccard indices over 3 traces"));
+    }
+
+    #[test]
+    fn threshold_hides_small_values() {
+        let full = render(&matrix(), 0.0);
+        let cut = render(&matrix(), 0.9);
+        // With a 90% threshold only the diagonal survives: fewer text cells.
+        assert!(cut.matches("<text").count() < full.matches("<text").count());
+    }
+
+    #[test]
+    fn empty_matrix_renders() {
+        let m = JaccardMatrix::compute(&[]);
+        let svg = render(&m, 0.01);
+        assert!(svg.contains("</svg>"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # mosaic-viz
+//!
+//! Self-contained SVG renderings of the figures MOSAIC produces:
+//!
+//! * [`timeline`] — the Fig 2-style trace-processing plot: raw operations,
+//!   the merged operations after pre-processing, detected periodic
+//!   patterns, the temporal chunks, and the metadata request histogram;
+//! * [`heatmap`] — the Fig 5-style Jaccard co-occurrence heatmap;
+//! * [`bars`] — the Fig 4-style category distribution bars;
+//! * [`svg`] — the minimal SVG document builder everything shares (no
+//!   external dependencies; output opens in any browser).
+//!
+//! ```
+//! use mosaic_core::{Categorizer, CategorizerConfig};
+//! use mosaic_darshan::ops::{OpKind, Operation, OperationView};
+//!
+//! let writes: Vec<Operation> = (0..6)
+//!     .map(|i| Operation {
+//!         kind: OpKind::Write,
+//!         start: 40.0 + 100.0 * i as f64,
+//!         end: 52.0 + 100.0 * i as f64,
+//!         bytes: 300 << 20,
+//!         ranks: 32,
+//!     })
+//!     .collect();
+//! let view = OperationView { runtime: 640.0, nprocs: 32, reads: vec![], writes, meta: vec![] };
+//! let report = Categorizer::new(CategorizerConfig::default()).categorize(&view);
+//! let svg = mosaic_viz::timeline::render(&view, &report);
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("periodic"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bars;
+pub mod heatmap;
+pub mod svg;
+pub mod timeline;

@@ -1,0 +1,163 @@
+//! A minimal SVG document builder — just enough vocabulary for the MOSAIC
+//! figures, with escaping and fixed-precision coordinates so output is
+//! deterministic and diff-able.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct Svg {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+/// Escape text content for XML.
+pub fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn fmt(v: f64) -> String {
+    // Two decimals keeps files small and output stable across platforms.
+    format!("{v:.2}")
+}
+
+impl Svg {
+    /// New document of the given pixel size.
+    pub fn new(width: f64, height: f64) -> Svg {
+        assert!(width > 0.0 && height > 0.0);
+        Svg { width, height, body: String::new() }
+    }
+
+    /// Filled rectangle with optional stroke.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: Option<&str>) {
+        let stroke_attr = stroke
+            .map(|s| format!(" stroke=\"{s}\" stroke-width=\"0.5\""))
+            .unwrap_or_default();
+        let _ = writeln!(
+            self.body,
+            "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{fill}\"{stroke_attr}/>",
+            fmt(x),
+            fmt(y),
+            fmt(w.max(0.0)),
+            fmt(h.max(0.0)),
+        );
+    }
+
+    /// Straight line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"{stroke}\" stroke-width=\"{}\"/>",
+            fmt(x1),
+            fmt(y1),
+            fmt(x2),
+            fmt(y2),
+            fmt(width),
+        );
+    }
+
+    /// Text anchored at (x, y); `anchor` is `start`/`middle`/`end`.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, anchor: &str, fill: &str, content: &str) {
+        let _ = writeln!(
+            self.body,
+            "<text x=\"{}\" y=\"{}\" font-size=\"{}\" text-anchor=\"{anchor}\" \
+             fill=\"{fill}\" font-family=\"sans-serif\">{}</text>",
+            fmt(x),
+            fmt(y),
+            fmt(size),
+            escape(content),
+        );
+    }
+
+    /// Dashed vertical guide line.
+    pub fn guide(&mut self, x: f64, y1: f64, y2: f64, stroke: &str) {
+        let _ = writeln!(
+            self.body,
+            "<line x1=\"{0}\" y1=\"{1}\" x2=\"{0}\" y2=\"{2}\" stroke=\"{stroke}\" \
+             stroke-width=\"0.5\" stroke-dasharray=\"3 3\"/>",
+            fmt(x),
+            fmt(y1),
+            fmt(y2),
+        );
+    }
+
+    /// Document width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Serialize the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+             viewBox=\"0 0 {} {}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            fmt(self.width),
+            fmt(self.height),
+            fmt(self.width),
+            fmt(self.height),
+            self.body,
+        )
+    }
+}
+
+/// Sequential color ramp (white → deep blue), `v` in `[0, 1]`.
+pub fn ramp(v: f64) -> String {
+    let v = v.clamp(0.0, 1.0);
+    let r = (255.0 - 205.0 * v) as u8;
+    let g = (255.0 - 180.0 * v) as u8;
+    let b = (255.0 - 95.0 * v) as u8;
+    format!("rgb({r},{g},{b})")
+}
+
+/// Categorical palette used across the figures.
+pub const PALETTE: [&str; 6] =
+    ["#4878a8", "#e4923e", "#5aa469", "#c45a5a", "#8a6bb8", "#767676"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure() {
+        let mut svg = Svg::new(100.0, 50.0);
+        svg.rect(1.0, 2.0, 3.0, 4.0, "red", Some("black"));
+        svg.line(0.0, 0.0, 10.0, 10.0, "blue", 1.0);
+        svg.text(5.0, 5.0, 8.0, "middle", "black", "hello <world> & \"co\"");
+        let out = svg.finish();
+        assert!(out.starts_with("<svg"));
+        assert!(out.trim_end().ends_with("</svg>"));
+        assert!(out.contains("<rect"));
+        assert!(out.contains("<line"));
+        assert!(out.contains("hello &lt;world&gt; &amp; &quot;co&quot;"));
+    }
+
+    #[test]
+    fn negative_sizes_are_clamped() {
+        let mut svg = Svg::new(10.0, 10.0);
+        svg.rect(0.0, 0.0, -5.0, 3.0, "red", None);
+        assert!(svg.finish().contains("width=\"0.00\""));
+    }
+
+    #[test]
+    fn ramp_endpoints() {
+        assert_eq!(ramp(0.0), "rgb(255,255,255)");
+        assert_eq!(ramp(1.0), "rgb(50,75,160)");
+        assert_eq!(ramp(-3.0), ramp(0.0));
+        assert_eq!(ramp(9.0), ramp(1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_size_panics() {
+        let _ = Svg::new(0.0, 10.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Baseline comparison: MOSAIC's segmentation+clustering vs the
+//! frequency-technique (FFT) detector on the paper's hard case — two
+//! interleaved periodic behaviours in one trace (§II-B).
+//!
+//! ```sh
+//! cargo run -p mosaic-examples --example baseline_comparison
+//! ```
+
+use mosaic_baselines::FftDetector;
+use mosaic_core::Categorizer;
+use mosaic_darshan::ops::{OpKind, Operation, OperationView};
+
+fn periodic_ops(kind: OpKind, period: f64, bytes: u64, runtime: f64) -> Vec<Operation> {
+    let mut ops = Vec::new();
+    let mut t = period * 0.3;
+    while t + period * 0.05 < runtime {
+        ops.push(Operation { kind, start: t, end: t + period * 0.05, bytes, ranks: 64 });
+        t += period;
+    }
+    ops
+}
+
+fn main() {
+    let runtime = 7200.0;
+    // Behaviour 1: checkpoints every 10 minutes, 2 GiB each.
+    let mut writes = periodic_ops(OpKind::Write, 600.0, 2 << 30, runtime);
+    // Behaviour 2: small log flushes every 20 seconds, 150 MiB each.
+    writes.extend(periodic_ops(OpKind::Write, 20.0, 150 << 20, runtime));
+    writes.sort_by(|a, b| a.start.total_cmp(&b.start));
+
+    let view =
+        OperationView { runtime, nprocs: 64, reads: vec![], writes: writes.clone(), meta: vec![] };
+
+    // --- MOSAIC ---
+    let report = Categorizer::default().categorize(&view);
+    println!("MOSAIC detected {} periodic write pattern(s):", report.write.periodic.len());
+    for p in &report.write.periodic {
+        println!(
+            "  period ≈ {:>6.0} s  ({:>3} occurrences, {:.2} GiB/occurrence)",
+            p.period,
+            p.occurrences,
+            p.mean_bytes / (1u64 << 30) as f64
+        );
+    }
+
+    // --- FFT baseline ---
+    let det = FftDetector::default();
+    let peaks = det.detect(&writes, runtime);
+    println!("\nFFT baseline spectral peaks:");
+    for p in &peaks {
+        println!("  period ≈ {:>6.1} s  (relative power {:.2})", p.period, p.power);
+    }
+    match det.dominant_period_autocorr(&writes, runtime) {
+        Some(p) => println!("FFT baseline autocorrelation fundamental: ≈ {p:.0} s"),
+        None => println!("FFT baseline autocorrelation found no period"),
+    }
+
+    println!(
+        "\nMOSAIC separates both behaviours with volumes attached; the spectrum \
+         mixes fundamentals and harmonics of both and carries no volume or \
+         busy-time information — the gap §II-B describes."
+    );
+
+    assert!(
+        report.write.periodic.len() >= 2,
+        "MOSAIC must separate the two interleaved periodic behaviours"
+    );
+}

@@ -1,0 +1,1 @@
+//! Examples support shim (no library code).

@@ -1,0 +1,57 @@
+//! Quickstart: build a tiny trace by hand, categorize it, read the report.
+//!
+//! ```sh
+//! cargo run -p mosaic-examples --example quickstart
+//! ```
+
+use mosaic_core::{Categorizer, CategorizerConfig};
+use mosaic_darshan::counter::PosixCounter as C;
+use mosaic_darshan::counter::PosixFCounter as F;
+use mosaic_darshan::job::JobHeader;
+use mosaic_darshan::log::TraceLogBuilder;
+
+fn main() {
+    // A 64-rank job that ran for one hour: it read 2 GB of input right
+    // after start and wrote 1 GB of results just before the end.
+    let mut builder = TraceLogBuilder::new(
+        JobHeader::new(4242, 1001, 64, 1_546_300_800, 1_546_304_400)
+            .with_exe("/sw/apps/demo/solver --case quickstart"),
+    );
+
+    let input = builder.begin_record("/scratch/input/mesh.dat", -1);
+    builder
+        .record_mut(input)
+        .set(C::Opens, 64)
+        .set(C::Closes, 64)
+        .set(C::Reads, 512)
+        .set(C::BytesRead, 2 << 30)
+        .setf(F::OpenStartTimestamp, 2.0)
+        .setf(F::ReadStartTimestamp, 2.5)
+        .setf(F::ReadEndTimestamp, 95.0)
+        .setf(F::CloseEndTimestamp, 96.0);
+
+    let output = builder.begin_record("/scratch/output/result.h5", -1);
+    builder
+        .record_mut(output)
+        .set(C::Opens, 64)
+        .set(C::Closes, 64)
+        .set(C::Writes, 256)
+        .set(C::BytesWritten, 1 << 30)
+        .setf(F::OpenStartTimestamp, 3500.0)
+        .setf(F::WriteStartTimestamp, 3501.0)
+        .setf(F::WriteEndTimestamp, 3580.0)
+        .setf(F::CloseEndTimestamp, 3581.0);
+
+    let log = builder.finish();
+
+    // The whole MOSAIC pipeline for one trace is two lines:
+    let categorizer = Categorizer::new(CategorizerConfig::default());
+    let report = categorizer.categorize_log(&log);
+
+    println!("categories: {:?}", report.names());
+    println!();
+    println!("full JSON report:\n{}", report.to_json());
+
+    assert!(report.names().iter().any(|n| n == "read_on_start"));
+    assert!(report.names().iter().any(|n| n == "write_on_end"));
+}

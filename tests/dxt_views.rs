@@ -1,0 +1,91 @@
+//! DXT integration: the simulator's DXT capture must agree with its
+//! aggregated capture, the aggregation gap must behave per §IV-A, and the
+//! MDX format must round-trip simulator output.
+
+use mosaic_core::category::TemporalityLabel;
+use mosaic_core::Categorizer;
+use mosaic_darshan::dxt;
+use mosaic_darshan::ops::OpKind;
+use mosaic_iosim::{MachineConfig, Simulation};
+use mosaic_synth::programs;
+
+fn machine() -> MachineConfig {
+    MachineConfig::default()
+}
+
+#[test]
+fn dxt_and_aggregated_views_agree_on_totals() {
+    let program = programs::checkpointer(8, 45.0, 64 << 20);
+    let outcome =
+        Simulation::new(machine(), 8, 21).with_dxt().run_detailed(&program, "/apps/ckpt");
+    let dxt_trace = outcome.dxt.expect("dxt enabled");
+    let dxt_view = dxt_trace.operation_view();
+    assert_eq!(
+        dxt_view.total_bytes(OpKind::Write) as i64,
+        outcome.trace.total_bytes_written(),
+        "aggregated and DXT write volumes must match"
+    );
+    assert_eq!(
+        dxt_view.total_bytes(OpKind::Read) as i64,
+        outcome.trace.total_bytes_read(),
+    );
+    // DXT has at least as many operations as the aggregated view.
+    let agg_view = mosaic_darshan::ops::OperationView::from_log(&outcome.trace);
+    assert!(dxt_view.writes.len() >= agg_view.writes.len());
+}
+
+#[test]
+fn dxt_downgrade_matches_shim_aggregation_semantics() {
+    // Re-aggregating the DXT trace must produce the same per-direction
+    // interval hull as the shim's own aggregated trace (per-record details
+    // differ only in the shared-file reduction, which DXT doesn't apply).
+    let program = programs::read_compute_write(32 << 20, 600.0, 16 << 20);
+    let outcome =
+        Simulation::new(machine(), 4, 5).with_dxt().run_detailed(&program, "/apps/rcw");
+    let from_dxt = outcome.dxt.expect("dxt").to_aggregated();
+    assert_eq!(from_dxt.total_bytes_read(), outcome.trace.total_bytes_read());
+    assert_eq!(from_dxt.total_bytes_written(), outcome.trace.total_bytes_written());
+    assert!(mosaic_darshan::validate::validate(&from_dxt).is_clean());
+}
+
+#[test]
+fn aggregation_hides_periodicity_dxt_reveals_it() {
+    // §IV-A: one long-lived file, periodic slabs inside.
+    let program = programs::steady_writer(24, 128 << 20, 120.0);
+    let outcome =
+        Simulation::new(machine(), 8, 9).with_dxt().run_detailed(&program, "/apps/stream");
+
+    let categorizer = Categorizer::default();
+    let agg_report = categorizer.categorize_log(&outcome.trace);
+    assert_eq!(agg_report.write.temporality.label, TemporalityLabel::Steady);
+    assert!(
+        agg_report.write.periodic.is_empty(),
+        "aggregated view must hide the slab cadence"
+    );
+
+    let dxt_report = categorizer.categorize(&outcome.dxt.expect("dxt").operation_view());
+    assert!(
+        !dxt_report.write.periodic.is_empty(),
+        "DXT view must reveal the slab cadence"
+    );
+    let period = dxt_report.write.periodic[0].period;
+    assert!((period - 120.0).abs() < 30.0, "period {period}");
+}
+
+#[test]
+fn mdx_roundtrips_simulator_output() {
+    let program = programs::metadata_storm(4, 10);
+    let outcome =
+        Simulation::new(machine(), 8, 3).with_dxt().run_detailed(&program, "/apps/storm");
+    let trace = outcome.dxt.expect("dxt");
+    let parsed = dxt::from_bytes(&dxt::to_bytes(&trace)).expect("parse");
+    assert_eq!(parsed, trace);
+    assert!(trace.total_accesses() > 0);
+}
+
+#[test]
+fn dxt_capture_is_optional_and_off_by_default() {
+    let program = programs::checkpointer(2, 10.0, 1 << 20);
+    let outcome = Simulation::new(machine(), 2, 1).run_detailed(&program, "/apps/x");
+    assert!(outcome.dxt.is_none());
+}

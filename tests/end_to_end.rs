@@ -1,0 +1,136 @@
+//! End-to-end integration: synthetic year-model dataset → full pipeline →
+//! funnel, distributions, accuracy. Spans `mosaic-synth`, `mosaic-darshan`,
+//! `mosaic-core` and `mosaic-pipeline`.
+
+use mosaic_core::category::{Category, MetadataLabel, OpKindTag, TemporalityLabel};
+use mosaic_pipeline::executor::{process, PipelineConfig};
+use mosaic_pipeline::source::{ClosureSource, TraceInput};
+use mosaic_synth::truth::AccuracyReport;
+use mosaic_synth::{Dataset, DatasetConfig, Payload};
+
+fn source_for(ds: &Dataset) -> ClosureSource<impl Fn(usize) -> TraceInput + Sync + '_> {
+    ClosureSource::new(ds.len(), move |i| match ds.generate(i).payload {
+        Payload::Log(log) => TraceInput::Log(log),
+        Payload::Bytes(bytes) => TraceInput::Bytes(bytes),
+    })
+}
+
+#[test]
+fn funnel_matches_paper_shape() {
+    let ds = Dataset::new(DatasetConfig { n_traces: 4000, seed: 101, ..Default::default() });
+    let result = process(&source_for(&ds), &PipelineConfig::default());
+    let f = &result.funnel;
+    assert_eq!(f.total, 4000);
+    assert_eq!(f.total, f.evicted() + f.valid);
+    // Paper: 32 % corrupted, 8 % unique among valid.
+    assert!(
+        (0.27..0.38).contains(&f.corruption_fraction()),
+        "corruption fraction {}",
+        f.corruption_fraction()
+    );
+    assert!(
+        (0.04..0.20).contains(&f.unique_fraction()),
+        "unique fraction {}",
+        f.unique_fraction()
+    );
+}
+
+#[test]
+fn single_run_distribution_matches_table3_shape() {
+    let ds = Dataset::new(DatasetConfig { n_traces: 6000, seed: 55, ..Default::default() });
+    let result = process(&source_for(&ds), &PipelineConfig::default());
+    let counts = result.single_run_counts();
+
+    let frac = |kind, label| {
+        counts.fraction(Category::Temporality { kind, label })
+    };
+    // Most applications are I/O-insignificant (paper: 85 % read / 87 % write).
+    assert!(frac(OpKindTag::Read, TemporalityLabel::Insignificant) > 0.6);
+    assert!(frac(OpKindTag::Write, TemporalityLabel::Insignificant) > 0.7);
+    // read_on_start and write_on_end are the dominant significant labels.
+    let read_start = frac(OpKindTag::Read, TemporalityLabel::OnStart);
+    let write_end = frac(OpKindTag::Write, TemporalityLabel::OnEnd);
+    assert!((0.03..0.20).contains(&read_start), "read_on_start {read_start}");
+    assert!((0.03..0.16).contains(&write_end), "write_on_end {write_end}");
+    // Periodic writes: ~2 % of applications (Table II single-run).
+    let periodic = counts.fraction(Category::Periodic { kind: OpKindTag::Write });
+    assert!((0.005..0.06).contains(&periodic), "write periodic {periodic}");
+}
+
+#[test]
+fn all_runs_shift_toward_heavy_applications() {
+    // Table III: the all-runs view is much more I/O-active than the
+    // single-run view, because production apps rerun constantly.
+    let ds = Dataset::new(DatasetConfig { n_traces: 6000, seed: 56, ..Default::default() });
+    let result = process(&source_for(&ds), &PipelineConfig::default());
+    let single = result.single_run_counts();
+    let all = result.all_runs_counts();
+
+    let read_insig =
+        Category::Temporality { kind: OpKindTag::Read, label: TemporalityLabel::Insignificant };
+    assert!(
+        all.fraction(read_insig) < single.fraction(read_insig) - 0.1,
+        "all-runs read-insignificant {} should sit well below single-run {}",
+        all.fraction(read_insig),
+        single.fraction(read_insig)
+    );
+    let read_start =
+        Category::Temporality { kind: OpKindTag::Read, label: TemporalityLabel::OnStart };
+    assert!(all.fraction(read_start) > single.fraction(read_start));
+    // Table II: periodic writes ~2 % single-run vs ~8 % all-runs.
+    let periodic = Category::Periodic { kind: OpKindTag::Write };
+    assert!(all.fraction(periodic) > 1.5 * single.fraction(periodic));
+}
+
+#[test]
+fn accuracy_is_in_the_paper_band() {
+    // §IV-E: 512-trace sample, 92 % accuracy, errors dominated by
+    // temporality on unevenly-spread operations.
+    let ds = Dataset::new(DatasetConfig { n_traces: 4000, seed: 77, ..Default::default() });
+    let categorizer = mosaic_core::Categorizer::default();
+    let mut pairs = Vec::new();
+    let mut i = 0;
+    while pairs.len() < 512 && i < ds.len() {
+        let run = ds.generate(i);
+        if let (Some(truth), Payload::Log(log)) = (run.truth, &run.payload) {
+            pairs.push((truth, categorizer.categorize_log(log)));
+        }
+        i += 1;
+    }
+    assert_eq!(pairs.len(), 512);
+    let acc = AccuracyReport::score(pairs.iter().map(|(t, r)| (t, r)));
+    assert!(
+        (0.85..0.99).contains(&acc.accuracy()),
+        "accuracy {:.3} outside the plausible band",
+        acc.accuracy()
+    );
+    // The dominant error axis must be temporality, like the paper reports.
+    let top = acc.errors_by_axis.iter().max_by_key(|(_, n)| *n).expect("some errors");
+    assert!(top.0.contains("temporality"), "dominant error axis {top:?}");
+}
+
+#[test]
+fn metadata_spike_category_is_populated() {
+    let ds = Dataset::new(DatasetConfig { n_traces: 3000, seed: 31, ..Default::default() });
+    let result = process(&source_for(&ds), &PipelineConfig::default());
+    let all = result.all_runs_counts();
+    // Fig 4: high_spike is the most represented metadata category over all
+    // runs (60 % on Blue Waters).
+    let spike = all.fraction(Category::Metadata(MetadataLabel::HighSpike));
+    assert!(spike > 0.3, "high_spike fraction {spike}");
+    let multiple = all.fraction(Category::Metadata(MetadataLabel::MultipleSpikes));
+    assert!(multiple > 0.2, "multiple_spikes fraction {multiple}");
+    assert!(spike > multiple, "high_spike should dominate multiple_spikes");
+}
+
+#[test]
+fn reports_serialize_for_downstream_consumers() {
+    // §III-B4: MOSAIC writes one JSON document per trace.
+    let ds = Dataset::new(DatasetConfig { n_traces: 200, seed: 9, ..Default::default() });
+    let result = process(&source_for(&ds), &PipelineConfig::default());
+    for outcome in result.outcomes.iter().take(20) {
+        let json = outcome.report.to_json();
+        let back = mosaic_core::TraceReport::from_json(&json).expect("parse back");
+        assert_eq!(back, outcome.report);
+    }
+}

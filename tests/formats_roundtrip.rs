@@ -1,0 +1,142 @@
+//! Format integration: MDF binary and text formats must round-trip
+//! arbitrary valid traces — including simulator-produced and
+//! generator-produced ones — and reject every corruption the injectors can
+//! produce. Property-based via proptest.
+
+use mosaic_darshan::counter::{Module, PosixCounter, PosixFCounter};
+use mosaic_darshan::job::JobHeader;
+use mosaic_darshan::log::{TraceLog, TraceLogBuilder};
+use mosaic_darshan::{mdf, text};
+use proptest::prelude::*;
+
+fn arb_log() -> impl Strategy<Value = TraceLog> {
+    // Header fields plus up to 8 records with arbitrary counters.
+    (
+        0u64..u64::MAX / 2,
+        0u32..100_000,
+        1u32..4096,
+        0i64..2_000_000_000,
+        1i64..200_000,
+        "[a-z/_.0-9]{0,40}",
+        prop::collection::vec(
+            (
+                "[a-z/_.0-9]{1,30}",
+                -1i32..64,
+                0u8..3,
+                prop::collection::vec(0i64..1 << 40, mosaic_darshan::counter::N_POSIX_COUNTERS),
+                prop::collection::vec(0f64..1e6, mosaic_darshan::counter::N_POSIX_FCOUNTERS),
+            ),
+            0..8,
+        ),
+    )
+        .prop_map(|(job_id, uid, nprocs, start, runtime, exe, records)| {
+            let header = JobHeader::new(job_id, uid, nprocs, start, start + runtime).with_exe(exe);
+            let mut b = TraceLogBuilder::new(header);
+            for (path, rank, module, counters, fcounters) in records {
+                let h = b.begin_record(&path, rank);
+                let rec = b.record_mut(h);
+                rec.module = Module::from_tag(module).unwrap();
+                for (c, v) in PosixCounter::ALL.iter().zip(&counters) {
+                    rec.set(*c, *v);
+                }
+                for (c, v) in PosixFCounter::ALL.iter().zip(&fcounters) {
+                    rec.setf(*c, *v);
+                }
+            }
+            b.finish()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mdf_roundtrips_arbitrary_logs(log in arb_log()) {
+        let bytes = mdf::to_bytes(&log);
+        let parsed = mdf::from_bytes(&bytes).expect("parse");
+        prop_assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn text_roundtrips_arbitrary_logs(log in arb_log()) {
+        let rendered = text::to_text(&log);
+        let parsed = text::parse(&rendered).expect("parse");
+        // Text omits zero counters; the parse reconstructs them as zero, so
+        // equality holds — except records whose counters are ALL zero, which
+        // vanish entirely (they carry no information). Compare modulo those.
+        let nonzero = |log: &TraceLog| -> Vec<_> {
+            log.records()
+                .iter()
+                .filter(|r| {
+                    r.counters.iter().any(|&c| c != 0) || r.fcounters.iter().any(|&c| c != 0.0)
+                })
+                .cloned()
+                .collect()
+        };
+        prop_assert_eq!(parsed.header(), log.header());
+        prop_assert_eq!(nonzero(&parsed), nonzero(&log));
+    }
+
+    #[test]
+    fn truncated_mdf_never_parses(log in arb_log(), frac in 0.05f64..0.95) {
+        let bytes = mdf::to_bytes(&log);
+        let cut = ((bytes.len() as f64 * frac) as usize).clamp(1, bytes.len() - 1);
+        prop_assert!(mdf::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn bitflip_mdf_never_parses_silently(log in arb_log(), pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut bytes = mdf::to_bytes(&log);
+        let idx = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[idx] ^= 1 << bit;
+        // Either it fails to parse, or (flip in a name/exe byte that cancels
+        // out — impossible with CRC) parses to the identical log.
+        match mdf::from_bytes(&bytes) {
+            Err(_) => {}
+            Ok(parsed) => prop_assert_eq!(parsed, log),
+        }
+    }
+}
+
+#[test]
+fn simulator_traces_roundtrip_both_formats() {
+    use mosaic_iosim::{MachineConfig, Simulation};
+    let program = mosaic_synth::programs::checkpointer(5, 30.0, 16 << 20);
+    let log = Simulation::new(MachineConfig::default(), 8, 3).run(&program, "/apps/x");
+    let via_mdf = mdf::from_bytes(&mdf::to_bytes(&log)).unwrap();
+    assert_eq!(via_mdf, log);
+    let via_text = text::parse(&text::to_text(&log)).unwrap();
+    assert_eq!(via_text.header(), log.header());
+    assert_eq!(via_text.total_bytes_written(), log.total_bytes_written());
+}
+
+#[test]
+fn generator_traces_roundtrip_mdf() {
+    use mosaic_synth::{Dataset, DatasetConfig, Payload};
+    let ds = Dataset::new(DatasetConfig { n_traces: 60, corruption_rate: 0.0, seed: 4 });
+    for run in ds.iter() {
+        let Payload::Log(log) = run.payload else { panic!("expected valid log") };
+        let parsed = mdf::from_bytes(&mdf::to_bytes(&log)).unwrap();
+        assert_eq!(parsed, log);
+    }
+}
+
+#[test]
+fn every_injected_corruption_is_rejected() {
+    use mosaic_synth::corrupt::{corrupt_as, CorruptArtifact, CorruptionKind};
+    use mosaic_synth::{Dataset, DatasetConfig, Payload};
+    use rand::SeedableRng;
+    let ds = Dataset::new(DatasetConfig { n_traces: 10, corruption_rate: 0.0, seed: 8 });
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+    for run in ds.iter() {
+        let Payload::Log(log) = run.payload else { unreachable!() };
+        for kind in CorruptionKind::ALL {
+            match corrupt_as(log.clone(), kind, &mut rng) {
+                CorruptArtifact::Bytes(bytes) => assert!(mdf::from_bytes(&bytes).is_err()),
+                CorruptArtifact::Log(mut broken) => {
+                    assert!(mosaic_darshan::validate::sanitize(&mut broken).is_err())
+                }
+            }
+        }
+    }
+}

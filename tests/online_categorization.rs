@@ -1,0 +1,86 @@
+//! Online-categorization integration: prefix views behave like real
+//! in-flight snapshots across the synthetic population.
+
+use mosaic_core::online::{categorize_at, decision_fraction, truncate_view};
+use mosaic_core::Categorizer;
+use mosaic_darshan::ops::{OpKind, OperationView};
+use mosaic_synth::{Dataset, DatasetConfig, Payload};
+
+#[test]
+fn full_prefix_equals_final_verdict_for_all_traces() {
+    let ds = Dataset::new(DatasetConfig { n_traces: 300, corruption_rate: 0.0, seed: 61 });
+    let categorizer = Categorizer::default();
+    for run in ds.iter().take(120) {
+        let Payload::Log(log) = run.payload else { unreachable!() };
+        let view = OperationView::from_log(&log);
+        let full = categorize_at(&categorizer, &view, view.runtime);
+        let direct = categorizer.categorize(&view);
+        assert_eq!(
+            full.read.temporality.label, direct.read.temporality.label,
+            "full prefix must equal direct categorization"
+        );
+        assert_eq!(full.write.temporality.label, direct.write.temporality.label);
+    }
+}
+
+#[test]
+fn truncation_monotonically_accumulates_bytes() {
+    let ds = Dataset::new(DatasetConfig { n_traces: 100, corruption_rate: 0.0, seed: 62 });
+    for run in ds.iter().take(40) {
+        let Payload::Log(log) = run.payload else { unreachable!() };
+        let view = OperationView::from_log(&log);
+        let mut prev = (0u64, 0u64);
+        for f in [0.25, 0.5, 0.75, 1.0] {
+            let t = truncate_view(&view, view.runtime * f);
+            let now = (t.total_bytes(OpKind::Read), t.total_bytes(OpKind::Write));
+            assert!(now.0 >= prev.0, "read bytes shrank: {prev:?} -> {now:?}");
+            assert!(now.1 >= prev.1, "write bytes shrank: {prev:?} -> {now:?}");
+            prev = now;
+        }
+        // The full prefix carries everything.
+        assert_eq!(prev.0, view.total_bytes(OpKind::Read));
+        assert_eq!(prev.1, view.total_bytes(OpKind::Write));
+    }
+}
+
+#[test]
+fn decision_fractions_are_sane_across_the_population() {
+    let ds = Dataset::new(DatasetConfig { n_traces: 400, corruption_rate: 0.0, seed: 63 });
+    let categorizer = Categorizer::default();
+    let fractions = [0.25, 0.5, 0.75, 1.0];
+    let mut decided_early = 0usize;
+    let mut total = 0usize;
+    for run in ds.iter().take(200) {
+        let Payload::Log(log) = run.payload else { unreachable!() };
+        let view = OperationView::from_log(&log);
+        let d = decision_fraction(&categorizer, &view, &fractions);
+        // The final fraction always matches itself, so a decision fraction
+        // must exist and be one of the sweep points.
+        let d = d.expect("1.0 always matches");
+        assert!(fractions.contains(&d));
+        total += 1;
+        if d <= 0.5 {
+            decided_early += 1;
+        }
+    }
+    // The calibrated mix front-loads much of the behaviour (quiet, steady
+    // and read-on-start traces all decide early). The exact share swings
+    // with archetype sampling at this scale — the online_categorization
+    // bench measures ~70 % at n=3000 — so assert a robust floor here.
+    assert!(
+        decided_early * 3 > total,
+        "only {decided_early}/{total} decided by half time"
+    );
+}
+
+#[test]
+fn meta_events_truncate_with_time() {
+    let ds = Dataset::new(DatasetConfig { n_traces: 50, corruption_rate: 0.0, seed: 64 });
+    for run in ds.iter().take(20) {
+        let Payload::Log(log) = run.payload else { unreachable!() };
+        let view = OperationView::from_log(&log);
+        let half = truncate_view(&view, view.runtime * 0.5);
+        assert!(half.meta.len() <= view.meta.len());
+        assert!(half.meta.iter().all(|e| e.time <= view.runtime * 0.5 + 1e-9));
+    }
+}

@@ -1,0 +1,148 @@
+//! The paper's §IV-D correlation claims, verified on the synthetic year
+//! model:
+//!
+//! * "The large majority of applications (95 %) having no significant read
+//!   operations also have no significant write operation."
+//! * "66 % of applications reading on start write on end."
+//! * "Almost all traces with periodic writes (96 %) spend less than 25 % of
+//!   the time writing."
+//! * Metadata-dense applications skew toward read-on-start / write-on-end.
+
+use mosaic_core::category::{Category, MetadataLabel, OpKindTag, TemporalityLabel};
+use mosaic_pipeline::executor::{process, PipelineConfig, PipelineResult};
+use mosaic_pipeline::source::{ClosureSource, TraceInput};
+use mosaic_synth::{Dataset, DatasetConfig, Payload};
+use std::collections::BTreeSet;
+
+fn run_pipeline(n: usize, seed: u64) -> PipelineResult {
+    let ds = Dataset::new(DatasetConfig { n_traces: n, seed, ..Default::default() });
+    let source = ClosureSource::new(ds.len(), move |i| match ds.generate(i).payload {
+        Payload::Log(log) => TraceInput::Log(log),
+        Payload::Bytes(bytes) => TraceInput::Bytes(bytes),
+    });
+    process(&source, &PipelineConfig::default())
+}
+
+fn cat(kind: OpKindTag, label: TemporalityLabel) -> Category {
+    Category::Temporality { kind, label }
+}
+
+fn conditional(sets: &[BTreeSet<Category>], given: Category, then: Category) -> f64 {
+    let with: Vec<_> = sets.iter().filter(|s| s.contains(&given)).collect();
+    assert!(!with.is_empty(), "no traces with {given:?}");
+    with.iter().filter(|s| s.contains(&then)).count() as f64 / with.len() as f64
+}
+
+#[test]
+fn quiet_readers_are_quiet_writers() {
+    let result = run_pipeline(5000, 301);
+    let sets = result.single_run_sets();
+    let p = conditional(
+        &sets,
+        cat(OpKindTag::Read, TemporalityLabel::Insignificant),
+        cat(OpKindTag::Write, TemporalityLabel::Insignificant),
+    );
+    // Paper: 95 %.
+    assert!(p > 0.85, "P(write insig | read insig) = {p}");
+}
+
+#[test]
+fn read_compute_write_motif() {
+    let result = run_pipeline(5000, 302);
+    let sets = result.single_run_sets();
+    let p = conditional(
+        &sets,
+        cat(OpKindTag::Read, TemporalityLabel::OnStart),
+        cat(OpKindTag::Write, TemporalityLabel::OnEnd),
+    );
+    // Paper: 66 %. Accept the band around it.
+    assert!((0.35..0.9).contains(&p), "P(write_on_end | read_on_start) = {p}");
+}
+
+#[test]
+fn periodic_writes_are_low_busy() {
+    let result = run_pipeline(6000, 303);
+    let sets = result.all_runs_sets();
+    let p = conditional(
+        &sets,
+        Category::Periodic { kind: OpKindTag::Write },
+        Category::PeriodicLowBusyTime { kind: OpKindTag::Write },
+    );
+    // Paper: 96 % of periodic writes spend < 25 % of time writing.
+    assert!(p > 0.85, "P(low busy | periodic write) = {p}");
+}
+
+#[test]
+fn jaccard_matrix_surfaces_the_motif() {
+    let result = run_pipeline(4000, 304);
+    let jaccard = result.jaccard_single_run();
+    let j = jaccard
+        .get(
+            cat(OpKindTag::Read, TemporalityLabel::OnStart),
+            cat(OpKindTag::Write, TemporalityLabel::OnEnd),
+        )
+        .expect("both categories present");
+    // The motif must stand out in the Fig 5 heatmap.
+    assert!(j > 0.2, "Jaccard(read_on_start, write_on_end) = {j}");
+    // And the heatmap rendering must include it.
+    let text = jaccard.render_text();
+    assert!(text.contains("read_on_start"));
+    assert!(text.contains("write_on_end"));
+}
+
+#[test]
+fn metadata_dense_apps_read_on_start_or_write_on_end() {
+    let result = run_pipeline(6000, 305);
+    let sets = result.all_runs_sets();
+    let spike = Category::Metadata(MetadataLabel::HighSpike);
+    let with_spike: Vec<_> = sets.iter().filter(|s| s.contains(&spike)).collect();
+    assert!(!with_spike.is_empty());
+    let related = with_spike
+        .iter()
+        .filter(|s| {
+            s.contains(&cat(OpKindTag::Read, TemporalityLabel::OnStart))
+                || s.contains(&cat(OpKindTag::Write, TemporalityLabel::OnEnd))
+                || s.contains(&cat(OpKindTag::Read, TemporalityLabel::Steady))
+                || s.contains(&cat(OpKindTag::Write, TemporalityLabel::Steady))
+        })
+        .count() as f64
+        / with_spike.len() as f64;
+    // High-spike traces are overwhelmingly the significant-I/O apps.
+    assert!(related > 0.7, "spiky traces with active I/O: {related}");
+}
+
+#[test]
+fn periodic_magnitudes_span_minutes_to_hours() {
+    // Table II: detected periodic write frequencies fluctuate between
+    // minutes and hours.
+    let result = run_pipeline(8000, 306);
+    let minute = result
+        .all_runs_counts()
+        .count(Category::PeriodicMagnitude {
+            kind: OpKindTag::Write,
+            magnitude: mosaic_core::category::PeriodMagnitude::Minute,
+        });
+    let hour = result
+        .all_runs_counts()
+        .count(Category::PeriodicMagnitude {
+            kind: OpKindTag::Write,
+            magnitude: mosaic_core::category::PeriodMagnitude::Hour,
+        });
+    assert!(minute > 0, "no minute-scale periodic writes");
+    assert!(hour > 0, "no hour-scale periodic writes");
+}
+
+#[test]
+fn categorization_covers_nearly_all_traces() {
+    // §III-A: "our categories describe 98 % of a year's worth of traces" —
+    // every valid trace must receive at least the three axis labels.
+    let result = run_pipeline(3000, 307);
+    for outcome in &result.outcomes {
+        assert!(
+            outcome.report.categories.len() >= 2,
+            "trace {} got only {:?}",
+            outcome.index,
+            outcome.report.names()
+        );
+    }
+}

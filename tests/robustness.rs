@@ -1,0 +1,223 @@
+//! Robustness properties: parsers never panic on hostile input, and the
+//! categorizer satisfies its algebraic invariants on arbitrary views.
+
+use mosaic_core::category::{OpKindTag, TemporalityLabel};
+use mosaic_core::merge::{merge_all, merge_concurrent};
+use mosaic_core::{Categorizer, CategorizerConfig};
+use mosaic_darshan::ops::{OpKind, Operation, OperationView};
+use mosaic_darshan::{dxt, mdf, text};
+use proptest::prelude::*;
+
+// ---- parsers must reject, never panic --------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mdf_parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = mdf::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn mdx_parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = dxt::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn text_parser_never_panics(input in "\\PC{0,2000}") {
+        let _ = text::parse(&input);
+    }
+
+    #[test]
+    fn mdf_parser_never_panics_on_mutated_valid_prefix(
+        cut in 0usize..1000,
+        junk in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // A valid header followed by garbage exercises the structured
+        // decoding paths rather than just the magic check.
+        let log = mosaic_darshan::log::TraceLogBuilder::new(
+            mosaic_darshan::job::JobHeader::new(1, 2, 3, 0, 100).with_exe("/bin/x"),
+        )
+        .finish();
+        let mut bytes = mdf::to_bytes(&log);
+        let cut = cut.min(bytes.len());
+        bytes.truncate(cut);
+        bytes.extend(junk);
+        let _ = mdf::from_bytes(&bytes);
+    }
+}
+
+// ---- merge invariants --------------------------------------------------
+
+fn arb_ops() -> impl Strategy<Value = Vec<Operation>> {
+    prop::collection::vec(
+        (0.0f64..10_000.0, 0.0f64..500.0, 0u64..1 << 32, 1u32..128),
+        0..120,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(start, len, bytes, ranks)| Operation {
+                kind: OpKind::Write,
+                start,
+                end: start + len,
+                bytes,
+                ranks,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn concurrent_merge_output_is_sorted_and_disjoint(ops in arb_ops()) {
+        let merged = merge_concurrent(&ops);
+        for w in merged.windows(2) {
+            prop_assert!(w[0].start <= w[1].start);
+            prop_assert!(w[0].end < w[1].start, "overlap survived: {w:?}");
+        }
+    }
+
+    #[test]
+    fn concurrent_merge_is_idempotent(ops in arb_ops()) {
+        let once = merge_concurrent(&ops);
+        let twice = merge_concurrent(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn merging_conserves_bytes_and_ranks(ops in arb_ops()) {
+        let bytes: u64 = ops.iter().map(|o| o.bytes).sum();
+        let ranks: u64 = ops.iter().map(|o| o.ranks as u64).sum();
+        let merged = merge_all(&ops, 10_500.0, &CategorizerConfig::default());
+        prop_assert_eq!(merged.iter().map(|o| o.bytes).sum::<u64>(), bytes);
+        prop_assert_eq!(merged.iter().map(|o| o.ranks as u64).sum::<u64>(), ranks);
+    }
+
+    #[test]
+    fn merging_preserves_time_hull(ops in arb_ops()) {
+        prop_assume!(!ops.is_empty());
+        let lo = ops.iter().map(|o| o.start).fold(f64::INFINITY, f64::min);
+        let hi = ops.iter().map(|o| o.end).fold(0.0f64, f64::max);
+        let merged = merge_all(&ops, 10_500.0, &CategorizerConfig::default());
+        prop_assert!((merged.first().unwrap().start - lo).abs() < 1e-9);
+        prop_assert!((merged.last().unwrap().end - hi).abs() < 1e-9);
+    }
+}
+
+// ---- categorizer invariants ---------------------------------------------
+
+fn arb_view() -> impl Strategy<Value = OperationView> {
+    (
+        100.0f64..100_000.0,
+        1u32..2048,
+        prop::collection::vec((0.0f64..1.0, 0.0f64..0.2, 0u64..1 << 34), 0..40),
+        prop::collection::vec((0.0f64..1.0, 0.0f64..0.2, 0u64..1 << 34), 0..40),
+    )
+        .prop_map(|(runtime, nprocs, raw_reads, raw_writes)| {
+            let mk = |kind: OpKind, raw: Vec<(f64, f64, u64)>| {
+                let mut ops: Vec<Operation> = raw
+                    .into_iter()
+                    .map(|(s, l, bytes)| Operation {
+                        kind,
+                        start: s * runtime,
+                        end: (s + l).min(1.0) * runtime,
+                        bytes,
+                        ranks: nprocs,
+                    })
+                    .collect();
+                ops.sort_by(|a, b| a.start.total_cmp(&b.start));
+                ops
+            };
+            OperationView {
+                runtime,
+                nprocs,
+                reads: mk(OpKind::Read, raw_reads),
+                writes: mk(OpKind::Write, raw_writes),
+                meta: vec![],
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn categorizer_never_panics_and_is_total(view in arb_view()) {
+        let report = Categorizer::default().categorize(&view);
+        // Exactly one temporality label per direction, always.
+        for kind in [OpKindTag::Read, OpKindTag::Write] {
+            let labels = TemporalityLabel::ALL
+                .iter()
+                .filter(|&&label| {
+                    report.has(mosaic_core::Category::Temporality { kind, label })
+                })
+                .count();
+            prop_assert_eq!(labels, 1, "direction {:?}", kind);
+        }
+    }
+
+    #[test]
+    fn significance_threshold_is_respected(view in arb_view()) {
+        let config = CategorizerConfig::default();
+        let threshold = config.insignificant_bytes;
+        let report = Categorizer::new(config).categorize(&view);
+        for (kind, ops) in [(OpKindTag::Read, &view.reads), (OpKindTag::Write, &view.writes)] {
+            let total: u64 = ops.iter().map(|o| o.bytes).sum();
+            let insig = report.has(mosaic_core::Category::Temporality {
+                kind,
+                label: TemporalityLabel::Insignificant,
+            });
+            prop_assert_eq!(total < threshold, insig, "kind {:?} total {}", kind, total);
+        }
+    }
+
+    #[test]
+    fn temporality_is_time_scale_invariant(view in arb_view(), scale_exp in -3i32..8) {
+        // Powers of two keep every float product exact, so the property is
+        // strict; arbitrary scales could flip decisions that sit exactly on
+        // the 2x-dominance boundary through rounding.
+        let scale = (2.0f64).powi(scale_exp);
+        let scaled = OperationView {
+            runtime: view.runtime * scale,
+            nprocs: view.nprocs,
+            reads: view
+                .reads
+                .iter()
+                .map(|o| Operation { start: o.start * scale, end: o.end * scale, ..*o })
+                .collect(),
+            writes: view
+                .writes
+                .iter()
+                .map(|o| Operation { start: o.start * scale, end: o.end * scale, ..*o })
+                .collect(),
+            meta: vec![],
+        };
+        let categorizer = Categorizer::default();
+        let a = categorizer.categorize(&view);
+        let b = categorizer.categorize(&scaled);
+        prop_assert_eq!(a.read.temporality.label, b.read.temporality.label);
+        prop_assert_eq!(a.write.temporality.label, b.write.temporality.label);
+    }
+
+    #[test]
+    fn reports_always_roundtrip_json(view in arb_view()) {
+        let report = Categorizer::default().categorize(&view);
+        let parsed = mosaic_core::TraceReport::from_json(&report.to_json()).unwrap();
+        prop_assert_eq!(parsed, report);
+    }
+}
+
+// ---- pipeline resilience -------------------------------------------------
+
+#[test]
+fn pipeline_survives_a_source_of_pure_garbage() {
+    use mosaic_pipeline::executor::{process, PipelineConfig};
+    use mosaic_pipeline::source::{ClosureSource, TraceInput};
+    let source = ClosureSource::new(200, |i| TraceInput::Bytes(vec![i as u8; i % 97]));
+    let result = process(&source, &PipelineConfig::default());
+    assert_eq!(result.funnel.total, 200);
+    assert_eq!(result.funnel.format_corrupt, 200);
+    assert!(result.outcomes.is_empty());
+}

@@ -1,0 +1,95 @@
+//! Visualization integration: every archetype's trace must render to
+//! well-formed SVG, and the dataset-level figures must build from real
+//! pipeline output.
+
+use mosaic_core::Categorizer;
+use mosaic_darshan::ops::OperationView;
+use mosaic_synth::archetype::Archetype;
+use mosaic_synth::build::{build_run, RunSpec};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn well_formed(svg: &str) {
+    assert!(svg.starts_with("<svg"), "not an svg");
+    assert!(svg.trim_end().ends_with("</svg>"));
+    // Every opened tag is self-closed or closed: crude but effective check
+    // that we never emit dangling elements.
+    assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    assert!(!svg.contains("NaN"), "NaN leaked into coordinates");
+    assert!(!svg.contains("inf"), "infinity leaked into coordinates");
+}
+
+#[test]
+fn every_archetype_timeline_renders() {
+    let categorizer = Categorizer::default();
+    for archetype in [
+        Archetype::Quiet,
+        Archetype::ReadStartOnly,
+        Archetype::ReadComputeWrite,
+        Archetype::WriteEndOnly,
+        Archetype::SteadyReadWrite,
+        Archetype::SteadyWriter,
+        Archetype::CheckpointerRead,
+        Archetype::CheckpointerQuiet,
+        Archetype::PeriodicReader,
+        Archetype::MetadataStorm,
+        Archetype::MidBurst,
+        Archetype::HardUneven,
+    ] {
+        let spec = RunSpec {
+            archetype,
+            job_id: 1,
+            uid: 1,
+            nprocs: 64,
+            base_runtime: 3600.0,
+            start_epoch: 0,
+            exe: "/apps/viz/test".into(),
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let (log, _) = build_run(&spec, &mut rng);
+        let view = OperationView::from_log(&log);
+        let report = categorizer.categorize(&view);
+        let svg = mosaic_viz::timeline::render(&view, &report);
+        well_formed(&svg);
+    }
+}
+
+#[test]
+fn dataset_figures_render_from_pipeline_output() {
+    use mosaic_pipeline::executor::{process, PipelineConfig};
+    use mosaic_pipeline::source::{ClosureSource, TraceInput};
+    use mosaic_synth::{Dataset, DatasetConfig, Payload};
+
+    let ds = Dataset::new(DatasetConfig { n_traces: 400, seed: 12, ..Default::default() });
+    let source = ClosureSource::new(ds.len(), |i| match ds.generate(i).payload {
+        Payload::Log(log) => TraceInput::Log(log),
+        Payload::Bytes(bytes) => TraceInput::Bytes(bytes),
+    });
+    let result = process(&source, &PipelineConfig::default());
+
+    let bars = mosaic_viz::bars::render(
+        &result.single_run_counts(),
+        &result.all_runs_counts(),
+        "categories",
+    );
+    well_formed(&bars);
+    assert!(bars.contains("read_insignificant"));
+
+    let heat = mosaic_viz::heatmap::render(&result.jaccard_single_run(), 0.01);
+    well_formed(&heat);
+    assert!(heat.contains("Jaccard"));
+}
+
+#[test]
+fn simulated_dxt_timeline_renders_with_periodicity_annotation() {
+    use mosaic_iosim::{MachineConfig, Simulation};
+    let program = mosaic_synth::programs::steady_writer(16, 64 << 20, 90.0);
+    let outcome = Simulation::new(MachineConfig::default(), 8, 5)
+        .with_dxt()
+        .run_detailed(&program, "/apps/x");
+    let view = outcome.dxt.expect("dxt").operation_view();
+    let report = Categorizer::default().categorize(&view);
+    let svg = mosaic_viz::timeline::render(&view, &report);
+    well_formed(&svg);
+    assert!(svg.contains("write periodic"), "periodic annotation missing");
+}
