@@ -152,14 +152,26 @@ mod tests {
         let on_start = OperationView {
             runtime: 1000.0,
             nprocs: 4,
-            reads: vec![Operation { kind: OpKind::Read, start: 1.0, end: 10.0, bytes: 900 * MB, ranks: 4 }],
+            reads: vec![Operation {
+                kind: OpKind::Read,
+                start: 1.0,
+                end: 10.0,
+                bytes: 900 * MB,
+                ranks: 4,
+            }],
             writes: vec![],
             meta: vec![],
         };
         let on_end = OperationView {
             runtime: 1000.0,
             nprocs: 4,
-            reads: vec![Operation { kind: OpKind::Read, start: 990.0, end: 999.0, bytes: 900 * MB, ranks: 4 }],
+            reads: vec![Operation {
+                kind: OpKind::Read,
+                start: 990.0,
+                end: 999.0,
+                bytes: 900 * MB,
+                ranks: 4,
+            }],
             writes: vec![],
             meta: vec![],
         };

@@ -79,9 +79,7 @@ impl FftDetector {
     /// Convenience: is any detected period within `tol` (relative) of
     /// `expected`?
     pub fn finds_period(&self, ops: &[Operation], runtime: f64, expected: f64, tol: f64) -> bool {
-        self.detect(ops, runtime)
-            .iter()
-            .any(|d| (d.period - expected).abs() <= tol * expected)
+        self.detect(ops, runtime).iter().any(|d| (d.period - expected).abs() <= tol * expected)
     }
 }
 

@@ -32,12 +32,16 @@ fn bench_detectors(c: &mut Criterion) {
     for n_ops in [16usize, 64, 256, 1024] {
         let ops = periodic_ops(n_ops, runtime);
         group.throughput(Throughput::Elements(n_ops as u64));
-        group.bench_with_input(BenchmarkId::new("mosaic_segment_cluster", n_ops), &ops, |b, ops| {
-            b.iter(|| {
-                let segments = segment(black_box(ops), runtime);
-                detect_periodic(&segments, &config)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mosaic_segment_cluster", n_ops),
+            &ops,
+            |b, ops| {
+                b.iter(|| {
+                    let segments = segment(black_box(ops), runtime);
+                    detect_periodic(&segments, &config)
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("fft_baseline", n_ops), &ops, |b, ops| {
             b.iter(|| det.detect(black_box(ops), runtime))
         });

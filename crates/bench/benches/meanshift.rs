@@ -15,10 +15,7 @@ fn points(n: usize) -> Vec<[f64; 2]> {
     (0..n)
         .map(|i| {
             let cluster = (i % 3) as f64;
-            [
-                cluster * 2.0 + rng.gen_range(-0.05..0.05),
-                cluster * 3.0 + rng.gen_range(-0.05..0.05),
-            ]
+            [cluster * 2.0 + rng.gen_range(-0.05..0.05), cluster * 3.0 + rng.gen_range(-0.05..0.05)]
         })
         .collect()
 }

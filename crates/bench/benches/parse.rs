@@ -12,9 +12,8 @@ use std::hint::black_box;
 
 /// A trace with exactly `n_records` populated records.
 fn traces(n_records: u32) -> mosaic_darshan::TraceLog {
-    let mut b = TraceLogBuilder::new(
-        JobHeader::new(1, 1, 128, 0, 100_000).with_exe("/apps/bench/app"),
-    );
+    let mut b =
+        TraceLogBuilder::new(JobHeader::new(1, 1, 128, 0, 100_000).with_exe("/apps/bench/app"));
     for i in 0..n_records {
         let h = b.begin_record(&format!("/scratch/ref/chunk.{i:05}"), -1);
         b.record_mut(h)

@@ -43,16 +43,10 @@ fn main() {
             if report.write.temporality.label == truth.write_temporality {
                 correct += 1;
             }
-            fallbacks += [&report.read, &report.write]
-                .iter()
-                .filter(|d| !d.temporality.confident)
-                .count();
+            fallbacks +=
+                [&report.read, &report.write].iter().filter(|d| !d.temporality.confident).count();
         }
-        println!(
-            "{chunks:>8} {:>22} {:>22}",
-            pct(correct as f64 / total.max(1) as f64),
-            fallbacks
-        );
+        println!("{chunks:>8} {:>22} {:>22}", pct(correct as f64 / total.max(1) as f64), fallbacks);
     }
 
     println!(

@@ -44,9 +44,7 @@ fn desynced_checkpoints(rng: &mut ChaCha8Rng, desync: f64) -> (Vec<Operation>, f
 
 fn detects_period(ops: &[Operation], runtime: f64, config: &CategorizerConfig) -> bool {
     let segments = segment(ops, runtime);
-    detect_periodic(&segments, config)
-        .iter()
-        .any(|p| (p.period - 300.0).abs() < 45.0)
+    detect_periodic(&segments, config).iter().any(|p| (p.period - 300.0).abs() < 45.0)
 }
 
 fn main() {

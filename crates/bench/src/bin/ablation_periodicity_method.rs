@@ -66,7 +66,12 @@ fn main() {
         let secs = started.elapsed().as_secs_f64();
         println!(
             "{name:>10} {:>16} {:>16} {:>14} {:>12.2}",
-            format!("{}/{} ({})", found, truly_periodic, pct(found as f64 / truly_periodic.max(1) as f64)),
+            format!(
+                "{}/{} ({})",
+                found,
+                truly_periodic,
+                pct(found as f64 / truly_periodic.max(1) as f64)
+            ),
             pct(magnitude_ok as f64 / truly_periodic.max(1) as f64),
             false_alarms,
             secs,
@@ -103,11 +108,9 @@ fn stress_sweep() {
     let mut rng = ChaCha8Rng::seed_from_u64(77);
     for (tj, vj) in [(0.0, 0.0), (0.1, 0.0), (0.25, 0.0), (0.0, 0.5), (0.0, 2.0), (0.15, 1.0)] {
         let mut rates = Vec::new();
-        for method in [
-            PeriodicityMethod::MeanShift,
-            PeriodicityMethod::Spectral,
-            PeriodicityMethod::Hybrid,
-        ] {
+        for method in
+            [PeriodicityMethod::MeanShift, PeriodicityMethod::Spectral, PeriodicityMethod::Hybrid]
+        {
             let config = CategorizerConfig { periodicity_method: method, ..Default::default() };
             let categorizer = Categorizer::new(config);
             let mut hits = 0;
@@ -117,20 +120,13 @@ fn stress_sweep() {
                 let runtime = 300.0 * 20.0;
                 let writes: Vec<Operation> = (0..20)
                     .map(|i| {
-                        let t = period * (i as f64 + 0.3)
-                            + period * tj * (rng.gen::<f64>() - 0.5);
-                        let bytes =
-                            ((512u64 << 20) as f64 * (1.0 + vj * rng.gen::<f64>())) as u64;
+                        let t = period * (i as f64 + 0.3) + period * tj * (rng.gen::<f64>() - 0.5);
+                        let bytes = ((512u64 << 20) as f64 * (1.0 + vj * rng.gen::<f64>())) as u64;
                         Operation { kind: OpKind::Write, start: t, end: t + 8.0, bytes, ranks: 16 }
                     })
                     .collect();
-                let view = OperationView {
-                    runtime,
-                    nprocs: 16,
-                    reads: vec![],
-                    writes,
-                    meta: vec![],
-                };
+                let view =
+                    OperationView { runtime, nprocs: 16, reads: vec![], writes, meta: vec![] };
                 let report = categorizer.categorize(&view);
                 if report
                     .write

@@ -49,8 +49,7 @@ fn main() {
     }
 
     let mean = accuracies.iter().sum::<f64>() / accuracies.len() as f64;
-    let var = accuracies.iter().map(|a| (a - mean).powi(2)).sum::<f64>()
-        / accuracies.len() as f64;
+    let var = accuracies.iter().map(|a| (a - mean).powi(2)).sum::<f64>() / accuracies.len() as f64;
     let min = accuracies.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = accuracies.iter().cloned().fold(0.0f64, f64::max);
     println!(
@@ -63,9 +62,6 @@ fn main() {
     println!("\npooled error axes:");
     let total_errors: usize = pooled_errors.values().sum();
     for (axis, count) in &pooled_errors {
-        println!(
-            "  {axis:<22} {count:>6}  ({})",
-            pct(*count as f64 / total_errors.max(1) as f64)
-        );
+        println!("  {axis:<22} {count:>6}  ({})", pct(*count as f64 / total_errors.max(1) as f64));
     }
 }

@@ -26,7 +26,13 @@ fn fast_train() -> Vec<Operation> {
     let mut ops = Vec::new();
     let mut t = 10.0;
     while t + 2.0 < RUNTIME {
-        ops.push(Operation { kind: OpKind::Write, start: t, end: t + 2.0, bytes: 100 << 20, ranks: 32 });
+        ops.push(Operation {
+            kind: OpKind::Write,
+            start: t,
+            end: t + 2.0,
+            bytes: 100 << 20,
+            ranks: 32,
+        });
         t += FAST_PERIOD;
     }
     ops
@@ -39,7 +45,13 @@ fn slow_train(ratio: f64) -> Vec<Operation> {
     let mut ops = Vec::new();
     let mut t = 40.0;
     while t + 5.0 < RUNTIME {
-        ops.push(Operation { kind: OpKind::Write, start: t, end: t + 5.0, bytes: 2 << 30, ranks: 32 });
+        ops.push(Operation {
+            kind: OpKind::Write,
+            start: t,
+            end: t + 5.0,
+            bytes: 2 << 30,
+            ranks: 32,
+        });
         t += period;
     }
     ops

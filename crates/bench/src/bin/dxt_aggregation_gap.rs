@@ -84,11 +84,9 @@ fn main() {
     // minute-to-hour scale of checkpointing — the magnitude label is what
     // separates the two.
     let program = programs::steady_writer(400, 16 << 20, 4.5);
-    let outcome = Simulation::new(machine, 16, 13)
-        .with_dxt()
-        .run_detailed(&program, "/apps/dribble");
-    let dxt_report =
-        categorizer.categorize(&outcome.dxt.expect("dxt enabled").operation_view());
+    let outcome =
+        Simulation::new(machine, 16, 13).with_dxt().run_detailed(&program, "/apps/dribble");
+    let dxt_report = categorizer.categorize(&outcome.dxt.expect("dxt enabled").operation_view());
     println!(
         "{:<34} {:>16} {:>22} {:>16}",
         "reference: fine-grained dribble",

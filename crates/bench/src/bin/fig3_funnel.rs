@@ -29,6 +29,10 @@ fn main() {
 
     // Breakdown of eviction causes (ours; the paper reports only the total).
     header("eviction breakdown (this repo only)");
+    row("source-level (I/O failures)", "—", &pct(f.io_error as f64 / f.total as f64));
     row("format-level (parse failures)", "—", &pct(f.format_corrupt as f64 / f.total as f64));
     row("semantic (validation failures)", "—", &pct(f.invalid as f64 / f.total as f64));
+    for (reason, n) in &f.by_reason {
+        row(&format!("  {}", reason.slug()), "—", &pct(*n as f64 / f.total as f64));
+    }
 }

@@ -22,10 +22,7 @@ fn main() {
     let reports: Vec<_> = result.representatives().map(|o| o.report.clone()).collect();
     let labels: Vec<String> = reports.iter().map(reference_label).collect();
 
-    println!(
-        "§V — automatic category discovery over {} single-run traces\n",
-        reports.len()
-    );
+    println!("§V — automatic category discovery over {} single-run traces\n", reports.len());
 
     println!("{:>4} {:>10}   discovered clusters ↔ hand-made categories", "k", "purity");
     for k in [4usize, 6, 8, 10, 12] {
@@ -46,7 +43,12 @@ fn main() {
             .iter()
             .map(|(c, f)| format!("{} {:.0}%", c.name(), 100.0 * f))
             .collect();
-        println!("  cluster {:>2}  ({:>5} traces)  {}", profile.cluster, profile.size, cats.join(", "));
+        println!(
+            "  cluster {:>2}  ({:>5} traces)  {}",
+            profile.cluster,
+            profile.size,
+            cats.join(", ")
+        );
     }
 
     println!(

@@ -87,11 +87,8 @@ fn batch_release_what_if(result: &mosaic_pipeline::PipelineResult) {
     let read_start =
         Category::Temporality { kind: OpKindTag::Read, label: TemporalityLabel::OnStart };
     // The 24 heaviest read-on-start applications, forced to co-start.
-    let mut batch: Vec<_> = result
-        .representatives()
-        .filter(|o| o.report.has(read_start))
-        .cloned()
-        .collect();
+    let mut batch: Vec<_> =
+        result.representatives().filter(|o| o.report.has(read_start)).cloned().collect();
     batch.sort_by_key(|o| std::cmp::Reverse(o.weight));
     batch.truncate(48);
     for o in &mut batch {

@@ -37,12 +37,11 @@ fn main() {
     println!("§IV-E — accuracy by sampling ({} traces sampled)", acc.total);
 
     header("accuracy");
-    row("correctly classified", &format!("{}/512 (92%)", 512 - 42), &format!(
-        "{}/{} ({})",
-        acc.correct,
-        acc.total,
-        pct(acc.accuracy())
-    ));
+    row(
+        "correctly classified",
+        &format!("{}/512 (92%)", 512 - 42),
+        &format!("{}/{} ({})", acc.correct, acc.total, pct(acc.accuracy())),
+    );
 
     header("error breakdown by axis");
     for (axis, count) in &acc.errors_by_axis {

@@ -16,11 +16,7 @@ use std::time::Instant;
 fn main() {
     let flags = Flags::from_args();
     let ds = dataset(&flags);
-    println!(
-        "§IV-E — performance (n = {} traces, {} applications)",
-        ds.len(),
-        ds.apps().len()
-    );
+    println!("§IV-E — performance (n = {} traces, {} applications)", ds.len(), ds.apps().len());
     println!("paper reference: 462,502 traces in 165 min on 64 cores ≈ 47 traces/s (Python)\n");
 
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -32,6 +28,7 @@ fn main() {
 
     println!("{:>8} {:>12} {:>14} {:>10}", "threads", "seconds", "traces/s", "speedup");
     let mut base = None;
+    let mut last = None;
     for threads in candidates {
         let started = Instant::now();
         let result = run_pipeline(&ds, Some(threads));
@@ -45,6 +42,19 @@ fn main() {
             "{threads:>8} {secs:>12.2} {rate:>14.0} {speedup:>9.1}x   (valid {})",
             result.funnel.valid
         );
+        last = Some(result);
+    }
+
+    if let Some(result) = last {
+        // Where the time actually goes, from the widest run: cumulative CPU
+        // seconds per stage across all workers.
+        let stages: Vec<String> = result
+            .metrics
+            .stages
+            .iter()
+            .map(|s| format!("{} {:.2}s", s.stage, s.total_seconds))
+            .collect();
+        println!("\nstage breakdown (cumulative worker seconds): {}", stages.join(", "));
     }
 
     println!(

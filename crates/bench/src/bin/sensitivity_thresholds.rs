@@ -17,8 +17,8 @@ use mosaic_synth::{Dataset, DatasetConfig, Payload};
 
 fn run(ds: &Dataset, categorizer: CategorizerConfig) -> mosaic_pipeline::PipelineResult {
     let source = ClosureSource::new(ds.len(), |i| match ds.generate(i).payload {
-        Payload::Log(log) => TraceInput::Log(log),
-        Payload::Bytes(bytes) => TraceInput::Bytes(bytes),
+        Payload::Log(log) => TraceInput::log(log),
+        Payload::Bytes(bytes) => TraceInput::bytes(bytes),
     });
     process(&source, &PipelineConfig { threads: None, categorizer, progress: None })
 }
@@ -61,8 +61,7 @@ fn main() {
     println!("\nmetadata high-spike threshold sweep (all-runs view):");
     println!("{:>12} {:>16}", "threshold", "high_spike share");
     for req in [50u64, 100, 250, 1000, 3000] {
-        let config =
-            CategorizerConfig { high_spike_requests: req, ..CategorizerConfig::default() };
+        let config = CategorizerConfig { high_spike_requests: req, ..CategorizerConfig::default() };
         let result = run(&ds, config);
         let all = result.all_runs_counts();
         println!(
@@ -79,9 +78,8 @@ fn main() {
         let config = CategorizerConfig { steady_cv: cv, ..CategorizerConfig::default() };
         let result = run(&ds, config);
         let all = result.all_runs_counts();
-        let t = |kind| {
-            all.fraction(Category::Temporality { kind, label: TemporalityLabel::Steady })
-        };
+        let t =
+            |kind| all.fraction(Category::Temporality { kind, label: TemporalityLabel::Steady });
         println!(
             "{:>12} {:>14} {:>14}",
             pct(cv),

@@ -17,7 +17,12 @@ use mosaic_bench::{dataset, header, pct, row, run_pipeline, Flags};
 use mosaic_core::category::{Category, OpKindTag, TemporalityLabel};
 use mosaic_core::report::CategoryCounts;
 
-fn section(counts: &CategoryCounts, kind: OpKindTag, main_label: TemporalityLabel, paper: [&str; 4]) {
+fn section(
+    counts: &CategoryCounts,
+    kind: OpKindTag,
+    main_label: TemporalityLabel,
+    paper: [&str; 4],
+) {
     let frac = |label| counts.fraction(Category::Temporality { kind, label });
     let insig = frac(TemporalityLabel::Insignificant);
     let main = frac(main_label);

@@ -61,10 +61,11 @@ pub fn dataset(flags: &Flags) -> Dataset {
 /// Run the full pipeline over a dataset.
 pub fn run_pipeline(ds: &Dataset, threads: Option<usize>) -> PipelineResult {
     let source = ClosureSource::new(ds.len(), |i| match ds.generate(i).payload {
-        Payload::Log(log) => TraceInput::Log(log),
-        Payload::Bytes(bytes) => TraceInput::Bytes(bytes),
+        Payload::Log(log) => TraceInput::log(log),
+        Payload::Bytes(bytes) => TraceInput::bytes(bytes),
     });
-    let config = PipelineConfig { threads, categorizer: CategorizerConfig::default(), progress: None };
+    let config =
+        PipelineConfig { threads, categorizer: CategorizerConfig::default(), progress: None };
     process(&source, &config)
 }
 

@@ -30,7 +30,8 @@ fn main() -> ExitCode {
     let result = match cmd {
         "generate" => generate(rest),
         "categorize" => categorize(rest),
-        "analyze" => analyze(rest),
+        // `run` is the production-flavoured alias for `analyze`.
+        "analyze" | "run" => analyze(rest),
         "evaluate" => evaluate(rest),
         "stability" => stability(rest),
         "interference" => interference(rest),
@@ -61,6 +62,7 @@ USAGE:
   mosaic generate  --out DIR [--n N] [--seed S] [--corruption F]
   mosaic categorize FILE.mdf|FILE.txt [...]
   mosaic analyze   [--n N | --dir DIR] [--seed S] [--threads T] [--json]
+                   [--metrics FILE] [--markdown FILE]   (alias: mosaic run)
   mosaic evaluate  [--n N] [--sample K] [--seed S]
   mosaic stability [--n N] [--seed S] [--min-runs R]
   mosaic interference [--n N] [--seed S] [--compress C] [--bandwidth-gbs B]
@@ -74,7 +76,7 @@ USAGE:
 SUBCOMMANDS:
   generate      write a synthetic dataset as .mdf files (+ truth.jsonl)
   categorize    run MOSAIC on .mdf files, one JSON report per trace
-  analyze       funnel + category tables + Jaccard heatmap
+  analyze       funnel + category tables + Jaccard heatmap (alias: run)
   evaluate      ground-truth accuracy by sampling (§IV-E)
   stability     per-application categorization stability (§III-B1)
   interference  category contention analysis (§V future work)
@@ -94,6 +96,8 @@ OPTIONS:
   --dir DIR        analyze .mdf files from a directory instead of generating
   --json           machine-readable analyze output
   --markdown FILE  write the analysis as a Markdown document
+  --metrics FILE   dump per-stage timings, throughput and the typed funnel
+                   breakdown as JSON
 ";
 
 /// Tiny flag parser: `--key value` pairs only.
@@ -176,9 +180,7 @@ fn categorize(args: &[String]) -> Result<(), String> {
         let parsed = if file.ends_with(".txt") {
             String::from_utf8(bytes)
                 .map_err(|_| "invalid UTF-8".to_owned())
-                .and_then(|text| {
-                    mosaic_darshan::text::parse(&text).map_err(|e| e.to_string())
-                })
+                .and_then(|text| mosaic_darshan::text::parse(&text).map_err(|e| e.to_string()))
         } else {
             mosaic_darshan::mdf::from_bytes(&bytes).map_err(|e| e.to_string())
         };
@@ -222,23 +224,35 @@ fn analyze(args: &[String]) -> Result<(), String> {
     } else {
         let ds = dataset_from(&flags)?;
         let source = ClosureSource::new(ds.len(), |i| match ds.generate(i).payload {
-            Payload::Log(log) => TraceInput::Log(log),
-            Payload::Bytes(bytes) => TraceInput::Bytes(bytes),
+            Payload::Log(log) => TraceInput::log(log),
+            Payload::Bytes(bytes) => TraceInput::bytes(bytes),
         });
         process(&source, &config)
     };
     let elapsed = started.elapsed();
 
+    if let Some(metrics_path) = flags.get("metrics") {
+        let doc = serde_json::json!({
+            "funnel": result.funnel,
+            "metrics": result.metrics,
+        });
+        std::fs::write(
+            Path::new(metrics_path),
+            serde_json::to_string_pretty(&doc).expect("metrics json"),
+        )
+        .map_err(|e| format!("writing {metrics_path}: {e}"))?;
+        eprintln!("wrote {metrics_path}");
+    }
     if let Some(md_path) = flags.get("markdown") {
         let md = mosaic_pipeline::report_md::render(&result, "MOSAIC analysis");
-        std::fs::write(Path::new(md_path), md)
-            .map_err(|e| format!("writing {md_path}: {e}"))?;
+        std::fs::write(Path::new(md_path), md).map_err(|e| format!("writing {md_path}: {e}"))?;
         eprintln!("wrote {md_path}");
         return Ok(());
     }
     if flags.contains_key("json") {
         let doc = serde_json::json!({
             "funnel": result.funnel,
+            "metrics": result.metrics,
             "single_run": result.single_run_counts(),
             "all_runs": result.all_runs_counts(),
             "elapsed_seconds": elapsed.as_secs_f64(),
@@ -254,6 +268,8 @@ fn analyze(args: &[String]) -> Result<(), String> {
     println!("{}", result.all_runs_counts().render_table("== All-runs categories =="));
     println!("== Jaccard matrix, single-run set (cf. Fig 5) ==");
     println!("{}", result.jaccard_single_run().render_text());
+    println!("== Pipeline stage metrics ==");
+    println!("{}", result.metrics.render_table());
     println!(
         "processed {} traces in {:.2}s ({:.0} traces/s)",
         result.funnel.total,
@@ -288,11 +304,13 @@ fn evaluate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn pipeline_over(flags: &HashMap<String, String>) -> Result<mosaic_pipeline::PipelineResult, String> {
+fn pipeline_over(
+    flags: &HashMap<String, String>,
+) -> Result<mosaic_pipeline::PipelineResult, String> {
     let ds = dataset_from(flags)?;
     let source = ClosureSource::new(ds.len(), move |i| match ds.generate(i).payload {
-        Payload::Log(log) => TraceInput::Log(log),
-        Payload::Bytes(bytes) => TraceInput::Bytes(bytes),
+        Payload::Log(log) => TraceInput::log(log),
+        Payload::Bytes(bytes) => TraceInput::bytes(bytes),
     });
     Ok(process(&source, &PipelineConfig::default()))
 }
@@ -363,8 +381,7 @@ fn discover_cmd(args: &[String]) -> Result<(), String> {
     let reports: Vec<_> = result.representatives().map(|o| o.report.clone()).collect();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let clustering = mosaic_core::discovery::discover(&reports, k, &mut rng);
-    let labels: Vec<String> =
-        reports.iter().map(mosaic_core::discovery::reference_label).collect();
+    let labels: Vec<String> = reports.iter().map(mosaic_core::discovery::reference_label).collect();
     println!(
         "discovered {k} clusters over {} traces; purity vs hand categories: {:.1}%\n",
         reports.len(),
@@ -376,7 +393,12 @@ fn discover_cmd(args: &[String]) -> Result<(), String> {
             .iter()
             .map(|(c, f)| format!("{} {:.0}%", c.name(), 100.0 * f))
             .collect();
-        println!("  cluster {:>2} ({:>5} traces): {}", profile.cluster, profile.size, cats.join(", "));
+        println!(
+            "  cluster {:>2} ({:>5} traces): {}",
+            profile.cluster,
+            profile.size,
+            cats.join(", ")
+        );
     }
     Ok(())
 }
@@ -386,10 +408,9 @@ fn render(args: &[String]) -> Result<(), String> {
     let file = files.first().ok_or("render requires a .mdf file")?;
     let out = flags.get("out").cloned().unwrap_or_else(|| format!("{file}.svg"));
     let bytes = std::fs::read(Path::new(file)).map_err(|e| format!("reading {file}: {e}"))?;
-    let mut log = mosaic_darshan::mdf::from_bytes(&bytes)
-        .map_err(|e| format!("{file}: corrupted ({e})"))?;
-    mosaic_darshan::validate::sanitize(&mut log)
-        .map_err(|_| format!("{file}: fatally invalid"))?;
+    let mut log =
+        mosaic_darshan::mdf::from_bytes(&bytes).map_err(|e| format!("{file}: corrupted ({e})"))?;
+    mosaic_darshan::validate::sanitize(&mut log).map_err(|_| format!("{file}: fatally invalid"))?;
     let view = mosaic_darshan::ops::OperationView::from_log(&log);
     let report = mosaic_core::Categorizer::default().categorize(&view);
     let svg = mosaic_viz::timeline::render(&view, &report);
@@ -433,8 +454,8 @@ fn diff(args: &[String]) -> Result<(), String> {
     let analyze_one = |seed: u64| {
         let ds = Dataset::new(DatasetConfig { n_traces: n, corruption_rate: corruption, seed });
         let source = ClosureSource::new(ds.len(), move |i| match ds.generate(i).payload {
-            Payload::Log(log) => TraceInput::Log(log),
-            Payload::Bytes(bytes) => TraceInput::Bytes(bytes),
+            Payload::Log(log) => TraceInput::log(log),
+            Payload::Bytes(bytes) => TraceInput::bytes(bytes),
         });
         process(&source, &PipelineConfig::default())
     };
@@ -487,18 +508,20 @@ fn watch(args: &[String]) -> Result<(), String> {
         let mut new_files = 0usize;
         for (i, path) in source.paths().iter().enumerate() {
             if seen.insert(path.clone()) {
-                analyzer.ingest(source.fetch(i));
+                // An unreadable file is accounted as an io_error eviction.
+                analyzer.ingest_fetched(source.fetch(i));
                 new_files += 1;
             }
         }
         let f = analyzer.funnel();
         eprintln!(
-            "round {}: +{} files (total {}: {} valid, {} evicted, {} apps)",
+            "round {}: +{} files (total {}: {} valid, {} evicted of which {} io-errors, {} apps)",
             round + 1,
             new_files,
             f.total,
             f.valid,
             f.evicted(),
+            f.io_error,
             f.unique_apps,
         );
         if round + 1 < rounds {
@@ -507,10 +530,7 @@ fn watch(args: &[String]) -> Result<(), String> {
     }
 
     println!("{}", analyzer.single_run_counts().render_table("single-run categories"));
-    println!(
-        "{}",
-        analyzer.all_runs_counts().render_table("all-runs categories")
-    );
+    println!("{}", analyzer.all_runs_counts().render_table("all-runs categories"));
     Ok(())
 }
 

@@ -30,11 +30,7 @@ impl KMeans {
     /// Run Lloyd's algorithm with k-means++ seeding, using `rng` for
     /// reproducible initialization. If there are fewer points than `k`, the
     /// effective `k` is the number of distinct points.
-    pub fn fit<const D: usize, R: Rng>(
-        &self,
-        points: &[[f64; D]],
-        rng: &mut R,
-    ) -> Clustering<D> {
+    pub fn fit<const D: usize, R: Rng>(&self, points: &[[f64; D]], rng: &mut R) -> Clustering<D> {
         if points.is_empty() {
             return Clustering { labels: Vec::new(), centers: Vec::new() };
         }

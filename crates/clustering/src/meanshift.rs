@@ -142,11 +142,8 @@ impl MeanShift {
         let mut counts: Vec<usize> = Vec::new();
         let mut labels = Vec::with_capacity(points.len());
         for mode in &converged {
-            let found = centers
-                .iter()
-                .enumerate()
-                .find(|(_, c)| dist2(mode, c) <= merge2)
-                .map(|(i, _)| i);
+            let found =
+                centers.iter().enumerate().find(|(_, c)| dist2(mode, c) <= merge2).map(|(i, _)| i);
             match found {
                 Some(i) => {
                     // Running average keeps the fused mode centered.

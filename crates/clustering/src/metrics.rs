@@ -17,9 +17,8 @@ pub fn inertia<const D: usize>(points: &[[f64; D]], c: &Clustering<D>) -> f64 {
 /// Higher means better-separated clusters. Returns `None` when fewer than
 /// two clusters have members (silhouette is undefined there).
 pub fn silhouette<const D: usize>(points: &[[f64; D]], c: &Clustering<D>) -> Option<f64> {
-    let live: Vec<usize> = (0..points.len())
-        .filter(|&i| c.labels[i] != Clustering::<D>::NOISE)
-        .collect();
+    let live: Vec<usize> =
+        (0..points.len()).filter(|&i| c.labels[i] != Clustering::<D>::NOISE).collect();
     let labels_present: std::collections::BTreeSet<usize> =
         live.iter().map(|&i| c.labels[i]).collect();
     if labels_present.len() < 2 {
@@ -54,10 +53,7 @@ pub fn silhouette<const D: usize>(points: &[[f64; D]], c: &Clustering<D>) -> Opt
             continue;
         }
         let a = intra / intra_n as f64;
-        let b = inter
-            .values()
-            .map(|&(sum, n)| sum / n as f64)
-            .fold(f64::INFINITY, f64::min);
+        let b = inter.values().map(|&(sum, n)| sum / n as f64).fold(f64::INFINITY, f64::min);
         total += (b - a) / a.max(b);
         counted += 1;
     }
@@ -93,10 +89,7 @@ mod tests {
 
     fn tight_two() -> (Vec<[f64; 2]>, Clustering<2>) {
         let points = vec![[0.0, 0.0], [0.1, 0.0], [10.0, 10.0], [10.1, 10.0]];
-        let c = Clustering {
-            labels: vec![0, 0, 1, 1],
-            centers: vec![[0.05, 0.0], [10.05, 10.0]],
-        };
+        let c = Clustering { labels: vec![0, 0, 1, 1], centers: vec![[0.05, 0.0], [10.05, 10.0]] };
         (points, c)
     }
 

@@ -68,11 +68,7 @@ impl<const D: usize> Clustering<D> {
 
     /// Indices of the members of cluster `c`.
     pub fn members(&self, c: usize) -> Vec<usize> {
-        self.labels
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &l)| (l == c).then_some(i))
-            .collect()
+        self.labels.iter().enumerate().filter_map(|(i, &l)| (l == c).then_some(i)).collect()
     }
 
     /// Iterate clusters as `(center, member indices)`, skipping empty ones.

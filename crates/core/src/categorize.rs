@@ -73,6 +73,19 @@ impl TraceReport {
     }
 }
 
+/// Wall-clock split of one categorization call, for pipeline observability.
+///
+/// The merge passes and the rest of the categorization (segmentation,
+/// temporality, periodicity, metadata) are timed separately so the pipeline
+/// can report them as distinct stages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CategorizeTimings {
+    /// Nanoseconds spent in the merge passes (both directions).
+    pub merge_nanos: u64,
+    /// Nanoseconds for the whole categorization, merging included.
+    pub total_nanos: u64,
+}
+
 /// The MOSAIC categorizer. Cheap to clone; holds only configuration.
 #[derive(Debug, Clone, Default)]
 pub struct Categorizer {
@@ -95,27 +108,55 @@ impl Categorizer {
         self.categorize(&OperationView::from_log(log))
     }
 
+    /// Like [`Categorizer::categorize_log`], but also reports the wall-clock
+    /// split between merging and the rest of the categorization.
+    pub fn categorize_log_timed(&self, log: &TraceLog) -> (TraceReport, CategorizeTimings) {
+        self.categorize_timed(&OperationView::from_log(log))
+    }
+
     /// Categorize an operation view. The core entry point.
     pub fn categorize(&self, view: &OperationView) -> TraceReport {
+        self.categorize_timed(view).0
+    }
+
+    /// Like [`Categorizer::categorize`], but also reports the wall-clock
+    /// split between merging and the rest of the categorization.
+    pub fn categorize_timed(&self, view: &OperationView) -> (TraceReport, CategorizeTimings) {
+        let started = std::time::Instant::now();
+        let mut merge_nanos = 0u64;
         let mut categories = BTreeSet::new();
 
-        let read = self.direction(&view.reads, view.runtime, OpKind::Read, &mut categories);
-        let write = self.direction(&view.writes, view.runtime, OpKind::Write, &mut categories);
+        let read = self.direction(
+            &view.reads,
+            view.runtime,
+            OpKind::Read,
+            &mut categories,
+            &mut merge_nanos,
+        );
+        let write = self.direction(
+            &view.writes,
+            view.runtime,
+            OpKind::Write,
+            &mut categories,
+            &mut merge_nanos,
+        );
 
-        let metadata =
-            metadata::characterize(&view.meta, view.runtime, view.nprocs, &self.config);
+        let metadata = metadata::characterize(&view.meta, view.runtime, view.nprocs, &self.config);
         for label in &metadata.labels {
             categories.insert(Category::Metadata(*label));
         }
 
-        TraceReport {
+        let report = TraceReport {
             categories,
             read,
             write,
             metadata,
             runtime: view.runtime,
             nprocs: view.nprocs,
-        }
+        };
+        let timings =
+            CategorizeTimings { merge_nanos, total_nanos: started.elapsed().as_nanos() as u64 };
+        (report, timings)
     }
 
     fn direction(
@@ -124,9 +165,12 @@ impl Categorizer {
         runtime: f64,
         kind: OpKind,
         categories: &mut BTreeSet<Category>,
+        merge_nanos: &mut u64,
     ) -> DirectionReport {
         let tag = OpKindTag::from(kind);
+        let merge_started = std::time::Instant::now();
         let merged = merge_all(raw, runtime, &self.config);
+        *merge_nanos += merge_started.elapsed().as_nanos() as u64;
         let temporality = temporality::characterize(&merged, runtime, &self.config);
         categories.insert(Category::Temporality { kind: tag, label: temporality.label });
 
@@ -150,8 +194,7 @@ impl Categorizer {
                         patterns.iter().flat_map(|p| p.members.iter().copied()).collect();
                     let leftover_idx: Vec<usize> =
                         (0..segments.len()).filter(|i| !explained.contains(i)).collect();
-                    let leftovers: Vec<_> =
-                        leftover_idx.iter().map(|&i| segments[i]).collect();
+                    let leftovers: Vec<_> = leftover_idx.iter().map(|&i| segments[i]).collect();
                     let mut extra = crate::spectral::detect_periodic_spectral(
                         &leftovers,
                         runtime,
@@ -177,7 +220,8 @@ impl Categorizer {
         if !periodic.is_empty() {
             categories.insert(Category::Periodic { kind: tag });
             for p in &periodic {
-                categories.insert(Category::PeriodicMagnitude { kind: tag, magnitude: p.magnitude });
+                categories
+                    .insert(Category::PeriodicMagnitude { kind: tag, magnitude: p.magnitude });
                 if p.is_low_busy(self.config.busy_time_split) {
                     categories.insert(Category::PeriodicLowBusyTime { kind: tag });
                 } else {
@@ -223,10 +267,9 @@ mod tests {
             kind: OpKindTag::Read,
             label: TemporalityLabel::OnStart
         }));
-        assert!(r.has(Category::Temporality {
-            kind: OpKindTag::Write,
-            label: TemporalityLabel::OnEnd
-        }));
+        assert!(
+            r.has(Category::Temporality { kind: OpKindTag::Write, label: TemporalityLabel::OnEnd })
+        );
         assert!(r.has(Category::Metadata(MetadataLabel::InsignificantLoad)));
     }
 
@@ -260,8 +303,9 @@ mod tests {
     fn insignificant_direction_has_no_periodicity() {
         // Tiny, regular writes: insignificant volume suppresses periodic
         // labels.
-        let writes: Vec<Operation> =
-            (0..10).map(|i| op(OpKind::Write, 100.0 * i as f64, 100.0 * i as f64 + 1.0, MB)).collect();
+        let writes: Vec<Operation> = (0..10)
+            .map(|i| op(OpKind::Write, 100.0 * i as f64, 100.0 * i as f64 + 1.0, MB))
+            .collect();
         let r = categorizer().categorize(&view(vec![], writes, vec![]));
         assert!(!r.has(Category::Periodic { kind: OpKindTag::Write }));
         assert!(r.write.periodic.is_empty());
@@ -330,6 +374,19 @@ mod tests {
         let names = categorizer().categorize(&v).names();
         assert!(names.iter().any(|n| n == "read_on_start"));
         assert!(names.iter().any(|n| n == "write_insignificant"));
+    }
+
+    #[test]
+    fn timed_variant_matches_untimed_and_splits_sanely() {
+        let v = view(
+            vec![op(OpKind::Read, 5.0, 30.0, 800 * MB)],
+            vec![op(OpKind::Write, 950.0, 990.0, 500 * MB)],
+            vec![],
+        );
+        let c = categorizer();
+        let (timed, t) = c.categorize_timed(&v);
+        assert_eq!(timed, c.categorize(&v));
+        assert!(t.total_nanos >= t.merge_nanos, "{t:?}");
     }
 
     #[test]

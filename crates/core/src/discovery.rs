@@ -63,11 +63,7 @@ pub struct ClusterProfile {
 }
 
 /// Discover `k` behaviour classes among trace reports.
-pub fn discover<R: Rng>(
-    reports: &[TraceReport],
-    k: usize,
-    rng: &mut R,
-) -> Clustering<FEATURE_DIM> {
+pub fn discover<R: Rng>(reports: &[TraceReport], k: usize, rng: &mut R) -> Clustering<FEATURE_DIM> {
     let points: Vec<[f64; FEATURE_DIM]> = reports.iter().map(features).collect();
     KMeans::new(k).fit(&points, rng)
 }
@@ -200,10 +196,8 @@ mod tests {
         let profiles = profiles(&reports, &clustering, 0.5);
         assert_eq!(profiles.len(), 3);
         // Some cluster must be dominated by read_on_start.
-        let names: Vec<String> = profiles
-            .iter()
-            .flat_map(|p| p.dominant.iter().map(|(c, _)| c.name()))
-            .collect();
+        let names: Vec<String> =
+            profiles.iter().flat_map(|p| p.dominant.iter().map(|(c, _)| c.name())).collect();
         assert!(names.iter().any(|n| n == "read_on_start"), "{names:?}");
         assert!(names.iter().any(|n| n == "write_on_end"), "{names:?}");
     }
@@ -212,10 +206,7 @@ mod tests {
     fn purity_degenerate_cases() {
         let c = Clustering::<FEATURE_DIM> { labels: vec![], centers: vec![] };
         assert_eq!(purity(&c, &[]), 1.0);
-        let c = Clustering::<FEATURE_DIM> {
-            labels: vec![0, 0],
-            centers: vec![[0.0; FEATURE_DIM]],
-        };
+        let c = Clustering::<FEATURE_DIM> { labels: vec![0, 0], centers: vec![[0.0; FEATURE_DIM]] };
         assert_eq!(purity(&c, &["a".into(), "b".into()]), 0.5);
     }
 

@@ -58,7 +58,12 @@ impl JaccardMatrix {
     /// Conditional co-occurrence `P(b | a) = |Tₐ ∩ T_b| / |Tₐ|` — the form
     /// behind statements like "66 % of applications reading on start write
     /// on end". `None` if `a` never occurred.
-    pub fn conditional(&self, sets: &[BTreeSet<Category>], a: Category, b: Category) -> Option<f64> {
+    pub fn conditional(
+        &self,
+        sets: &[BTreeSet<Category>],
+        a: Category,
+        b: Category,
+    ) -> Option<f64> {
         let with_a: Vec<&BTreeSet<Category>> = sets.iter().filter(|s| s.contains(&a)).collect();
         if with_a.is_empty() {
             return None;
@@ -166,8 +171,9 @@ mod tests {
         let m = JaccardMatrix::compute(&sets());
         let s = sets();
         // P(write_on_end | read_on_start) = 2/3.
-        assert!((m.conditional(&s, read_on_start(), write_on_end()).unwrap() - 2.0 / 3.0).abs()
-            < 1e-12);
+        assert!(
+            (m.conditional(&s, read_on_start(), write_on_end()).unwrap() - 2.0 / 3.0).abs() < 1e-12
+        );
         // P(read_on_start | write_on_end) = 1.
         assert_eq!(m.conditional(&s, write_on_end(), read_on_start()).unwrap(), 1.0);
         let absent = Category::Metadata(MetadataLabel::HighDensity);

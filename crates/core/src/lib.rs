@@ -66,7 +66,7 @@ pub mod segment;
 pub mod spectral;
 pub mod temporality;
 
-pub use categorize::{Categorizer, TraceReport};
+pub use categorize::{CategorizeTimings, Categorizer, TraceReport};
 pub use category::{Category, MetadataLabel, PeriodMagnitude, TemporalityLabel};
 pub use config::{CategorizerConfig, PeriodicityMethod};
 pub use jaccard::JaccardMatrix;

@@ -71,11 +71,7 @@ pub fn merge_neighbors(
 }
 
 /// Both passes in order: the full §III-B2 pre-processing for one direction.
-pub fn merge_all(
-    ops: &[Operation],
-    runtime: f64,
-    config: &CategorizerConfig,
-) -> Vec<Operation> {
+pub fn merge_all(ops: &[Operation], runtime: f64, config: &CategorizerConfig) -> Vec<Operation> {
     merge_neighbors(&merge_concurrent(ops), runtime, config)
 }
 
@@ -173,7 +169,8 @@ mod tests {
     #[test]
     fn periodic_pattern_survives_both_merges() {
         // Checkpoints 100 s apart must NOT merge.
-        let ops: Vec<Operation> = (0..6).map(|i| op(i as f64 * 100.0, i as f64 * 100.0 + 5.0, 7)).collect();
+        let ops: Vec<Operation> =
+            (0..6).map(|i| op(i as f64 * 100.0, i as f64 * 100.0 + 5.0, 7)).collect();
         let merged = merge_all(&ops, 600.0, &cfg());
         assert_eq!(merged.len(), 6);
     }

@@ -146,7 +146,7 @@ mod tests {
 
     #[test]
     fn histogram_binning() {
-        let hist = requests_per_second(&[ev(0.2, 3), ev(0.8, 2), ev(7.5, 1)], 10.0, );
+        let hist = requests_per_second(&[ev(0.2, 3), ev(0.8, 2), ev(7.5, 1)], 10.0);
         assert_eq!(hist.len(), 10);
         assert_eq!(hist[0], 5);
         assert_eq!(hist[7], 1);

@@ -163,13 +163,11 @@ mod tests {
         let writes: Vec<Operation> = (0..10)
             .map(|i| op(OpKind::Write, 100.0 * i as f64 + 30.0, 100.0 * i as f64 + 38.0, 400 * MB))
             .collect();
-        let view = OperationView { runtime: 1000.0, nprocs: 8, reads: vec![], writes, meta: vec![] };
+        let view =
+            OperationView { runtime: 1000.0, nprocs: 8, reads: vec![], writes, meta: vec![] };
         let c = categorizer();
         let half = categorize_at(&c, &view, 500.0);
-        assert!(
-            !half.write.periodic.is_empty(),
-            "five checkpoints are enough to call the pattern"
-        );
+        assert!(!half.write.periodic.is_empty(), "five checkpoints are enough to call the pattern");
     }
 
     #[test]

@@ -65,10 +65,7 @@ fn op_feature(s: &Segment) -> [f64; 2] {
 /// start time, as [`crate::segment::segment`] produces them).
 ///
 /// Returns patterns sorted by descending occurrence count.
-pub fn detect_periodic(
-    segments: &[Segment],
-    config: &CategorizerConfig,
-) -> Vec<PeriodicPattern> {
+pub fn detect_periodic(segments: &[Segment], config: &CategorizerConfig) -> Vec<PeriodicPattern> {
     if segments.len() < config.min_periodic_occurrences {
         return Vec::new();
     }
@@ -97,13 +94,9 @@ pub fn detect_periodic(
         }
         let n = members.len() as f64;
         let mean_bytes = members.iter().map(|&i| segments[i].bytes as f64).sum::<f64>() / n;
-        let busy_fraction = (members
-            .iter()
-            .map(|&i| segments[i].op_duration)
-            .sum::<f64>()
-            / n
-            / period)
-            .clamp(0.0, 1.0);
+        let busy_fraction =
+            (members.iter().map(|&i| segments[i].op_duration).sum::<f64>() / n / period)
+                .clamp(0.0, 1.0);
         patterns.push(PeriodicPattern {
             occurrences: members.len(),
             period,

@@ -78,31 +78,18 @@ impl CategoryCounts {
     /// marginals, not a probability-distribution distance — it can exceed
     /// 1 when many categories move at once.
     pub fn l1_drift(&self, other: &CategoryCounts) -> f64 {
-        let cats: std::collections::BTreeSet<Category> = self
-            .counts
-            .keys()
-            .chain(other.counts.keys())
-            .copied()
-            .collect();
-        0.5 * cats
-            .into_iter()
-            .map(|c| (self.fraction(c) - other.fraction(c)).abs())
-            .sum::<f64>()
+        let cats: std::collections::BTreeSet<Category> =
+            self.counts.keys().chain(other.counts.keys()).copied().collect();
+        0.5 * cats.into_iter().map(|c| (self.fraction(c) - other.fraction(c)).abs()).sum::<f64>()
     }
 
     /// The categories whose share moved the most between `self` and
     /// `other`, as `(category, share delta)` sorted by |delta| descending.
     pub fn biggest_movers(&self, other: &CategoryCounts, top: usize) -> Vec<(Category, f64)> {
-        let cats: std::collections::BTreeSet<Category> = self
-            .counts
-            .keys()
-            .chain(other.counts.keys())
-            .copied()
-            .collect();
-        let mut moves: Vec<(Category, f64)> = cats
-            .into_iter()
-            .map(|c| (c, other.fraction(c) - self.fraction(c)))
-            .collect();
+        let cats: std::collections::BTreeSet<Category> =
+            self.counts.keys().chain(other.counts.keys()).copied().collect();
+        let mut moves: Vec<(Category, f64)> =
+            cats.into_iter().map(|c| (c, other.fraction(c) - self.fraction(c))).collect();
         moves.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
         moves.truncate(top);
         moves
@@ -112,13 +99,7 @@ impl CategoryCounts {
     /// paper's distribution tables.
     pub fn render_table(&self, title: &str) -> String {
         let mut out = format!("{title} ({} traces)\n", self.total);
-        let width = self
-            .counts
-            .keys()
-            .map(|c| c.name().len())
-            .max()
-            .unwrap_or(8)
-            .max(8);
+        let width = self.counts.keys().map(|c| c.name().len()).max().unwrap_or(8).max(8);
         for (c, n) in self.ranked() {
             out.push_str(&format!(
                 "  {:width$}  {:>8}  {:>5.1}%\n",
@@ -218,12 +199,11 @@ mod tests {
 
     #[test]
     fn biggest_movers_ranked_by_magnitude() {
-        let a = CategoryCounts::from_sets(&[
-            [c_read_start()].into_iter().collect::<BTreeSet<Category>>(),
-        ]);
-        let b = CategoryCounts::from_sets(&[
-            [c_spike()].into_iter().collect::<BTreeSet<Category>>(),
-        ]);
+        let a = CategoryCounts::from_sets(&[[c_read_start()]
+            .into_iter()
+            .collect::<BTreeSet<Category>>()]);
+        let b =
+            CategoryCounts::from_sets(&[[c_spike()].into_iter().collect::<BTreeSet<Category>>()]);
         let movers = a.biggest_movers(&b, 5);
         assert_eq!(movers.len(), 2);
         assert!(movers.iter().any(|&(c, d)| c == c_read_start() && d == -1.0));

@@ -43,10 +43,8 @@ pub fn detect_periodic_spectral(
     if segments.len() < config.min_periodic_occurrences || runtime <= 0.0 {
         return Vec::new();
     }
-    let intervals: Vec<(f64, f64, f64)> = segments
-        .iter()
-        .map(|s| (s.start, s.start + s.op_duration, s.bytes as f64))
-        .collect();
+    let intervals: Vec<(f64, f64, f64)> =
+        segments.iter().map(|s| (s.start, s.start + s.op_duration, s.bytes as f64)).collect();
     let mut signal = rasterize(&intervals, runtime, BINS);
     remove_mean(&mut signal);
     let sample_rate = BINS as f64 / runtime;
@@ -118,8 +116,7 @@ pub fn detect_periodic_spectral(
         if (mean_gap - period).abs() > 0.25 * period {
             continue;
         }
-        let gap_var =
-            gaps.iter().map(|g| (g - mean_gap).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let gap_var = gaps.iter().map(|g| (g - mean_gap).powi(2)).sum::<f64>() / gaps.len() as f64;
         if gap_var.sqrt() / mean_gap > config.periodic_regularity_cv {
             continue;
         }
@@ -180,10 +177,8 @@ fn lattice_members(
     let mut best_count = 0usize;
     for &i in &unclaimed {
         let phase = segments[i].start % period;
-        let count = unclaimed
-            .iter()
-            .filter(|&&j| residual(segments[j].start, phase).abs() <= tol)
-            .count();
+        let count =
+            unclaimed.iter().filter(|&&j| residual(segments[j].start, phase).abs() <= tol).count();
         if count > best_count {
             best_count = count;
             best_phase = phase;
@@ -203,8 +198,7 @@ fn lattice_members(
         }
     }
     let mean = residuals.iter().sum::<f64>() / residuals.len() as f64;
-    let var =
-        residuals.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / residuals.len() as f64;
+    let var = residuals.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / residuals.len() as f64;
     Some((members, var.sqrt() * 2.0))
 }
 
@@ -272,10 +266,7 @@ mod tests {
         segments.sort_by(|a, b| a.start.total_cmp(&b.start));
         let patterns = detect_periodic_spectral(&segments, 7200.0, &cfg());
         let periods: Vec<f64> = patterns.iter().map(|p| p.period).collect();
-        assert!(
-            periods.iter().any(|&p| (p - 60.0).abs() < 6.0),
-            "fast train missing: {periods:?}"
-        );
+        assert!(periods.iter().any(|&p| (p - 60.0).abs() < 6.0), "fast train missing: {periods:?}");
         // The slow train is 10 % of the energy; the spectral method may or
         // may not surface it — that asymmetry vs Mean Shift is exactly what
         // the ablation bench quantifies. Only the fast train is required.

@@ -44,10 +44,16 @@ pub fn chunk_volumes(ops: &[Operation], runtime: f64, chunks: usize) -> Vec<f64>
     }
     let width = runtime / chunks as f64;
     for op in ops {
-        let (s, e) = (op.start.max(0.0), op.end.min(runtime).max(op.start.max(0.0)));
         if op.bytes == 0 {
             continue;
         }
+        // Ops entirely outside the job window carry no in-window bytes;
+        // apportioning them would dump phantom volume into an edge chunk.
+        if op.start > runtime || op.end < 0.0 {
+            continue;
+        }
+        let s = op.start.max(0.0);
+        let e = op.end.min(runtime).max(s);
         if e <= s {
             // Instantaneous operation: all bytes in its containing chunk.
             let c = ((s / width) as usize).min(chunks - 1);
@@ -194,6 +200,20 @@ mod tests {
     }
 
     #[test]
+    fn ops_outside_runtime_are_skipped() {
+        // Entirely after job end: previously dumped every byte into the
+        // last chunk as a bogus "instantaneous" operation.
+        let sums = chunk_volumes(&[op(120.0, 130.0, 100)], 100.0, 4);
+        assert!(sums.iter().all(|&s| s == 0.0), "{sums:?}");
+        // Entirely before job start.
+        let sums = chunk_volumes(&[op(-10.0, -1.0, 100)], 100.0, 4);
+        assert!(sums.iter().all(|&s| s == 0.0), "{sums:?}");
+        // Straddling the start: clamped into chunk 0, bytes conserved.
+        let sums = chunk_volumes(&[op(-5.0, 5.0, 100)], 100.0, 4);
+        assert!((sums[0] - 100.0).abs() < 1e-9, "{sums:?}");
+    }
+
+    #[test]
     fn insignificant_below_100mb() {
         let r = characterize(&[op(0.0, 1.0, 99 * MB)], 100.0, &cfg());
         assert_eq!(r.label, TemporalityLabel::Insignificant);
@@ -237,11 +257,7 @@ mod tests {
     fn fallback_is_flagged_unconfident() {
         // Two equal bursts in first and last chunk: no single dominance, not
         // steady, middle not dominant → argmax fallback.
-        let r = characterize(
-            &[op(0.0, 10.0, 300 * MB), op(90.0, 100.0, 299 * MB)],
-            100.0,
-            &cfg(),
-        );
+        let r = characterize(&[op(0.0, 10.0, 300 * MB), op(90.0, 100.0, 299 * MB)], 100.0, &cfg());
         assert!(!r.confident);
         assert_eq!(r.label, TemporalityLabel::OnStart);
     }
@@ -267,12 +283,22 @@ mod tests {
     fn dominance_boundary_is_strict() {
         // Exactly 2x the other chunks is NOT dominant (paper: "more than
         // twice"); just above is.
-        let ops = vec![op(0.0, 25.0, 400 * MB), op(25.0, 50.0, 200 * MB), op(50.0, 75.0, 200 * MB), op(75.0, 100.0, 200 * MB)];
+        let ops = vec![
+            op(0.0, 25.0, 400 * MB),
+            op(25.0, 50.0, 200 * MB),
+            op(50.0, 75.0, 200 * MB),
+            op(75.0, 100.0, 200 * MB),
+        ];
         let r = characterize(&ops, 100.0, &cfg());
         // Exactly 2x reaches OnStart only through the argmax fallback, so
         // the verdict is flagged low-confidence.
         assert!(!r.confident, "exactly 2x must not satisfy the dominance rule");
-        let ops = vec![op(0.0, 25.0, 401 * MB), op(25.0, 50.0, 200 * MB), op(50.0, 75.0, 200 * MB), op(75.0, 100.0, 200 * MB)];
+        let ops = vec![
+            op(0.0, 25.0, 401 * MB),
+            op(25.0, 50.0, 200 * MB),
+            op(50.0, 75.0, 200 * MB),
+            op(75.0, 100.0, 200 * MB),
+        ];
         let r = characterize(&ops, 100.0, &cfg());
         assert_eq!(r.label, TemporalityLabel::OnStart);
         assert!(r.confident, "just above 2x satisfies the dominance rule");

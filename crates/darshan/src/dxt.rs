@@ -197,10 +197,7 @@ impl DxtTrace {
             }
             if let Some(&first) = rec.closes.first() {
                 out.setf(F::CloseStartTimestamp, first);
-                out.setf(
-                    F::CloseEndTimestamp,
-                    rec.closes.iter().cloned().fold(first, f64::max),
-                );
+                out.setf(F::CloseEndTimestamp, rec.closes.iter().cloned().fold(first, f64::max));
             }
         }
         builder.finish()
@@ -360,7 +357,11 @@ pub fn from_bytes(data: &[u8]) -> Result<DxtTrace, FormatError> {
     Ok(DxtTrace::from_parts(header, records, names))
 }
 
-fn need<'b>(buf: &'b mut Bytes, n: usize, context: &'static str) -> Result<&'b mut Bytes, FormatError> {
+fn need<'b>(
+    buf: &'b mut Bytes,
+    n: usize,
+    context: &'static str,
+) -> Result<&'b mut Bytes, FormatError> {
     if buf.remaining() < n {
         return Err(FormatError::Truncated { context });
     }
@@ -442,11 +443,8 @@ mod tests {
 
     #[test]
     fn empty_trace_roundtrips() {
-        let trace = DxtTrace::from_parts(
-            JobHeader::new(1, 1, 1, 0, 10),
-            Vec::new(),
-            BTreeMap::new(),
-        );
+        let trace =
+            DxtTrace::from_parts(JobHeader::new(1, 1, 1, 0, 10), Vec::new(), BTreeMap::new());
         assert_eq!(from_bytes(&to_bytes(&trace)).unwrap(), trace);
         assert_eq!(trace.total_accesses(), 0);
         assert!(trace.operation_view().writes.is_empty());

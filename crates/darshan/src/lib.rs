@@ -71,7 +71,7 @@ pub mod synthutil;
 pub mod text;
 pub mod validate;
 
-pub use error::{FormatError, ValidityError};
+pub use error::{EvictClass, EvictReason, FormatError, ValidityError};
 pub use job::JobHeader;
 pub use log::{TraceLog, TraceLogBuilder};
 pub use ops::{MetaEvent, MetaKind, OpKind, Operation, OperationView};

@@ -49,6 +49,11 @@ const MAX_EXE_LEN: u32 = 64 * 1024;
 const MAX_RECORDS: u32 = 64 * 1024 * 1024;
 const MAX_NAMES: u32 = 64 * 1024 * 1024;
 
+/// Exact wire size of one record (fixed-width fields only).
+const RECORD_WIRE_BYTES: usize = 8 + 4 + 1 + N_POSIX_COUNTERS * 8 + N_POSIX_FCOUNTERS * 8;
+/// Minimum wire size of one name-table entry (id + length prefix).
+const NAME_WIRE_MIN_BYTES: usize = 8 + 2;
+
 /// Serialize a trace to MDF bytes.
 pub fn to_bytes(log: &TraceLog) -> Vec<u8> {
     let mut buf = BytesMut::with_capacity(estimated_size(log));
@@ -138,6 +143,13 @@ pub fn from_bytes(data: &[u8]) -> Result<TraceLog, FormatError> {
             len: n_records as u64,
         });
     }
+    // Pre-allocation bomb guard: a crafted header claiming millions of
+    // records must not drive `with_capacity` into a multi-GB allocation.
+    // Every record occupies RECORD_WIRE_BYTES, so a count the remaining
+    // payload cannot possibly hold is rejected before any allocation.
+    if n_records as u64 * RECORD_WIRE_BYTES as u64 > buf.remaining() as u64 {
+        return Err(FormatError::Truncated { context: "record array" });
+    }
     let mut records = Vec::with_capacity(n_records as usize);
     for _ in 0..n_records {
         let record_id = get_u64(&mut buf, "record id")?;
@@ -158,6 +170,11 @@ pub fn from_bytes(data: &[u8]) -> Result<TraceLog, FormatError> {
     let n_names = get_u32(&mut buf, "name count")?;
     if n_names > MAX_NAMES {
         return Err(FormatError::ImplausibleLength { context: "name count", len: n_names as u64 });
+    }
+    // Same guard for the name table: each entry needs at least its id and
+    // length prefix on the wire.
+    if n_names as u64 * NAME_WIRE_MIN_BYTES as u64 > buf.remaining() as u64 {
+        return Err(FormatError::Truncated { context: "name table" });
     }
     let mut names = BTreeMap::new();
     for _ in 0..n_names {
@@ -210,9 +227,10 @@ mod tests {
     use crate::log::TraceLogBuilder;
 
     fn sample() -> TraceLog {
-        let mut b =
-            TraceLogBuilder::new(JobHeader::new(99, 1234, 256, 1_500_000_000, 1_500_007_200)
-                .with_exe("/apps/milc/su3_rmd in.milc"));
+        let mut b = TraceLogBuilder::new(
+            JobHeader::new(99, 1234, 256, 1_500_000_000, 1_500_007_200)
+                .with_exe("/apps/milc/su3_rmd in.milc"),
+        );
         for i in 0..5 {
             let r = b.begin_record(&format!("/scratch/file.{i}"), if i == 0 { -1 } else { i });
             b.record_mut(r)
@@ -253,10 +271,7 @@ mod tests {
         for cut in [bytes.len() - 1, bytes.len() / 2, 10] {
             let err = from_bytes(&bytes[..cut]).unwrap_err();
             assert!(
-                matches!(
-                    err,
-                    FormatError::ChecksumMismatch { .. } | FormatError::Truncated { .. }
-                ),
+                matches!(err, FormatError::ChecksumMismatch { .. } | FormatError::Truncated { .. }),
                 "cut at {cut} gave {err:?}"
             );
         }
@@ -283,6 +298,63 @@ mod tests {
         let crc = Crc32::checksum(&bytes[..n - 4]);
         bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
         assert_eq!(from_bytes(&bytes), Err(FormatError::UnsupportedVersion(255)));
+    }
+
+    /// Patch a little-endian u32 at `offset` and fix up the trailing CRC so
+    /// only the patched field (not the checksum) is what the parser rejects.
+    fn patch_u32_and_recrc(bytes: &mut [u8], offset: usize, value: u32) {
+        bytes[offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+        let n = bytes.len();
+        let crc = Crc32::checksum(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Byte offset of the `n_records` field (after header + exe string).
+    fn n_records_offset(bytes: &[u8]) -> usize {
+        let exe_len_off = 8 + 2 + 2 + 8 + 4 + 4 + 8 + 8;
+        let exe_len =
+            u32::from_le_bytes(bytes[exe_len_off..exe_len_off + 4].try_into().unwrap()) as usize;
+        exe_len_off + 4 + exe_len
+    }
+
+    #[test]
+    fn hostile_record_count_is_rejected_without_allocating() {
+        // A tiny file with a valid CRC claiming 60M records must fail fast
+        // as truncated — not attempt a multi-GB `Vec::with_capacity`.
+        let log = TraceLogBuilder::new(JobHeader::new(1, 1, 1, 0, 10)).finish();
+        let mut bytes = to_bytes(&log);
+        let off = n_records_offset(&bytes);
+        patch_u32_and_recrc(&mut bytes, off, 60_000_000);
+        assert_eq!(from_bytes(&bytes), Err(FormatError::Truncated { context: "record array" }));
+        // Beyond the absolute cap it is implausible, not merely truncated.
+        patch_u32_and_recrc(&mut bytes, off, MAX_RECORDS + 1);
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(FormatError::ImplausibleLength { context: "record count", .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_name_count_is_rejected_without_allocating() {
+        let log = TraceLogBuilder::new(JobHeader::new(1, 1, 1, 0, 10)).finish();
+        let mut bytes = to_bytes(&log);
+        // With zero records the name count sits right after n_records.
+        assert!(log.records().is_empty());
+        let off = n_records_offset(&bytes) + 4;
+        patch_u32_and_recrc(&mut bytes, off, 50_000_000);
+        assert_eq!(from_bytes(&bytes), Err(FormatError::Truncated { context: "name table" }));
+    }
+
+    #[test]
+    fn record_wire_size_matches_serialization() {
+        // The bomb guard's arithmetic must track the real wire format.
+        let mut b = TraceLogBuilder::new(JobHeader::new(1, 1, 1, 0, 10));
+        b.begin_record("/f", 0);
+        let one = to_bytes(&b.finish());
+        let zero = to_bytes(&TraceLogBuilder::new(JobHeader::new(1, 1, 1, 0, 10)).finish());
+        // One extra record adds exactly RECORD_WIRE_BYTES plus its name entry.
+        let name_entry = 8 + 2 + "/f".len();
+        assert_eq!(one.len() - zero.len(), RECORD_WIRE_BYTES + name_entry);
     }
 
     #[test]

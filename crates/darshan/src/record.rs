@@ -1,8 +1,6 @@
 //! Per-`(rank, file)` trace records.
 
-use crate::counter::{
-    Module, PosixCounter, PosixFCounter, N_POSIX_COUNTERS, N_POSIX_FCOUNTERS,
-};
+use crate::counter::{Module, PosixCounter, PosixFCounter, N_POSIX_COUNTERS, N_POSIX_FCOUNTERS};
 use serde::{Deserialize, Serialize};
 
 /// Rank value meaning "shared across all ranks".
@@ -203,9 +201,7 @@ mod tests {
         assert_eq!(r.read_interval(), None);
         r.set(C::Reads, 10); // ops but no bytes: still no interval
         assert_eq!(r.read_interval(), None);
-        r.set(C::BytesRead, 100)
-            .setf(F::ReadStartTimestamp, 2.0)
-            .setf(F::ReadEndTimestamp, 5.0);
+        r.set(C::BytesRead, 100).setf(F::ReadStartTimestamp, 2.0).setf(F::ReadEndTimestamp, 5.0);
         assert_eq!(r.read_interval(), Some((2.0, 5.0)));
         assert_eq!(r.write_interval(), None);
         r.set(C::Writes, 1)

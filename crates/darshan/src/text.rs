@@ -147,20 +147,14 @@ pub fn parse(text: &str) -> Result<TraceLog, FormatError> {
         return Err(FormatError::BadMagic);
     }
     let header = JobHeader::new(job_id, uid, nprocs, start_time, end_time).with_exe(exe);
-    let records =
-        order.into_iter().map(|k| recs.remove(&k).expect("record registered")).collect();
+    let records = order.into_iter().map(|k| recs.remove(&k).expect("record registered")).collect();
     Ok(TraceLog::from_parts(header, records, names))
 }
 
-fn parse_num<T: std::str::FromStr>(
-    s: &str,
-    line: usize,
-    what: &str,
-) -> Result<T, FormatError> {
-    s.trim().parse().map_err(|_| FormatError::MalformedLine {
-        line,
-        reason: format!("bad {what}: {s:?}"),
-    })
+fn parse_num<T: std::str::FromStr>(s: &str, line: usize, what: &str) -> Result<T, FormatError> {
+    s.trim()
+        .parse()
+        .map_err(|_| FormatError::MalformedLine { line, reason: format!("bad {what}: {s:?}") })
 }
 
 #[cfg(test)]
@@ -182,10 +176,10 @@ mod tests {
             .setf(F::ReadStartTimestamp, 0.25)
             .setf(F::ReadEndTimestamp, 1.5);
         let w = b.begin_record("/scratch/OUTCAR", 0);
-        b.record_mut(w).set(C::Writes, 9).set(C::BytesWritten, 999).setf(
-            F::WriteEndTimestamp,
-            599.875,
-        );
+        b.record_mut(w)
+            .set(C::Writes, 9)
+            .set(C::BytesWritten, 999)
+            .setf(F::WriteEndTimestamp, 599.875);
         b.finish()
     }
 

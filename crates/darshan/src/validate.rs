@@ -15,7 +15,7 @@
 //!   broken) the whole trace is evicted.
 
 use crate::counter::{PosixCounter as C, PosixFCounter as F};
-use crate::error::ValidityError;
+use crate::error::{EvictReason, ValidityError};
 use crate::log::TraceLog;
 use crate::record::{PosixRecord, SHARED_RANK};
 
@@ -110,6 +110,17 @@ impl ValidityReport {
         !self.header_errors.is_empty()
             || (self.records_checked > 0 && self.record_errors.len() == self.records_checked)
     }
+
+    /// The typed funnel reason for a fatal report: the first violated
+    /// header rule, or [`EvictReason::AllRecordsInvalid`] when the header is
+    /// fine but nothing survived sanitization. Only meaningful when
+    /// [`ValidityReport::is_fatal`] holds.
+    pub fn evict_reason(&self) -> EvictReason {
+        match self.header_errors.first() {
+            Some(&rule) => EvictReason::ValidationFatal(rule),
+            None => EvictReason::AllRecordsInvalid,
+        }
+    }
 }
 
 /// Validate a decoded trace.
@@ -130,6 +141,24 @@ pub fn validate(log: &TraceLog) -> ValidityReport {
     ValidityReport { header_errors, record_errors, records_checked: log.records().len() }
 }
 
+/// Delete the records `report` flagged invalid, in place. Returns the number
+/// of deleted records. The report must come from [`validate`] on this same
+/// log (indices are positional).
+pub fn delete_invalid(log: &mut TraceLog, report: &ValidityReport) -> usize {
+    let bad: std::collections::BTreeSet<usize> =
+        report.record_errors.iter().map(|(i, _)| *i).collect();
+    if bad.is_empty() {
+        return 0;
+    }
+    let mut idx = 0;
+    log.records_mut().retain(|_| {
+        let keep = !bad.contains(&idx);
+        idx += 1;
+        keep
+    });
+    bad.len()
+}
+
 /// Delete corrupted records in place (the paper's behaviour). Returns the
 /// number of deleted records, or `Err` with the report when the trace as a
 /// whole is unusable.
@@ -138,18 +167,7 @@ pub fn sanitize(log: &mut TraceLog) -> Result<usize, ValidityReport> {
     if report.is_fatal() {
         return Err(report);
     }
-    let bad: std::collections::BTreeSet<usize> =
-        report.record_errors.iter().map(|(i, _)| *i).collect();
-    if bad.is_empty() {
-        return Ok(0);
-    }
-    let mut idx = 0;
-    log.records_mut().retain(|_| {
-        let keep = !bad.contains(&idx);
-        idx += 1;
-        keep
-    });
-    Ok(bad.len())
+    Ok(delete_invalid(log, &report))
 }
 
 #[cfg(test)]
@@ -241,6 +259,23 @@ mod tests {
         b.record_mut(r).set(C::Opens, 1);
         let mut log = b.finish();
         assert!(sanitize(&mut log).is_err());
+    }
+
+    #[test]
+    fn fatal_reports_carry_typed_evict_reasons() {
+        let log = TraceLogBuilder::new(JobHeader::new(1, 1, 0, 100, 100)).finish();
+        let report = validate(&log);
+        assert_eq!(
+            report.evict_reason(),
+            EvictReason::ValidationFatal(ValidityError::NonPositiveRuntime)
+        );
+
+        let mut b = TraceLogBuilder::new(JobHeader::new(1, 1, 4, 0, 100));
+        let r = b.begin_record("/only", 9); // rank out of range
+        b.record_mut(r).set(C::Opens, 1);
+        let report = validate(&b.finish());
+        assert!(report.is_fatal());
+        assert_eq!(report.evict_reason(), EvictReason::AllRecordsInvalid);
     }
 
     #[test]

@@ -42,7 +42,8 @@ impl MetadataServer {
         self.total_requests += count;
 
         let rho = (self.histogram[bin] as f64 / self.capacity).min(1.0);
-        let slowdown = if rho >= 1.0 { MAX_SLOWDOWN } else { (1.0 / (1.0 - rho)).min(MAX_SLOWDOWN) };
+        let slowdown =
+            if rho >= 1.0 { MAX_SLOWDOWN } else { (1.0 / (1.0 - rho)).min(MAX_SLOWDOWN) };
         now + self.base_latency * slowdown * count as f64
     }
 

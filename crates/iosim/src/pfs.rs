@@ -151,7 +151,7 @@ mod tests {
         let mut pfs = Pfs::new(100.0, 100.0);
         let a = pfs.start_flow(0.0, 100); // alone: 100 B/s
         let b = pfs.start_flow(0.5, 100); // both: 50 B/s each
-        // a has 50 left at t=0.5; completes at 0.5 + 50/50 = 1.5
+                                          // a has 50 left at t=0.5; completes at 0.5 + 50/50 = 1.5
         let (first, t1) = pfs.next_completion().unwrap();
         assert_eq!(first, a);
         assert!((t1 - 1.5).abs() < 1e-9);

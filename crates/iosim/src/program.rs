@@ -188,10 +188,7 @@ mod tests {
                 times: 3,
                 body: vec![
                     Phase::Compute { seconds: 2.0 },
-                    Phase::Repeat {
-                        times: 2,
-                        body: vec![Phase::Barrier],
-                    },
+                    Phase::Repeat { times: 2, body: vec![Phase::Barrier] },
                 ],
             },
         ]);
@@ -206,10 +203,7 @@ mod tests {
         let f = FileSpec::per_rank("/x");
         let prog = Program::new(vec![
             Phase::Read { file: f.clone(), bytes: 100 },
-            Phase::Repeat {
-                times: 4,
-                body: vec![Phase::Write { file: f.clone(), bytes: 25 }],
-            },
+            Phase::Repeat { times: 4, body: vec![Phase::Write { file: f.clone(), bytes: 25 }] },
         ]);
         assert_eq!(prog.bytes_read_per_rank(), 100);
         assert_eq!(prog.bytes_written_per_rank(), 100);

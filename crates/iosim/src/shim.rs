@@ -179,8 +179,7 @@ impl Shim {
         exe: &str,
     ) -> Option<DxtTrace> {
         let dxt = self.dxt.as_ref()?;
-        let header =
-            JobHeader::new(job_id, uid, self.nprocs, start_time, end_time).with_exe(exe);
+        let header = JobHeader::new(job_id, uid, self.nprocs, start_time, end_time).with_exe(exe);
         let mut names = BTreeMap::new();
         let mut records = Vec::with_capacity(dxt.len());
         for ((rank, path), stats) in dxt {
@@ -212,8 +211,7 @@ impl Shim {
         exe: &str,
     ) -> TraceLog {
         let nprocs = self.nprocs;
-        let header =
-            JobHeader::new(job_id, uid, nprocs, start_time, end_time).with_exe(exe);
+        let header = JobHeader::new(job_id, uid, nprocs, start_time, end_time).with_exe(exe);
         let mut builder = TraceLogBuilder::new(header);
 
         if self.reduce_shared {
@@ -380,17 +378,11 @@ mod tests {
         shim.on_read(0, "/tiny", 50, 0.1, 0.2);
         shim.on_write(0, "/big", 2 << 20, 0.3, 0.9);
         let trace = shim.into_trace(1, 1, 0, 10, "/bin/x");
-        let tiny = trace
-            .records()
-            .iter()
-            .find(|r| trace.path_of(r.record_id) == Some("/tiny"))
-            .unwrap();
+        let tiny =
+            trace.records().iter().find(|r| trace.path_of(r.record_id) == Some("/tiny")).unwrap();
         assert_eq!(tiny.get(C::SizeRead0To100), 1);
-        let big = trace
-            .records()
-            .iter()
-            .find(|r| trace.path_of(r.record_id) == Some("/big"))
-            .unwrap();
+        let big =
+            trace.records().iter().find(|r| trace.path_of(r.record_id) == Some("/big")).unwrap();
         assert_eq!(big.get(C::SizeWrite1mPlus), 1);
     }
 

@@ -3,9 +3,9 @@
 use crate::config::MachineConfig;
 use crate::mds::MetadataServer;
 use crate::pfs::{FlowId, Pfs};
-use crate::striping::StripedPfs;
 use crate::program::{Phase, Program};
 use crate::shim::Shim;
+use crate::striping::StripedPfs;
 use mosaic_darshan::dxt::DxtTrace;
 use mosaic_darshan::TraceLog;
 use rand::Rng;
@@ -77,10 +77,7 @@ impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap: invert for earliest-first, tie-break on
         // insertion order for determinism.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -278,8 +275,8 @@ impl Simulation {
                     match phase {
                         Phase::Compute { seconds } => {
                             // Multiplicative jitter models load imbalance.
-                            let factor = 1.0
-                                + self.config.rank_jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+                            let factor =
+                                1.0 + self.config.rank_jitter * (rng.gen::<f64>() * 2.0 - 1.0);
                             let dur = (seconds * factor).max(0.0);
                             push(&mut queue, &mut seq, now + dur, EventKind::Ready { rank });
                         }
@@ -326,7 +323,12 @@ impl Simulation {
                                 let release =
                                     barrier.iter().map(|&(_, t)| t).fold(0.0f64, f64::max);
                                 for &(r, _) in &barrier {
-                                    push(&mut queue, &mut seq, release, EventKind::Ready { rank: r });
+                                    push(
+                                        &mut queue,
+                                        &mut seq,
+                                        release,
+                                        EventKind::Ready { rank: r },
+                                    );
                                 }
                                 barrier.clear();
                             }
@@ -564,24 +566,17 @@ mod tests {
     fn mpmd_with_single_program_matches_spmd() {
         let prog = checkpointer(2);
         let spmd = Simulation::new(machine(), 4, 9).run_detailed(&prog, "/x");
-        let mpmd = Simulation::new(machine(), 4, 9).run_mpmd(
-            &[prog],
-            |_| 0,
-            "/x",
-        );
+        let mpmd = Simulation::new(machine(), 4, 9).run_mpmd(&[prog], |_| 0, "/x");
         assert_eq!(spmd.trace, mpmd.trace);
     }
 
     #[test]
     fn stat_phase_reaches_the_counters() {
         use mosaic_darshan::counter::PosixCounter as C;
-        let prog = Program::new(vec![Phase::Stat {
-            file: FileSpec::shared("/probe/target"),
-            count: 7,
-        }]);
+        let prog =
+            Program::new(vec![Phase::Stat { file: FileSpec::shared("/probe/target"), count: 7 }]);
         let out = Simulation::new(machine(), 4, 2).run_detailed(&prog, "/x");
-        let total_stats: i64 =
-            out.trace.records().iter().map(|r| r.get(C::Stats)).sum();
+        let total_stats: i64 = out.trace.records().iter().map(|r| r.get(C::Stats)).sum();
         assert_eq!(total_stats, 28); // 4 ranks × 7 stats
         assert_eq!(out.mds_total, 28);
     }

@@ -103,11 +103,8 @@ impl StripedPfs {
         let dt = (now - self.last_update).max(0.0);
         if dt > 0.0 && !self.flows.is_empty() {
             let sharers = self.sharers();
-            let rates: Vec<(FlowId, f64)> = self
-                .flows
-                .iter()
-                .map(|(&id, f)| (id, self.rate_of(f, &sharers)))
-                .collect();
+            let rates: Vec<(FlowId, f64)> =
+                self.flows.iter().map(|(&id, f)| (id, self.rate_of(f, &sharers))).collect();
             for (id, rate) in rates {
                 let f = self.flows.get_mut(&id).expect("flow exists");
                 let step = (rate * dt).min(f.remaining);

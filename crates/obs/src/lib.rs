@@ -1,0 +1,441 @@
+//! # mosaic-obs
+//!
+//! Per-stage observability for the MOSAIC pipeline: lock-free counters,
+//! log₂ timing histograms and throughput accounting, recorded from worker
+//! threads with relaxed atomics and snapshotted into a serializable
+//! [`MetricsReport`] when a run finishes.
+//!
+//! The paper's §IV-E performance claims (and every later optimisation PR)
+//! need per-stage evidence, not a single wall-clock number: this crate is
+//! the substrate. A [`Recorder`] is shared by all workers; each records
+//! `(stage, duration, bytes)` triples as it processes traces. Recording is
+//! wait-free — one `fetch_add` per field — so the instrumentation does not
+//! perturb the throughput it measures.
+//!
+//! ```
+//! use mosaic_obs::{Recorder, Stage};
+//! use std::time::Duration;
+//!
+//! let rec = Recorder::new();
+//! rec.record(Stage::Parse, Duration::from_micros(250), 4096);
+//! rec.record(Stage::Categorize, Duration::from_micros(900), 0);
+//! let report = rec.finish(1, 1);
+//! assert_eq!(report.traces, 1);
+//! assert_eq!(report.stages[Stage::Parse.index()].calls, 1);
+//! assert!(report.render_table().contains("parse"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of log₂ histogram buckets: bucket `i` counts durations in
+/// `[2^i, 2^(i+1))` nanoseconds, so 40 buckets span 1 ns to ~18 minutes.
+pub const N_BUCKETS: usize = 40;
+
+/// The pipeline stages instrumented by the executor, in processing order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Stage {
+    /// Reading raw input from the source (disk, memory, generator).
+    Fetch,
+    /// Decoding MDF bytes into a trace log.
+    Parse,
+    /// Validity checking and per-record sanitization.
+    Validate,
+    /// Merging raw operations (rank + gap passes) inside categorization.
+    Merge,
+    /// The three characterizations proper (merging excluded).
+    Categorize,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 5] =
+        [Stage::Fetch, Stage::Parse, Stage::Validate, Stage::Merge, Stage::Categorize];
+
+    /// Stable lowercase name (also the JSON spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Fetch => "fetch",
+            Stage::Parse => "parse",
+            Stage::Validate => "validate",
+            Stage::Merge => "merge",
+            Stage::Categorize => "categorize",
+        }
+    }
+
+    /// Position in [`Stage::ALL`] (and in [`MetricsReport::stages`]).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Lock-free accumulator for one stage: call count, total/max nanoseconds,
+/// bytes moved and a log₂ latency histogram. All fields use relaxed atomics
+/// — the counts are telemetry, not synchronization points.
+#[derive(Debug)]
+pub struct StageStats {
+    calls: AtomicU64,
+    nanos: AtomicU64,
+    max_nanos: AtomicU64,
+    bytes: AtomicU64,
+    buckets: [AtomicU64; N_BUCKETS],
+}
+
+impl Default for StageStats {
+    fn default() -> Self {
+        StageStats {
+            calls: AtomicU64::new(0),
+            nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Histogram bucket for a duration: `floor(log2(nanos))`, clamped.
+fn bucket_of(nanos: u64) -> usize {
+    if nanos == 0 {
+        0
+    } else {
+        ((63 - nanos.leading_zeros()) as usize).min(N_BUCKETS - 1)
+    }
+}
+
+impl StageStats {
+    /// Fresh, zeroed stats.
+    pub fn new() -> StageStats {
+        StageStats::default()
+    }
+
+    /// Record one timed call. Wait-free.
+    pub fn record(&self, nanos: u64, bytes: u64) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+        if bytes > 0 {
+            self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+        self.buckets[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bytes recorded so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Calls recorded so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough snapshot for reporting (individual fields are read
+    /// relaxed; exactness across fields is not required of telemetry).
+    pub fn snapshot(&self, stage: Stage) -> StageSnapshot {
+        let calls = self.calls.load(Ordering::Relaxed);
+        let nanos = self.nanos.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let quantile = |q: f64| -> f64 {
+            let total: u64 = buckets.iter().sum();
+            if total == 0 {
+                return 0.0;
+            }
+            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut seen = 0u64;
+            for (i, &count) in buckets.iter().enumerate() {
+                seen += count;
+                if seen >= rank {
+                    // Geometric midpoint of bucket [2^i, 2^(i+1)).
+                    return 1.5 * (1u64 << i) as f64 / 1_000.0;
+                }
+            }
+            1.5 * (1u64 << (N_BUCKETS - 1)) as f64 / 1_000.0
+        };
+        StageSnapshot {
+            stage: stage.name().to_owned(),
+            calls,
+            total_seconds: nanos as f64 / 1e9,
+            mean_micros: if calls == 0 { 0.0 } else { nanos as f64 / calls as f64 / 1_000.0 },
+            p50_micros: quantile(0.50),
+            p99_micros: quantile(0.99),
+            max_micros: self.max_nanos.load(Ordering::Relaxed) as f64 / 1_000.0,
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable, serializable view of one stage's accumulated statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSnapshot {
+    /// Stage name (see [`Stage::name`]).
+    pub stage: String,
+    /// Number of recorded calls.
+    pub calls: u64,
+    /// Total time spent in the stage, summed over all workers.
+    pub total_seconds: f64,
+    /// Mean call duration in microseconds.
+    pub mean_micros: f64,
+    /// Median call duration in microseconds (log₂-bucket estimate).
+    pub p50_micros: f64,
+    /// 99th-percentile call duration in microseconds (log₂-bucket estimate).
+    pub p99_micros: f64,
+    /// Slowest observed call in microseconds.
+    pub max_micros: f64,
+    /// Bytes processed by the stage (0 when not byte-oriented).
+    pub bytes: u64,
+}
+
+/// The merged end-of-run metrics: wall-clock, throughput and one
+/// [`StageSnapshot`] per stage, in pipeline order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Wall-clock seconds from recorder construction to [`Recorder::finish`].
+    pub wall_seconds: f64,
+    /// Worker threads the run was configured with.
+    pub workers: usize,
+    /// Traces presented to the pipeline.
+    pub traces: u64,
+    /// End-to-end throughput: `traces / wall_seconds`.
+    pub traces_per_second: f64,
+    /// Raw trace bytes decoded (the parse stage's byte count).
+    pub bytes: u64,
+    /// Byte throughput: `bytes / wall_seconds`.
+    pub bytes_per_second: f64,
+    /// Per-stage statistics, ordered as [`Stage::ALL`].
+    pub stages: Vec<StageSnapshot>,
+}
+
+impl MetricsReport {
+    /// Render as an aligned text table (CLI / bench output).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "stage", "calls", "total s", "mean µs", "p50 µs", "p99 µs", "max µs", "MiB"
+        );
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>10} {:>10.3} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                s.stage,
+                s.calls,
+                s.total_seconds,
+                s.mean_micros,
+                s.p50_micros,
+                s.p99_micros,
+                s.max_micros,
+                s.bytes as f64 / (1u64 << 20) as f64,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "wall {:.3} s · {} workers · {:.0} traces/s · {:.1} MiB/s",
+            self.wall_seconds,
+            self.workers,
+            self.traces_per_second,
+            self.bytes_per_second / (1u64 << 20) as f64,
+        );
+        out
+    }
+
+    /// Render as Markdown table rows (for `report_md`).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| stage | calls | total s | mean µs | p50 µs | p99 µs |");
+        let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|");
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "| `{}` | {} | {:.3} | {:.1} | {:.1} | {:.1} |",
+                s.stage, s.calls, s.total_seconds, s.mean_micros, s.p50_micros, s.p99_micros
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\nWall-clock **{:.3} s** on {} workers — **{:.0} traces/s**, {:.1} MiB/s of raw trace bytes.",
+            self.wall_seconds,
+            self.workers,
+            self.traces_per_second,
+            self.bytes_per_second / (1u64 << 20) as f64,
+        );
+        out
+    }
+}
+
+/// The shared, thread-safe metrics sink: one [`StageStats`] per stage plus
+/// the run's start instant. Workers record through `&Recorder`; the
+/// executor snapshots with [`Recorder::finish`] once all workers are done.
+#[derive(Debug)]
+pub struct Recorder {
+    stages: [StageStats; Stage::ALL.len()],
+    started: Instant,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// Start a recorder; wall-clock measurement begins now.
+    pub fn new() -> Recorder {
+        Recorder { stages: std::array::from_fn(|_| StageStats::new()), started: Instant::now() }
+    }
+
+    /// Record one timed call of `stage`.
+    pub fn record(&self, stage: Stage, elapsed: Duration, bytes: u64) {
+        self.record_nanos(stage, elapsed.as_nanos() as u64, bytes);
+    }
+
+    /// Record with a raw nanosecond count (for durations measured elsewhere).
+    pub fn record_nanos(&self, stage: Stage, nanos: u64, bytes: u64) {
+        self.stages[stage.index()].record(nanos, bytes);
+    }
+
+    /// Time a closure and record it.
+    pub fn time<T>(&self, stage: Stage, bytes: u64, f: impl FnOnce() -> T) -> T {
+        let t = Instant::now();
+        let out = f();
+        self.record(stage, t.elapsed(), bytes);
+        out
+    }
+
+    /// Access one stage's live stats.
+    pub fn stage(&self, stage: Stage) -> &StageStats {
+        &self.stages[stage.index()]
+    }
+
+    /// Snapshot everything into a [`MetricsReport`]. `traces` is the number
+    /// of inputs presented; `workers` the configured thread count.
+    pub fn finish(&self, traces: u64, workers: usize) -> MetricsReport {
+        let wall = self.started.elapsed().as_secs_f64().max(1e-9);
+        let stages: Vec<StageSnapshot> =
+            Stage::ALL.iter().map(|&s| self.stage(s).snapshot(s)).collect();
+        let bytes = self.stage(Stage::Parse).bytes();
+        MetricsReport {
+            wall_seconds: wall,
+            workers: workers.max(1),
+            traces,
+            traces_per_second: traces as f64 / wall,
+            bytes,
+            bytes_per_second: bytes as f64 / wall,
+            stages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn stage_order_and_names() {
+        assert_eq!(Stage::ALL.len(), 5);
+        assert_eq!(Stage::Fetch.index(), 0);
+        assert_eq!(Stage::Categorize.index(), 4);
+        assert_eq!(Stage::Merge.name(), "merge");
+        assert_eq!(Stage::Parse.to_string(), "parse");
+    }
+
+    #[test]
+    fn record_and_snapshot_aggregate() {
+        let s = StageStats::new();
+        s.record(1_000, 10);
+        s.record(3_000, 20);
+        s.record(2_000, 0);
+        let snap = s.snapshot(Stage::Parse);
+        assert_eq!(snap.calls, 3);
+        assert_eq!(snap.bytes, 30);
+        assert!((snap.total_seconds - 6e-6).abs() < 1e-12);
+        assert!((snap.mean_micros - 2.0).abs() < 1e-9);
+        assert!((snap.max_micros - 3.0).abs() < 1e-9);
+        // p50 falls in the bucket holding 1000–2047 ns.
+        assert!(snap.p50_micros > 0.5 && snap.p50_micros < 4.0, "{}", snap.p50_micros);
+    }
+
+    #[test]
+    fn empty_stats_quantiles_are_zero() {
+        let snap = StageStats::new().snapshot(Stage::Fetch);
+        assert_eq!(snap.calls, 0);
+        assert_eq!(snap.p50_micros, 0.0);
+        assert_eq!(snap.p99_micros, 0.0);
+        assert_eq!(snap.mean_micros, 0.0);
+    }
+
+    #[test]
+    fn recorder_merges_across_threads() {
+        let rec = Recorder::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        rec.record(Stage::Parse, Duration::from_micros(5), 100);
+                        rec.record(Stage::Validate, Duration::from_micros(2), 0);
+                    }
+                });
+            }
+        });
+        let report = rec.finish(400, 4);
+        assert_eq!(report.stages[Stage::Parse.index()].calls, 400);
+        assert_eq!(report.stages[Stage::Validate.index()].calls, 400);
+        assert_eq!(report.bytes, 40_000);
+        assert_eq!(report.traces, 400);
+        assert!(report.traces_per_second > 0.0);
+    }
+
+    #[test]
+    fn report_serializes_and_renders() {
+        let rec = Recorder::new();
+        rec.record(Stage::Fetch, Duration::from_micros(1), 64);
+        let report = rec.finish(1, 2);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: MetricsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        let table = report.render_table();
+        for name in ["fetch", "parse", "validate", "merge", "categorize", "workers"] {
+            assert!(table.contains(name), "missing {name} in\n{table}");
+        }
+        let md = report.render_markdown();
+        assert!(md.contains("| `fetch` |"));
+        assert!(md.contains("traces/s"));
+    }
+
+    #[test]
+    fn quantiles_rank_correctly() {
+        let s = StageStats::new();
+        // 9 fast calls (~1 µs) and 1 slow (~1 ms): p50 fast, p99 slow.
+        for _ in 0..9 {
+            s.record(1_000, 0);
+        }
+        s.record(1_000_000, 0);
+        let snap = s.snapshot(Stage::Merge);
+        assert!(snap.p50_micros < 10.0, "p50 {}", snap.p50_micros);
+        assert!(snap.p99_micros > 100.0, "p99 {}", snap.p99_micros);
+    }
+}

@@ -1,4 +1,4 @@
-//! The parallel executor: ingest → validate → categorize → aggregate.
+//! The parallel executor: fetch → parse → validate → categorize → aggregate.
 
 use crate::dedup::{heaviest_per_app, AppKey};
 use crate::funnel::FunnelStats;
@@ -6,12 +6,14 @@ use crate::source::{TraceInput, TraceSource};
 use mosaic_core::category::Category;
 use mosaic_core::report::CategoryCounts;
 use mosaic_core::{Categorizer, CategorizerConfig, JaccardMatrix, TraceReport};
-use mosaic_darshan::{mdf, validate};
+use mosaic_darshan::{mdf, validate, EvictReason, TraceLog};
+use mosaic_obs::{MetricsReport, Recorder, Stage};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Progress callback: `(traces done, traces total)`. Called from worker
 /// threads; must be cheap and thread-safe.
@@ -62,13 +64,15 @@ pub struct RunOutcome {
 /// Aggregated pipeline result.
 #[derive(Debug, Clone)]
 pub struct PipelineResult {
-    /// Funnel accounting (Fig 3).
+    /// Funnel accounting (Fig 3), with the typed eviction breakdown.
     pub funnel: FunnelStats,
     /// Valid traces, sorted by source index.
     pub outcomes: Vec<RunOutcome>,
     /// Positions (into `outcomes`) of the single-run representatives: the
     /// heaviest trace of each application.
     pub representatives: Vec<usize>,
+    /// Per-stage timings and throughput for this run.
+    pub metrics: MetricsReport,
 }
 
 impl PipelineResult {
@@ -79,10 +83,7 @@ impl PipelineResult {
 
     /// Category sets of the single-run representatives.
     pub fn single_run_sets(&self) -> Vec<BTreeSet<Category>> {
-        self.representatives
-            .iter()
-            .map(|&p| self.outcomes[p].report.categories.clone())
-            .collect()
+        self.representatives.iter().map(|&p| self.outcomes[p].report.categories.clone()).collect()
     }
 
     /// Category distribution over all valid runs (PFS-load view).
@@ -107,25 +108,67 @@ impl PipelineResult {
     }
 }
 
-enum Ingested {
-    FormatCorrupt,
-    Invalid,
+/// The fate of one ingested trace. Shared by the batch executor and the
+/// incremental analyzer so both account evictions identically.
+pub(crate) enum Ingested {
+    /// The trace was evicted, with the typed reason.
+    Evicted(EvictReason),
+    /// The trace survived the funnel.
     Valid(Box<RunOutcome>),
 }
 
-fn ingest_one(input: TraceInput, index: usize, categorizer: &Categorizer) -> Ingested {
-    let mut log = match input {
-        TraceInput::Bytes(bytes) => match mdf::from_bytes(&bytes) {
-            Ok(log) => log,
-            Err(_) => return Ingested::FormatCorrupt,
-        },
+/// Parse → validate → categorize one fetched input, recording per-stage
+/// timings. The fetch itself (and its timing) is the caller's business.
+pub(crate) fn ingest_one(
+    fetched: std::io::Result<TraceInput>,
+    index: usize,
+    categorizer: &Categorizer,
+    recorder: &Recorder,
+) -> Ingested {
+    let input = match fetched {
+        Ok(input) => input,
+        Err(_) => return Ingested::Evicted(EvictReason::IoError),
+    };
+    let wire = input.wire_len() as u64;
+    let log: Arc<TraceLog> = match input {
+        TraceInput::Bytes(bytes) => {
+            let started = Instant::now();
+            let parsed = mdf::from_bytes(&bytes);
+            recorder.record(Stage::Parse, started.elapsed(), wire);
+            match parsed {
+                Ok(log) => Arc::new(log),
+                Err(err) => return Ingested::Evicted(EvictReason::from(&err)),
+            }
+        }
         TraceInput::Log(log) => log,
     };
-    let sanitized_records = match validate::sanitize(&mut log) {
-        Ok(deleted) => deleted,
-        Err(_) => return Ingested::Invalid,
+
+    // Validate copy-on-write: the read-only pass decides the fate; the log
+    // is cloned out of its `Arc` only when records actually need deleting.
+    let started = Instant::now();
+    let report = validate::validate(&log);
+    let fate = if report.is_fatal() {
+        Err(report.evict_reason())
+    } else if report.record_errors.is_empty() {
+        Ok((log, 0))
+    } else {
+        let mut owned = Arc::unwrap_or_clone(log);
+        let deleted = validate::delete_invalid(&mut owned, &report);
+        Ok((Arc::new(owned), deleted))
     };
-    let report = categorizer.categorize_log(&log);
+    recorder.record(Stage::Validate, started.elapsed(), 0);
+    let (log, sanitized_records) = match fate {
+        Ok(pair) => pair,
+        Err(reason) => return Ingested::Evicted(reason),
+    };
+
+    let (report, timings) = categorizer.categorize_log_timed(&log);
+    recorder.record_nanos(Stage::Merge, timings.merge_nanos, 0);
+    recorder.record_nanos(
+        Stage::Categorize,
+        timings.total_nanos.saturating_sub(timings.merge_nanos),
+        0,
+    );
     Ingested::Valid(Box::new(RunOutcome {
         index,
         app_key: log.header().app_key(),
@@ -137,16 +180,41 @@ fn ingest_one(input: TraceInput, index: usize, categorizer: &Categorizer) -> Ing
     }))
 }
 
+/// A memoized Rayon pool per explicit thread count. Building a pool spawns
+/// OS threads; repeated [`process`] calls with the same `threads: Some(n)`
+/// must not pay that cost (or leak threads) every time.
+fn pool_for(n: usize) -> Arc<rayon::ThreadPool> {
+    static POOLS: OnceLock<Mutex<BTreeMap<usize, Arc<rayon::ThreadPool>>>> = OnceLock::new();
+    let registry = POOLS.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut pools = registry.lock().expect("pool registry poisoned");
+    pools
+        .entry(n)
+        .or_insert_with(|| {
+            Arc::new(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build()
+                    .expect("thread pool construction"),
+            )
+        })
+        .clone()
+}
+
 /// Run the full pipeline over a source.
 pub fn process<S: TraceSource>(source: &S, config: &PipelineConfig) -> PipelineResult {
     let categorizer = Categorizer::new(config.categorizer.clone());
+    let recorder = Recorder::new();
     let done = AtomicUsize::new(0);
     let total = source.len();
     let run = || {
-        (0..source.len())
+        (0..total)
             .into_par_iter()
             .map(|i| {
-                let out = ingest_one(source.fetch(i), i, &categorizer);
+                let started = Instant::now();
+                let fetched = source.fetch(i);
+                let wire = fetched.as_ref().map(|f| f.wire_len() as u64).unwrap_or(0);
+                recorder.record(Stage::Fetch, started.elapsed(), wire);
+                let out = ingest_one(fetched, i, &categorizer, &recorder);
                 if let Some(progress) = &config.progress {
                     // Relaxed is enough: the count is monotonic telemetry,
                     // not a synchronization point.
@@ -157,42 +225,37 @@ pub fn process<S: TraceSource>(source: &S, config: &PipelineConfig) -> PipelineR
             })
             .collect::<Vec<Ingested>>()
     };
-    let ingested = match config.threads {
-        Some(n) => rayon::ThreadPoolBuilder::new()
-            .num_threads(n)
-            .build()
-            .expect("thread pool construction")
-            .install(run),
-        None => run(),
+    let (ingested, workers) = match config.threads {
+        Some(n) => (pool_for(n.max(1)).install(run), n.max(1)),
+        None => (run(), rayon::current_num_threads()),
     };
 
-    let mut funnel = FunnelStats { total: source.len(), ..Default::default() };
+    let mut funnel = FunnelStats { total, ..Default::default() };
     let mut outcomes: Vec<RunOutcome> = Vec::new();
     for item in ingested {
         match item {
-            Ingested::FormatCorrupt => funnel.format_corrupt += 1,
-            Ingested::Invalid => funnel.invalid += 1,
+            Ingested::Evicted(reason) => funnel.record_eviction(reason),
             Ingested::Valid(outcome) => outcomes.push(*outcome),
         }
     }
     funnel.valid = outcomes.len();
 
-    let representatives =
-        heaviest_per_app(outcomes.iter().map(|o| (o.app_key.clone(), o.weight)));
+    let representatives = heaviest_per_app(outcomes.iter().map(|o| (o.app_key.clone(), o.weight)));
     funnel.unique_apps = representatives.len();
 
-    PipelineResult { funnel, outcomes, representatives }
+    let metrics = recorder.finish(total as u64, workers);
+    PipelineResult { funnel, outcomes, representatives, metrics }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::source::VecSource;
+    use crate::source::{DirSource, VecSource};
     use mosaic_darshan::counter::PosixCounter as C;
     use mosaic_darshan::counter::PosixFCounter as F;
     use mosaic_darshan::job::JobHeader;
     use mosaic_darshan::log::TraceLogBuilder;
-    use mosaic_darshan::TraceLog;
+    use mosaic_darshan::ValidityError;
 
     fn log_for(uid: u32, exe: &str, bytes: i64) -> TraceLog {
         let mut b = TraceLogBuilder::new(JobHeader::new(1, uid, 4, 0, 1000).with_exe(exe));
@@ -210,14 +273,14 @@ mod tests {
     #[test]
     fn funnel_counts_each_fate() {
         let inputs = vec![
-            TraceInput::Log(log_for(1, "/bin/a", 1000)),
-            TraceInput::Bytes(vec![0, 1, 2, 3]), // format corrupt
-            TraceInput::Log({
+            TraceInput::log(log_for(1, "/bin/a", 1000)),
+            TraceInput::bytes(vec![0u8, 1, 2, 3]), // format corrupt
+            TraceInput::log({
                 // fatally invalid: zero-runtime header
                 let b = TraceLogBuilder::new(JobHeader::new(1, 1, 4, 5, 5));
                 b.finish()
             }),
-            TraceInput::Log(log_for(1, "/bin/a", 2000)),
+            TraceInput::log(log_for(1, "/bin/a", 2000)),
         ];
         let result = process(&VecSource::new(inputs), &PipelineConfig::default());
         assert_eq!(result.funnel.total, 4);
@@ -225,14 +288,107 @@ mod tests {
         assert_eq!(result.funnel.invalid, 1);
         assert_eq!(result.funnel.valid, 2);
         assert_eq!(result.funnel.unique_apps, 1);
+        assert_eq!(
+            result.funnel.by_reason
+                [&EvictReason::ValidationFatal(ValidityError::NonPositiveRuntime)],
+            1
+        );
+    }
+
+    #[test]
+    fn taxonomy_sums_to_total_under_parallel_execution() {
+        // A deliberately mixed bag, processed on an explicit 4-thread pool:
+        // the typed reasons plus the valid count must account for every
+        // single input — nothing double-counted, nothing lost.
+        let valid_bytes = mdf::to_bytes(&log_for(1, "/bin/a", 1000));
+        let mut bad_crc = valid_bytes.clone();
+        let end = bad_crc.len() - 1;
+        bad_crc[end] ^= 0xFF;
+        let mut inputs = Vec::new();
+        for i in 0..10u32 {
+            inputs.push(TraceInput::log(log_for(i, "/bin/a", 1000)));
+            // Too short to even hold the file header → truncated.
+            inputs.push(TraceInput::bytes(b"garbage".to_vec()));
+            // Long enough, but the magic is wrong.
+            inputs.push(TraceInput::bytes(vec![b'X'; 64]));
+            inputs.push(TraceInput::bytes(bad_crc.clone()));
+            inputs.push(TraceInput::log(
+                TraceLogBuilder::new(JobHeader::new(1, i, 4, 5, 5)).finish(),
+            ));
+        }
+        let config = PipelineConfig { threads: Some(4), ..Default::default() };
+        let result = process(&VecSource::new(inputs), &config);
+        let f = &result.funnel;
+        assert_eq!(f.total, 50);
+        assert_eq!(f.valid, 10);
+        assert_eq!(f.by_reason.values().sum::<usize>(), f.evicted());
+        assert_eq!(f.evicted() + f.valid, f.total);
+        assert_eq!(f.by_reason[&EvictReason::Truncated], 10);
+        assert_eq!(f.by_reason[&EvictReason::BadMagic], 10);
+        assert_eq!(f.by_reason[&EvictReason::ChecksumMismatch], 10);
+        assert_eq!(
+            f.by_reason[&EvictReason::ValidationFatal(ValidityError::NonPositiveRuntime)],
+            10
+        );
+        assert_eq!(f.format_corrupt, 30);
+    }
+
+    #[test]
+    fn unreadable_file_is_io_error_not_format_corruption() {
+        let dir = std::env::temp_dir().join(format!("mosaic_exec_io_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bytes = mdf::to_bytes(&log_for(1, "/bin/a", 1000));
+        std::fs::write(dir.join("ok.mdf"), &bytes).unwrap();
+        std::fs::write(dir.join("vanishes.mdf"), &bytes).unwrap();
+        let source = DirSource::scan(&dir).unwrap();
+        std::fs::remove_file(dir.join("vanishes.mdf")).unwrap();
+
+        let result = process(&source, &PipelineConfig::default());
+        assert_eq!(result.funnel.total, 2);
+        assert_eq!(result.funnel.io_error, 1);
+        assert_eq!(result.funnel.format_corrupt, 0);
+        assert_eq!(result.funnel.valid, 1);
+        assert_eq!(result.funnel.by_reason[&EvictReason::IoError], 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_cover_every_stage() {
+        let inputs: Vec<TraceInput> =
+            (0..8).map(|i| TraceInput::bytes(mdf::to_bytes(&log_for(i, "/bin/a", 1000)))).collect();
+        let result = process(&VecSource::new(inputs), &PipelineConfig::default());
+        let m = &result.metrics;
+        assert_eq!(m.traces, 8);
+        assert!(m.bytes > 0, "parse stage must account wire bytes");
+        assert_eq!(m.stages.len(), 5);
+        for snap in &m.stages {
+            assert_eq!(snap.calls, 8, "stage {} must run once per trace", snap.stage);
+        }
+        assert!(m.wall_seconds > 0.0);
+        assert!(m.traces_per_second > 0.0);
+    }
+
+    #[test]
+    fn explicit_pools_are_reused_across_process_calls() {
+        let a = pool_for(3);
+        let b = pool_for(3);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.current_num_threads(), 3);
+        // And repeated runs through the public API keep working.
+        let inputs: Vec<TraceInput> =
+            (0..6).map(|i| TraceInput::log(log_for(i, "/bin/a", 100))).collect();
+        let config = PipelineConfig { threads: Some(3), ..Default::default() };
+        let one = process(&VecSource::new(inputs.clone()), &config);
+        let two = process(&VecSource::new(inputs), &config);
+        assert_eq!(one.outcomes, two.outcomes);
     }
 
     #[test]
     fn dedup_keeps_heaviest() {
         let inputs = vec![
-            TraceInput::Log(log_for(1, "/bin/a x", 1000)),
-            TraceInput::Log(log_for(1, "/bin/a y", 9000)),
-            TraceInput::Log(log_for(2, "/bin/b", 500)),
+            TraceInput::log(log_for(1, "/bin/a x", 1000)),
+            TraceInput::log(log_for(1, "/bin/a y", 9000)),
+            TraceInput::log(log_for(2, "/bin/b", 500)),
         ];
         let result = process(&VecSource::new(inputs), &PipelineConfig::default());
         assert_eq!(result.representatives.len(), 2);
@@ -244,7 +400,7 @@ mod tests {
     #[test]
     fn outcomes_are_index_sorted_regardless_of_parallel_order() {
         let inputs: Vec<TraceInput> =
-            (0..50).map(|i| TraceInput::Log(log_for(i, &format!("/bin/app{i}"), 100))).collect();
+            (0..50).map(|i| TraceInput::log(log_for(i, &format!("/bin/app{i}"), 100))).collect();
         let result = process(&VecSource::new(inputs), &PipelineConfig::default());
         assert!(result.outcomes.windows(2).all(|w| w[0].index < w[1].index));
         assert_eq!(result.funnel.unique_apps, 50);
@@ -253,7 +409,7 @@ mod tests {
     #[test]
     fn explicit_thread_count_gives_same_answer() {
         let inputs: Vec<TraceInput> =
-            (0..40).map(|i| TraceInput::Log(log_for(i % 5, "/bin/a", i as i64 * 10))).collect();
+            (0..40).map(|i| TraceInput::log(log_for(i % 5, "/bin/a", i as i64 * 10))).collect();
         let a = process(&VecSource::new(inputs.clone()), &PipelineConfig::default());
         let two = PipelineConfig { threads: Some(2), ..Default::default() };
         let b = process(&VecSource::new(inputs.clone()), &two);
@@ -267,9 +423,9 @@ mod tests {
     #[test]
     fn aggregates_are_consistent() {
         let inputs = vec![
-            TraceInput::Log(log_for(1, "/bin/a", 500 << 20)),
-            TraceInput::Log(log_for(1, "/bin/a", 600 << 20)),
-            TraceInput::Log(log_for(2, "/bin/b", 700 << 20)),
+            TraceInput::log(log_for(1, "/bin/a", 500 << 20)),
+            TraceInput::log(log_for(1, "/bin/a", 600 << 20)),
+            TraceInput::log(log_for(2, "/bin/b", 700 << 20)),
         ];
         let result = process(&VecSource::new(inputs), &PipelineConfig::default());
         assert_eq!(result.all_runs_counts().total, 3);
@@ -284,13 +440,14 @@ mod tests {
         assert_eq!(result.funnel.total, 0);
         assert!(result.outcomes.is_empty());
         assert!(result.representatives.is_empty());
+        assert_eq!(result.metrics.traces, 0);
     }
 
     #[test]
     fn progress_callback_fires_once_per_trace() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let inputs: Vec<TraceInput> =
-            (0..25).map(|i| TraceInput::Log(log_for(i, "/bin/a", 100))).collect();
+            (0..25).map(|i| TraceInput::log(log_for(i, "/bin/a", 100))).collect();
         let calls = Arc::new(AtomicUsize::new(0));
         let max_seen = Arc::new(AtomicUsize::new(0));
         let c2 = calls.clone();
@@ -322,10 +479,8 @@ mod tests {
         names.extend(extra.names().clone());
         log = TraceLog::from_parts(log.header().clone(), records, names);
 
-        let result = process(
-            &VecSource::new(vec![TraceInput::Log(log)]),
-            &PipelineConfig::default(),
-        );
+        let result =
+            process(&VecSource::new(vec![TraceInput::log(log)]), &PipelineConfig::default());
         assert_eq!(result.funnel.valid, 1);
         assert_eq!(result.outcomes[0].sanitized_records, 1);
     }

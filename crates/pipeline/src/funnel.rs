@@ -3,14 +3,27 @@
 //! The paper's funnel over Blue Waters 2019: 462,502 traces → 32 % evicted
 //! as corrupted → 8 % of the valid remainder are unique executions →
 //! 24,606 traces retained for categorization.
+//!
+//! Beyond the paper's single "corrupted" bucket, every eviction carries a
+//! typed [`EvictReason`] so operators can tell an unreadable file
+//! (`io_error`) from a truncated one (`truncated`) from a semantically
+//! broken one (`validation:…`). The coarse `io_error` / `format_corrupt` /
+//! `invalid` counters are exact roll-ups of `by_reason` by
+//! [`EvictClass`].
 
+use mosaic_darshan::{EvictClass, EvictReason};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Counters of the pre-processing funnel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct FunnelStats {
     /// Traces presented to the pipeline.
     pub total: usize,
+    /// Evicted because the input could not be read at all (I/O failure —
+    /// the bytes never arrived, nothing can be said about their format).
+    #[serde(default)]
+    pub io_error: usize,
     /// Evicted because the bytes did not parse (format corruption).
     pub format_corrupt: usize,
     /// Evicted because validation failed fatally (semantic corruption).
@@ -20,12 +33,28 @@ pub struct FunnelStats {
     /// Distinct `(uid, application)` groups among valid traces — the
     /// retained single-run set.
     pub unique_apps: usize,
+    /// Exact eviction counts by typed reason. Sums to
+    /// [`FunnelStats::evicted`]; serialized as a JSON object keyed by the
+    /// reason slug.
+    #[serde(default)]
+    pub by_reason: BTreeMap<EvictReason, usize>,
 }
 
 impl FunnelStats {
+    /// Account one eviction under its typed reason, rolling it up into the
+    /// matching coarse counter.
+    pub fn record_eviction(&mut self, reason: EvictReason) {
+        match reason.class() {
+            EvictClass::Io => self.io_error += 1,
+            EvictClass::Format => self.format_corrupt += 1,
+            EvictClass::Validation => self.invalid += 1,
+        }
+        *self.by_reason.entry(reason).or_insert(0) += 1;
+    }
+
     /// Total evicted traces.
     pub fn evicted(&self) -> usize {
-        self.format_corrupt + self.invalid
+        self.io_error + self.format_corrupt + self.invalid
     }
 
     /// Fraction of traces evicted as corrupted (paper: 0.32).
@@ -46,16 +75,19 @@ impl FunnelStats {
         }
     }
 
-    /// Render the Fig 3 funnel as text.
+    /// Render the Fig 3 funnel as text, with the typed eviction breakdown
+    /// appended when present.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "input traces        {:>10}\n\
+             ├─ io-error         {:>10}\n\
              ├─ format-corrupt   {:>10}\n\
              ├─ invalid          {:>10}   ({:.0}% evicted)\n\
              └─ valid            {:>10}\n\
              unique applications {:>10}   ({:.0}% of valid)\n\
              retained for categorization {:>2}",
             self.total,
+            self.io_error,
             self.format_corrupt,
             self.invalid,
             100.0 * self.corruption_fraction(),
@@ -63,22 +95,32 @@ impl FunnelStats {
             self.unique_apps,
             100.0 * self.unique_fraction(),
             self.unique_apps,
-        )
+        );
+        if !self.by_reason.is_empty() {
+            out.push_str("\neviction reasons:");
+            for (reason, count) in &self.by_reason {
+                out.push_str(&format!("\n  {:<28} {:>10}", reason.slug(), count));
+            }
+        }
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mosaic_darshan::ValidityError;
 
     #[test]
     fn fractions() {
         let f = FunnelStats {
             total: 1000,
-            format_corrupt: 200,
+            io_error: 20,
+            format_corrupt: 180,
             invalid: 120,
             valid: 680,
             unique_apps: 54,
+            ..Default::default()
         };
         assert_eq!(f.evicted(), 320);
         assert!((f.corruption_fraction() - 0.32).abs() < 1e-12);
@@ -93,17 +135,56 @@ mod tests {
     }
 
     #[test]
+    fn record_eviction_rolls_up_by_class() {
+        let mut f = FunnelStats { total: 5, ..Default::default() };
+        f.record_eviction(EvictReason::IoError);
+        f.record_eviction(EvictReason::BadMagic);
+        f.record_eviction(EvictReason::BadMagic);
+        f.record_eviction(EvictReason::ValidationFatal(ValidityError::ZeroProcs));
+        f.record_eviction(EvictReason::AllRecordsInvalid);
+        assert_eq!(f.io_error, 1);
+        assert_eq!(f.format_corrupt, 2);
+        assert_eq!(f.invalid, 2);
+        assert_eq!(f.evicted(), 5);
+        assert_eq!(f.by_reason.values().sum::<usize>(), f.evicted());
+        assert_eq!(f.by_reason[&EvictReason::BadMagic], 2);
+    }
+
+    #[test]
+    fn serde_round_trips_with_reason_map() {
+        let mut f = FunnelStats { total: 3, valid: 1, unique_apps: 1, ..Default::default() };
+        f.record_eviction(EvictReason::Truncated);
+        f.record_eviction(EvictReason::ValidationFatal(ValidityError::NonPositiveRuntime));
+        let json = serde_json::to_string(&f).unwrap();
+        assert!(json.contains("\"truncated\""), "{json}");
+        assert!(json.contains("\"validation:non_positive_runtime\""), "{json}");
+        let back: FunnelStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+        // Old serialized funnels (without the new fields) still load.
+        let legacy: FunnelStats = serde_json::from_str(
+            r#"{"total":10,"format_corrupt":2,"invalid":1,"valid":7,"unique_apps":3}"#,
+        )
+        .unwrap();
+        assert_eq!(legacy.evicted(), 3);
+        assert!(legacy.by_reason.is_empty());
+    }
+
+    #[test]
     fn render_mentions_the_numbers() {
-        let f = FunnelStats {
+        let mut f = FunnelStats {
             total: 462_502,
-            format_corrupt: 100_000,
+            io_error: 2_000,
+            format_corrupt: 98_000,
             invalid: 48_000,
             valid: 314_502,
             unique_apps: 24_606,
+            ..Default::default()
         };
+        f.by_reason.insert(EvictReason::ChecksumMismatch, 98_000);
         let text = f.render();
         assert!(text.contains("462502"));
         assert!(text.contains("24606"));
         assert!(text.contains("32% evicted"));
+        assert!(text.contains("checksum_mismatch"));
     }
 }

@@ -15,12 +15,13 @@
 //! bookkeeping; memory is `O(applications)`, not `O(traces)`.
 
 use crate::dedup::AppKey;
+use crate::executor::{ingest_one, Ingested};
 use crate::funnel::FunnelStats;
 use crate::source::TraceInput;
 use mosaic_core::category::Category;
 use mosaic_core::report::CategoryCounts;
 use mosaic_core::{Categorizer, CategorizerConfig, TraceReport};
-use mosaic_darshan::{mdf, validate};
+use mosaic_obs::{MetricsReport, Recorder};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-application incremental state.
@@ -54,6 +55,7 @@ pub struct IncrementalAnalyzer {
     funnel: FunnelStats,
     all_runs: CategoryCounts,
     apps: BTreeMap<AppKey, AppState>,
+    recorder: Recorder,
 }
 
 impl IncrementalAnalyzer {
@@ -64,35 +66,35 @@ impl IncrementalAnalyzer {
             funnel: FunnelStats::default(),
             all_runs: CategoryCounts::default(),
             apps: BTreeMap::new(),
+            recorder: Recorder::new(),
         }
     }
 
     /// Ingest one trace. Returns the report for valid traces, `None` for
     /// evicted ones.
     pub fn ingest(&mut self, input: TraceInput) -> Option<TraceReport> {
+        self.ingest_fetched(Ok(input))
+    }
+
+    /// Ingest one fetch result, accounting `Err` as an I/O eviction — the
+    /// streaming twin of the batch executor's per-trace path (both run the
+    /// same ingest code, so the funnels agree exactly).
+    pub fn ingest_fetched(&mut self, fetched: std::io::Result<TraceInput>) -> Option<TraceReport> {
+        let index = self.funnel.total;
         self.funnel.total += 1;
-        let mut log = match input {
-            TraceInput::Bytes(bytes) => match mdf::from_bytes(&bytes) {
-                Ok(log) => log,
-                Err(_) => {
-                    self.funnel.format_corrupt += 1;
-                    return None;
-                }
-            },
-            TraceInput::Log(log) => log,
+        let outcome = match ingest_one(fetched, index, &self.categorizer, &self.recorder) {
+            Ingested::Evicted(reason) => {
+                self.funnel.record_eviction(reason);
+                return None;
+            }
+            Ingested::Valid(outcome) => outcome,
         };
-        if validate::sanitize(&mut log).is_err() {
-            self.funnel.invalid += 1;
-            return None;
-        }
         self.funnel.valid += 1;
 
-        let report = self.categorizer.categorize_log(&log);
+        let report = outcome.report;
         self.all_runs.add(&report.categories);
 
-        let key = log.header().app_key();
-        let weight = log.io_weight();
-        let state = self.apps.entry(key).or_insert_with(|| AppState {
+        let state = self.apps.entry(outcome.app_key).or_insert_with(|| AppState {
             runs: 0,
             best_weight: i64::MIN,
             representative: BTreeSet::new(),
@@ -100,8 +102,8 @@ impl IncrementalAnalyzer {
         });
         state.runs += 1;
         *state.set_counts.entry(report.categories.clone()).or_insert(0) += 1;
-        if weight > state.best_weight {
-            state.best_weight = weight;
+        if outcome.weight > state.best_weight {
+            state.best_weight = outcome.weight;
             state.representative = report.categories.clone();
         }
         self.funnel.unique_apps = self.apps.len();
@@ -111,6 +113,12 @@ impl IncrementalAnalyzer {
     /// Current funnel counters.
     pub fn funnel(&self) -> &FunnelStats {
         &self.funnel
+    }
+
+    /// Per-stage timings and throughput since construction. Streaming is
+    /// single-threaded, so `workers` is 1.
+    pub fn metrics(&self) -> MetricsReport {
+        self.recorder.finish(self.funnel.total as u64, 1)
     }
 
     /// Current all-runs distribution (exact, streaming).
@@ -139,7 +147,7 @@ mod tests {
     use mosaic_darshan::counter::PosixFCounter as F;
     use mosaic_darshan::job::JobHeader;
     use mosaic_darshan::log::TraceLogBuilder;
-    use mosaic_darshan::TraceLog;
+    use mosaic_darshan::{mdf, TraceLog};
 
     fn log_for(uid: u32, exe: &str, bytes: i64) -> TraceLog {
         let mut b = TraceLogBuilder::new(JobHeader::new(1, uid, 4, 0, 1000).with_exe(exe));
@@ -161,9 +169,13 @@ mod tests {
         let inputs: Vec<TraceInput> = (0..40)
             .map(|i| {
                 if i % 7 == 0 {
-                    TraceInput::Bytes(vec![9; 16]) // corrupt
+                    TraceInput::bytes(vec![9u8; 16]) // corrupt
                 } else {
-                    TraceInput::Log(log_for(i % 4, &format!("/bin/app{}", i % 4), (i as i64 + 1) << 20))
+                    TraceInput::log(log_for(
+                        i % 4,
+                        &format!("/bin/app{}", i % 4),
+                        (i as i64 + 1) << 20,
+                    ))
                 }
             })
             .collect();
@@ -178,15 +190,19 @@ mod tests {
         assert_eq!(inc.funnel(), &batch.funnel);
         assert_eq!(inc.all_runs_counts(), &batch.all_runs_counts());
         assert_eq!(inc.single_run_counts(), batch.single_run_counts());
+        // The streaming recorder saw the same per-trace stages.
+        let metrics = inc.metrics();
+        assert_eq!(metrics.traces, 40);
+        assert!(metrics.stages.iter().any(|s| s.stage == "parse" && s.calls > 0));
     }
 
     #[test]
     fn representative_swaps_when_heavier_run_arrives() {
         let mut inc = IncrementalAnalyzer::new(CategorizerConfig::default());
-        inc.ingest(TraceInput::Log(log_for(1, "/bin/a", 1 << 20))); // light, quiet
+        inc.ingest(TraceInput::log(log_for(1, "/bin/a", 1 << 20))); // light, quiet
         let single_before = inc.single_run_counts();
         // A heavy run of the same app: representative becomes significant.
-        inc.ingest(TraceInput::Log(log_for(1, "/bin/a", 900 << 20)));
+        inc.ingest(TraceInput::log(log_for(1, "/bin/a", 900 << 20)));
         let single_after = inc.single_run_counts();
         assert_eq!(inc.funnel().unique_apps, 1);
         assert_ne!(single_before, single_after);
@@ -200,10 +216,10 @@ mod tests {
     fn stability_tracks_modal_set() {
         let mut inc = IncrementalAnalyzer::new(CategorizerConfig::default());
         for _ in 0..7 {
-            inc.ingest(TraceInput::Log(log_for(1, "/bin/a", 900 << 20)));
+            inc.ingest(TraceInput::log(log_for(1, "/bin/a", 900 << 20)));
         }
         for _ in 0..3 {
-            inc.ingest(TraceInput::Log(log_for(1, "/bin/a", 1 << 20)));
+            inc.ingest(TraceInput::log(log_for(1, "/bin/a", 1 << 20)));
         }
         let state = inc.apps().values().next().unwrap();
         assert_eq!(state.runs, 10);
@@ -220,7 +236,8 @@ mod tests {
 
         for wave in 0..3 {
             for j in 0..4 {
-                let log = log_for(wave, &format!("/bin/w{wave}"), ((wave * 4 + j + 1) as i64) << 20);
+                let log =
+                    log_for(wave, &format!("/bin/w{wave}"), ((wave * 4 + j + 1) as i64) << 20);
                 let path = dir.join(format!("t{wave}_{j}.mdf"));
                 std::fs::write(&path, mdf::to_bytes(&log)).unwrap();
             }
@@ -228,7 +245,7 @@ mod tests {
             let source = crate::source::DirSource::scan(&dir).unwrap();
             for (i, path) in source.paths().iter().enumerate() {
                 if seen.insert(path.clone()) {
-                    inc.ingest(source.fetch(i));
+                    inc.ingest_fetched(source.fetch(i));
                 }
             }
         }

@@ -293,10 +293,8 @@ mod tests {
         let report = analyze(&outcomes, 0.5 * GB, 60.0);
         assert!(report.contended_bins > 0);
         assert!(report.contended_byte_seconds > 0.0);
-        let read_start = Category::Temporality {
-            kind: OpKindTag::Read,
-            label: TemporalityLabel::OnStart,
-        };
+        let read_start =
+            Category::Temporality { kind: OpKindTag::Read, label: TemporalityLabel::OnStart };
         assert_eq!(report.category_scores[0].0, read_start);
 
         let (staggered, removed) =
@@ -323,15 +321,10 @@ mod tests {
         outcomes.extend((5..10).map(|i| outcome(i, 0, 400, false)));
         let report = analyze(&outcomes, 0.5 * GB, 60.0);
         assert!(!report.pair_scores.is_empty());
-        let names: Vec<(String, String)> = report
-            .pair_scores
-            .iter()
-            .map(|(a, b, _)| (a.name(), b.name()))
-            .collect();
+        let names: Vec<(String, String)> =
+            report.pair_scores.iter().map(|(a, b, _)| (a.name(), b.name())).collect();
         assert!(
-            names
-                .iter()
-                .any(|(a, b)| (a.contains("read") && b.contains("read")) && a != b),
+            names.iter().any(|(a, b)| (a.contains("read") && b.contains("read")) && a != b),
             "{names:?}"
         );
     }

@@ -17,6 +17,10 @@
 //! 4. **aggregate** — category distributions for both views, the Jaccard
 //!    co-occurrence matrix, and per-application stability statistics.
 //!
+//! Every eviction carries a typed [`mosaic_darshan::EvictReason`] in
+//! [`FunnelStats::by_reason`], and every run produces a
+//! [`mosaic_obs::MetricsReport`] with per-stage timings and throughput.
+//!
 //! ```
 //! use mosaic_core::CategorizerConfig;
 //! use mosaic_pipeline::executor::{process, PipelineConfig};
@@ -25,13 +29,15 @@
 //!
 //! let ds = Dataset::new(DatasetConfig { n_traces: 200, seed: 1, ..Default::default() });
 //! let source = ClosureSource::new(ds.len(), |i| match ds.generate(i).payload {
-//!     Payload::Log(log) => TraceInput::Log(log),
-//!     Payload::Bytes(bytes) => TraceInput::Bytes(bytes),
+//!     Payload::Log(log) => TraceInput::log(log),
+//!     Payload::Bytes(bytes) => TraceInput::bytes(bytes),
 //! });
 //! let result = process(&source, &PipelineConfig::default());
 //! assert_eq!(result.funnel.total, 200);
 //! assert!(result.funnel.evicted() > 0);
+//! assert_eq!(result.funnel.by_reason.values().sum::<usize>(), result.funnel.evicted());
 //! assert!(result.representatives.len() < result.outcomes.len());
+//! assert!(result.metrics.traces_per_second > 0.0);
 //! ```
 
 #![warn(missing_docs)]
@@ -48,4 +54,5 @@ pub mod stability;
 
 pub use executor::{process, PipelineConfig, PipelineResult, RunOutcome};
 pub use funnel::FunnelStats;
-pub use source::{ClosureSource, TraceInput, TraceSource};
+pub use incremental::IncrementalAnalyzer;
+pub use source::{ClosureSource, DirSource, TraceInput, TraceSource, VecSource};

@@ -25,6 +25,12 @@ pub fn render(result: &PipelineResult, title: &str) -> String {
     let _ = writeln!(out, "| input | {} | 100% |", f.total);
     let _ = writeln!(
         out,
+        "| evicted (io-error) | {} | {} |",
+        f.io_error,
+        pct(f.io_error as f64 / f.total.max(1) as f64)
+    );
+    let _ = writeln!(
+        out,
         "| evicted (format-corrupt) | {} | {} |",
         f.format_corrupt,
         pct(f.format_corrupt as f64 / f.total.max(1) as f64)
@@ -35,13 +41,31 @@ pub fn render(result: &PipelineResult, title: &str) -> String {
         f.invalid,
         pct(f.invalid as f64 / f.total.max(1) as f64)
     );
-    let _ = writeln!(out, "| valid | {} | {} |", f.valid, pct(f.valid as f64 / f.total.max(1) as f64));
+    let _ =
+        writeln!(out, "| valid | {} | {} |", f.valid, pct(f.valid as f64 / f.total.max(1) as f64));
     let _ = writeln!(
         out,
         "| unique applications | {} | {} of valid |\n",
         f.unique_apps,
         pct(f.unique_fraction())
     );
+
+    // Typed eviction breakdown.
+    if !f.by_reason.is_empty() {
+        let _ = writeln!(out, "### Eviction reasons\n");
+        let _ = writeln!(out, "| reason | traces | share of evicted |");
+        let _ = writeln!(out, "|---|---:|---:|");
+        for (reason, n) in &f.by_reason {
+            let _ = writeln!(
+                out,
+                "| `{}` | {} | {} |",
+                reason.slug(),
+                n,
+                pct(*n as f64 / f.evicted().max(1) as f64)
+            );
+        }
+        let _ = writeln!(out);
+    }
 
     // Distributions.
     for (name, counts) in [
@@ -91,7 +115,12 @@ pub fn render(result: &PipelineResult, title: &str) -> String {
             "\nRun-weighted mean stability: **{}** (the §III-B1 dedup premise).",
             pct(mean_stability(&stats))
         );
+        let _ = writeln!(out);
     }
+
+    // Per-stage pipeline metrics.
+    let _ = writeln!(out, "## Pipeline metrics\n");
+    out.push_str(&result.metrics.render_markdown());
     out
 }
 
@@ -119,9 +148,9 @@ mod tests {
                 .set(C::Opens, 4)
                 .setf(F::ReadStartTimestamp, 1.0)
                 .setf(F::ReadEndTimestamp, 40.0);
-            inputs.push(TraceInput::Log(b.finish()));
+            inputs.push(TraceInput::log(b.finish()));
         }
-        inputs.push(TraceInput::Bytes(vec![1, 2, 3]));
+        inputs.push(TraceInput::bytes(vec![1u8, 2, 3]));
         process(&VecSource::new(inputs), &PipelineConfig::default())
     }
 
@@ -135,6 +164,8 @@ mod tests {
             "## All-runs categories",
             "## Strongest category co-occurrences",
             "## Most-executed applications",
+            "### Eviction reasons",
+            "## Pipeline metrics",
         ] {
             assert!(md.contains(section), "missing {section}");
         }
@@ -147,6 +178,7 @@ mod tests {
         let md = render(&result(), "t");
         assert!(md.contains("| input | 31 | 100% |"));
         assert!(md.contains("| evicted (format-corrupt) | 1 |"));
+        assert!(md.contains("`truncated`"), "typed reason row expected:\n{md}");
     }
 
     #[test]

@@ -1,15 +1,54 @@
 //! Trace sources: where the pipeline pulls its inputs from.
 
+use bytes::Bytes;
 use mosaic_darshan::TraceLog;
+use std::sync::Arc;
 
 /// One raw input: either undecoded MDF bytes (as read from disk) or an
 /// already-decoded log (as handed over by a generator or simulator).
+///
+/// Both payloads are reference-counted ([`Bytes`] / [`Arc`]), so cloning a
+/// `TraceInput` is O(1) — sources can hand the same trace to many fetches
+/// without duplicating megabytes of records.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceInput {
     /// Raw MDF bytes; the pipeline parses (and may reject) them.
-    Bytes(Vec<u8>),
+    Bytes(Bytes),
     /// A decoded log; the pipeline still validates it.
-    Log(TraceLog),
+    Log(Arc<TraceLog>),
+}
+
+impl TraceInput {
+    /// Wrap raw MDF bytes.
+    pub fn bytes(bytes: impl Into<Bytes>) -> TraceInput {
+        TraceInput::Bytes(bytes.into())
+    }
+
+    /// Wrap a decoded log.
+    pub fn log(log: impl Into<Arc<TraceLog>>) -> TraceInput {
+        TraceInput::Log(log.into())
+    }
+
+    /// On-the-wire size of the input: byte length for raw inputs, `0` for
+    /// already-decoded logs (they never crossed the parse stage).
+    pub fn wire_len(&self) -> usize {
+        match self {
+            TraceInput::Bytes(b) => b.len(),
+            TraceInput::Log(_) => 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for TraceInput {
+    fn from(bytes: Vec<u8>) -> TraceInput {
+        TraceInput::Bytes(bytes.into())
+    }
+}
+
+impl From<TraceLog> for TraceInput {
+    fn from(log: TraceLog) -> TraceInput {
+        TraceInput::Log(Arc::new(log))
+    }
 }
 
 /// A random-access collection of trace inputs. `fetch` must be thread-safe
@@ -23,13 +62,15 @@ pub trait TraceSource: Sync {
         self.len() == 0
     }
 
-    /// Fetch trace `i`.
-    fn fetch(&self, i: usize) -> TraceInput;
+    /// Fetch trace `i`. An `Err` means the input could not be *read* (I/O
+    /// failure); the pipeline accounts it separately from corrupt bytes.
+    fn fetch(&self, i: usize) -> std::io::Result<TraceInput>;
 }
 
 /// Adapts any `Fn(usize) -> TraceInput` closure (plus a length) into a
 /// source — the glue between the pipeline and e.g.
-/// `mosaic_synth::Dataset::generate`.
+/// `mosaic_synth::Dataset::generate`. In-memory generation cannot fail, so
+/// `fetch` always succeeds.
 pub struct ClosureSource<F: Fn(usize) -> TraceInput + Sync> {
     len: usize,
     fetch: F,
@@ -47,9 +88,9 @@ impl<F: Fn(usize) -> TraceInput + Sync> TraceSource for ClosureSource<F> {
         self.len
     }
 
-    fn fetch(&self, i: usize) -> TraceInput {
+    fn fetch(&self, i: usize) -> std::io::Result<TraceInput> {
         debug_assert!(i < self.len);
-        (self.fetch)(i)
+        Ok((self.fetch)(i))
     }
 }
 
@@ -70,8 +111,8 @@ impl TraceSource for VecSource {
         self.items.len()
     }
 
-    fn fetch(&self, i: usize) -> TraceInput {
-        self.items[i].clone()
+    fn fetch(&self, i: usize) -> std::io::Result<TraceInput> {
+        Ok(self.items[i].clone())
     }
 }
 
@@ -106,10 +147,10 @@ impl TraceSource for DirSource {
         self.paths.len()
     }
 
-    fn fetch(&self, i: usize) -> TraceInput {
-        // An unreadable file is indistinguishable from a corrupt one for
-        // the funnel's purposes: deliver bytes that will not parse.
-        TraceInput::Bytes(std::fs::read(&self.paths[i]).unwrap_or_default())
+    fn fetch(&self, i: usize) -> std::io::Result<TraceInput> {
+        // A file that cannot be read is an I/O failure, not format
+        // corruption: propagate the error so the funnel can say so.
+        Ok(TraceInput::bytes(std::fs::read(&self.paths[i])?))
     }
 }
 
@@ -125,20 +166,33 @@ mod tests {
 
     #[test]
     fn closure_source_delegates() {
-        let s = ClosureSource::new(3, |i| TraceInput::Bytes(vec![i as u8]));
+        let s = ClosureSource::new(3, |i| TraceInput::bytes(vec![i as u8]));
         assert_eq!(s.len(), 3);
         assert!(!s.is_empty());
-        assert_eq!(s.fetch(2), TraceInput::Bytes(vec![2]));
+        assert_eq!(s.fetch(2).unwrap(), TraceInput::bytes(vec![2u8]));
     }
 
     #[test]
     fn vec_source_round_trips() {
-        let s = VecSource::new(vec![TraceInput::Log(tiny_log())]);
+        let s = VecSource::new(vec![TraceInput::log(tiny_log())]);
         assert_eq!(s.len(), 1);
-        match s.fetch(0) {
+        match s.fetch(0).unwrap() {
             TraceInput::Log(l) => assert_eq!(l.header().job_id, 1),
             _ => panic!("wrong variant"),
         }
+    }
+
+    #[test]
+    fn clones_share_the_payload() {
+        let input = TraceInput::log(tiny_log());
+        let copy = input.clone();
+        match (&input, &copy) {
+            (TraceInput::Log(a), TraceInput::Log(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => panic!("wrong variants"),
+        }
+        let input = TraceInput::bytes(vec![1u8, 2, 3]);
+        assert_eq!(input.wire_len(), 3);
+        assert_eq!(TraceInput::log(tiny_log()).wire_len(), 0);
     }
 
     #[test]
@@ -160,12 +214,23 @@ mod tests {
         let source = DirSource::scan(&dir).unwrap();
         assert_eq!(source.len(), 2);
         assert!(source.paths()[0].ends_with("a.mdf"));
-        match source.fetch(0) {
+        match source.fetch(0).unwrap() {
             TraceInput::Bytes(b) => {
                 assert_eq!(mosaic_darshan::mdf::from_bytes(&b).unwrap(), log)
             }
             _ => panic!("expected bytes"),
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dir_source_propagates_read_errors() {
+        let dir = std::env::temp_dir().join(format!("mosaic_dirsource_io_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("gone.mdf"), b"soon deleted").unwrap();
+        let source = DirSource::scan(&dir).unwrap();
+        std::fs::remove_file(dir.join("gone.mdf")).unwrap();
+        assert!(source.fetch(0).is_err(), "a vanished file must surface as Err, not empty bytes");
         std::fs::remove_dir_all(&dir).ok();
     }
 

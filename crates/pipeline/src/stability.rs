@@ -110,8 +110,7 @@ mod tests {
 
     #[test]
     fn stable_app_scores_one() {
-        let outcomes: Vec<RunOutcome> =
-            (0..10).map(|i| outcome(i, 1, "lmp", 500 << 20)).collect();
+        let outcomes: Vec<RunOutcome> = (0..10).map(|i| outcome(i, 1, "lmp", 500 << 20)).collect();
         let stats = app_stability(&outcomes, 2);
         assert_eq!(stats.len(), 1);
         assert_eq!(stats[0].stability(), 1.0);

@@ -13,8 +13,7 @@ pub fn autocorrelation(signal: &[f64]) -> Vec<f64> {
     let mean = signal.iter().sum::<f64>() / n as f64;
     // Zero-pad to 2n to make the circular correlation linear.
     let m = next_pow2(2 * n);
-    let mut data: Vec<Complex> =
-        signal.iter().map(|&x| Complex::new(x - mean, 0.0)).collect();
+    let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::new(x - mean, 0.0)).collect();
     data.resize(m, Complex::zero());
     fft_in_place(&mut data);
     for v in data.iter_mut() {
@@ -56,9 +55,7 @@ mod tests {
     #[test]
     fn autocorr_of_periodic_signal_peaks_at_period() {
         let period = 20usize;
-        let signal: Vec<f64> = (0..400)
-            .map(|t| if t % period < 3 { 1.0 } else { 0.0 })
-            .collect();
+        let signal: Vec<f64> = (0..400).map(|t| if t % period < 3 { 1.0 } else { 0.0 }).collect();
         let r = autocorrelation(&signal);
         assert!((r[0] - 1.0).abs() < 1e-9);
         assert!(r[period] > 0.8, "r[{period}] = {}", r[period]);

@@ -78,10 +78,7 @@ impl Mul for Complex {
     type Output = Complex;
     #[inline]
     fn mul(self, rhs: Complex) -> Complex {
-        Complex::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        Complex::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 
@@ -219,9 +216,9 @@ mod tests {
         for (k, got) in spec.iter().enumerate() {
             let mut want = Complex::zero();
             for (t, &x) in signal.iter().enumerate() {
-                want += Complex::from_angle(-2.0 * std::f64::consts::PI * k as f64 * t as f64
-                    / n as f64)
-                    * x;
+                want += Complex::from_angle(
+                    -2.0 * std::f64::consts::PI * k as f64 * t as f64 / n as f64,
+                ) * x;
             }
             assert_close(*got, want);
         }
@@ -248,13 +245,7 @@ mod tests {
             .collect();
         let spec = rfft(&signal);
         let mags: Vec<f64> = spec.iter().map(|c| c.abs()).collect();
-        let peak = mags
-            .iter()
-            .take(n / 2)
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap()
-            .0;
+        let peak = mags.iter().take(n / 2).enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         assert_eq!(peak, k);
     }
 

@@ -69,9 +69,7 @@ mod tests {
     use crate::window::remove_mean;
 
     fn tone(n: usize, period: f64, amp: f64) -> Vec<f64> {
-        (0..n)
-            .map(|t| amp * (2.0 * std::f64::consts::PI * t as f64 / period).sin())
-            .collect()
+        (0..n).map(|t| amp * (2.0 * std::f64::consts::PI * t as f64 / period).sin()).collect()
     }
 
     #[test]

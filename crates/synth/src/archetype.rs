@@ -66,15 +66,55 @@ pub fn default_mix() -> Vec<MixEntry> {
     use Archetype::*;
     vec![
         MixEntry { archetype: Quiet, app_fraction: 0.715, mean_runs: 3.0, stability: 0.99 },
-        MixEntry { archetype: ReadStartOnly, app_fraction: 0.015, mean_runs: 54.0, stability: 0.97 },
-        MixEntry { archetype: ReadComputeWrite, app_fraction: 0.075, mean_runs: 38.0, stability: 0.97 },
+        MixEntry {
+            archetype: ReadStartOnly,
+            app_fraction: 0.015,
+            mean_runs: 54.0,
+            stability: 0.97,
+        },
+        MixEntry {
+            archetype: ReadComputeWrite,
+            app_fraction: 0.075,
+            mean_runs: 38.0,
+            stability: 0.97,
+        },
         MixEntry { archetype: WriteEndOnly, app_fraction: 0.020, mean_runs: 14.0, stability: 0.95 },
-        MixEntry { archetype: SteadyReadWrite, app_fraction: 0.010, mean_runs: 320.0, stability: 0.97 },
-        MixEntry { archetype: SteadyWriter, app_fraction: 0.010, mean_runs: 140.0, stability: 0.95 },
-        MixEntry { archetype: CheckpointerRead, app_fraction: 0.010, mean_runs: 40.0, stability: 0.90 },
-        MixEntry { archetype: CheckpointerQuiet, app_fraction: 0.010, mean_runs: 40.0, stability: 0.90 },
-        MixEntry { archetype: PeriodicReader, app_fraction: 0.010, mean_runs: 35.0, stability: 0.80 },
-        MixEntry { archetype: MetadataStorm, app_fraction: 0.015, mean_runs: 80.0, stability: 0.95 },
+        MixEntry {
+            archetype: SteadyReadWrite,
+            app_fraction: 0.010,
+            mean_runs: 320.0,
+            stability: 0.97,
+        },
+        MixEntry {
+            archetype: SteadyWriter,
+            app_fraction: 0.010,
+            mean_runs: 140.0,
+            stability: 0.95,
+        },
+        MixEntry {
+            archetype: CheckpointerRead,
+            app_fraction: 0.010,
+            mean_runs: 40.0,
+            stability: 0.90,
+        },
+        MixEntry {
+            archetype: CheckpointerQuiet,
+            app_fraction: 0.010,
+            mean_runs: 40.0,
+            stability: 0.90,
+        },
+        MixEntry {
+            archetype: PeriodicReader,
+            app_fraction: 0.010,
+            mean_runs: 35.0,
+            stability: 0.80,
+        },
+        MixEntry {
+            archetype: MetadataStorm,
+            app_fraction: 0.015,
+            mean_runs: 80.0,
+            stability: 0.95,
+        },
         MixEntry { archetype: MidBurst, app_fraction: 0.030, mean_runs: 8.0, stability: 0.90 },
         MixEntry { archetype: HardUneven, app_fraction: 0.080, mean_runs: 9.0, stability: 0.95 },
     ]
@@ -84,8 +124,18 @@ pub fn default_mix() -> Vec<MixEntry> {
 /// names (LAMMPS, MILC, VASP, NEK5000) and other Blue Waters staples; used
 /// round-robin with a per-app suffix for uniqueness.
 pub const APP_NAMES: [&str; 12] = [
-    "lmp_bw", "su3_rmd", "vasp_std", "nek5000", "namd2", "wrf.exe", "chroma", "qmcpack",
-    "enzo", "cactus_sim", "flash4", "gromacs_mdrun",
+    "lmp_bw",
+    "su3_rmd",
+    "vasp_std",
+    "nek5000",
+    "namd2",
+    "wrf.exe",
+    "chroma",
+    "qmcpack",
+    "enzo",
+    "cactus_sim",
+    "flash4",
+    "gromacs_mdrun",
 ];
 
 #[cfg(test)]

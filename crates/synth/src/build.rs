@@ -196,17 +196,15 @@ pub fn build_run<R: Rng>(spec: &RunSpec, rng: &mut R) -> (TraceLog, GroundTruth)
     // Checkpointers plan period-first so detected periods span the paper's
     // "between a few minutes and a few hours" range (Table II): the period
     // is drawn log-uniformly and the runtime derived from it.
-    let ckpt_plan = if matches!(
-        spec.archetype,
-        Archetype::CheckpointerRead | Archetype::CheckpointerQuiet
-    ) {
-        let period = log_uniform(rng, 90.0, 7200.0);
-        let rounds = rng.gen_range(12..=24u32);
-        runtime = period * rounds as f64;
-        Some((period, rounds))
-    } else {
-        None
-    };
+    let ckpt_plan =
+        if matches!(spec.archetype, Archetype::CheckpointerRead | Archetype::CheckpointerQuiet) {
+            let period = log_uniform(rng, 90.0, 7200.0);
+            let rounds = rng.gen_range(12..=24u32);
+            runtime = period * rounds as f64;
+            Some((period, rounds))
+        } else {
+            None
+        };
     // Metadata storms are short ensemble jobs: a compressed runtime keeps
     // the *mean* request rate high enough for the high_density category
     // (≥ 50 req/s over the whole execution), as Fig 4 requires.
@@ -452,11 +450,8 @@ fn hard_uneven<R: Rng>(sketch: &mut Sketch, rng: &mut R, runtime: f64) -> Tempor
     let start = runtime * rng.gen_range(0.0..0.03);
     // How far the open/close interval stretches decides what the detector
     // sees: nearly the whole run → steady; about half → fallback labels.
-    let stretch = if rng.gen_bool(0.65) {
-        rng.gen_range(0.90..0.99)
-    } else {
-        rng.gen_range(0.45..0.60)
-    };
+    let stretch =
+        if rng.gen_bool(0.65) { rng.gen_range(0.90..0.99) } else { rng.gen_range(0.45..0.60) };
     let end = runtime * stretch;
     sketch.shared_read("/scratch/input/big_then_idle.dat", start, end, bytes, 2);
     TemporalityLabel::OnStart

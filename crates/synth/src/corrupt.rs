@@ -68,11 +68,7 @@ pub fn corrupt<R: Rng>(log: TraceLog, rng: &mut R) -> (CorruptionKind, CorruptAr
 }
 
 /// Corrupt a valid trace with a specific kind.
-pub fn corrupt_as<R: Rng>(
-    mut log: TraceLog,
-    kind: CorruptionKind,
-    rng: &mut R,
-) -> CorruptArtifact {
+pub fn corrupt_as<R: Rng>(mut log: TraceLog, kind: CorruptionKind, rng: &mut R) -> CorruptArtifact {
     match kind {
         CorruptionKind::Truncated => {
             let bytes = mdf::to_bytes(&log);

@@ -168,8 +168,9 @@ impl Dataset {
     /// thread, in any order.
     pub fn generate(&self, i: usize) -> GeneratedRun {
         let app = &self.apps[self.run_app[i] as usize];
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(self.config.seed ^ (i as u64).wrapping_mul(0xff51_afd7_ed55_8ccd));
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.config.seed ^ (i as u64).wrapping_mul(0xff51_afd7_ed55_8ccd),
+        );
 
         let effective_archetype = if rng.gen_bool(app.stability.clamp(0.0, 1.0)) {
             app.archetype
@@ -318,11 +319,8 @@ mod tests {
     #[test]
     fn quiet_dominates_apps_but_not_runs() {
         let ds = Dataset::new(DatasetConfig { n_traces: 8000, corruption_rate: 0.0, seed: 11 });
-        let quiet_apps = ds
-            .apps()
-            .iter()
-            .filter(|a| a.archetype == Archetype::Quiet)
-            .count() as f64
+        let quiet_apps = ds.apps().iter().filter(|a| a.archetype == Archetype::Quiet).count()
+            as f64
             / ds.apps().len() as f64;
         assert!(quiet_apps > 0.6, "quiet app share {quiet_apps}");
         let quiet_runs = ds
@@ -340,10 +338,8 @@ mod tests {
         // With stability < 1, at least some runs of a non-quiet app should
         // be quiet. Use a periodic reader (stability 0.8) with many runs.
         let ds = Dataset::new(DatasetConfig { n_traces: 3000, corruption_rate: 0.0, seed: 5 });
-        let app = ds
-            .apps()
-            .iter()
-            .find(|a| a.archetype == Archetype::PeriodicReader && a.runs >= 30);
+        let app =
+            ds.apps().iter().find(|a| a.archetype == Archetype::PeriodicReader && a.runs >= 30);
         if let Some(app) = app {
             let runs: Vec<GeneratedRun> = (0..ds.len())
                 .filter(|&i| ds.run_app[i] as usize == app.index)

@@ -50,7 +50,10 @@ pub fn read_compute_write(
     Program::new(vec![
         Phase::Open { file: FileSpec::shared("/scratch/input/mesh.dat") },
         Phase::Seek { file: FileSpec::shared("/scratch/input/mesh.dat"), count: 4 },
-        Phase::Read { file: FileSpec::shared("/scratch/input/mesh.dat"), bytes: input_bytes_per_rank },
+        Phase::Read {
+            file: FileSpec::shared("/scratch/input/mesh.dat"),
+            bytes: input_bytes_per_rank,
+        },
         Phase::Close { file: FileSpec::shared("/scratch/input/mesh.dat") },
         Phase::Barrier,
         Phase::Compute { seconds: compute_seconds },
@@ -111,11 +114,7 @@ mod tests {
         let program = checkpointer(12, 60.0, 256 << 20);
         let trace = Simulation::new(machine(), 16, 1).run(&program, "/apps/sim/ckpt");
         let report = Categorizer::default().categorize_log(&trace);
-        assert!(
-            report.has(Category::Periodic { kind: OpKindTag::Write }),
-            "{:?}",
-            report.names()
-        );
+        assert!(report.has(Category::Periodic { kind: OpKindTag::Write }), "{:?}", report.names());
     }
 
     #[test]

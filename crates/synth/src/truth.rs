@@ -126,8 +126,7 @@ mod tests {
     use mosaic_darshan::ops::{OpKind, Operation, OperationView};
 
     fn report_for(reads: Vec<Operation>, writes: Vec<Operation>) -> TraceReport {
-        let view =
-            OperationView { runtime: 1000.0, nprocs: 8, reads, writes, meta: vec![] };
+        let view = OperationView { runtime: 1000.0, nprocs: 8, reads, writes, meta: vec![] };
         Categorizer::new(CategorizerConfig::default()).categorize(&view)
     }
 

@@ -19,10 +19,7 @@ pub fn render(single_run: &CategoryCounts, all_runs: &CategoryCounts, title: &st
         }
     }
     cats.sort_by(|&a, &b| {
-        all_runs
-            .fraction(b)
-            .total_cmp(&all_runs.fraction(a))
-            .then_with(|| a.cmp(&b))
+        all_runs.fraction(b).total_cmp(&all_runs.fraction(a)).then_with(|| a.cmp(&b))
     });
 
     let height = MARGIN * 2.0 + 30.0 + cats.len() as f64 * ROW_H + 24.0;

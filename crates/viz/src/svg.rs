@@ -14,10 +14,7 @@ pub struct Svg {
 
 /// Escape text content for XML.
 pub fn escape(text: &str) -> String {
-    text.replace('&', "&amp;")
-        .replace('<', "&lt;")
-        .replace('>', "&gt;")
-        .replace('"', "&quot;")
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
 }
 
 fn fmt(v: f64) -> String {
@@ -34,9 +31,8 @@ impl Svg {
 
     /// Filled rectangle with optional stroke.
     pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: Option<&str>) {
-        let stroke_attr = stroke
-            .map(|s| format!(" stroke=\"{s}\" stroke-width=\"0.5\""))
-            .unwrap_or_default();
+        let stroke_attr =
+            stroke.map(|s| format!(" stroke=\"{s}\" stroke-width=\"0.5\"")).unwrap_or_default();
         let _ = writeln!(
             self.body,
             "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{fill}\"{stroke_attr}/>",
@@ -119,8 +115,7 @@ pub fn ramp(v: f64) -> String {
 }
 
 /// Categorical palette used across the figures.
-pub const PALETTE: [&str; 6] =
-    ["#4878a8", "#e4923e", "#5aa469", "#c45a5a", "#8a6bb8", "#767676"];
+pub const PALETTE: [&str; 6] = ["#4878a8", "#e4923e", "#5aa469", "#c45a5a", "#8a6bb8", "#767676"];
 
 #[cfg(test)]
 mod tests {

@@ -72,7 +72,14 @@ pub fn render(view: &OperationView, report: &TraceReport) -> String {
     // Lane 3: temporal chunks.
     let y2 = y1 + LANE_H + GAP;
     svg.text(8.0, y2 + LANE_H / 2.0, 10.0, "start", "black", "temporal chunks");
-    draw_chunks(&mut svg, &report.read.temporality.chunk_bytes, x_of, y2, LANE_H / 2.0 - 2.0, runtime);
+    draw_chunks(
+        &mut svg,
+        &report.read.temporality.chunk_bytes,
+        x_of,
+        y2,
+        LANE_H / 2.0 - 2.0,
+        runtime,
+    );
     draw_chunks(
         &mut svg,
         &report.write.temporality.chunk_bytes,
@@ -140,20 +147,8 @@ fn draw_merged(
         svg.rect(x, y, w, h, color, Some("black"));
     }
     for (pi, p) in patterns.iter().enumerate() {
-        let label = format!(
-            "{} periodic: {} × {:.0} s",
-            kind.label(),
-            p.occurrences,
-            p.period
-        );
-        svg.text(
-            x_of(0.0),
-            y - 2.0,
-            8.0,
-            "start",
-            PALETTE[(2 + pi) % PALETTE.len()],
-            &label,
-        );
+        let label = format!("{} periodic: {} × {:.0} s", kind.label(), p.occurrences, p.period);
+        svg.text(x_of(0.0), y - 2.0, 8.0, "start", PALETTE[(2 + pi) % PALETTE.len()], &label);
     }
 }
 
@@ -171,14 +166,7 @@ fn draw_chunks(
         let t0 = runtime * i as f64 / n as f64;
         let t1 = runtime * (i + 1) as f64 / n as f64;
         let share = if max > 0.0 { bytes / max } else { 0.0 };
-        svg.rect(
-            x_of(t0),
-            y,
-            x_of(t1) - x_of(t0) - 1.0,
-            h,
-            &ramp(share),
-            Some("#888888"),
-        );
+        svg.rect(x_of(t0), y, x_of(t1) - x_of(t0) - 1.0, h, &ramp(share), Some("#888888"));
     }
 }
 
@@ -263,8 +251,13 @@ mod tests {
 
     #[test]
     fn empty_view_still_renders() {
-        let view =
-            OperationView { runtime: 100.0, nprocs: 1, reads: vec![], writes: vec![], meta: vec![] };
+        let view = OperationView {
+            runtime: 100.0,
+            nprocs: 1,
+            reads: vec![],
+            writes: vec![],
+            meta: vec![],
+        };
         let report = Categorizer::default().categorize(&view);
         let svg = render(&view, &report);
         assert!(svg.contains("</svg>"));

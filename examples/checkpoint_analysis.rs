@@ -43,8 +43,5 @@ fn main() {
         );
     }
 
-    assert!(
-        !report.write.periodic.is_empty(),
-        "the checkpoint loop must be detected as periodic"
-    );
+    assert!(!report.write.periodic.is_empty(), "the checkpoint loop must be detected as periodic");
 }

@@ -60,9 +60,7 @@ fn main() {
     // --- and the downgrade is consistent with the shim's own aggregation ---
     let downgraded = dxt_trace.to_aggregated();
     assert_eq!(downgraded.total_bytes_written(), outcome.trace.total_bytes_written());
-    println!(
-        "downgrading DXT → aggregated reproduces the default trace's volumes exactly."
-    );
+    println!("downgrading DXT → aggregated reproduces the default trace's volumes exactly.");
 
     assert!(
         agg_report.write.periodic.is_empty() && !dxt_report.write.periodic.is_empty(),

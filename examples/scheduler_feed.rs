@@ -15,8 +15,8 @@ use mosaic_synth::{Dataset, DatasetConfig, Payload};
 fn main() {
     let ds = Dataset::new(DatasetConfig { n_traces: 3000, seed: 2024, ..Default::default() });
     let source = ClosureSource::new(ds.len(), |i| match ds.generate(i).payload {
-        Payload::Log(log) => TraceInput::Log(log),
-        Payload::Bytes(bytes) => TraceInput::Bytes(bytes),
+        Payload::Log(log) => TraceInput::log(log),
+        Payload::Bytes(bytes) => TraceInput::bytes(bytes),
     });
     let result = process(&source, &PipelineConfig::default());
     println!("{}\n", result.funnel.render());

@@ -19,13 +19,8 @@ fn periodic_ops(kind: OpKind, period: f64, bytes: u64, runtime: f64, busy: f64) 
 fn both_methods_find_a_single_clean_period() {
     let runtime = 6000.0;
     let writes = periodic_ops(OpKind::Write, 120.0, 1 << 30, runtime, 0.05);
-    let view = OperationView {
-        runtime,
-        nprocs: 32,
-        reads: vec![],
-        writes: writes.clone(),
-        meta: vec![],
-    };
+    let view =
+        OperationView { runtime, nprocs: 32, reads: vec![], writes: writes.clone(), meta: vec![] };
     let report = Categorizer::default().categorize(&view);
     assert_eq!(report.write.periodic.len(), 1);
     assert!((report.write.periodic[0].period - 120.0).abs() < 15.0);
@@ -40,13 +35,8 @@ fn only_mosaic_separates_interleaved_periods() {
     let mut writes = periodic_ops(OpKind::Write, 600.0, 2 << 30, runtime, 0.04);
     writes.extend(periodic_ops(OpKind::Write, 20.0, 150 << 20, runtime, 0.1));
     writes.sort_by(|a, b| a.start.total_cmp(&b.start));
-    let view = OperationView {
-        runtime,
-        nprocs: 32,
-        reads: vec![],
-        writes: writes.clone(),
-        meta: vec![],
-    };
+    let view =
+        OperationView { runtime, nprocs: 32, reads: vec![], writes: writes.clone(), meta: vec![] };
 
     // MOSAIC: two distinct patterns with correct periods and volumes.
     let report = Categorizer::default().categorize(&view);
@@ -87,7 +77,13 @@ fn aggregate_baseline_loses_temporality() {
     let late = OperationView {
         runtime: 1000.0,
         nprocs: 8,
-        reads: vec![Operation { kind: OpKind::Read, start: 975.0, end: 995.0, bytes: GB, ranks: 8 }],
+        reads: vec![Operation {
+            kind: OpKind::Read,
+            start: 975.0,
+            end: 995.0,
+            bytes: GB,
+            ranks: 8,
+        }],
         writes: vec![],
         meta: vec![],
     };

@@ -16,8 +16,7 @@ fn machine() -> MachineConfig {
 #[test]
 fn dxt_and_aggregated_views_agree_on_totals() {
     let program = programs::checkpointer(8, 45.0, 64 << 20);
-    let outcome =
-        Simulation::new(machine(), 8, 21).with_dxt().run_detailed(&program, "/apps/ckpt");
+    let outcome = Simulation::new(machine(), 8, 21).with_dxt().run_detailed(&program, "/apps/ckpt");
     let dxt_trace = outcome.dxt.expect("dxt enabled");
     let dxt_view = dxt_trace.operation_view();
     assert_eq!(
@@ -25,10 +24,7 @@ fn dxt_and_aggregated_views_agree_on_totals() {
         outcome.trace.total_bytes_written(),
         "aggregated and DXT write volumes must match"
     );
-    assert_eq!(
-        dxt_view.total_bytes(OpKind::Read) as i64,
-        outcome.trace.total_bytes_read(),
-    );
+    assert_eq!(dxt_view.total_bytes(OpKind::Read) as i64, outcome.trace.total_bytes_read(),);
     // DXT has at least as many operations as the aggregated view.
     let agg_view = mosaic_darshan::ops::OperationView::from_log(&outcome.trace);
     assert!(dxt_view.writes.len() >= agg_view.writes.len());
@@ -40,8 +36,7 @@ fn dxt_downgrade_matches_shim_aggregation_semantics() {
     // interval hull as the shim's own aggregated trace (per-record details
     // differ only in the shared-file reduction, which DXT doesn't apply).
     let program = programs::read_compute_write(32 << 20, 600.0, 16 << 20);
-    let outcome =
-        Simulation::new(machine(), 4, 5).with_dxt().run_detailed(&program, "/apps/rcw");
+    let outcome = Simulation::new(machine(), 4, 5).with_dxt().run_detailed(&program, "/apps/rcw");
     let from_dxt = outcome.dxt.expect("dxt").to_aggregated();
     assert_eq!(from_dxt.total_bytes_read(), outcome.trace.total_bytes_read());
     assert_eq!(from_dxt.total_bytes_written(), outcome.trace.total_bytes_written());
@@ -58,16 +53,10 @@ fn aggregation_hides_periodicity_dxt_reveals_it() {
     let categorizer = Categorizer::default();
     let agg_report = categorizer.categorize_log(&outcome.trace);
     assert_eq!(agg_report.write.temporality.label, TemporalityLabel::Steady);
-    assert!(
-        agg_report.write.periodic.is_empty(),
-        "aggregated view must hide the slab cadence"
-    );
+    assert!(agg_report.write.periodic.is_empty(), "aggregated view must hide the slab cadence");
 
     let dxt_report = categorizer.categorize(&outcome.dxt.expect("dxt").operation_view());
-    assert!(
-        !dxt_report.write.periodic.is_empty(),
-        "DXT view must reveal the slab cadence"
-    );
+    assert!(!dxt_report.write.periodic.is_empty(), "DXT view must reveal the slab cadence");
     let period = dxt_report.write.periodic[0].period;
     assert!((period - 120.0).abs() < 30.0, "period {period}");
 }
@@ -75,8 +64,7 @@ fn aggregation_hides_periodicity_dxt_reveals_it() {
 #[test]
 fn mdx_roundtrips_simulator_output() {
     let program = programs::metadata_storm(4, 10);
-    let outcome =
-        Simulation::new(machine(), 8, 3).with_dxt().run_detailed(&program, "/apps/storm");
+    let outcome = Simulation::new(machine(), 8, 3).with_dxt().run_detailed(&program, "/apps/storm");
     let trace = outcome.dxt.expect("dxt");
     let parsed = dxt::from_bytes(&dxt::to_bytes(&trace)).expect("parse");
     assert_eq!(parsed, trace);

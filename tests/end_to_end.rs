@@ -10,8 +10,8 @@ use mosaic_synth::{Dataset, DatasetConfig, Payload};
 
 fn source_for(ds: &Dataset) -> ClosureSource<impl Fn(usize) -> TraceInput + Sync + '_> {
     ClosureSource::new(ds.len(), move |i| match ds.generate(i).payload {
-        Payload::Log(log) => TraceInput::Log(log),
-        Payload::Bytes(bytes) => TraceInput::Bytes(bytes),
+        Payload::Log(log) => TraceInput::log(log),
+        Payload::Bytes(bytes) => TraceInput::bytes(bytes),
     })
 }
 
@@ -28,11 +28,7 @@ fn funnel_matches_paper_shape() {
         "corruption fraction {}",
         f.corruption_fraction()
     );
-    assert!(
-        (0.04..0.20).contains(&f.unique_fraction()),
-        "unique fraction {}",
-        f.unique_fraction()
-    );
+    assert!((0.04..0.20).contains(&f.unique_fraction()), "unique fraction {}", f.unique_fraction());
 }
 
 #[test]
@@ -41,9 +37,7 @@ fn single_run_distribution_matches_table3_shape() {
     let result = process(&source_for(&ds), &PipelineConfig::default());
     let counts = result.single_run_counts();
 
-    let frac = |kind, label| {
-        counts.fraction(Category::Temporality { kind, label })
-    };
+    let frac = |kind, label| counts.fraction(Category::Temporality { kind, label });
     // Most applications are I/O-insignificant (paper: 85 % read / 87 % write).
     assert!(frac(OpKindTag::Read, TemporalityLabel::Insignificant) > 0.6);
     assert!(frac(OpKindTag::Write, TemporalityLabel::Insignificant) > 0.7);

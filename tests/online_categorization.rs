@@ -67,10 +67,7 @@ fn decision_fractions_are_sane_across_the_population() {
     // and read-on-start traces all decide early). The exact share swings
     // with archetype sampling at this scale — the online_categorization
     // bench measures ~70 % at n=3000 — so assert a robust floor here.
-    assert!(
-        decided_early * 3 > total,
-        "only {decided_early}/{total} decided by half time"
-    );
+    assert!(decided_early * 3 > total, "only {decided_early}/{total} decided by half time");
 }
 
 #[test]

@@ -17,8 +17,8 @@ use std::collections::BTreeSet;
 fn run_pipeline(n: usize, seed: u64) -> PipelineResult {
     let ds = Dataset::new(DatasetConfig { n_traces: n, seed, ..Default::default() });
     let source = ClosureSource::new(ds.len(), move |i| match ds.generate(i).payload {
-        Payload::Log(log) => TraceInput::Log(log),
-        Payload::Bytes(bytes) => TraceInput::Bytes(bytes),
+        Payload::Log(log) => TraceInput::log(log),
+        Payload::Bytes(bytes) => TraceInput::bytes(bytes),
     });
     process(&source, &PipelineConfig::default())
 }
@@ -116,18 +116,14 @@ fn periodic_magnitudes_span_minutes_to_hours() {
     // Table II: detected periodic write frequencies fluctuate between
     // minutes and hours.
     let result = run_pipeline(8000, 306);
-    let minute = result
-        .all_runs_counts()
-        .count(Category::PeriodicMagnitude {
-            kind: OpKindTag::Write,
-            magnitude: mosaic_core::category::PeriodMagnitude::Minute,
-        });
-    let hour = result
-        .all_runs_counts()
-        .count(Category::PeriodicMagnitude {
-            kind: OpKindTag::Write,
-            magnitude: mosaic_core::category::PeriodMagnitude::Hour,
-        });
+    let minute = result.all_runs_counts().count(Category::PeriodicMagnitude {
+        kind: OpKindTag::Write,
+        magnitude: mosaic_core::category::PeriodMagnitude::Minute,
+    });
+    let hour = result.all_runs_counts().count(Category::PeriodicMagnitude {
+        kind: OpKindTag::Write,
+        magnitude: mosaic_core::category::PeriodMagnitude::Hour,
+    });
     assert!(minute > 0, "no minute-scale periodic writes");
     assert!(hour > 0, "no hour-scale periodic writes");
 }

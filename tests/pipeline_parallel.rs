@@ -8,8 +8,8 @@ use mosaic_synth::{Dataset, DatasetConfig, Payload};
 
 fn input_for(ds: &Dataset, i: usize) -> TraceInput {
     match ds.generate(i).payload {
-        Payload::Log(log) => TraceInput::Log(log),
-        Payload::Bytes(bytes) => TraceInput::Bytes(bytes),
+        Payload::Log(log) => TraceInput::log(log),
+        Payload::Bytes(bytes) => TraceInput::bytes(bytes),
     }
 }
 
@@ -19,7 +19,8 @@ fn results_identical_across_thread_counts() {
     let mut results = Vec::new();
     for threads in [Some(1), Some(2), Some(4), None] {
         let source = ClosureSource::new(ds.len(), |i| input_for(&ds, i));
-        let config = PipelineConfig { threads, categorizer: CategorizerConfig::default(), progress: None };
+        let config =
+            PipelineConfig { threads, categorizer: CategorizerConfig::default(), progress: None };
         results.push(process(&source, &config));
     }
     for pair in results.windows(2) {
@@ -50,7 +51,7 @@ fn disk_roundtrip_through_mdf_files() {
     }
 
     let from_disk = VecSource::new(
-        paths.iter().map(|p| TraceInput::Bytes(std::fs::read(p).unwrap())).collect(),
+        paths.iter().map(|p| TraceInput::bytes(std::fs::read(p).unwrap())).collect(),
     );
     let disk_result = process(&from_disk, &PipelineConfig::default());
 
@@ -90,8 +91,5 @@ fn stability_statistics_match_dedup_premise() {
     let stats = mosaic_pipeline::stability::app_stability(&result.outcomes, 10);
     assert!(!stats.is_empty(), "need apps with >= 10 runs");
     let mean = mosaic_pipeline::stability::mean_stability(&stats);
-    assert!(
-        (0.75..=1.0).contains(&mean),
-        "mean stability {mean} outside the paper's 80–97 % band"
-    );
+    assert!((0.75..=1.0).contains(&mean), "mean stability {mean} outside the paper's 80–97 % band");
 }

@@ -50,21 +50,18 @@ proptest! {
 // ---- merge invariants --------------------------------------------------
 
 fn arb_ops() -> impl Strategy<Value = Vec<Operation>> {
-    prop::collection::vec(
-        (0.0f64..10_000.0, 0.0f64..500.0, 0u64..1 << 32, 1u32..128),
-        0..120,
-    )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .map(|(start, len, bytes, ranks)| Operation {
-                kind: OpKind::Write,
-                start,
-                end: start + len,
-                bytes,
-                ranks,
-            })
-            .collect()
-    })
+    prop::collection::vec((0.0f64..10_000.0, 0.0f64..500.0, 0u64..1 << 32, 1u32..128), 0..120)
+        .prop_map(|raw| {
+            raw.into_iter()
+                .map(|(start, len, bytes, ranks)| Operation {
+                    kind: OpKind::Write,
+                    start,
+                    end: start + len,
+                    bytes,
+                    ranks,
+                })
+                .collect()
+        })
 }
 
 proptest! {
@@ -215,7 +212,7 @@ proptest! {
 fn pipeline_survives_a_source_of_pure_garbage() {
     use mosaic_pipeline::executor::{process, PipelineConfig};
     use mosaic_pipeline::source::{ClosureSource, TraceInput};
-    let source = ClosureSource::new(200, |i| TraceInput::Bytes(vec![i as u8; i % 97]));
+    let source = ClosureSource::new(200, |i| TraceInput::bytes(vec![i as u8; i % 97]));
     let result = process(&source, &PipelineConfig::default());
     assert_eq!(result.funnel.total, 200);
     assert_eq!(result.funnel.format_corrupt, 200);

@@ -62,8 +62,8 @@ fn dataset_figures_render_from_pipeline_output() {
 
     let ds = Dataset::new(DatasetConfig { n_traces: 400, seed: 12, ..Default::default() });
     let source = ClosureSource::new(ds.len(), |i| match ds.generate(i).payload {
-        Payload::Log(log) => TraceInput::Log(log),
-        Payload::Bytes(bytes) => TraceInput::Bytes(bytes),
+        Payload::Log(log) => TraceInput::log(log),
+        Payload::Bytes(bytes) => TraceInput::bytes(bytes),
     });
     let result = process(&source, &PipelineConfig::default());
 
