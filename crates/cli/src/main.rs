@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         "figures" => figures(rest),
         "diff" => diff(rest),
         "watch" => watch(rest),
+        "verify" => verify(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -71,6 +72,8 @@ USAGE:
   mosaic figures   [--n N] [--seed S] --out-dir DIR
   mosaic diff      --seed-a A --seed-b B [--n N]
   mosaic watch     --dir DIR [--interval SECS] [--rounds R]
+  mosaic verify    [--all | --differential --metamorphic --golden]
+                   [--bless] [--golden-dir DIR] [--json]
   mosaic help
 
 SUBCOMMANDS:
@@ -85,6 +88,7 @@ SUBCOMMANDS:
   figures       Fig 4/5-style SVGs for a whole dataset
   diff          workload drift between two datasets (category-share drift)
   watch         incrementally analyze a growing directory of .mdf files
+  verify        differential / metamorphic / golden-snapshot conformance
 
 OPTIONS:
   --n N            dataset size in traces          (default 10000)
@@ -98,6 +102,12 @@ OPTIONS:
   --markdown FILE  write the analysis as a Markdown document
   --metrics FILE   dump per-stage timings, throughput and the typed funnel
                    breakdown as JSON
+  --all            verify: run every suite (the default when none is named)
+  --differential   verify: batch/incremental, serial/parallel, MDF roundtrip
+  --metamorphic    verify: time-shift/scale, permutation, corrupt-monotone
+  --golden         verify: compare against committed tests/golden snapshots
+  --bless          verify: regenerate the golden snapshots instead of checking
+  --golden-dir DIR verify: override the golden snapshot directory
 ";
 
 /// Tiny flag parser: `--key value` pairs only.
@@ -107,7 +117,7 @@ fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if let Some(key) = arg.strip_prefix("--") {
-            if key == "json" {
+            if matches!(key, "json" | "all" | "differential" | "metamorphic" | "golden" | "bless") {
                 flags.insert(key.to_owned(), "true".to_owned());
                 continue;
             }
@@ -532,6 +542,39 @@ fn watch(args: &[String]) -> Result<(), String> {
     println!("{}", analyzer.single_run_counts().render_table("single-run categories"));
     println!("{}", analyzer.all_runs_counts().render_table("all-runs categories"));
     Ok(())
+}
+
+/// Run the conformance harness: differential oracles, metamorphic
+/// invariants, and the golden-snapshot suite. Naming any suite flag runs
+/// only the named suites; `--all` (or no suite flag) runs everything.
+/// Exits nonzero when any check fails, so CI can gate on it directly.
+fn verify(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args)?;
+    let named =
+        ["differential", "metamorphic", "golden"].iter().any(|suite| flags.contains_key(*suite));
+    let everything = flags.contains_key("all") || !named;
+    let options = mosaic_verify::VerifyOptions {
+        differential: everything || flags.contains_key("differential"),
+        metamorphic: everything || flags.contains_key("metamorphic"),
+        golden: everything || flags.contains_key("golden"),
+        bless: flags.contains_key("bless"),
+        golden_dir: flags
+            .get("golden-dir")
+            .map(PathBuf::from)
+            .unwrap_or_else(mosaic_verify::golden::default_dir),
+    };
+
+    let report = mosaic_verify::run(&options);
+    if flags.contains_key("json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!("{} conformance check(s) failed", report.failures().len()))
+    }
 }
 
 #[cfg(test)]

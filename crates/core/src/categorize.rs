@@ -54,6 +54,15 @@ impl TraceReport {
         self.categories.contains(&category)
     }
 
+    /// Project the category set onto one characterization axis.
+    ///
+    /// Metamorphic invariants are often per-axis: uniform time scaling must
+    /// preserve the temporality axis exactly, while period-magnitude buckets
+    /// (periodicity axis) legitimately move with absolute time.
+    pub fn categories_on(&self, axis: crate::category::CategoryAxis) -> BTreeSet<Category> {
+        self.categories.iter().filter(|c| c.axis() == axis).copied().collect()
+    }
+
     /// Direction detail by kind.
     pub fn direction(&self, kind: OpKind) -> &DirectionReport {
         match kind {

@@ -203,7 +203,39 @@ impl OpKindTag {
     }
 }
 
+/// The three characterization axes of §III-B3. Every [`Category`] belongs to
+/// exactly one axis; invariant checks (e.g. time-scale metamorphic tests)
+/// often hold on one axis but not the others, so reports can be projected
+/// per axis via [`crate::TraceReport::categories_on`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CategoryAxis {
+    /// §III-B3b: when the I/O of a direction happens.
+    Temporality,
+    /// §III-B3a: periodic behavior, period magnitude, busy time.
+    Periodicity,
+    /// §III-B3c: metadata pressure.
+    Metadata,
+}
+
+impl CategoryAxis {
+    /// All axes, in a stable order.
+    pub const ALL: [CategoryAxis; 3] =
+        [CategoryAxis::Temporality, CategoryAxis::Periodicity, CategoryAxis::Metadata];
+}
+
 impl Category {
+    /// The characterization axis this category belongs to.
+    pub fn axis(&self) -> CategoryAxis {
+        match self {
+            Category::Temporality { .. } => CategoryAxis::Temporality,
+            Category::Periodic { .. }
+            | Category::PeriodicMagnitude { .. }
+            | Category::PeriodicLowBusyTime { .. }
+            | Category::PeriodicHighBusyTime { .. } => CategoryAxis::Periodicity,
+            Category::Metadata(_) => CategoryAxis::Metadata,
+        }
+    }
+
     /// Canonical snake_case name, matching the paper's vocabulary with the
     /// direction made explicit (the paper writes "*periodic*" and clarifies
     /// the direction in prose; we encode it in the name).
@@ -364,5 +396,20 @@ mod tests {
     fn display_matches_name() {
         let c = Category::Metadata(MetadataLabel::HighDensity);
         assert_eq!(format!("{c}"), c.name());
+    }
+
+    #[test]
+    fn every_category_maps_to_one_axis() {
+        let t = Category::Temporality { kind: OpKindTag::Read, label: TemporalityLabel::Steady };
+        assert_eq!(t.axis(), CategoryAxis::Temporality);
+        for c in [
+            Category::Periodic { kind: OpKindTag::Write },
+            Category::PeriodicMagnitude { kind: OpKindTag::Read, magnitude: PeriodMagnitude::Hour },
+            Category::PeriodicLowBusyTime { kind: OpKindTag::Read },
+            Category::PeriodicHighBusyTime { kind: OpKindTag::Write },
+        ] {
+            assert_eq!(c.axis(), CategoryAxis::Periodicity, "{}", c.name());
+        }
+        assert_eq!(Category::Metadata(MetadataLabel::HighSpike).axis(), CategoryAxis::Metadata);
     }
 }

@@ -67,6 +67,6 @@ pub mod spectral;
 pub mod temporality;
 
 pub use categorize::{CategorizeTimings, Categorizer, TraceReport};
-pub use category::{Category, MetadataLabel, PeriodMagnitude, TemporalityLabel};
+pub use category::{Category, CategoryAxis, MetadataLabel, PeriodMagnitude, TemporalityLabel};
 pub use config::{CategorizerConfig, PeriodicityMethod};
 pub use jaccard::JaccardMatrix;

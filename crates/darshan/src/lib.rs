@@ -69,6 +69,7 @@ pub mod ops;
 pub mod record;
 pub mod synthutil;
 pub mod text;
+pub mod transform;
 pub mod validate;
 
 pub use error::{EvictClass, EvictReason, FormatError, ValidityError};

@@ -44,13 +44,15 @@ pub const MAGIC: &[u8; 8] = b"MOSAICDF";
 /// Current format version.
 pub const VERSION: u16 = 1;
 
-// Decompression-bomb guards.
-const MAX_EXE_LEN: u32 = 64 * 1024;
-const MAX_RECORDS: u32 = 64 * 1024 * 1024;
-const MAX_NAMES: u32 = 64 * 1024 * 1024;
+/// Decompression-bomb guard: longest accepted `exe` string.
+pub const MAX_EXE_LEN: u32 = 64 * 1024;
+/// Decompression-bomb guard: highest accepted record count.
+pub const MAX_RECORDS: u32 = 64 * 1024 * 1024;
+/// Decompression-bomb guard: highest accepted name-table size.
+pub const MAX_NAMES: u32 = 64 * 1024 * 1024;
 
 /// Exact wire size of one record (fixed-width fields only).
-const RECORD_WIRE_BYTES: usize = 8 + 4 + 1 + N_POSIX_COUNTERS * 8 + N_POSIX_FCOUNTERS * 8;
+pub const RECORD_WIRE_BYTES: usize = 8 + 4 + 1 + N_POSIX_COUNTERS * 8 + N_POSIX_FCOUNTERS * 8;
 /// Minimum wire size of one name-table entry (id + length prefix).
 const NAME_WIRE_MIN_BYTES: usize = 8 + 2;
 

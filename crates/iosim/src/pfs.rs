@@ -9,17 +9,21 @@
 //! by I/O and network simulators when per-packet detail is irrelevant — and
 //! for MOSAIC only interval shapes matter.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of an active flow.
 pub type FlowId = u64;
 
 /// The shared-bandwidth state.
+///
+/// Flows live in a `BTreeMap` so that iteration — and therefore the
+/// floating-point accumulation order of `bytes_moved` — is deterministic
+/// across runs and hash seeds.
 #[derive(Debug, Clone)]
 pub struct Pfs {
     aggregate_bw: f64,
     per_client_bw: f64,
-    flows: HashMap<FlowId, Flow>,
+    flows: BTreeMap<FlowId, Flow>,
     last_update: f64,
     next_id: FlowId,
     bytes_moved: f64,
@@ -38,7 +42,7 @@ impl Pfs {
         Pfs {
             aggregate_bw,
             per_client_bw,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             last_update: 0.0,
             next_id: 0,
             bytes_moved: 0.0,

@@ -21,16 +21,20 @@
 
 use crate::pfs::FlowId;
 use mosaic_darshan::synthutil::fnv1a64;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Striped parallel file system state.
+///
+/// Flows live in a `BTreeMap` so that iteration — and therefore the
+/// floating-point accumulation order of `bytes_moved` — is deterministic
+/// across runs and hash seeds.
 #[derive(Debug, Clone)]
 pub struct StripedPfs {
     n_osts: usize,
     ost_bw: f64,
     per_client_bw: f64,
     stripe_count: usize,
-    flows: HashMap<FlowId, Flow>,
+    flows: BTreeMap<FlowId, Flow>,
     last_update: f64,
     next_id: FlowId,
     bytes_moved: f64,
@@ -53,7 +57,7 @@ impl StripedPfs {
             ost_bw,
             per_client_bw,
             stripe_count: stripe_count.min(n_osts),
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             last_update: 0.0,
             next_id: 0,
             bytes_moved: 0.0,
@@ -68,8 +72,8 @@ impl StripedPfs {
     }
 
     /// Per-OST sharer counts for the active flows.
-    fn sharers(&self) -> HashMap<u32, usize> {
-        let mut counts: HashMap<u32, usize> = HashMap::new();
+    fn sharers(&self) -> BTreeMap<u32, usize> {
+        let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
         for f in self.flows.values() {
             for &ost in &f.osts {
                 *counts.entry(ost).or_insert(0) += 1;
@@ -79,7 +83,7 @@ impl StripedPfs {
     }
 
     /// Current rate of one flow under per-OST fair sharing.
-    fn rate_of(&self, flow: &Flow, sharers: &HashMap<u32, usize>) -> f64 {
+    fn rate_of(&self, flow: &Flow, sharers: &BTreeMap<u32, usize>) -> f64 {
         let total: f64 = flow
             .osts
             .iter()

@@ -49,10 +49,12 @@ pub mod funnel;
 pub mod incremental;
 pub mod interference;
 pub mod report_md;
+pub mod snapshot;
 pub mod source;
 pub mod stability;
 
 pub use executor::{process, PipelineConfig, PipelineResult, RunOutcome};
 pub use funnel::FunnelStats;
 pub use incremental::IncrementalAnalyzer;
+pub use snapshot::{RepSnapshot, ResultSnapshot};
 pub use source::{ClosureSource, DirSource, TraceInput, TraceSource, VecSource};

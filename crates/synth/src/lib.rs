@@ -46,9 +46,11 @@ pub mod archetype;
 pub mod build;
 pub mod corrupt;
 pub mod dataset;
+pub mod minicorpus;
 pub mod programs;
 pub mod truth;
 
 pub use archetype::Archetype;
 pub use dataset::{Dataset, DatasetConfig, GeneratedRun, Payload};
+pub use minicorpus::MiniCorpus;
 pub use truth::GroundTruth;

@@ -1,0 +1,131 @@
+//! Seeded mini-corpora for the verification harness.
+//!
+//! `mosaic-verify` needs small, fully deterministic trace populations it can
+//! re-derive on any machine: differential oracles run the same corpus
+//! through two executors, golden snapshots pin a corpus's categorization in
+//! committed JSON. A [`MiniCorpus`] is a named, seeded [`Dataset`] sized for
+//! CI (hundreds of traces, not the year-scale default), with the standard
+//! trio covering the interesting regimes: no corruption, the paper's 32 %
+//! rate, and a corruption-heavy stress mix.
+
+use crate::dataset::{Dataset, DatasetConfig, Payload};
+
+/// A named, seeded, CI-sized trace corpus.
+#[derive(Debug, Clone)]
+pub struct MiniCorpus {
+    name: &'static str,
+    dataset: Dataset,
+}
+
+impl MiniCorpus {
+    /// Build a corpus from an explicit configuration.
+    pub fn new(name: &'static str, config: DatasetConfig) -> MiniCorpus {
+        MiniCorpus { name, dataset: Dataset::new(config) }
+    }
+
+    /// The standard verification trio. Names, seeds and sizes are part of
+    /// the golden-snapshot contract: changing any of them invalidates
+    /// `tests/golden/*.json` and requires a `--bless`.
+    pub fn standard() -> Vec<MiniCorpus> {
+        vec![
+            MiniCorpus::new(
+                "clean-small",
+                DatasetConfig { n_traces: 160, corruption_rate: 0.0, seed: 101 },
+            ),
+            MiniCorpus::new(
+                "mixed-medium",
+                DatasetConfig { n_traces: 400, corruption_rate: 0.32, seed: 202 },
+            ),
+            MiniCorpus::new(
+                "hostile-heavy",
+                DatasetConfig { n_traces: 240, corruption_rate: 0.6, seed: 303 },
+            ),
+        ]
+    }
+
+    /// Corpus name (doubles as the golden file stem).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.dataset.len()
+    }
+
+    /// `true` when the corpus holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.dataset.is_empty()
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Trace `i`'s payload. Pure function of `(name's seed, i)`.
+    pub fn payload(&self, i: usize) -> Payload {
+        self.dataset.generate(i).payload
+    }
+
+    /// Trace `i` as MDF wire bytes — decoded logs are serialized, raw
+    /// (format-corrupt) payloads pass through untouched. This is the byte
+    /// stream the roundtrip differential feeds back through the parser.
+    pub fn mdf_bytes(&self, i: usize) -> Vec<u8> {
+        match self.payload(i) {
+            Payload::Log(log) => mosaic_darshan::mdf::to_bytes(&log),
+            Payload::Bytes(bytes) => bytes,
+        }
+    }
+
+    /// Every decoded (parseable) trace log, with its corpus index.
+    pub fn logs(&self) -> Vec<(usize, mosaic_darshan::TraceLog)> {
+        (0..self.len())
+            .filter_map(|i| match self.payload(i) {
+                Payload::Log(log) => Some((i, log)),
+                Payload::Bytes(_) => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_trio_is_stable() {
+        let corpora = MiniCorpus::standard();
+        assert_eq!(corpora.len(), 3);
+        let names: Vec<&str> = corpora.iter().map(|c| c.name()).collect();
+        assert_eq!(names, ["clean-small", "mixed-medium", "hostile-heavy"]);
+        for c in &corpora {
+            assert!(!c.is_empty());
+            assert!(c.len() <= 400, "{} too big for CI", c.name());
+        }
+    }
+
+    #[test]
+    fn payloads_are_deterministic() {
+        let a = MiniCorpus::standard().remove(1);
+        let b = MiniCorpus::standard().remove(1);
+        for i in [0, 17, 399] {
+            assert_eq!(a.payload(i), b.payload(i));
+            assert_eq!(a.mdf_bytes(i), b.mdf_bytes(i));
+        }
+    }
+
+    #[test]
+    fn clean_corpus_decodes_entirely() {
+        let clean = MiniCorpus::standard().remove(0);
+        assert_eq!(clean.logs().len(), clean.len());
+    }
+
+    #[test]
+    fn hostile_corpus_still_has_survivors() {
+        let hostile = MiniCorpus::standard().remove(2);
+        let logs = hostile.logs().len();
+        assert!(logs > 0, "need parseable traces to verify against");
+        assert!(logs < hostile.len(), "need format-corrupt traces too");
+    }
+}

@@ -1,0 +1,157 @@
+//! Differential oracles: independent implementations of the same contract
+//! must produce bit-identical results.
+//!
+//! Three pairings, each run over every standard mini-corpus:
+//!
+//! * **serial vs parallel** — the batch executor on a 1-thread pool vs
+//!   2- and 4-thread pools vs Rayon's global default. Categorization is a
+//!   pure per-trace function and aggregation is order-normalized, so the
+//!   [`ResultSnapshot`]s must match byte-for-byte;
+//! * **batch vs incremental** — the one-shot executor vs the streaming
+//!   [`IncrementalAnalyzer`] fed the same traces one at a time. Both route
+//!   through the same `ingest_one`, so funnel and both category
+//!   distributions must agree exactly;
+//! * **MDF roundtrip** — `write → parse → re-write` must be byte-stable for
+//!   every parseable trace, and a pipeline fed serialized bytes must answer
+//!   exactly like one fed the decoded logs.
+
+use crate::VerifyReport;
+use mosaic_darshan::mdf;
+use mosaic_pipeline::executor::{process, PipelineConfig};
+use mosaic_pipeline::source::{TraceInput, VecSource};
+use mosaic_pipeline::{IncrementalAnalyzer, ResultSnapshot};
+use mosaic_synth::{MiniCorpus, Payload};
+
+/// A corpus as pipeline inputs, decoded logs passed as logs and corrupt
+/// bytes as bytes (the cheapest, most direct representation).
+pub fn inputs_of(corpus: &MiniCorpus) -> Vec<TraceInput> {
+    (0..corpus.len())
+        .map(|i| match corpus.payload(i) {
+            Payload::Log(log) => TraceInput::log(log),
+            Payload::Bytes(bytes) => TraceInput::bytes(bytes),
+        })
+        .collect()
+}
+
+fn config(threads: Option<usize>) -> PipelineConfig {
+    PipelineConfig { threads, ..Default::default() }
+}
+
+fn compare(report: &mut VerifyReport, name: String, a: &ResultSnapshot, b: &ResultSnapshot) {
+    if a == b {
+        report.check(name, true, format!("identical snapshots, digest {:016x}", a.digest()));
+    } else {
+        report.check(
+            name,
+            false,
+            format!(
+                "snapshots diverge: digest {:016x} vs {:016x}\n\
+                 funnel lhs {:?}\nfunnel rhs {:?}",
+                a.digest(),
+                b.digest(),
+                a.funnel,
+                b.funnel
+            ),
+        );
+    }
+}
+
+/// Run every differential oracle, appending one check per comparison.
+pub fn run(report: &mut VerifyReport) {
+    for corpus in MiniCorpus::standard() {
+        let inputs = inputs_of(&corpus);
+        let serial =
+            ResultSnapshot::of(&process(&VecSource::new(inputs.clone()), &config(Some(1))));
+
+        // Serial vs explicit pools vs the global default.
+        for threads in [Some(2), Some(4), None] {
+            let parallel =
+                ResultSnapshot::of(&process(&VecSource::new(inputs.clone()), &config(threads)));
+            let label = match threads {
+                Some(n) => format!("{n}-threads"),
+                None => "default-pool".to_owned(),
+            };
+            compare(
+                report,
+                format!("differential/serial-vs-{label}/{}", corpus.name()),
+                &serial,
+                &parallel,
+            );
+        }
+
+        // Batch vs incremental: same traces, one at a time.
+        let mut inc = IncrementalAnalyzer::new(Default::default());
+        for input in inputs.clone() {
+            inc.ingest(input);
+        }
+        let agrees = inc.funnel() == &serial.funnel
+            && inc.all_runs_counts() == &serial.all_runs
+            && inc.single_run_counts() == serial.single_run;
+        report.check(
+            format!("differential/batch-vs-incremental/{}", corpus.name()),
+            agrees,
+            if agrees {
+                format!("funnel + both distributions agree over {} traces", corpus.len())
+            } else {
+                format!(
+                    "streaming diverges from batch\nbatch funnel {:?}\nstream funnel {:?}",
+                    serial.funnel,
+                    inc.funnel()
+                )
+            },
+        );
+
+        // MDF write → parse → re-write byte stability.
+        let mut unstable = Vec::new();
+        for (i, log) in corpus.logs() {
+            let first = mdf::to_bytes(&log);
+            match mdf::from_bytes(&first) {
+                Ok(parsed) if parsed == log && mdf::to_bytes(&parsed) == first => {}
+                Ok(_) => unstable.push(format!("trace {i}: re-write not byte-identical")),
+                Err(err) => unstable.push(format!("trace {i}: own output rejected: {err:?}")),
+            }
+        }
+        report.check(
+            format!("differential/mdf-roundtrip-bytes/{}", corpus.name()),
+            unstable.is_empty(),
+            if unstable.is_empty() {
+                format!("{} logs write→parse→re-write byte-stable", corpus.logs().len())
+            } else {
+                unstable.join("\n")
+            },
+        );
+
+        // A pipeline fed wire bytes answers exactly like one fed logs.
+        let byte_inputs: Vec<TraceInput> =
+            (0..corpus.len()).map(|i| TraceInput::bytes(corpus.mdf_bytes(i))).collect();
+        let from_bytes =
+            ResultSnapshot::of(&process(&VecSource::new(byte_inputs), &config(Some(2))));
+        compare(
+            report,
+            format!("differential/log-source-vs-bytes-source/{}", corpus.name()),
+            &serial,
+            &from_bytes,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_differential_oracles_pass() {
+        let mut report = VerifyReport::default();
+        run(&mut report);
+        assert!(report.passed(), "{}", report.render());
+        // 6 checks per corpus (3 pool comparisons, incremental, roundtrip,
+        // bytes-source) × 3 corpora.
+        assert_eq!(report.checks.len(), 18);
+    }
+
+    #[test]
+    fn inputs_match_corpus_length() {
+        let corpus = MiniCorpus::standard().remove(0);
+        assert_eq!(inputs_of(&corpus).len(), corpus.len());
+    }
+}

@@ -1,0 +1,180 @@
+//! Golden snapshots: the standard corpora's full pipeline answers, pinned
+//! in committed JSON.
+//!
+//! Differential and metamorphic oracles prove *internal* consistency — two
+//! ways of computing agree — but cannot see a change that shifts every
+//! implementation at once (a threshold tweak in `core::categorize`, a new
+//! eviction rule). The golden suite pins the *absolute* answer: for each
+//! [`MiniCorpus`], the canonical [`ResultSnapshot`] JSON lives in
+//! `tests/golden/<corpus>.json`. Any drift fails the check; intentional
+//! drift is re-blessed with `mosaic verify --golden --bless` and reviewed
+//! as a diff of the committed files.
+
+use crate::VerifyReport;
+use mosaic_pipeline::executor::{process, PipelineConfig};
+use mosaic_pipeline::source::VecSource;
+use mosaic_pipeline::ResultSnapshot;
+use mosaic_synth::MiniCorpus;
+use std::path::{Path, PathBuf};
+
+/// The committed golden directory: `tests/golden/` at the repository root.
+pub fn default_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..").join("tests").join("golden")
+}
+
+/// The pinned answer for one corpus, computed fresh.
+pub fn snapshot_of(corpus: &MiniCorpus) -> ResultSnapshot {
+    let inputs = crate::differential::inputs_of(corpus);
+    ResultSnapshot::of(&process(&VecSource::new(inputs), &PipelineConfig::default()))
+}
+
+fn golden_path(dir: &Path, corpus: &MiniCorpus) -> PathBuf {
+    dir.join(format!("{}.json", corpus.name()))
+}
+
+/// Compare every standard corpus against its committed snapshot.
+pub fn check(dir: &Path, report: &mut VerifyReport) {
+    for corpus in MiniCorpus::standard() {
+        let name = format!("golden/snapshot/{}", corpus.name());
+        let path = golden_path(dir, &corpus);
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(json) => json,
+            Err(err) => {
+                report.check(
+                    name,
+                    false,
+                    format!(
+                        "cannot read {}: {err}\nrun `mosaic verify --golden --bless` to create it",
+                        path.display()
+                    ),
+                );
+                continue;
+            }
+        };
+        let fresh = snapshot_of(&corpus);
+        match ResultSnapshot::from_json(&committed) {
+            Ok(pinned) if pinned == fresh => {
+                report.check(
+                    name,
+                    true,
+                    format!("matches {} (digest {:016x})", path.display(), fresh.digest()),
+                );
+            }
+            Ok(pinned) => {
+                report.check(
+                    name,
+                    false,
+                    format!(
+                        "categorization drifted from {}\n\
+                         pinned digest {:016x}, fresh digest {:016x}\n\
+                         pinned funnel {:?}\nfresh  funnel {:?}\n\
+                         if the change is intentional, re-bless with \
+                         `mosaic verify --golden --bless` and commit the diff",
+                        path.display(),
+                        pinned.digest(),
+                        fresh.digest(),
+                        pinned.funnel,
+                        fresh.funnel
+                    ),
+                );
+            }
+            Err(err) => {
+                report.check(
+                    name,
+                    false,
+                    format!("{} is not a valid snapshot: {err}", path.display()),
+                );
+            }
+        }
+    }
+}
+
+/// Regenerate every golden file, reporting what changed.
+pub fn bless(dir: &Path, report: &mut VerifyReport) {
+    if let Err(err) = std::fs::create_dir_all(dir) {
+        report.check("golden/bless", false, format!("cannot create {}: {err}", dir.display()));
+        return;
+    }
+    for corpus in MiniCorpus::standard() {
+        let name = format!("golden/bless/{}", corpus.name());
+        let path = golden_path(dir, &corpus);
+        let fresh = snapshot_of(&corpus).to_canonical_json();
+        let previous = std::fs::read_to_string(&path).ok();
+        match std::fs::write(&path, &fresh) {
+            Ok(()) => {
+                let verb = match previous {
+                    Some(old) if old == fresh => "unchanged",
+                    Some(_) => "updated",
+                    None => "created",
+                };
+                report.check(name, true, format!("{verb} {}", path.display()));
+            }
+            Err(err) => {
+                report.check(name, false, format!("cannot write {}: {err}", path.display()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_are_reproducible() {
+        let corpus = MiniCorpus::standard().remove(0);
+        let a = snapshot_of(&corpus);
+        let b = snapshot_of(&corpus);
+        assert_eq!(a, b);
+        assert_eq!(a.to_canonical_json(), b.to_canonical_json());
+    }
+
+    #[test]
+    fn bless_then_check_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("mosaic_golden_{}", std::process::id()));
+        let mut blessing = VerifyReport::default();
+        bless(&dir, &mut blessing);
+        assert!(blessing.passed(), "{}", blessing.render());
+        assert!(blessing.render().contains("created"));
+
+        let mut checking = VerifyReport::default();
+        check(&dir, &mut checking);
+        assert!(checking.passed(), "{}", checking.render());
+
+        // Re-blessing an up-to-date directory rewrites nothing.
+        let mut again = VerifyReport::default();
+        bless(&dir, &mut again);
+        assert!(again.render().contains("unchanged"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_golden_file_fails_with_bless_hint() {
+        let dir = std::env::temp_dir().join(format!("mosaic_golden_miss_{}", std::process::id()));
+        let mut report = VerifyReport::default();
+        check(&dir, &mut report);
+        assert!(!report.passed());
+        assert!(report.render().contains("--bless"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_golden_file_fails_with_drift_message() {
+        let dir = std::env::temp_dir().join(format!("mosaic_golden_tamper_{}", std::process::id()));
+        let mut blessing = VerifyReport::default();
+        bless(&dir, &mut blessing);
+        // Flip the pinned valid count: the check must flag drift.
+        let corpus = MiniCorpus::standard().remove(0);
+        let path = dir.join(format!("{}.json", corpus.name()));
+        let mut pinned =
+            ResultSnapshot::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        pinned.funnel.valid += 1;
+        std::fs::write(&path, pinned.to_canonical_json()).unwrap();
+
+        let mut report = VerifyReport::default();
+        check(&dir, &mut report);
+        assert!(!report.passed());
+        assert!(report.render().contains("drifted"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

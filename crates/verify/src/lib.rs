@@ -1,0 +1,171 @@
+//! # mosaic-verify
+//!
+//! The conformance harness: proves that every way of running the MOSAIC
+//! pipeline gives the *same answer*, and that the answer itself has not
+//! drifted. The paper validates categorization against 512 hand-labeled
+//! traces; this reproduction substitutes three mechanical oracles, run over
+//! seeded [`mosaic_synth::MiniCorpus`] populations:
+//!
+//! * [`differential`] — two implementations of the same contract must
+//!   agree bit-for-bit: batch executor vs incremental analyzer, serial vs
+//!   N-thread Rayon pools, and MDF write→parse→re-write roundtrips;
+//! * [`metamorphic`] — transformations categorization must be blind to:
+//!   global time-shift (full category set), uniform power-of-two time-scale
+//!   (temporality axis), trace-order permutation (funnel, distributions and
+//!   dedup winners), and corruption injection (monotone funnel: corrupted
+//!   traces move to evictions, survivors' reports do not move at all);
+//! * [`golden`] — committed snapshots (`tests/golden/*.json`) pin the
+//!   standard corpora's full [`mosaic_pipeline::ResultSnapshot`]s; any
+//!   categorization drift shows up as a snapshot diff, and intentional
+//!   changes are re-blessed explicitly.
+//!
+//! The harness is the tier-1 gate for refactor and performance PRs: run it
+//! via `mosaic verify --all`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod differential;
+pub mod golden;
+pub mod metamorphic;
+
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// Outcome of one conformance check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckResult {
+    /// Hierarchical check name, `suite/check/corpus`.
+    pub name: String,
+    /// `true` when the invariant held.
+    pub passed: bool,
+    /// Human-readable evidence: what was compared, and on failure, how the
+    /// two sides differ.
+    pub detail: String,
+}
+
+/// Aggregated harness run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerifyReport {
+    /// Every executed check, in execution order.
+    pub checks: Vec<CheckResult>,
+}
+
+impl VerifyReport {
+    /// Record a check outcome.
+    pub fn check(&mut self, name: impl Into<String>, passed: bool, detail: impl Into<String>) {
+        self.checks.push(CheckResult { name: name.into(), passed, detail: detail.into() });
+    }
+
+    /// `true` when every check passed (an empty report passes vacuously).
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// The failed checks.
+    pub fn failures(&self) -> Vec<&CheckResult> {
+        self.checks.iter().filter(|c| !c.passed).collect()
+    }
+
+    /// Render a terminal summary: one line per check, failures expanded.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.checks {
+            let mark = if c.passed { "PASS" } else { "FAIL" };
+            out.push_str(&format!("{mark}  {}\n", c.name));
+            if !c.passed {
+                for line in c.detail.lines() {
+                    out.push_str(&format!("      {line}\n"));
+                }
+            }
+        }
+        let failed = self.failures().len();
+        out.push_str(&format!(
+            "{} checks, {} passed, {} failed\n",
+            self.checks.len(),
+            self.checks.len() - failed,
+            failed
+        ));
+        out
+    }
+
+    /// JSON rendering for machine consumers.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+}
+
+/// Which suites to run, and how.
+#[derive(Debug, Clone)]
+pub struct VerifyOptions {
+    /// Run the differential oracles.
+    pub differential: bool,
+    /// Run the metamorphic invariants.
+    pub metamorphic: bool,
+    /// Run (or bless) the golden-snapshot suite.
+    pub golden: bool,
+    /// Regenerate golden files instead of checking them.
+    pub bless: bool,
+    /// Where the golden files live.
+    pub golden_dir: PathBuf,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            differential: true,
+            metamorphic: true,
+            golden: true,
+            bless: false,
+            golden_dir: golden::default_dir(),
+        }
+    }
+}
+
+/// Run the selected suites and collect every check outcome.
+pub fn run(options: &VerifyOptions) -> VerifyReport {
+    let mut report = VerifyReport::default();
+    if options.differential {
+        differential::run(&mut report);
+    }
+    if options.metamorphic {
+        metamorphic::run(&mut report);
+    }
+    if options.golden {
+        if options.bless {
+            golden::bless(&options.golden_dir, &mut report);
+        } else {
+            golden::check(&options.golden_dir, &mut report);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_bookkeeping() {
+        let mut r = VerifyReport::default();
+        assert!(r.passed());
+        r.check("a/b", true, "ok");
+        assert!(r.passed());
+        r.check("a/c", false, "lhs != rhs\nsecond line");
+        assert!(!r.passed());
+        assert_eq!(r.failures().len(), 1);
+        let text = r.render();
+        assert!(text.contains("PASS  a/b"));
+        assert!(text.contains("FAIL  a/c"));
+        assert!(text.contains("      second line"));
+        assert!(text.contains("2 checks, 1 passed, 1 failed"));
+    }
+
+    #[test]
+    fn report_json_roundtrips() {
+        let mut r = VerifyReport::default();
+        r.check("x", true, "fine");
+        let back: VerifyReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,234 @@
+//! Metamorphic invariants: transformations of the input that the pipeline's
+//! answer must be blind to (or react to in exactly one predicted way).
+//!
+//! * **time-shift** — moving a job along the wallclock changes nothing the
+//!   categorizer reads (all operation times are job-relative), so the full
+//!   [`TraceReport`] must be bit-identical;
+//! * **time-scale** — uniformly dilating the job's internal timeline by a
+//!   power of two preserves every *fraction-of-runtime* quantity exactly, so
+//!   the temporality axis must not move. (Periodicity-axis labels carry
+//!   absolute period magnitudes — second/minute/hour — which legitimately
+//!   change, so only the temporality axis is asserted.)
+//! * **permutation** — the archive's ordering is an accident of time; any
+//!   reordering of the source must leave the funnel, both category
+//!   distributions, and every dedup winner's `(uid, app, weight)` unchanged;
+//! * **corrupt-monotone** — corrupting a chosen subset of traces may only
+//!   move *those* traces into the evictions: totals hold, the valid count
+//!   drops by exactly the subset size, and every survivor's report is
+//!   byte-identical to its uncorrupted baseline.
+
+use crate::differential::inputs_of;
+use crate::VerifyReport;
+use mosaic_core::category::CategoryAxis;
+use mosaic_core::{Categorizer, TraceReport};
+use mosaic_darshan::transform::{scale_time, shift_time};
+use mosaic_darshan::{validate, TraceLog};
+use mosaic_pipeline::executor::{process, PipelineConfig, PipelineResult};
+use mosaic_pipeline::source::{TraceInput, VecSource};
+use mosaic_synth::corrupt::{corrupt_as, CorruptArtifact, CorruptionKind};
+use mosaic_synth::MiniCorpus;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// The corpus logs the categorizer-level invariants run on: parseable and
+/// cleanly valid, i.e. exactly what the pipeline would categorize unchanged.
+fn clean_logs(corpus: &MiniCorpus) -> Vec<(usize, TraceLog)> {
+    corpus.logs().into_iter().filter(|(_, log)| validate::validate(log).is_clean()).collect()
+}
+
+fn run_pipeline(inputs: Vec<TraceInput>) -> PipelineResult {
+    process(&VecSource::new(inputs), &PipelineConfig::default())
+}
+
+fn shift_check(report: &mut VerifyReport, corpus: &MiniCorpus, categorizer: &Categorizer) {
+    let mut broken = Vec::new();
+    let logs = clean_logs(corpus);
+    for (i, log) in &logs {
+        let base = categorizer.categorize_log(log);
+        for delta in [86_400i64, -3_600] {
+            let shifted = categorizer.categorize_log(&shift_time(log, delta));
+            if shifted != base {
+                broken.push(format!("trace {i}: report moved under shift {delta:+}s"));
+            }
+        }
+    }
+    report.check(
+        format!("metamorphic/time-shift/{}", corpus.name()),
+        broken.is_empty(),
+        if broken.is_empty() {
+            format!("{} clean logs invariant under ±wallclock shifts", logs.len())
+        } else {
+            broken.join("\n")
+        },
+    );
+}
+
+fn scale_check(report: &mut VerifyReport, corpus: &MiniCorpus, categorizer: &Categorizer) {
+    let mut broken = Vec::new();
+    let logs = clean_logs(corpus);
+    for (i, log) in &logs {
+        let base = categorizer.categorize_log(log).categories_on(CategoryAxis::Temporality);
+        for factor in [2.0, 4.0] {
+            let scaled = categorizer
+                .categorize_log(&scale_time(log, factor))
+                .categories_on(CategoryAxis::Temporality);
+            if scaled != base {
+                broken.push(format!(
+                    "trace {i}: temporality moved under x{factor} scale: {base:?} -> {scaled:?}"
+                ));
+            }
+        }
+    }
+    report.check(
+        format!("metamorphic/time-scale/{}", corpus.name()),
+        broken.is_empty(),
+        if broken.is_empty() {
+            format!("{} clean logs temporality-invariant under power-of-two scales", logs.len())
+        } else {
+            broken.join("\n")
+        },
+    );
+}
+
+/// The order-independent core of a result: funnel, both distributions, and
+/// the dedup winners reduced to `(uid, app, weight)` (a tie between
+/// equal-weight runs may legitimately crown a different index).
+fn order_free_view(result: &PipelineResult) -> impl PartialEq + std::fmt::Debug {
+    let winners: Vec<(u32, String, i64)> = {
+        let mut v: Vec<_> = result
+            .representatives()
+            .map(|o| (o.app_key.0, o.app_key.1.clone(), o.weight))
+            .collect();
+        v.sort();
+        v
+    };
+    (result.funnel.clone(), result.all_runs_counts(), result.single_run_counts(), winners)
+}
+
+fn permutation_check(report: &mut VerifyReport, corpus: &MiniCorpus) {
+    let inputs = inputs_of(corpus);
+    let base = order_free_view(&run_pipeline(inputs.clone()));
+
+    let reversed: Vec<TraceInput> = inputs.iter().rev().cloned().collect();
+    // A stride walk: 7 is coprime with the corpus sizes, so this visits
+    // every index exactly once in a thoroughly shuffled order.
+    let n = inputs.len();
+    let strided: Vec<TraceInput> = (0..n).map(|i| inputs[(i * 7) % n].clone()).collect();
+
+    for (label, permuted) in [("reversed", reversed), ("strided", strided)] {
+        let view = order_free_view(&run_pipeline(permuted));
+        let passed = view == base;
+        report.check(
+            format!("metamorphic/permutation-{label}/{}", corpus.name()),
+            passed,
+            if passed {
+                format!("funnel, distributions and dedup winners stable over {n} traces")
+            } else {
+                format!("order-free views diverge\nbase {base:?}\npermuted {view:?}")
+            },
+        );
+    }
+}
+
+fn corrupt_monotone_check(report: &mut VerifyReport, corpus: &MiniCorpus) {
+    let baseline = run_pipeline(inputs_of(corpus));
+    let baseline_reports: BTreeMap<usize, &TraceReport> =
+        baseline.outcomes.iter().map(|o| (o.index, &o.report)).collect();
+
+    // Corrupt every 5th cleanly-valid trace, cycling the corruption kinds.
+    let clean: BTreeMap<usize, TraceLog> = clean_logs(corpus).into_iter().collect();
+    let mut corrupted = Vec::new();
+    let mut inputs = inputs_of(corpus);
+    for (slot, (&i, log)) in clean.iter().enumerate() {
+        if slot % 5 != 0 {
+            continue;
+        }
+        let kind = CorruptionKind::ALL[slot / 5 % CorruptionKind::ALL.len()];
+        let mut rng = ChaCha8Rng::seed_from_u64(0xC0FF_EE00 ^ i as u64);
+        inputs[i] = match corrupt_as(log.clone(), kind, &mut rng) {
+            CorruptArtifact::Bytes(bytes) => TraceInput::bytes(bytes),
+            CorruptArtifact::Log(log) => TraceInput::log(log),
+        };
+        corrupted.push(i);
+    }
+
+    let after = run_pipeline(inputs);
+    let mut problems = Vec::new();
+    if after.funnel.total != baseline.funnel.total {
+        problems.push(format!("total moved: {} -> {}", baseline.funnel.total, after.funnel.total));
+    }
+    if after.funnel.valid != baseline.funnel.valid - corrupted.len() {
+        problems.push(format!(
+            "valid should drop by exactly {}: {} -> {}",
+            corrupted.len(),
+            baseline.funnel.valid,
+            after.funnel.valid
+        ));
+    }
+    if after.funnel.evicted() != baseline.funnel.evicted() + corrupted.len() {
+        problems.push("evictions did not absorb exactly the corrupted set".to_owned());
+    }
+    if after.funnel.by_reason.values().sum::<usize>() != after.funnel.evicted() {
+        problems.push("by_reason no longer sums to evictions".to_owned());
+    }
+    for outcome in &after.outcomes {
+        if corrupted.contains(&outcome.index) {
+            problems.push(format!("corrupted trace {} survived the funnel", outcome.index));
+        } else if baseline_reports.get(&outcome.index) != Some(&&outcome.report) {
+            problems.push(format!("survivor {}'s report moved", outcome.index));
+        }
+    }
+    if after.outcomes.len() != baseline.outcomes.len() - corrupted.len() {
+        problems.push("survivor count inconsistent with corrupted set".to_owned());
+    }
+
+    report.check(
+        format!("metamorphic/corrupt-monotone/{}", corpus.name()),
+        problems.is_empty(),
+        if problems.is_empty() {
+            format!(
+                "{} injected corruptions moved exactly themselves into evictions; \
+                 {} survivors byte-identical",
+                corrupted.len(),
+                after.outcomes.len()
+            )
+        } else {
+            problems.join("\n")
+        },
+    );
+}
+
+/// Run every metamorphic invariant, appending one check per invariant per
+/// corpus.
+pub fn run(report: &mut VerifyReport) {
+    let categorizer = Categorizer::default();
+    for corpus in MiniCorpus::standard() {
+        shift_check(report, &corpus, &categorizer);
+        scale_check(report, &corpus, &categorizer);
+        permutation_check(report, &corpus);
+        corrupt_monotone_check(report, &corpus);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_metamorphic_invariants_hold() {
+        let mut report = VerifyReport::default();
+        run(&mut report);
+        assert!(report.passed(), "{}", report.render());
+        // 5 checks per corpus (shift, scale, 2 permutations, corrupt).
+        assert_eq!(report.checks.len(), 15);
+    }
+
+    #[test]
+    fn clean_logs_are_a_subset_of_parseable_logs() {
+        let corpus = MiniCorpus::standard().remove(1);
+        let clean = clean_logs(&corpus);
+        assert!(!clean.is_empty());
+        assert!(clean.len() <= corpus.logs().len());
+    }
+}

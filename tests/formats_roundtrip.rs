@@ -47,6 +47,32 @@ fn arb_log() -> impl Strategy<Value = TraceLog> {
         })
 }
 
+/// Every byte offset at which one wire section of `log`'s MDF encoding ends
+/// and the next begins (magic, version/flags, fixed header, exe length, exe
+/// bytes, record count, each record, name count, each name entry). Cutting
+/// the file at any of these is the "cleanest" possible truncation — no
+/// half-written field to trip over — and the parser must still reject it.
+fn section_boundaries(log: &TraceLog) -> Vec<usize> {
+    let total = mdf::to_bytes(log).len();
+    let mut cuts = vec![8, 12, 44, 48];
+    let mut off = 48 + log.header().exe.len();
+    cuts.push(off);
+    off += 4; // n_records
+    cuts.push(off);
+    for _ in log.records() {
+        off += mdf::RECORD_WIRE_BYTES;
+        cuts.push(off);
+    }
+    off += 4; // n_names
+    cuts.push(off);
+    for name in log.names().values() {
+        off += 8 + 2 + name.len();
+        cuts.push(off);
+    }
+    assert_eq!(off + 4, total, "boundary arithmetic must match the writer");
+    cuts
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -96,6 +122,24 @@ proptest! {
             Ok(parsed) => prop_assert_eq!(parsed, log),
         }
     }
+
+    #[test]
+    fn truncation_at_and_near_section_boundaries_never_parses(
+        log in arb_log(),
+        pick in any::<prop::sample::Index>(),
+        back in 0usize..4,
+    ) {
+        // Section-boundary cuts are the hostile truncations most likely to
+        // parse by accident: every field before the cut is complete, so only
+        // the count/CRC bookkeeping can catch them. `back` also probes a few
+        // bytes short of each boundary (mid-field cuts).
+        let bytes = mdf::to_bytes(&log);
+        let cuts = section_boundaries(&log);
+        let cut = cuts[pick.index(cuts.len())].saturating_sub(back).max(1);
+        if cut < bytes.len() {
+            prop_assert!(mdf::from_bytes(&bytes[..cut]).is_err(), "cut at {} parsed", cut);
+        }
+    }
 }
 
 #[test]
@@ -119,6 +163,128 @@ fn generator_traces_roundtrip_mdf() {
         let parsed = mdf::from_bytes(&mdf::to_bytes(&log)).unwrap();
         assert_eq!(parsed, log);
     }
+}
+
+#[test]
+fn truncation_at_every_section_boundary_is_rejected() {
+    // Exhaustive version of the property above for one representative log:
+    // cut the file at *every* section boundary and demand a parse error.
+    let mut b = TraceLogBuilder::new(JobHeader::new(7, 9, 64, 100, 400).with_exe("/apps/lmp"));
+    for i in 0..3 {
+        let h = b.begin_record(&format!("/scratch/out.{i}"), i);
+        b.record_mut(h).set(PosixCounter::Writes, 5 + i as i64);
+    }
+    let log = b.finish();
+    let bytes = mdf::to_bytes(&log);
+    for cut in section_boundaries(&log) {
+        assert!(cut < bytes.len());
+        assert!(mdf::from_bytes(&bytes[..cut]).is_err(), "cut at section boundary {cut} parsed");
+    }
+}
+
+#[test]
+fn zero_length_fields_roundtrip_mdf() {
+    // The all-zero degenerate corners: empty exe, a record whose 36 counters
+    // are all zero, and a zero-length name string. None carries information,
+    // but the wire format must represent each faithfully rather than
+    // collapsing or rejecting them.
+    let mut b = TraceLogBuilder::new(JobHeader::new(0, 0, 1, 0, 1));
+    b.begin_record("x", -1);
+    let built = b.finish();
+    let mut names = built.names().clone();
+    for name in names.values_mut() {
+        name.clear();
+    }
+    let log = TraceLog::from_parts(built.header().clone(), built.records().to_vec(), names);
+    let parsed = mdf::from_bytes(&mdf::to_bytes(&log)).unwrap();
+    assert_eq!(parsed, log);
+    assert_eq!(parsed.names().values().next().map(String::as_str), Some(""));
+}
+
+#[test]
+fn exe_at_the_clamp_roundtrips_and_one_past_is_rejected() {
+    use mosaic_darshan::error::FormatError;
+    // MAX_EXE_LEN is an inclusive bound: exactly at the clamp must survive.
+    let at = "e".repeat(mdf::MAX_EXE_LEN as usize);
+    let log = TraceLogBuilder::new(JobHeader::new(1, 1, 1, 0, 10).with_exe(at)).finish();
+    assert_eq!(mdf::from_bytes(&mdf::to_bytes(&log)).unwrap(), log);
+
+    // One byte past it, the bomb guard fires even though the encoding is
+    // otherwise perfectly self-consistent (valid CRC and all).
+    let over = "e".repeat(mdf::MAX_EXE_LEN as usize + 1);
+    let log = TraceLogBuilder::new(JobHeader::new(1, 1, 1, 0, 10).with_exe(over)).finish();
+    assert!(matches!(
+        mdf::from_bytes(&mdf::to_bytes(&log)),
+        Err(FormatError::ImplausibleLength { context: "exe", .. })
+    ));
+}
+
+/// Named regression for the committed proptest seed `3f0b8ffa…` (see
+/// `tests/formats_roundtrip.proptest-regressions`). The shrunk case is a
+/// single record whose *first* counter (`Opens`) is zero with every other
+/// counter nonzero, filed under the path `"."` with an empty exe string.
+/// The text format omits zero-valued counters, so the round-trip used to
+/// lose `Opens = 0` in a way the modulo-zero comparison did not forgive,
+/// and `"."` exercised the degenerate one-character path. Kept as a unit
+/// test so the exact shape is re-run by name even if the seed file is lost.
+#[test]
+fn regression_zero_first_counter_dot_path_roundtrips() {
+    let counters: [i64; 25] = [
+        0,
+        220,
+        937_140_759_137,
+        412_358_803_833,
+        46_464_933_110,
+        1_029_897_010_748,
+        609_403_638_473,
+        98_725_071_115,
+        812_230_124_801,
+        824_431_739_818,
+        665_382_967_530,
+        719_887_311_249,
+        403_752_506_241,
+        822_786_636_253,
+        196_674_713_075,
+        233_103_479_945,
+        225_728_826_100,
+        1_071_284_755_413,
+        702_565_898_738,
+        829_494_380_641,
+        495_109_027_051,
+        65_652_269_169,
+        574_847_434_481,
+        856_815_781_271,
+        660_620_025_762,
+    ];
+    let fcounters: [f64; 11] = [
+        963_428.170_904_028_9,
+        284_909.441_444_105_93,
+        789_820.950_036_736,
+        338_454.629_327_670_03,
+        862_498.049_908_476_6,
+        19_361.410_897_874_488,
+        755_401.502_676_847_6,
+        909_595.595_174_396,
+        181_144.505_300_930_64,
+        961_254.888_051_529_2,
+        245_272.290_141_433_83,
+    ];
+    let mut b = TraceLogBuilder::new(JobHeader::new(0, 0, 1, 0, 1));
+    let h = b.begin_record(".", 0);
+    let rec = b.record_mut(h);
+    for (c, v) in PosixCounter::ALL.iter().zip(counters) {
+        rec.set(*c, v);
+    }
+    for (c, v) in PosixFCounter::ALL.iter().zip(fcounters) {
+        rec.setf(*c, v);
+    }
+    let log = b.finish();
+
+    assert_eq!(mdf::from_bytes(&mdf::to_bytes(&log)).unwrap(), log);
+    let parsed = text::parse(&text::to_text(&log)).unwrap();
+    assert_eq!(parsed.header(), log.header());
+    assert_eq!(parsed.records(), log.records());
+    assert_eq!(parsed.names(), log.names());
 }
 
 #[test]

@@ -82,6 +82,66 @@ fn lazy_generation_is_memory_lean() {
 }
 
 #[test]
+fn dedup_tie_breaking_is_positional_and_order_sensitive_only_to_position() {
+    use mosaic_pipeline::dedup::heaviest_per_app;
+    let key = |uid: u32, name: &str| (uid, name.to_owned());
+
+    // A three-way tie: the earliest position wins, however many challengers
+    // arrive later with the same weight.
+    let items =
+        vec![(key(1, "lmp"), 70), (key(1, "lmp"), 70), (key(1, "lmp"), 70), (key(1, "lmp"), 69)];
+    assert_eq!(heaviest_per_app(items), vec![0]);
+
+    // Reversing the input moves the winning *position*, because the rule is
+    // "first of the heaviest", not anything value-dependent.
+    let forward = vec![(key(1, "a"), 5), (key(1, "a"), 9), (key(1, "a"), 9)];
+    let backward: Vec<_> = forward.iter().cloned().rev().collect();
+    assert_eq!(heaviest_per_app(forward), vec![1]);
+    assert_eq!(heaviest_per_app(backward), vec![0]);
+
+    // Ties at weight zero (metadata-only traces) behave the same way, and
+    // a strictly heavier latecomer still beats an early tie.
+    let items = vec![
+        (key(7, "z"), 0),
+        (key(7, "z"), 0),
+        (key(7, "z"), 1),
+        (key(8, "z"), -3),
+        (key(8, "z"), -3),
+    ];
+    assert_eq!(heaviest_per_app(items), vec![2, 3]);
+
+    // Interleaving groups does not let one group's weights shadow another's.
+    let items = vec![(key(1, "a"), 10), (key(2, "b"), 99), (key(1, "a"), 10), (key(2, "b"), 99)];
+    assert_eq!(heaviest_per_app(items), vec![0, 1]);
+}
+
+#[test]
+fn by_reason_sums_to_evictions_under_every_thread_count() {
+    // The typed eviction breakdown is accumulated by parallel workers and
+    // merged; the merge must neither drop nor double-count. A heavily
+    // corrupted dataset exercises every reason class at once.
+    let ds = Dataset::new(DatasetConfig { n_traces: 800, corruption_rate: 0.55, seed: 97 });
+    let mut funnels = Vec::new();
+    for threads in [Some(1), Some(3), Some(8), None] {
+        let source = ClosureSource::new(ds.len(), |i| input_for(&ds, i));
+        let config = PipelineConfig { threads, ..Default::default() };
+        let funnel = process(&source, &config).funnel;
+        assert_eq!(
+            funnel.by_reason.values().sum::<usize>(),
+            funnel.evicted(),
+            "threads {threads:?}: typed breakdown out of sync with evictions"
+        );
+        assert_eq!(funnel.valid + funnel.evicted(), funnel.total, "threads {threads:?}");
+        assert!(funnel.evicted() > 0, "corpus should actually evict something");
+        funnels.push(funnel);
+    }
+    // The whole breakdown — not just its sum — is thread-count invariant.
+    for pair in funnels.windows(2) {
+        assert_eq!(pair[0], pair[1]);
+    }
+}
+
+#[test]
 fn stability_statistics_match_dedup_premise() {
     // §III-B1: the runs of one application mostly categorize identically —
     // the premise justifying "analyze only the heaviest trace".

@@ -206,6 +206,79 @@ proptest! {
     }
 }
 
+/// Named regression for the committed proptest seed `bb844bc1…` (see
+/// `tests/robustness.proptest-regressions`). The shrunk case is a chain of
+/// six overlapping reads where only one carries bytes, scaled by the
+/// decidedly non-power-of-two factor `59.38165539475814`. At that scale the
+/// merged read interval's fraction-of-runtime lands exactly on the
+/// 2×-dominance boundary between temporality labels, and f64 rounding can
+/// push it to either side — which is why the live property
+/// (`temporality_is_time_scale_invariant`) now restricts itself to
+/// power-of-two scales, where every product is exact. This test pins the
+/// weaker guarantees that must hold even at the hostile scale: the
+/// categorizer stays total (exactly one temporality label per direction)
+/// and power-of-two scaling of this exact view remains strictly invariant.
+#[test]
+fn regression_non_power_of_two_scale_on_boundary_view() {
+    let raw = [
+        (40.180_654_076_512_894, 56.981_909_748_251_05, 0u64),
+        (54.551_798_380_312_974, 69.179_056_891_784_43, 104_857_600),
+        (67.226_972_903_747_95, 83.212_590_262_719_33, 0),
+        (81.309_842_379_837_16, 85.727_400_500_151_49, 0),
+        (83.705_708_641_753_13, 96.441_578_417_198_81, 0),
+        (90.759_335_358_299_62, 100.0, 0),
+    ];
+    let view = OperationView {
+        runtime: 100.0,
+        nprocs: 1,
+        reads: raw
+            .iter()
+            .map(|&(start, end, bytes)| Operation {
+                kind: OpKind::Read,
+                start,
+                end,
+                bytes,
+                ranks: 1,
+            })
+            .collect(),
+        writes: vec![],
+        meta: vec![],
+    };
+    let categorizer = Categorizer::default();
+    let rescale = |view: &OperationView, scale: f64| OperationView {
+        runtime: view.runtime * scale,
+        nprocs: view.nprocs,
+        reads: view
+            .reads
+            .iter()
+            .map(|o| Operation { start: o.start * scale, end: o.end * scale, ..*o })
+            .collect(),
+        writes: vec![],
+        meta: vec![],
+    };
+
+    let base = categorizer.categorize(&view);
+    // Totality holds at the historical hostile scale — no panic, exactly one
+    // temporality label per direction (whichever side of the boundary the
+    // rounding picks).
+    let hostile = categorizer.categorize(&rescale(&view, 59.381_655_394_758_14));
+    for report in [&base, &hostile] {
+        for kind in [OpKindTag::Read, OpKindTag::Write] {
+            let labels = TemporalityLabel::ALL
+                .iter()
+                .filter(|&&label| report.has(mosaic_core::Category::Temporality { kind, label }))
+                .count();
+            assert_eq!(labels, 1, "direction {kind:?}");
+        }
+    }
+    // Power-of-two scales stay exact even on this boundary-sitting view.
+    for exp in [-3i32, -1, 1, 4, 8] {
+        let scaled = categorizer.categorize(&rescale(&view, (2.0f64).powi(exp)));
+        assert_eq!(scaled.read.temporality.label, base.read.temporality.label, "2^{exp}");
+        assert_eq!(scaled.write.temporality.label, base.write.temporality.label, "2^{exp}");
+    }
+}
+
 // ---- pipeline resilience -------------------------------------------------
 
 #[test]

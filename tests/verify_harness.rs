@@ -1,0 +1,109 @@
+//! Conformance harness integration: the full `mosaic verify --all` run must
+//! be green on a fresh checkout, and each suite must actually be able to
+//! fail (a harness that cannot fail verifies nothing).
+
+use mosaic_verify::{golden, run, VerifyOptions, VerifyReport};
+
+/// Bless `tests/golden/` if any standard snapshot is missing.
+///
+/// On a checkout that carries the committed snapshots this is a no-op and
+/// every comparison below stays strict — any drift fails. The bootstrap
+/// exists because the snapshots can only be produced by running the
+/// pipeline (`mosaic verify --golden --bless`), so a checkout that predates
+/// them must generate rather than fail; the blessed files should then be
+/// committed. `Once` serializes the two tests that read the directory.
+fn ensure_golden() {
+    static BOOTSTRAP: std::sync::Once = std::sync::Once::new();
+    BOOTSTRAP.call_once(|| {
+        let dir = golden::default_dir();
+        let missing = mosaic_synth::MiniCorpus::standard()
+            .iter()
+            .any(|corpus| !dir.join(format!("{}.json", corpus.name())).exists());
+        if missing {
+            eprintln!("tests/golden is incomplete — blessing fresh snapshots; commit the results");
+            let blessing = run(&VerifyOptions {
+                differential: false,
+                metamorphic: false,
+                bless: true,
+                ..VerifyOptions::default()
+            });
+            assert!(blessing.passed(), "{}", blessing.render());
+        }
+    });
+}
+
+#[test]
+fn full_harness_is_green_on_fresh_checkout() {
+    ensure_golden();
+    // Exactly what CI runs: every differential oracle, every metamorphic
+    // invariant, and the committed golden snapshots.
+    let report = run(&VerifyOptions::default());
+    assert!(report.passed(), "{}", report.render());
+    // 6 differential + 5 metamorphic + 1 golden check per corpus × 3.
+    assert_eq!(report.checks.len(), 36, "{}", report.render());
+}
+
+#[test]
+fn suite_selection_is_respected() {
+    let only_differential =
+        VerifyOptions { metamorphic: false, golden: false, ..VerifyOptions::default() };
+    let report = run(&only_differential);
+    assert!(report.passed(), "{}", report.render());
+    assert!(report.checks.iter().all(|c| c.name.starts_with("differential/")));
+}
+
+#[test]
+fn golden_suite_fails_against_a_stale_snapshot() {
+    // Bless into a scratch directory, tamper with one pinned funnel count,
+    // and demand the checker notices: this is the drift signal a category
+    // flip in `core::categorize` would produce.
+    let dir = std::env::temp_dir().join(format!("mosaic_verify_it_{}", std::process::id()));
+    let blessing = run(&VerifyOptions {
+        differential: false,
+        metamorphic: false,
+        bless: true,
+        golden_dir: dir.clone(),
+        ..VerifyOptions::default()
+    });
+    assert!(blessing.passed(), "{}", blessing.render());
+
+    let victim = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+    let mut pinned =
+        mosaic_pipeline::ResultSnapshot::from_json(&std::fs::read_to_string(&victim).unwrap())
+            .unwrap();
+    pinned.funnel.valid += 1;
+    std::fs::write(&victim, pinned.to_canonical_json()).unwrap();
+
+    let checked = run(&VerifyOptions {
+        differential: false,
+        metamorphic: false,
+        golden_dir: dir.clone(),
+        ..VerifyOptions::default()
+    });
+    assert!(!checked.passed());
+    assert_eq!(checked.failures().len(), 1);
+    assert!(checked.render().contains("drifted"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn committed_golden_files_are_canonical() {
+    // The committed files must be byte-for-byte what bless would write
+    // today — i.e. nobody hand-edited them or let them drift formatting.
+    ensure_golden();
+    for corpus in mosaic_synth::MiniCorpus::standard() {
+        let path = golden::default_dir().join(format!("{}.json", corpus.name()));
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+        let fresh = golden::snapshot_of(&corpus).to_canonical_json();
+        assert_eq!(committed, fresh, "{} is stale or hand-edited", path.display());
+    }
+}
+
+#[test]
+fn report_json_is_machine_consumable() {
+    let report =
+        run(&VerifyOptions { metamorphic: false, golden: false, ..VerifyOptions::default() });
+    let parsed: VerifyReport = serde_json::from_str(&report.to_json()).unwrap();
+    assert_eq!(parsed, report);
+}
