@@ -5,6 +5,8 @@
 //! they share: flag parsing, dataset → pipeline wiring, and table
 //! formatting.
 
+#![forbid(unsafe_code)]
+
 use mosaic_core::CategorizerConfig;
 use mosaic_pipeline::executor::{process, PipelineConfig, PipelineResult};
 use mosaic_pipeline::source::{ClosureSource, TraceInput};

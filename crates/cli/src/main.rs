@@ -12,6 +12,8 @@
 //!
 //! Run `mosaic help` for usage.
 
+#![forbid(unsafe_code)]
+
 use mosaic_core::CategorizerConfig;
 use mosaic_pipeline::executor::{process, PipelineConfig};
 use mosaic_pipeline::source::{ClosureSource, TraceInput};
@@ -41,6 +43,7 @@ fn main() -> ExitCode {
         "diff" => diff(rest),
         "watch" => watch(rest),
         "verify" => verify(rest),
+        "lint" => lint(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -74,6 +77,7 @@ USAGE:
   mosaic watch     --dir DIR [--interval SECS] [--rounds R]
   mosaic verify    [--all | --differential --metamorphic --golden]
                    [--bless] [--golden-dir DIR] [--json]
+  mosaic lint      [--format text|json] [--root DIR]
   mosaic help
 
 SUBCOMMANDS:
@@ -89,6 +93,8 @@ SUBCOMMANDS:
   diff          workload drift between two datasets (category-share drift)
   watch         incrementally analyze a growing directory of .mdf files
   verify        differential / metamorphic / golden-snapshot conformance
+  lint          enforce workspace invariants: panic-freedom (L1),
+                determinism (L2), unsafe hygiene (L3), taxonomy (L4)
 
 OPTIONS:
   --n N            dataset size in traces          (default 10000)
@@ -108,7 +114,20 @@ OPTIONS:
   --golden         verify: compare against committed tests/golden snapshots
   --bless          verify: regenerate the golden snapshots instead of checking
   --golden-dir DIR verify: override the golden snapshot directory
+  --format F       lint: output format, `text` or `json`  (default text)
+  --root DIR       lint: workspace root (default: nearest [workspace] manifest)
 ";
+
+/// `mosaic lint`: run the workspace invariant linter (see `crates/lint`).
+fn lint(args: &[String]) -> Result<(), String> {
+    match mosaic_lint::cli_main(args) {
+        mosaic_lint::EXIT_CLEAN => Ok(()),
+        mosaic_lint::EXIT_FINDINGS => {
+            Err("lint findings above — fix them or add a justified `lint: allow`".to_owned())
+        }
+        _ => Err("lint invocation failed".to_owned()),
+    }
+}
 
 /// Tiny flag parser: `--key value` pairs only.
 fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), String> {

@@ -131,6 +131,7 @@ impl Categorizer {
     /// Like [`Categorizer::categorize`], but also reports the wall-clock
     /// split between merging and the rest of the categorization.
     pub fn categorize_timed(&self, view: &OperationView) -> (TraceReport, CategorizeTimings) {
+        // lint: allow(nondeterminism, "timings feed MetricsReport telemetry only, never ResultSnapshot digests")
         let started = std::time::Instant::now();
         let mut merge_nanos = 0u64;
         let mut categories = BTreeSet::new();
@@ -177,6 +178,7 @@ impl Categorizer {
         merge_nanos: &mut u64,
     ) -> DirectionReport {
         let tag = OpKindTag::from(kind);
+        // lint: allow(nondeterminism, "timings feed MetricsReport telemetry only, never ResultSnapshot digests")
         let merge_started = std::time::Instant::now();
         let merged = merge_all(raw, runtime, &self.config);
         *merge_nanos += merge_started.elapsed().as_nanos() as u64;

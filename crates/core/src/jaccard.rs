@@ -35,14 +35,13 @@ impl JaccardMatrix {
         }
         let categories: Vec<Category> = members.keys().copied().collect();
         let n = categories.len();
-        let mut values = vec![0.0; n * n];
-        let support: Vec<usize> = categories.iter().map(|c| members[c].len()).collect();
-        for (i, a) in categories.iter().enumerate() {
-            for (j, b) in categories.iter().enumerate() {
-                let (ta, tb) = (&members[a], &members[b]);
+        let support: Vec<usize> = members.values().map(BTreeSet::len).collect();
+        let mut values = Vec::with_capacity(n * n);
+        for ta in members.values() {
+            for tb in members.values() {
                 let inter = ta.intersection(tb).count();
                 let union = ta.union(tb).count();
-                values[i * n + j] = if union == 0 { 0.0 } else { inter as f64 / union as f64 };
+                values.push(if union == 0 { 0.0 } else { inter as f64 / union as f64 });
             }
         }
         JaccardMatrix { categories, values, support, n_traces: sets.len() }
@@ -52,7 +51,7 @@ impl JaccardMatrix {
     pub fn get(&self, a: Category, b: Category) -> Option<f64> {
         let i = self.categories.iter().position(|&c| c == a)?;
         let j = self.categories.iter().position(|&c| c == b)?;
-        Some(self.values[i * self.categories.len() + j])
+        self.values.get(i * self.categories.len() + j).copied()
     }
 
     /// Conditional co-occurrence `P(b | a) = |Tₐ ∩ T_b| / |Tₐ|` — the form
@@ -78,11 +77,11 @@ impl JaccardMatrix {
     pub fn relevant_pairs(&self, threshold: f64) -> Vec<(Category, Category, f64)> {
         let n = self.categories.len();
         let mut out = Vec::new();
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let v = self.values[i * n + j];
+        for (i, &a) in self.categories.iter().enumerate() {
+            for (j, &b) in self.categories.iter().enumerate().skip(i + 1) {
+                let v = self.values.get(i * n + j).copied().unwrap_or(0.0);
                 if v >= threshold {
-                    out.push((self.categories[i], self.categories[j], v));
+                    out.push((a, b, v));
                 }
             }
         }
@@ -102,11 +101,10 @@ impl JaccardMatrix {
             out.push_str(&format!("{:>6}", format!("[{j}]")));
         }
         out.push('\n');
-        #[allow(clippy::needless_range_loop)] // paired row/column indexing
-        for i in 0..n {
-            out.push_str(&format!("{:width$}  ", names[i], width = width));
+        for (i, name) in names.iter().enumerate() {
+            out.push_str(&format!("{name:width$}  "));
             for j in 0..n {
-                let v = self.values[i * n + j];
+                let v = self.values.get(i * n + j).copied().unwrap_or(0.0);
                 if v < 0.01 && i != j {
                     out.push_str(&format!("{:>6}", "."));
                 } else {

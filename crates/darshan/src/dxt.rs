@@ -270,15 +270,17 @@ pub fn from_bytes(data: &[u8]) -> Result<DxtTrace, FormatError> {
     if data.len() < DXT_MAGIC.len() + 8 {
         return Err(FormatError::Truncated { context: "dxt header" });
     }
-    if &data[..8] != DXT_MAGIC {
+    if !data.starts_with(DXT_MAGIC) {
         return Err(FormatError::BadMagic);
     }
     let (payload, footer) = data.split_at(data.len() - 4);
+    // lint: allow(panic, "footer is the exact 4-byte tail of split_at(len - 4), guarded by the len >= 16 check above")
     let expected = u32::from_le_bytes(footer.try_into().expect("4-byte footer"));
     let actual = crate::synthutil::Crc32::checksum(payload);
     if expected != actual {
         return Err(FormatError::ChecksumMismatch { expected, actual });
     }
+    // lint: allow(panic, "payload.len() = data.len() - 4 >= 12 by the header-length guard, so the magic can be sliced off")
     let mut buf = Bytes::copy_from_slice(&payload[8..]);
 
     let version = need(&mut buf, 2, "version")?.get_u16_le();

@@ -109,16 +109,18 @@ pub fn from_bytes(data: &[u8]) -> Result<TraceLog, FormatError> {
     if data.len() < MAGIC.len() + 4 + 4 {
         return Err(FormatError::Truncated { context: "file header" });
     }
-    if &data[..8] != MAGIC {
+    if !data.starts_with(MAGIC) {
         return Err(FormatError::BadMagic);
     }
     let (payload, footer) = data.split_at(data.len() - 4);
+    // lint: allow(panic, "footer is the exact 4-byte tail of split_at(len - 4), guarded by the len >= 16 check above")
     let expected = u32::from_le_bytes(footer.try_into().expect("4-byte footer"));
     let actual = Crc32::checksum(payload);
     if expected != actual {
         return Err(FormatError::ChecksumMismatch { expected, actual });
     }
 
+    // lint: allow(panic, "payload.len() = data.len() - 4 >= 12 by the header-length guard, so the magic can be sliced off")
     let mut buf = Bytes::copy_from_slice(&payload[8..]);
     let version = get_u16(&mut buf, "version")?;
     if version > VERSION {

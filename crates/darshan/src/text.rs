@@ -147,7 +147,9 @@ pub fn parse(text: &str) -> Result<TraceLog, FormatError> {
         return Err(FormatError::BadMagic);
     }
     let header = JobHeader::new(job_id, uid, nprocs, start_time, end_time).with_exe(exe);
-    let records = order.into_iter().map(|k| recs.remove(&k).expect("record registered")).collect();
+    // `order` and `recs` are registered together, so every key resolves;
+    // `filter_map` keeps that assumption out of the panic path regardless.
+    let records = order.into_iter().filter_map(|k| recs.remove(&k)).collect();
     Ok(TraceLog::from_parts(header, records, names))
 }
 

@@ -1,3 +1,5 @@
 //! Empty library; this package exists to wire the repo-level `tests/`
 //! directory (cross-crate integration tests) into the cargo workspace via
 //! explicit `[[test]]` path entries in its manifest.
+
+#![forbid(unsafe_code)]

@@ -12,7 +12,7 @@ use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Unix epoch used as the default job start (2019-01-01, the Blue Waters
 /// peak year the paper analyzes).
@@ -230,7 +230,7 @@ impl Simulation {
 
         let mut ip = vec![0usize; n as usize];
         let mut barrier: Vec<(u32, f64)> = Vec::new();
-        let mut flows: HashMap<FlowId, PendingFlow> = HashMap::new();
+        let mut flows: BTreeMap<FlowId, PendingFlow> = BTreeMap::new();
         let mut epoch = 0u64;
         let mut makespan = 0.0f64;
 

@@ -1,0 +1,215 @@
+//! Finding types and the two output formats (human text, stable JSON).
+
+use std::fmt;
+
+/// Which invariant a finding violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// L1 — panic-freedom in untrusted-input paths.
+    PanicFreedom,
+    /// L2 — determinism (unordered collections, wall-clock, RNG).
+    Determinism,
+    /// L3 — unsafe hygiene (`#![forbid(unsafe_code)]`, no `unsafe` blocks).
+    UnsafeHygiene,
+    /// L4 — error-taxonomy exhaustiveness for `EvictReason`.
+    Taxonomy,
+    /// A `lint: allow(...)` escape hatch that does not parse or lacks a
+    /// justification — the hatch itself must be auditable.
+    MalformedAllow,
+}
+
+impl Rule {
+    /// Stable machine-readable identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::PanicFreedom => "L1/panic-freedom",
+            Rule::Determinism => "L2/determinism",
+            Rule::UnsafeHygiene => "L3/unsafe-hygiene",
+            Rule::Taxonomy => "L4/error-taxonomy",
+            Rule::MalformedAllow => "allow-syntax",
+        }
+    }
+
+    /// The `lint: allow(<key>, "...")` key that can suppress this rule, if
+    /// any. Structural rules (L3, L4) and the allow syntax itself have no
+    /// per-line escape hatch.
+    pub fn allow_key(self) -> Option<&'static str> {
+        match self {
+            Rule::PanicFreedom => Some("panic"),
+            Rule::Determinism => Some("nondeterminism"),
+            Rule::UnsafeHygiene => Some("unsafe"),
+            Rule::Taxonomy | Rule::MalformedAllow => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One rule violation, anchored to a `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// What was found and why it matters.
+    pub message: String,
+}
+
+/// The result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by `(file, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Sort findings into the stable output order.
+    pub fn normalize(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+        });
+        self.findings.dedup();
+    }
+
+    /// `true` when the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human diagnostics: one `file:line: [rule] message` per finding plus a
+    /// summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!("{}:{}: [{}] {}\n", f.file, f.line, f.rule.id(), f.message));
+        }
+        out.push_str(&format!(
+            "{} finding(s) in {} file(s) scanned\n",
+            self.findings.len(),
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// Stable machine-readable JSON. Hand-rolled (this crate is
+    /// dependency-free); keys are emitted in a fixed order and findings are
+    /// pre-sorted, so equal reports are byte-identical.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(f.rule.id()),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"summary\": {{\"files_scanned\": {}, \"findings\": {}}}\n}}\n",
+            self.files_scanned,
+            self.findings.len()
+        ));
+        out
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report {
+            findings: vec![
+                Finding {
+                    rule: Rule::Determinism,
+                    file: "b.rs".into(),
+                    line: 2,
+                    message: "HashMap".into(),
+                },
+                Finding {
+                    rule: Rule::PanicFreedom,
+                    file: "a.rs".into(),
+                    line: 9,
+                    message: "`.unwrap()`".into(),
+                },
+            ],
+            files_scanned: 2,
+        };
+        r.normalize();
+        r
+    }
+
+    #[test]
+    fn findings_are_sorted_by_file_then_line() {
+        let r = sample();
+        assert_eq!(r.findings[0].file, "a.rs");
+        assert_eq!(r.findings[1].file, "b.rs");
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let mut r = sample();
+        r.findings.push(Finding {
+            rule: Rule::Taxonomy,
+            file: "c.rs".into(),
+            line: 1,
+            message: "quote \" backslash \\ newline \n".into(),
+        });
+        r.normalize();
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\\\" backslash \\\\ newline \\n"));
+        assert!(a.contains("\"files_scanned\": 2"));
+        assert!(a.contains("\"L4/error-taxonomy\""));
+    }
+
+    #[test]
+    fn empty_report_renders_cleanly() {
+        let r = Report::default();
+        assert!(r.is_clean());
+        assert!(r.to_json().contains("\"findings\": []"));
+        assert!(r.render_text().contains("0 finding(s)"));
+    }
+
+    #[test]
+    fn text_has_clickable_anchors() {
+        let text = sample().render_text();
+        assert!(text.contains("a.rs:9: [L1/panic-freedom]"));
+    }
+}

@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+
+//! Standalone `mosaic-lint` binary; `mosaic lint` wraps the same driver.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(mosaic_lint::cli_main(&args));
+}

@@ -1,0 +1,810 @@
+//! The Mosaic-specific invariant rules (L1–L4) and the escape hatch.
+//!
+//! Scopes are path-based and deliberately explicit: the set of files that
+//! parse untrusted MDF bytes, the set of crates whose state feeds
+//! `ResultSnapshot` digests, and the crate roots that must forbid
+//! `unsafe` are all named here, next to the rules they parameterize.
+
+use crate::findings::{Finding, Report, Rule};
+use crate::lex::{in_ranges, lex, test_line_ranges, Lexed, Tok};
+
+/// One input file: workspace-relative path (forward slashes) plus contents.
+#[derive(Debug, Clone)]
+pub struct FileInput {
+    /// Workspace-relative path, e.g. `crates/darshan/src/mdf.rs`.
+    pub rel: String,
+    /// Full source text.
+    pub text: String,
+}
+
+/// L1 scope — files that handle untrusted or externally-sourced input:
+/// the darshan parsers/validator and the pipeline stages every hostile
+/// trace flows through. Nothing here may panic; a crafted MDF file must
+/// surface as a typed `Err`, never as a crash at 462k-trace scale.
+const L1_UNTRUSTED_PATHS: &[&str] = &[
+    "crates/darshan/src/mdf.rs",
+    "crates/darshan/src/dxt.rs",
+    "crates/darshan/src/text.rs",
+    "crates/darshan/src/validate.rs",
+    "crates/pipeline/src/source.rs",
+    "crates/pipeline/src/executor.rs",
+    "crates/pipeline/src/incremental.rs",
+    "crates/pipeline/src/funnel.rs",
+    "crates/pipeline/src/snapshot.rs",
+    "crates/core/src/jaccard.rs",
+];
+
+/// Crates exempt from L2 — their output never feeds a `ResultSnapshot`
+/// digest (CLI presentation, benchmarks, the linter itself, test glue).
+const L2_EXEMPT_CRATES: &[&str] = &["cli", "bench", "lint", "integration", "examples"];
+
+/// Method calls that panic on the error/none case.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Macros that unconditionally panic when reached.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Identifiers that legitimately precede a `[` without it being an index
+/// expression (`for x in [..]`, `match [..]`, array-type positions, …).
+const NON_INDEX_PREV: &[&str] = &[
+    "in", "return", "if", "else", "match", "break", "continue", "loop", "while", "for", "let",
+    "mut", "ref", "as", "move", "await", "async", "dyn", "box", "yield", "where", "impl", "use",
+    "pub", "mod", "fn", "struct", "enum", "trait", "type", "const", "static", "unsafe", "crate",
+    "super", "self", "Self",
+];
+
+/// The error taxonomy under rule L4.
+const TAXONOMY_FILE: &str = "crates/darshan/src/error.rs";
+const TAXONOMY_ENUM: &str = "EvictReason";
+/// The accounting functions every variant must appear in: `class` decides
+/// which coarse funnel counter an eviction rolls into (and therefore where
+/// `by_reason` entries land), `slug` names its stable JSON key.
+const TAXONOMY_FNS: &[&str] = &["class", "slug"];
+
+/// A well-formed `lint: allow(<key>, "<justification>")` escape hatch.
+#[derive(Debug)]
+struct Allow {
+    line: u32,
+    key: String,
+}
+
+/// One lexed input plus the per-file facts the rules share: its test-code
+/// line ranges and its well-formed escape hatches.
+struct Prepared {
+    idx: usize,
+    lexed: Lexed,
+    tests: Vec<(u32, u32)>,
+    allows: Vec<Allow>,
+}
+
+/// Lint a set of in-memory files as one workspace. This is the whole
+/// linter; `scan_workspace` merely reads files off disk and calls it.
+pub fn lint_files(files: &[FileInput]) -> Report {
+    let mut report = Report { findings: Vec::new(), files_scanned: files.len() };
+    let mut prepared: Vec<Prepared> = Vec::new();
+
+    for (idx, file) in files.iter().enumerate() {
+        let lexed = lex(&file.text);
+        let tests = test_line_ranges(&lexed);
+        let allows = parse_allows(&file.rel, &lexed, &mut report.findings);
+        prepared.push(Prepared { idx, lexed, tests, allows });
+    }
+
+    for p in &prepared {
+        let rel = &files[p.idx].rel;
+        let mut raw = Vec::new();
+        if l1_in_scope(rel) {
+            check_panic_freedom(rel, &p.lexed, &p.tests, &mut raw);
+        }
+        if l2_in_scope(rel) {
+            check_determinism(rel, &p.lexed, &p.tests, &mut raw);
+        }
+        check_unsafe_tokens(rel, &p.lexed, &p.tests, &mut raw);
+        // Apply the escape hatch: a justified allow on the same or the
+        // preceding line suppresses a finding of its key.
+        raw.retain(|f| !suppressed(f, &p.allows));
+        report.findings.append(&mut raw);
+    }
+
+    check_crate_roots(files, &prepared, &mut report.findings);
+    check_taxonomy(files, &prepared, &mut report.findings);
+
+    report.normalize();
+    report
+}
+
+/// `true` when `rel` is one of the untrusted-input files.
+fn l1_in_scope(rel: &str) -> bool {
+    L1_UNTRUSTED_PATHS.contains(&rel)
+}
+
+/// `true` when `rel` belongs to a crate whose state feeds snapshot digests.
+fn l2_in_scope(rel: &str) -> bool {
+    match crate_of(rel) {
+        Some(name) => !L2_EXEMPT_CRATES.contains(&name),
+        None => false,
+    }
+}
+
+/// The crate a path belongs to: `crates/<name>/…` or the `examples` package.
+fn crate_of(rel: &str) -> Option<&str> {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        return rest.split('/').next();
+    }
+    if rel.starts_with("examples/") {
+        return Some("examples");
+    }
+    None
+}
+
+fn suppressed(f: &Finding, allows: &[Allow]) -> bool {
+    let Some(key) = f.rule.allow_key() else { return false };
+    allows.iter().any(|a| a.key == key && (a.line == f.line || a.line + 1 == f.line))
+}
+
+/// Parse every `lint: allow` directive; malformed ones (bad key, missing
+/// or empty justification) become findings so the escape hatch stays
+/// honest. Only comments that *begin* with `lint:` are directives — prose
+/// that merely mentions the syntax (like this doc comment) is not.
+fn parse_allows(rel: &str, lexed: &Lexed, findings: &mut Vec<Finding>) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (line, text) in &lexed.comments {
+        // Comment text starts after `//`; shave doc-comment markers.
+        let body = text.trim_start_matches(['/', '!']).trim_start();
+        let Some(rest) = body.strip_prefix("lint:") else { continue };
+        let rest = rest.trim_start();
+        let mut fail = |why: &str| {
+            findings.push(Finding {
+                rule: Rule::MalformedAllow,
+                file: rel.to_owned(),
+                line: *line,
+                message: format!("malformed `lint: allow` escape hatch: {why}"),
+            });
+        };
+        let Some(args) = rest.strip_prefix("allow") else {
+            fail("expected `allow(<rule>, \"<justification>\")` after `lint:`");
+            continue;
+        };
+        let args = args.trim_start();
+        let Some(inner) = args.strip_prefix('(').and_then(|a| a.rfind(')').map(|e| &a[..e])) else {
+            fail("missing parenthesized arguments");
+            continue;
+        };
+        let Some((key, just)) = inner.split_once(',') else {
+            fail("missing justification — write `allow(<rule>, \"why this is safe\")`");
+            continue;
+        };
+        let key = key.trim();
+        if !matches!(key, "panic" | "nondeterminism" | "unsafe") {
+            fail(&format!("unknown rule {key:?}; expected `panic`, `nondeterminism` or `unsafe`"));
+            continue;
+        }
+        let just = just.trim();
+        let justification = just.strip_prefix('"').and_then(|j| j.strip_suffix('"')).map(str::trim);
+        match justification {
+            Some(j) if !j.is_empty() => {
+                allows.push(Allow { line: *line, key: key.to_owned() });
+            }
+            Some(_) => fail("empty justification string"),
+            None => fail("justification must be a double-quoted string"),
+        }
+    }
+    allows
+}
+
+/// L1: no `unwrap`/`expect`, no panicking macros, no slice indexing.
+fn check_panic_freedom(rel: &str, lexed: &Lexed, tests: &[(u32, u32)], out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if in_ranges(tests, line) {
+            continue;
+        }
+        let mut push = |message: String| {
+            out.push(Finding { rule: Rule::PanicFreedom, file: rel.to_owned(), line, message });
+        };
+        match &toks[i].tok {
+            Tok::Ident(name) if PANIC_METHODS.contains(&name.as_str()) => {
+                let is_method_call =
+                    i > 0 && lexed.is_punct(i - 1, '.') && lexed.is_punct(i + 1, '(');
+                if is_method_call {
+                    push(format!(
+                        "`.{name}()` on an untrusted-input path can panic on hostile MDF \
+                         input; propagate a typed error (or justify with \
+                         `lint: allow(panic, \"...\")`)"
+                    ));
+                }
+            }
+            Tok::Ident(name) if PANIC_MACROS.contains(&name.as_str()) => {
+                if lexed.is_punct(i + 1, '!') {
+                    push(format!(
+                        "`{name}!` on an untrusted-input path aborts the whole run; \
+                         return a typed error instead"
+                    ));
+                }
+            }
+            Tok::Punct('[') if i > 0 => {
+                let indexes = match &toks[i - 1].tok {
+                    Tok::Ident(prev) => !NON_INDEX_PREV.contains(&prev.as_str()),
+                    Tok::Punct(')') | Tok::Punct(']') => true,
+                    _ => false,
+                };
+                if indexes {
+                    push(
+                        "slice/array indexing can panic on attacker-controlled lengths; \
+                         use `.get()` / `.split_at_checked()` or justify with \
+                         `lint: allow(panic, \"...\")`"
+                            .to_owned(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// L2: no unordered collections, no wall-clock or ambient RNG reads, in
+/// crates whose state can reach a snapshot digest.
+fn check_determinism(rel: &str, lexed: &Lexed, tests: &[(u32, u32)], out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if in_ranges(tests, line) {
+            continue;
+        }
+        let Tok::Ident(name) = &toks[i].tok else { continue };
+        let message = match name.as_str() {
+            "HashMap" | "HashSet" => Some(format!(
+                "`{name}` iteration order is hash-seed dependent and can leak into \
+                 snapshot digests; use `BTreeMap`/`BTreeSet` or sorted iteration"
+            )),
+            "Instant" | "SystemTime"
+                if lexed.is_punct(i + 1, ':')
+                    && lexed.is_punct(i + 2, ':')
+                    && lexed.ident(i + 3) == Some("now") =>
+            {
+                Some(format!(
+                    "`{name}::now()` makes output depend on wall-clock time; keep timing \
+                     in `bench`/`cli` or justify with `lint: allow(nondeterminism, \"...\")`"
+                ))
+            }
+            "thread_rng" => Some(
+                "`thread_rng()` is ambiently seeded; thread a seeded RNG through \
+                 instead so runs are reproducible"
+                    .to_owned(),
+            ),
+            _ => None,
+        };
+        if let Some(message) = message {
+            out.push(Finding { rule: Rule::Determinism, file: rel.to_owned(), line, message });
+        }
+    }
+}
+
+/// L3 (token half): any `unsafe` keyword outside test code.
+fn check_unsafe_tokens(rel: &str, lexed: &Lexed, tests: &[(u32, u32)], out: &mut Vec<Finding>) {
+    for t in &lexed.tokens {
+        if matches!(&t.tok, Tok::Ident(name) if name == "unsafe") && !in_ranges(tests, t.line) {
+            out.push(Finding {
+                rule: Rule::UnsafeHygiene,
+                file: rel.to_owned(),
+                line: t.line,
+                message: "`unsafe` is not used anywhere in this workspace; every crate \
+                          forbids it at the root"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+/// L3 (structural half): every crate root must declare
+/// `#![forbid(unsafe_code)]`.
+fn check_crate_roots(files: &[FileInput], prepared: &[Prepared], out: &mut Vec<Finding>) {
+    for p in prepared {
+        let rel = &files[p.idx].rel;
+        if !is_crate_root(rel) {
+            continue;
+        }
+        if !has_forbid_unsafe(&p.lexed) {
+            out.push(Finding {
+                rule: Rule::UnsafeHygiene,
+                file: rel.clone(),
+                line: 1,
+                message: "crate root is missing `#![forbid(unsafe_code)]`".to_owned(),
+            });
+        }
+    }
+}
+
+/// A crate root: `crates/<name>/src/lib.rs`, `crates/<name>/src/main.rs`,
+/// or the examples package's `examples/lib.rs`.
+fn is_crate_root(rel: &str) -> bool {
+    if rel == "examples/lib.rs" {
+        return true;
+    }
+    match rel.strip_prefix("crates/") {
+        Some(rest) => {
+            let mut parts = rest.split('/');
+            let (_name, src, file, end) = (parts.next(), parts.next(), parts.next(), parts.next());
+            src == Some("src") && matches!(file, Some("lib.rs") | Some("main.rs")) && end.is_none()
+        }
+        None => false,
+    }
+}
+
+/// Match the token sequence `# ! [ forbid ( unsafe_code ) ]`.
+fn has_forbid_unsafe(lexed: &Lexed) -> bool {
+    (0..lexed.tokens.len()).any(|i| {
+        lexed.is_punct(i, '#')
+            && lexed.is_punct(i + 1, '!')
+            && lexed.is_punct(i + 2, '[')
+            && lexed.ident(i + 3) == Some("forbid")
+            && lexed.is_punct(i + 4, '(')
+            && lexed.ident(i + 5) == Some("unsafe_code")
+            && lexed.is_punct(i + 6, ')')
+            && lexed.is_punct(i + 7, ']')
+    })
+}
+
+/// L4: every `EvictReason` variant constructed anywhere must be accounted
+/// for, by name, in the taxonomy's `class` and `slug` matches — and those
+/// matches may not hide behind a `_` wildcard. This is what keeps
+/// `by_reason` counters from ever silently dropping a reason.
+fn check_taxonomy(files: &[FileInput], prepared: &[Prepared], out: &mut Vec<Finding>) {
+    let taxonomy = prepared.iter().find(|p| files[p.idx].rel == TAXONOMY_FILE);
+    let Some(tax_lexed) = taxonomy.map(|p| &p.lexed) else {
+        // Only demand the taxonomy file when its crate is in the input set
+        // (so in-memory fixture runs against other crates stay quiet).
+        if files.iter().any(|f| f.rel.starts_with("crates/darshan/src/")) {
+            out.push(Finding {
+                rule: Rule::Taxonomy,
+                file: TAXONOMY_FILE.to_owned(),
+                line: 1,
+                message: format!("taxonomy file with `enum {TAXONOMY_ENUM}` not found"),
+            });
+        }
+        return;
+    };
+
+    let Some(declared) = enum_variants(tax_lexed, TAXONOMY_ENUM) else {
+        out.push(Finding {
+            rule: Rule::Taxonomy,
+            file: TAXONOMY_FILE.to_owned(),
+            line: 1,
+            message: format!("`enum {TAXONOMY_ENUM}` not found in {TAXONOMY_FILE}"),
+        });
+        return;
+    };
+
+    let Some(impl_range) = inherent_impl_range(tax_lexed, TAXONOMY_ENUM) else {
+        out.push(Finding {
+            rule: Rule::Taxonomy,
+            file: TAXONOMY_FILE.to_owned(),
+            line: 1,
+            message: format!("`impl {TAXONOMY_ENUM}` block not found in {TAXONOMY_FILE}"),
+        });
+        return;
+    };
+
+    let mut accounted: Vec<(String, Vec<String>)> = Vec::new();
+    for fn_name in TAXONOMY_FNS {
+        match fn_body_range(tax_lexed, fn_name, impl_range) {
+            Some((start, end)) => {
+                let covered = variant_refs_in(tax_lexed, start, end, TAXONOMY_ENUM);
+                if wildcard_arm_in(tax_lexed, start, end) {
+                    out.push(Finding {
+                        rule: Rule::Taxonomy,
+                        file: TAXONOMY_FILE.to_owned(),
+                        line: tax_lexed.tokens[start].line,
+                        message: format!(
+                            "`{TAXONOMY_ENUM}::{fn_name}` uses a `_` wildcard arm — a new \
+                             variant could silently fall through the accounting; name \
+                             every variant"
+                        ),
+                    });
+                }
+                for (variant, line) in &declared {
+                    if !covered.iter().any(|c| c == variant) {
+                        out.push(Finding {
+                            rule: Rule::Taxonomy,
+                            file: TAXONOMY_FILE.to_owned(),
+                            line: *line,
+                            message: format!(
+                                "variant `{TAXONOMY_ENUM}::{variant}` is missing from the \
+                                 `{fn_name}` accounting match"
+                            ),
+                        });
+                    }
+                }
+                accounted.push(((*fn_name).to_owned(), covered));
+            }
+            None => out.push(Finding {
+                rule: Rule::Taxonomy,
+                file: TAXONOMY_FILE.to_owned(),
+                line: 1,
+                message: format!("accounting fn `{fn_name}` not found in {TAXONOMY_FILE}"),
+            }),
+        }
+    }
+
+    // Every construction site across the workspace must name a declared,
+    // accounted variant.
+    for p in prepared {
+        let rel = &files[p.idx].rel;
+        let lexed = &p.lexed;
+        for i in 0..lexed.tokens.len() {
+            let Some(variant) = variant_ref_at(lexed, i, TAXONOMY_ENUM) else { continue };
+            let line = lexed.tokens[i].line;
+            if !declared.iter().any(|(v, _)| *v == variant) {
+                out.push(Finding {
+                    rule: Rule::Taxonomy,
+                    file: rel.clone(),
+                    line,
+                    message: format!(
+                        "`{TAXONOMY_ENUM}::{variant}` is not a declared variant of the \
+                         taxonomy"
+                    ),
+                });
+                continue;
+            }
+            for (fn_name, covered) in &accounted {
+                if !covered.iter().any(|c| *c == variant) {
+                    out.push(Finding {
+                        rule: Rule::Taxonomy,
+                        file: rel.clone(),
+                        line,
+                        message: format!(
+                            "`{TAXONOMY_ENUM}::{variant}` is constructed here but missing \
+                             from the `{fn_name}` accounting match in {TAXONOMY_FILE}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The variants of `enum <name> { … }` as `(variant, line)`, or `None` when
+/// the enum is absent.
+fn enum_variants(lexed: &Lexed, name: &str) -> Option<Vec<(String, u32)>> {
+    let toks = &lexed.tokens;
+    let start = (0..toks.len())
+        .find(|&i| lexed.ident(i) == Some("enum") && lexed.ident(i + 1) == Some(name))?;
+    let open = (start..toks.len()).find(|&i| lexed.is_punct(i, '{'))?;
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('{') | Tok::Punct('(') => depth += 1,
+            Tok::Punct('}') | Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            Tok::Ident(v) if depth == 1 => {
+                // A variant name directly follows `{` or `,` at depth 1
+                // (attributes on variants would need more care; the
+                // taxonomy has none).
+                let after_sep = lexed.is_punct(i - 1, '{') || lexed.is_punct(i - 1, ',');
+                if after_sep {
+                    variants.push((v.clone(), toks[i].line));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Some(variants)
+}
+
+/// Token range of the body of the inherent `impl <name> { … }` block
+/// (other `fn slug`s exist in the file — `ValidityError` has one too — so
+/// accounting fns are only looked up inside the taxonomy's own impl).
+fn inherent_impl_range(lexed: &Lexed, name: &str) -> Option<(usize, usize)> {
+    let toks = &lexed.tokens;
+    let open = (0..toks.len()).find(|&i| {
+        lexed.ident(i) == Some("impl")
+            && lexed.ident(i + 1) == Some(name)
+            && lexed.is_punct(i + 2, '{')
+    })? + 2;
+    let mut depth = 0i32;
+    for i in open..toks.len() {
+        if lexed.is_punct(i, '{') {
+            depth += 1;
+        } else if lexed.is_punct(i, '}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some((open + 1, i));
+            }
+        }
+    }
+    None
+}
+
+/// Token range (exclusive of the braces) of the body of `fn <name>`,
+/// searched within `(start, end)`.
+fn fn_body_range(
+    lexed: &Lexed,
+    name: &str,
+    (start, end): (usize, usize),
+) -> Option<(usize, usize)> {
+    let toks = &lexed.tokens;
+    let fn_idx =
+        (start..end).find(|&i| lexed.ident(i) == Some("fn") && lexed.ident(i + 1) == Some(name))?;
+    let open = (fn_idx..toks.len()).find(|&i| lexed.is_punct(i, '{'))?;
+    let mut depth = 0i32;
+    for i in open..toks.len() {
+        if lexed.is_punct(i, '{') {
+            depth += 1;
+        } else if lexed.is_punct(i, '}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some((open + 1, i));
+            }
+        }
+    }
+    None
+}
+
+/// `Enum::Variant` references (capitalized) inside a token range.
+fn variant_refs_in(lexed: &Lexed, start: usize, end: usize, enum_name: &str) -> Vec<String> {
+    let mut refs = Vec::new();
+    for i in start..end {
+        if let Some(v) = variant_ref_at(lexed, i, enum_name) {
+            if !refs.contains(&v) {
+                refs.push(v);
+            }
+        }
+    }
+    refs
+}
+
+/// The variant named by the `Enum :: Variant` sequence starting at `i`.
+fn variant_ref_at(lexed: &Lexed, i: usize, enum_name: &str) -> Option<String> {
+    if lexed.ident(i) != Some(enum_name)
+        || !lexed.is_punct(i + 1, ':')
+        || !lexed.is_punct(i + 2, ':')
+    {
+        return None;
+    }
+    let next = lexed.ident(i + 3)?;
+    // Associated functions (`EvictReason::from_str`) start lowercase.
+    next.chars().next().filter(char::is_ascii_uppercase)?;
+    Some(next.to_owned())
+}
+
+/// A `_ =>` match arm inside a token range.
+fn wildcard_arm_in(lexed: &Lexed, start: usize, end: usize) -> bool {
+    (start..end).any(|i| {
+        lexed.ident(i) == Some("_") && lexed.is_punct(i + 1, '=') && lexed.is_punct(i + 2, '>')
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(rel: &str, text: &str) -> Vec<Finding> {
+        lint_files(&[FileInput { rel: rel.to_owned(), text: text.to_owned() }]).findings
+    }
+
+    /// Findings of one rule only — the single-file tests below exercise one
+    /// rule at a time, and a lone darshan file also (correctly) trips the
+    /// L4 "taxonomy file required" check.
+    fn lint_rule(rel: &str, text: &str, rule: Rule) -> Vec<Finding> {
+        let mut f = lint_one(rel, text);
+        f.retain(|f| f.rule == rule);
+        f
+    }
+
+    const L1_FILE: &str = "crates/darshan/src/mdf.rs";
+    const L2_FILE: &str = "crates/core/src/merge.rs";
+
+    #[test]
+    fn l1_flags_unwrap_expect_and_macros() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    let a = x.unwrap();\n    let b = x.expect(\"y\");\n    panic!(\"no\");\n}\n";
+        let f = lint_rule(L1_FILE, src, Rule::PanicFreedom);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn l1_flags_slice_indexing_but_not_array_literals() {
+        let src =
+            "fn f(d: &[u8]) -> u8 {\n    let t = [1u8, 2];\n    for x in [1, 2] {}\n    d[0]\n}\n";
+        let f = lint_rule(L1_FILE, src, Rule::PanicFreedom);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn l1_ignores_unwrap_or_family_and_test_modules() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n#[cfg(test)]\nmod tests {\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        assert!(lint_rule(L1_FILE, src, Rule::PanicFreedom).is_empty());
+    }
+
+    #[test]
+    fn l1_out_of_scope_files_are_quiet() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(lint_one("crates/viz/src/bars.rs", src).is_empty());
+    }
+
+    #[test]
+    fn justified_allow_suppresses_same_or_next_line() {
+        let trailing =
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(panic, \"len checked above\")\n";
+        assert!(lint_rule(L1_FILE, trailing, Rule::PanicFreedom).is_empty());
+        assert!(lint_rule(L1_FILE, trailing, Rule::MalformedAllow).is_empty());
+        let preceding =
+            "// lint: allow(panic, \"len checked above\")\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(lint_rule(L1_FILE, preceding, Rule::PanicFreedom).is_empty());
+    }
+
+    #[test]
+    fn allow_missing_justification_is_itself_a_finding() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(panic)\n";
+        let f = lint_one(L1_FILE, src);
+        assert!(f.iter().any(|f| f.rule == Rule::MalformedAllow), "{f:?}");
+        // …and it does NOT suppress the unwrap.
+        assert!(f.iter().any(|f| f.rule == Rule::PanicFreedom), "{f:?}");
+    }
+
+    #[test]
+    fn allow_with_empty_or_unquoted_justification_is_malformed() {
+        for bad in [
+            "// lint: allow(panic, \"\")",
+            "// lint: allow(panic, because reasons)",
+            "// lint: allow(frobnication, \"x\")",
+            "// lint: allowance",
+        ] {
+            let src = format!("fn f() {{}}\n{bad}\n");
+            let f = lint_one(L1_FILE, &src);
+            assert!(
+                f.iter().any(|f| f.rule == Rule::MalformedAllow),
+                "{bad} should be malformed: {f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn allow_key_must_match_the_rule() {
+        let src =
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(nondeterminism, \"wrong key\")\n";
+        let f = lint_one(L1_FILE, src);
+        assert!(f.iter().any(|f| f.rule == Rule::PanicFreedom), "{f:?}");
+    }
+
+    #[test]
+    fn l2_flags_hash_collections_and_wall_clock() {
+        let src = "use std::collections::HashMap;\nfn f() {\n    let m: HashMap<u8, u8> = HashMap::new();\n    let t = std::time::Instant::now();\n    let _ = (m, t);\n}\n";
+        let f = lint_one(L2_FILE, src);
+        assert!(f.iter().filter(|f| f.rule == Rule::Determinism).count() >= 3, "{f:?}");
+    }
+
+    #[test]
+    fn l2_exempt_crates_may_use_hashmaps_and_clocks() {
+        let src = "use std::collections::HashMap;\nfn f() { let _ = std::time::Instant::now(); }\n";
+        assert!(lint_one("crates/cli/src/args.rs", src).is_empty());
+        assert!(lint_one("crates/bench/src/run.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l2_flags_thread_rng_but_not_seeded_rngs() {
+        let src = "fn f() { let r = thread_rng(); }\n";
+        assert_eq!(lint_one(L2_FILE, src).len(), 1);
+        let seeded = "fn f() { let r = StdRng::seed_from_u64(42); }\n";
+        assert!(lint_one(L2_FILE, seeded).is_empty());
+    }
+
+    #[test]
+    fn l3_missing_forbid_on_crate_root() {
+        let src = "//! A crate.\npub fn f() {}\n";
+        let f = lint_one("crates/demo/src/lib.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::UnsafeHygiene);
+        let fixed = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+        assert!(lint_one("crates/demo/src/lib.rs", fixed).is_empty());
+    }
+
+    #[test]
+    fn l3_flags_unsafe_blocks_anywhere() {
+        let src = "#![forbid(unsafe_code)]\npub fn f() { let _ = 1; }\nfn g() { unsafe { core::hint::unreachable_unchecked() } }\n";
+        let f = lint_one("crates/demo/src/lib.rs", src);
+        assert!(f.iter().any(|f| f.rule == Rule::UnsafeHygiene && f.line == 3), "{f:?}");
+    }
+
+    #[test]
+    fn l3_non_root_files_do_not_need_the_attribute() {
+        let src = "pub fn helper() {}\n";
+        assert!(lint_one("crates/demo/src/helper.rs", src).is_empty());
+    }
+
+    const TAXONOMY_OK: &str = "\
+pub enum EvictReason {
+    IoError,
+    BadMagic,
+    ValidationFatal(ValidityError),
+}
+impl EvictReason {
+    pub fn class(self) -> EvictClass {
+        match self {
+            EvictReason::IoError => EvictClass::Io,
+            EvictReason::BadMagic => EvictClass::Format,
+            EvictReason::ValidationFatal(_) => EvictClass::Validation,
+        }
+    }
+    pub fn slug(self) -> String {
+        match self {
+            EvictReason::IoError => \"io_error\".to_owned(),
+            EvictReason::BadMagic => \"bad_magic\".to_owned(),
+            EvictReason::ValidationFatal(r) => r.slug(),
+        }
+    }
+}
+";
+
+    #[test]
+    fn l4_clean_taxonomy_passes() {
+        let files = [
+            FileInput { rel: TAXONOMY_FILE.to_owned(), text: TAXONOMY_OK.to_owned() },
+            FileInput {
+                rel: "crates/pipeline/src/x.rs".to_owned(),
+                text: "fn f() -> EvictReason { EvictReason::BadMagic }\n".to_owned(),
+            },
+        ];
+        let r = lint_files(&files);
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn l4_variant_missing_from_accounting_match() {
+        let broken = TAXONOMY_OK.replace("EvictReason::BadMagic => EvictClass::Format,\n", "");
+        let files = [FileInput { rel: TAXONOMY_FILE.to_owned(), text: broken }];
+        let f = lint_files(&files).findings;
+        assert!(
+            f.iter().any(|f| f.rule == Rule::Taxonomy && f.message.contains("`class`")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn l4_wildcard_arm_is_a_finding() {
+        let broken = TAXONOMY_OK.replace(
+            "EvictReason::ValidationFatal(_) => EvictClass::Validation,",
+            "_ => EvictClass::Validation,",
+        );
+        let files = [FileInput { rel: TAXONOMY_FILE.to_owned(), text: broken }];
+        let f = lint_files(&files).findings;
+        assert!(f.iter().any(|f| f.message.contains("wildcard")), "{f:?}");
+    }
+
+    #[test]
+    fn l4_constructing_an_undeclared_variant_is_flagged_at_the_site() {
+        let files = [
+            FileInput { rel: TAXONOMY_FILE.to_owned(), text: TAXONOMY_OK.to_owned() },
+            FileInput {
+                rel: "crates/pipeline/src/x.rs".to_owned(),
+                text: "fn f() -> EvictReason { EvictReason::CosmicRays }\n".to_owned(),
+            },
+        ];
+        let f = lint_files(&files).findings;
+        assert!(
+            f.iter().any(|f| f.rule == Rule::Taxonomy
+                && f.file == "crates/pipeline/src/x.rs"
+                && f.message.contains("CosmicRays")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn l4_taxonomy_file_required_when_darshan_present() {
+        let files = [FileInput {
+            rel: "crates/darshan/src/mdf.rs".to_owned(),
+            text: "fn f() {}\n".to_owned(),
+        }];
+        let f = lint_files(&files).findings;
+        assert!(f.iter().any(|f| f.rule == Rule::Taxonomy), "{f:?}");
+    }
+}

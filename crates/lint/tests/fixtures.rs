@@ -1,0 +1,114 @@
+//! Fixture-based self-tests: each known-bad snippet in `tests/fixtures/`
+//! must produce findings of its rule, and the real workspace must be
+//! clean end-to-end through the CLI driver.
+
+use mosaic_lint::{cli_main, find_workspace_root, lint_files, FileInput, Rule, EXIT_FINDINGS};
+use std::path::PathBuf;
+
+/// The `tests/fixtures/` directory, whether the test runs under cargo or
+/// a bare `rustc`-built binary.
+fn fixture_dir() -> PathBuf {
+    if let Some(manifest) = option_env!("CARGO_MANIFEST_DIR") {
+        return PathBuf::from(manifest).join("tests/fixtures");
+    }
+    let cwd = std::env::current_dir().expect("no working directory");
+    let root = find_workspace_root(&cwd).expect("workspace root not found");
+    root.join("crates/lint/tests/fixtures")
+}
+
+/// Lint one fixture file under a pretend workspace-relative path.
+fn lint_fixture(fixture: &str, pretend_rel: &str) -> Vec<(Rule, u32, String)> {
+    let path = fixture_dir().join(fixture);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let report = lint_files(&[FileInput { rel: pretend_rel.to_owned(), text }]);
+    report.findings.into_iter().map(|f| (f.rule, f.line, f.message)).collect()
+}
+
+#[test]
+fn l1_fixture_trips_panic_freedom() {
+    let findings = lint_fixture("l1_panic.rs", "crates/darshan/src/mdf.rs");
+    let l1: Vec<_> = findings.iter().filter(|(r, ..)| *r == Rule::PanicFreedom).collect();
+    // indexing ×2 (`data[0]`, `data[..4]`), `.unwrap()`, `.expect()`, `panic!`.
+    assert!(l1.len() >= 5, "{findings:?}");
+}
+
+#[test]
+fn l2_fixture_trips_determinism() {
+    let findings = lint_fixture("l2_nondet.rs", "crates/core/src/merge.rs");
+    let l2: Vec<_> = findings.iter().filter(|(r, ..)| *r == Rule::Determinism).collect();
+    let text = format!("{l2:?}");
+    assert!(text.contains("HashMap"), "{findings:?}");
+    assert!(text.contains("HashSet"), "{findings:?}");
+    assert!(text.contains("Instant::now"), "{findings:?}");
+    assert!(text.contains("SystemTime::now"), "{findings:?}");
+    assert!(text.contains("thread_rng"), "{findings:?}");
+}
+
+#[test]
+fn l3_fixture_trips_unsafe_hygiene() {
+    let findings = lint_fixture("l3_unsafe.rs", "crates/demo/src/lib.rs");
+    let l3: Vec<_> = findings.iter().filter(|(r, ..)| *r == Rule::UnsafeHygiene).collect();
+    // Missing `#![forbid(unsafe_code)]` at the root plus the `unsafe` block.
+    assert_eq!(l3.len(), 2, "{findings:?}");
+}
+
+#[test]
+fn l4_fixture_trips_taxonomy() {
+    let findings = lint_fixture("l4_taxonomy.rs", "crates/darshan/src/error.rs");
+    let l4: Vec<_> = findings.iter().filter(|(r, ..)| *r == Rule::Taxonomy).collect();
+    let text = format!("{l4:?}");
+    assert!(text.contains("wildcard"), "{findings:?}");
+    assert!(text.contains("UnknownModule"), "{findings:?}");
+    assert!(!l4.is_empty());
+}
+
+#[test]
+fn malformed_allows_are_findings_and_do_not_suppress() {
+    let findings = lint_fixture("bad_allow.rs", "crates/darshan/src/mdf.rs");
+    let malformed = findings.iter().filter(|(r, ..)| *r == Rule::MalformedAllow).count();
+    assert_eq!(malformed, 4, "{findings:?}");
+    // The unwraps they failed to cover still count.
+    let l1 = findings.iter().filter(|(r, ..)| *r == Rule::PanicFreedom).count();
+    assert_eq!(l1, 3, "{findings:?}");
+}
+
+#[test]
+fn fixture_reports_are_byte_stable() {
+    let path = fixture_dir().join("l1_panic.rs");
+    let text = std::fs::read_to_string(path).expect("fixture readable");
+    let input = [FileInput { rel: "crates/darshan/src/mdf.rs".to_owned(), text }];
+    let a = lint_files(&input).to_json();
+    let b = lint_files(&input).to_json();
+    assert_eq!(a, b);
+    assert!(a.contains("\"L1/panic-freedom\""));
+}
+
+/// End-to-end through the CLI driver: a bad mini-workspace exits non-zero.
+#[test]
+fn cli_exits_nonzero_on_a_dirty_tree() {
+    let dir = std::env::temp_dir().join(format!("mosaic-lint-e2e-{}", std::process::id()));
+    let src = dir.join("crates/darshan/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
+    std::fs::write(src.join("mdf.rs"), "pub fn f(d: &[u8]) -> u8 { d[0] }\n").expect("fixture");
+    let code = cli_main(&["--root".to_owned(), dir.display().to_string()]);
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(code, EXIT_FINDINGS);
+}
+
+/// The real workspace must lint clean through the same driver the CI job
+/// and `mosaic lint` use.
+#[test]
+fn cli_is_clean_on_this_workspace() {
+    let cwd = std::env::current_dir().expect("no working directory");
+    let start = option_env!("CARGO_MANIFEST_DIR").map(PathBuf::from).unwrap_or(cwd);
+    let root = find_workspace_root(&start).expect("workspace root not found");
+    let code = cli_main(&[
+        "--root".to_owned(),
+        root.display().to_string(),
+        "--format".to_owned(),
+        "json".to_owned(),
+    ]);
+    assert_eq!(code, mosaic_lint::EXIT_CLEAN);
+}

@@ -1,0 +1,15 @@
+//! Known-bad fixture for the escape hatch itself: `lint: allow`
+//! directives that are missing a justification, use an unknown rule key,
+//! or do not parse at all. None of these may suppress anything.
+//! Linted under the pretend path `crates/darshan/src/mdf.rs`.
+
+pub fn parse(data: &[u8]) -> u8 {
+    // lint: allow(panic)
+    let a = data.first().unwrap();
+    // lint: allow(panic, unquoted words)
+    let b = data.last().unwrap();
+    // lint: allow(frobnication, "not a rule")
+    let c = data.iter().next().unwrap();
+    // lint: allowance("nonsense")
+    a + b + c
+}

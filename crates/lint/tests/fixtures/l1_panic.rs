@@ -1,0 +1,13 @@
+//! Known-bad fixture for rule L1: every panic avenue in one parse fn.
+//! Linted under the pretend path `crates/darshan/src/mdf.rs`.
+
+pub fn parse(data: &[u8]) -> u32 {
+    let first = data[0];
+    let tail: Option<&u8> = data.last();
+    let last = tail.unwrap();
+    let four: [u8; 4] = data[..4].try_into().expect("four bytes");
+    if first == 0 {
+        panic!("zero header");
+    }
+    u32::from_le_bytes(four) + u32::from(*last)
+}

@@ -1,0 +1,19 @@
+//! Known-bad fixture for rule L2: unordered collections, wall-clock, and
+//! ambient RNG in a crate that feeds snapshot digests. Linted under the
+//! pretend path `crates/core/src/merge.rs`.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &k in keys {
+        seen.insert(k);
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    let started = std::time::Instant::now();
+    let stamp = std::time::SystemTime::now();
+    let jitter = thread_rng().gen::<u8>() as usize;
+    let _ = (started, stamp);
+    seen.len() + counts.len() + jitter
+}

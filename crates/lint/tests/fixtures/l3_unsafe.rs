@@ -1,0 +1,7 @@
+//! Known-bad fixture for rule L3: a crate root with no
+//! `#![forbid(unsafe_code)]` that also drops into an `unsafe` block.
+//! Linted under the pretend path `crates/demo/src/lib.rs`.
+
+pub fn read_first(data: &[u8]) -> u8 {
+    unsafe { *data.as_ptr() }
+}

@@ -1,0 +1,42 @@
+//! Known-bad fixture for rule L4: the `slug` accounting match hides
+//! behind a `_` wildcard and silently drops the declared (and
+//! constructed) `UnknownModule` variant. Linted under the pretend path
+//! `crates/darshan/src/error.rs`.
+
+pub enum EvictClass {
+    Io,
+    Format,
+}
+
+pub enum EvictReason {
+    IoError,
+    BadMagic,
+    UnknownModule,
+}
+
+impl EvictReason {
+    pub fn class(self) -> EvictClass {
+        match self {
+            EvictReason::IoError => EvictClass::Io,
+            EvictReason::BadMagic => EvictClass::Format,
+            EvictReason::UnknownModule => EvictClass::Format,
+        }
+    }
+
+    pub fn slug(self) -> &'static str {
+        match self {
+            EvictReason::IoError => "io_error",
+            EvictReason::BadMagic => "bad_magic",
+            _ => "other",
+        }
+    }
+}
+
+pub fn classify(bytes: &[u8]) -> Option<EvictReason> {
+    match bytes.first() {
+        None => Some(EvictReason::IoError),
+        Some(0) => Some(EvictReason::BadMagic),
+        Some(1) => Some(EvictReason::UnknownModule),
+        Some(_) => None,
+    }
+}

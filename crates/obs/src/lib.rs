@@ -293,6 +293,7 @@ impl Default for Recorder {
 impl Recorder {
     /// Start a recorder; wall-clock measurement begins now.
     pub fn new() -> Recorder {
+        // lint: allow(nondeterminism, "the Recorder exists to measure wall-clock; its metrics are excluded from ResultSnapshot digests")
         Recorder { stages: std::array::from_fn(|_| StageStats::new()), started: Instant::now() }
     }
 
@@ -308,6 +309,7 @@ impl Recorder {
 
     /// Time a closure and record it.
     pub fn time<T>(&self, stage: Stage, bytes: u64, f: impl FnOnce() -> T) -> T {
+        // lint: allow(nondeterminism, "the Recorder exists to measure wall-clock; its metrics are excluded from ResultSnapshot digests")
         let t = Instant::now();
         let out = f();
         self.record(stage, t.elapsed(), bytes);

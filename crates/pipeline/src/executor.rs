@@ -83,7 +83,7 @@ impl PipelineResult {
 
     /// Category sets of the single-run representatives.
     pub fn single_run_sets(&self) -> Vec<BTreeSet<Category>> {
-        self.representatives.iter().map(|&p| self.outcomes[p].report.categories.clone()).collect()
+        self.representatives().map(|o| o.report.categories.clone()).collect()
     }
 
     /// Category distribution over all valid runs (PFS-load view).
@@ -102,9 +102,11 @@ impl PipelineResult {
         JaccardMatrix::compute(&self.single_run_sets())
     }
 
-    /// The representative outcomes themselves.
+    /// The representative outcomes themselves. Positions are produced by
+    /// dedup over `outcomes`, so every one resolves; `filter_map` keeps the
+    /// lookup off the panic path anyway.
     pub fn representatives(&self) -> impl Iterator<Item = &RunOutcome> + '_ {
-        self.representatives.iter().map(move |&p| &self.outcomes[p])
+        self.representatives.iter().filter_map(move |&p| self.outcomes.get(p))
     }
 }
 
@@ -132,6 +134,7 @@ pub(crate) fn ingest_one(
     let wire = input.wire_len() as u64;
     let log: Arc<TraceLog> = match input {
         TraceInput::Bytes(bytes) => {
+            // lint: allow(nondeterminism, "stage timing telemetry; metrics are excluded from ResultSnapshot digests")
             let started = Instant::now();
             let parsed = mdf::from_bytes(&bytes);
             recorder.record(Stage::Parse, started.elapsed(), wire);
@@ -145,6 +148,7 @@ pub(crate) fn ingest_one(
 
     // Validate copy-on-write: the read-only pass decides the fate; the log
     // is cloned out of its `Arc` only when records actually need deleting.
+    // lint: allow(nondeterminism, "stage timing telemetry; metrics are excluded from ResultSnapshot digests")
     let started = Instant::now();
     let report = validate::validate(&log);
     let fate = if report.is_fatal() {
@@ -186,7 +190,9 @@ pub(crate) fn ingest_one(
 fn pool_for(n: usize) -> Arc<rayon::ThreadPool> {
     static POOLS: OnceLock<Mutex<BTreeMap<usize, Arc<rayon::ThreadPool>>>> = OnceLock::new();
     let registry = POOLS.get_or_init(|| Mutex::new(BTreeMap::new()));
-    let mut pools = registry.lock().expect("pool registry poisoned");
+    // The registry holds only built pools; a panic elsewhere cannot leave it
+    // half-written, so recovering from poisoning is sound.
+    let mut pools = registry.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     pools
         .entry(n)
         .or_insert_with(|| {
@@ -194,6 +200,7 @@ fn pool_for(n: usize) -> Arc<rayon::ThreadPool> {
                 rayon::ThreadPoolBuilder::new()
                     .num_threads(n)
                     .build()
+                    // lint: allow(panic, "pool construction fails only on OS thread-spawn exhaustion at startup, not on trace input")
                     .expect("thread pool construction"),
             )
         })
@@ -210,6 +217,7 @@ pub fn process<S: TraceSource>(source: &S, config: &PipelineConfig) -> PipelineR
         (0..total)
             .into_par_iter()
             .map(|i| {
+                // lint: allow(nondeterminism, "stage timing telemetry; metrics are excluded from ResultSnapshot digests")
                 let started = Instant::now();
                 let fetched = source.fetch(i);
                 let wire = fetched.as_ref().map(|f| f.wire_len() as u64).unwrap_or(0);

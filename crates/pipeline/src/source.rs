@@ -112,8 +112,21 @@ impl TraceSource for VecSource {
     }
 
     fn fetch(&self, i: usize) -> std::io::Result<TraceInput> {
-        Ok(self.items[i].clone())
+        match self.items.get(i) {
+            Some(item) => Ok(item.clone()),
+            None => Err(out_of_range(i, self.items.len())),
+        }
     }
+}
+
+/// An index past the end of a source is a driver bug, but it surfaces as a
+/// typed I/O error rather than a panic so one bad stage cannot abort a
+/// 462k-trace run.
+fn out_of_range(i: usize, len: usize) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::NotFound,
+        format!("trace index {i} out of range for source of length {len}"),
+    )
 }
 
 /// A directory of `.mdf` trace files — the production ingestion path.
@@ -148,9 +161,10 @@ impl TraceSource for DirSource {
     }
 
     fn fetch(&self, i: usize) -> std::io::Result<TraceInput> {
+        let path = self.paths.get(i).ok_or_else(|| out_of_range(i, self.paths.len()))?;
         // A file that cannot be read is an I/O failure, not format
         // corruption: propagate the error so the funnel can say so.
-        Ok(TraceInput::bytes(std::fs::read(&self.paths[i])?))
+        Ok(TraceInput::bytes(std::fs::read(path)?))
     }
 }
 

@@ -1,1 +1,3 @@
 //! Examples support shim (no library code).
+
+#![forbid(unsafe_code)]
