@@ -77,7 +77,7 @@ USAGE:
   mosaic watch     --dir DIR [--interval SECS] [--rounds R]
   mosaic verify    [--all | --differential --metamorphic --golden]
                    [--bless] [--golden-dir DIR] [--json]
-  mosaic lint      [--format text|json] [--root DIR]
+  mosaic lint      [--format text|json] [--root DIR] [--debt [--top N]]
   mosaic help
 
 SUBCOMMANDS:
@@ -93,8 +93,10 @@ SUBCOMMANDS:
   diff          workload drift between two datasets (category-share drift)
   watch         incrementally analyze a growing directory of .mdf files
   verify        differential / metamorphic / golden-snapshot conformance
-  lint          enforce workspace invariants: panic-freedom (L1),
-                determinism (L2), unsafe hygiene (L3), taxonomy (L4)
+  lint          enforce workspace invariants: determinism (L2), unsafe
+                hygiene (L3), taxonomy (L4), call-graph panic-reachability
+                (L5), lossy-cast safety (L6), unit consistency (L7);
+                --debt ranks functions by complexity x git churn instead
 
 OPTIONS:
   --n N            dataset size in traces          (default 10000)
@@ -116,6 +118,8 @@ OPTIONS:
   --golden-dir DIR verify: override the golden snapshot directory
   --format F       lint: output format, `text` or `json`  (default text)
   --root DIR       lint: workspace root (default: nearest [workspace] manifest)
+  --debt           lint: technical-debt report instead of findings (exit 0)
+  --top N          lint: rows in the markdown debt table     (default 10)
 ";
 
 /// `mosaic lint`: run the workspace invariant linter (see `crates/lint`).

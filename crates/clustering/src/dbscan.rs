@@ -37,13 +37,16 @@ impl Dbscan {
         let mut next_cluster = 0usize;
 
         let neighbors = |i: usize| -> Vec<usize> {
+            // lint: allow(panic, "i and j range over 0..n == points.len()")
             (0..n).filter(|&j| dist2(&points[i], &points[j]) <= eps2).collect()
         };
 
         for i in 0..n {
+            // lint: allow(panic, "i ranges over 0..n == visited.len()")
             if visited[i] {
                 continue;
             }
+            // lint: allow(panic, "i ranges over 0..n == visited.len() == labels.len()")
             visited[i] = true;
             let nbrs = neighbors(i);
             if nbrs.len() < self.min_pts {
@@ -51,18 +54,24 @@ impl Dbscan {
             }
             let cluster = next_cluster;
             next_cluster += 1;
+            // lint: allow(panic, "i ranges over 0..n == labels.len()")
             labels[i] = cluster;
             let mut frontier = nbrs;
             while let Some(j) = frontier.pop() {
+                // lint: allow(panic, "j comes from neighbors(), which yields indices in 0..n == labels.len()")
                 if labels[j] == Clustering::<D>::NOISE {
+                    // lint: allow(panic, "j comes from neighbors(), which yields indices in 0..n == labels.len()")
                     labels[j] = cluster; // border point
                 }
+                // lint: allow(panic, "j comes from neighbors(), which yields indices in 0..n == visited.len()")
                 if visited[j] {
                     continue;
                 }
+                // lint: allow(panic, "j comes from neighbors(), which yields indices in 0..n == visited.len()")
                 visited[j] = true;
                 let jn = neighbors(j);
                 if jn.len() >= self.min_pts {
+                    // lint: allow(panic, "j comes from neighbors(), which yields indices in 0..n == labels.len()")
                     labels[j] = cluster;
                     frontier.extend(jn);
                 }

@@ -41,6 +41,7 @@ impl KMeans {
         for _ in 0..self.max_iter {
             // Assignment step.
             for (i, p) in points.iter().enumerate() {
+                // lint: allow(panic, "i comes from points.iter().enumerate(); labels.len() == points.len()")
                 labels[i] = nearest(p, &centers).0;
             }
             // Update step.
@@ -60,6 +61,7 @@ impl KMeans {
             }
         }
         for (i, p) in points.iter().enumerate() {
+            // lint: allow(panic, "i comes from points.iter().enumerate(); labels.len() == points.len()")
             labels[i] = nearest(p, &centers).0;
         }
         Clustering { labels, centers }

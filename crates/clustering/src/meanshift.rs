@@ -147,10 +147,13 @@ impl MeanShift {
             match found {
                 Some(i) => {
                     // Running average keeps the fused mode centered.
+                    // lint: allow(panic, "i comes from centers.iter().enumerate(); counts grows in lockstep with centers")
                     let n = counts[i] as f64;
                     for d in 0..D {
+                        // lint: allow(panic, "i comes from centers.iter().enumerate(); d < D indexes [f64; D]")
                         centers[i][d] = (centers[i][d] * n + mode[d]) / (n + 1.0);
                     }
+                    // lint: allow(panic, "i comes from centers.iter().enumerate(); counts grows in lockstep with centers")
                     counts[i] += 1;
                     labels.push(i);
                 }

@@ -5,6 +5,7 @@
 pub fn dist2<const D: usize>(a: &[f64; D], b: &[f64; D]) -> f64 {
     let mut acc = 0.0;
     for i in 0..D {
+        // lint: allow(panic, "i < D indexes two [f64; D] arrays")
         let d = a[i] - b[i];
         acc += d * d;
     }
@@ -75,6 +76,7 @@ impl<const D: usize> Clustering<D> {
     pub fn clusters(&self) -> impl Iterator<Item = ([f64; D], Vec<usize>)> + '_ {
         (0..self.centers.len()).filter_map(move |c| {
             let m = self.members(c);
+            // lint: allow(panic, "c ranges over 0..centers.len()")
             (!m.is_empty()).then_some((self.centers[c], m))
         })
     }

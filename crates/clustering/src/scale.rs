@@ -36,24 +36,31 @@ impl<const D: usize> Scaler<D> {
     pub fn fit(points: &[[f64; D]], kinds: [ScaleKind; D]) -> Self {
         let mut fitted = [(0.0, 0.0); D];
         for d in 0..D {
+            // lint: allow(panic, "d < D indexes the [_; D] kinds array")
             match kinds[d] {
                 ScaleKind::MinMax => {
                     let mut lo = f64::INFINITY;
                     let mut hi = f64::NEG_INFINITY;
                     for p in points {
+                        // lint: allow(panic, "d < D indexes each [f64; D] point")
                         lo = lo.min(p[d]);
+                        // lint: allow(panic, "d < D indexes each [f64; D] point")
                         hi = hi.max(p[d]);
                     }
                     if points.is_empty() {
                         lo = 0.0;
                         hi = 1.0;
                     }
+                    // lint: allow(panic, "d < D indexes the [_; D] fitted array")
                     fitted[d] = (lo, hi);
                 }
                 ScaleKind::ZScore => {
                     let n = points.len().max(1) as f64;
+                    // lint: allow(panic, "d < D indexes each [f64; D] point")
                     let mean = points.iter().map(|p| p[d]).sum::<f64>() / n;
+                    // lint: allow(panic, "d < D indexes each [f64; D] point")
                     let var = points.iter().map(|p| (p[d] - mean).powi(2)).sum::<f64>() / n;
+                    // lint: allow(panic, "d < D indexes the [_; D] fitted array")
                     fitted[d] = (mean, var.sqrt());
                 }
                 ScaleKind::Log | ScaleKind::Identity => {}

@@ -164,8 +164,9 @@ impl Categorizer {
             runtime: view.runtime,
             nprocs: view.nprocs,
         };
-        let timings =
-            CategorizeTimings { merge_nanos, total_nanos: started.elapsed().as_nanos() as u64 };
+        // lint: allow(cast, "elapsed nanoseconds exceed u64 only after ~584 years")
+        let total_nanos = started.elapsed().as_nanos() as u64;
+        let timings = CategorizeTimings { merge_nanos, total_nanos };
         (report, timings)
     }
 
@@ -181,6 +182,7 @@ impl Categorizer {
         // lint: allow(nondeterminism, "timings feed MetricsReport telemetry only, never ResultSnapshot digests")
         let merge_started = std::time::Instant::now();
         let merged = merge_all(raw, runtime, &self.config);
+        // lint: allow(cast, "elapsed nanoseconds exceed u64 only after ~584 years")
         *merge_nanos += merge_started.elapsed().as_nanos() as u64;
         let temporality = temporality::characterize(&merged, runtime, &self.config);
         categories.insert(Category::Temporality { kind: tag, label: temporality.label });
@@ -205,6 +207,7 @@ impl Categorizer {
                         patterns.iter().flat_map(|p| p.members.iter().copied()).collect();
                     let leftover_idx: Vec<usize> =
                         (0..segments.len()).filter(|i| !explained.contains(i)).collect();
+                    // lint: allow(panic, "leftover_idx is built from 0..segments.len() above")
                     let leftovers: Vec<_> = leftover_idx.iter().map(|&i| segments[i]).collect();
                     let mut extra = crate::spectral::detect_periodic_spectral(
                         &leftovers,
@@ -214,6 +217,7 @@ impl Categorizer {
                     // Remap member indices back into the full segment list.
                     for p in &mut extra {
                         for m in &mut p.members {
+                            // lint: allow(panic, "detect_periodic_spectral returns member indices < leftovers.len() == leftover_idx.len()")
                             *m = leftover_idx[*m];
                         }
                     }

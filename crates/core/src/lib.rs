@@ -65,6 +65,7 @@ pub mod report;
 pub mod segment;
 pub mod spectral;
 pub mod temporality;
+pub mod units;
 
 pub use categorize::{CategorizeTimings, Categorizer, TraceReport};
 pub use category::{Category, CategoryAxis, MetadataLabel, PeriodMagnitude, TemporalityLabel};

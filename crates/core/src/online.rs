@@ -28,6 +28,7 @@ pub fn truncate_view(view: &OperationView, t: f64) -> OperationView {
                 } else {
                     let full = (o.end - o.start).max(1e-12);
                     let frac = (t - o.start) / full;
+                    // lint: allow(cast, "f64-to-u64 `as` saturates; frac is in [0, 1] so the product stays within o.bytes")
                     Operation { end: t, bytes: (o.bytes as f64 * frac) as u64, ..*o }
                 }
             })

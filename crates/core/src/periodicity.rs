@@ -78,7 +78,9 @@ pub fn detect_periodic(segments: &[Segment], config: &CategorizerConfig) -> Vec<
             continue;
         }
         members.sort_unstable();
+        // lint: allow(panic, "clustering member indices are built from 0..segments.len()")
         let starts: Vec<f64> = members.iter().map(|&i| segments[i].start).collect();
+        // lint: allow(panic, "windows(2) yields exactly-2-element slices")
         let gaps: Vec<f64> = starts.windows(2).map(|w| w[1] - w[0]).collect();
         debug_assert!(!gaps.is_empty());
         let period = gaps.iter().sum::<f64>() / gaps.len() as f64;
@@ -93,8 +95,10 @@ pub fn detect_periodic(segments: &[Segment], config: &CategorizerConfig) -> Vec<
             continue;
         }
         let n = members.len() as f64;
+        // lint: allow(panic, "clustering member indices are built from 0..segments.len()")
         let mean_bytes = members.iter().map(|&i| segments[i].bytes as f64).sum::<f64>() / n;
         let busy_fraction =
+            // lint: allow(panic, "clustering member indices are built from 0..segments.len()")
             (members.iter().map(|&i| segments[i].op_duration).sum::<f64>() / n / period)
                 .clamp(0.0, 1.0);
         patterns.push(PeriodicPattern {

@@ -106,8 +106,10 @@ pub fn detect_periodic_spectral(
         // the candidate period. Sub-/super-harmonics that capture a denser
         // or sparser train fail this even when the lattice looks occupied
         // (several operations can share one slot).
+        // lint: allow(panic, "lattice_members returns indices built from 0..segments.len()")
         let mut starts: Vec<f64> = members.iter().map(|&i| segments[i].start).collect();
         starts.sort_by(f64::total_cmp);
+        // lint: allow(panic, "windows(2) yields exactly-2-element slices")
         let gaps: Vec<f64> = starts.windows(2).map(|w| w[1] - w[0]).collect();
         if gaps.is_empty() {
             continue;
@@ -121,11 +123,14 @@ pub fn detect_periodic_spectral(
             continue;
         }
         for &m in &members {
+            // lint: allow(panic, "m < segments.len() == claimed.len() (allocated together in the caller)")
             claimed[m] = true;
         }
         let n = members.len() as f64;
+        // lint: allow(panic, "lattice_members returns indices built from 0..segments.len()")
         let mean_bytes = members.iter().map(|&i| segments[i].bytes as f64).sum::<f64>() / n;
         let busy_fraction =
+            // lint: allow(panic, "lattice_members returns indices built from 0..segments.len()")
             (members.iter().map(|&i| segments[i].op_duration).sum::<f64>() / n / period)
                 .clamp(0.0, 1.0);
         patterns.push(PeriodicPattern {
@@ -155,6 +160,7 @@ fn lattice_members(
     claimed: &[bool],
     period: f64,
 ) -> Option<(Vec<usize>, f64)> {
+    // lint: allow(panic, "i ranges over 0..segments.len(); claimed.len() == segments.len() (allocated together in the caller)")
     let unclaimed: Vec<usize> = (0..segments.len()).filter(|&i| !claimed[i]).collect();
     if unclaimed.is_empty() {
         return None;
@@ -176,8 +182,10 @@ fn lattice_members(
     let mut best_phase = 0.0;
     let mut best_count = 0usize;
     for &i in &unclaimed {
+        // lint: allow(panic, "unclaimed holds indices built from 0..segments.len()")
         let phase = segments[i].start % period;
         let count =
+            // lint: allow(panic, "unclaimed holds indices built from 0..segments.len()")
             unclaimed.iter().filter(|&&j| residual(segments[j].start, phase).abs() <= tol).count();
         if count > best_count {
             best_count = count;
@@ -191,6 +199,7 @@ fn lattice_members(
     let mut members = Vec::new();
     let mut residuals = Vec::new();
     for &i in &unclaimed {
+        // lint: allow(panic, "unclaimed holds indices built from 0..segments.len()")
         let r = residual(segments[i].start, best_phase);
         if r.abs() <= tol {
             members.push(i);

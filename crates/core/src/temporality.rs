@@ -56,18 +56,23 @@ pub fn chunk_volumes(ops: &[Operation], runtime: f64, chunks: usize) -> Vec<f64>
         let e = op.end.min(runtime).max(s);
         if e <= s {
             // Instantaneous operation: all bytes in its containing chunk.
+            // lint: allow(cast, "f64-to-usize `as` saturates; s >= 0 and min(chunks - 1) clamps above")
             let c = ((s / width) as usize).min(chunks - 1);
+            // lint: allow(panic, "c is clamped to chunks - 1 == sums.len() - 1")
             sums[c] += op.bytes as f64;
             continue;
         }
         let density = op.bytes as f64 / (e - s);
+        // lint: allow(cast, "f64-to-usize `as` saturates; s >= 0 and min(chunks - 1) clamps above")
         let first = ((s / width) as usize).min(chunks - 1);
+        // lint: allow(cast, "f64-to-usize `as` saturates; e >= s >= 0 and min(chunks - 1) clamps above")
         let last = ((e / width) as usize).min(chunks - 1);
         #[allow(clippy::needless_range_loop)] // index math over a time window
         for c in first..=last {
             let lo = s.max(c as f64 * width);
             let hi = e.min((c + 1) as f64 * width);
             if hi > lo {
+                // lint: allow(panic, "c <= last, which is clamped to chunks - 1 == sums.len() - 1")
                 sums[c] += density * (hi - lo);
             }
         }
@@ -125,6 +130,7 @@ pub fn characterize(
     for i in 0..n {
         let dominant = (0..n)
             .filter(|&j| j != i)
+            // lint: allow(panic, "i and j range over 0..n == chunk_bytes.len()")
             .all(|j| chunk_bytes[i] > config.dominance_factor * chunk_bytes[j]);
         if dominant {
             return TemporalityResult {
@@ -138,7 +144,9 @@ pub fn characterize(
 
     // Middle chunks jointly dominant over the edges.
     if n >= 4 {
+        // lint: allow(panic, "n >= 4 checked above; 1..n-1 is a valid sub-slice")
         let middle: f64 = chunk_bytes[1..n - 1].iter().sum();
+        // lint: allow(panic, "n >= 4 checked above; 0 and n-1 are in bounds")
         let edges = chunk_bytes[0] + chunk_bytes[n - 1];
         if middle > config.dominance_factor * edges {
             return TemporalityResult {

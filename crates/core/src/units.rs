@@ -1,0 +1,143 @@
+//! Unit-carrying newtypes for the two feature axes: seconds of duration
+//! and bytes of volume.
+//!
+//! The MOSAIC feature space is built from `(segment duration, volume)`
+//! pairs, and most of the arithmetic in this workspace moves one or the
+//! other around as a bare `f64`. The workspace linter's L7 rule flags
+//! `+`/`-` arithmetic that mixes identifiers from the two families;
+//! these newtypes are the structural fix it points at: once a quantity is
+//! a [`Secs`] or a [`ByteVol`], adding a duration to a volume no longer
+//! type-checks at all.
+//!
+//! Both types are thin `f64` wrappers: `Copy`, ordered by `total_cmp`
+//! semantics via `PartialOrd`, and convertible back with [`Secs::get`] /
+//! [`ByteVol::get`] at the boundary where an external API needs the raw
+//! float. Only same-unit addition/subtraction is implemented, plus the
+//! scalar scaling that both units support; the deliberate omission of any
+//! `Secs + ByteVol` impl is the point.
+
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A duration in seconds (relative to job start, like all Darshan times).
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+pub struct Secs(f64);
+
+/// A data volume in bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+pub struct ByteVol(f64);
+
+impl Secs {
+    /// Wrap a raw seconds value.
+    #[inline]
+    pub fn new(secs: f64) -> Self {
+        Secs(secs)
+    }
+
+    /// The raw seconds value, for boundaries that need the bare float.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl ByteVol {
+    /// Wrap a raw byte count.
+    #[inline]
+    pub fn new(bytes: f64) -> Self {
+        ByteVol(bytes)
+    }
+
+    /// The raw byte count, for boundaries that need the bare float.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The rate obtained by spreading this volume over `dt`: bytes/second
+    /// as a bare `f64` (a ratio of the two units, so neither newtype fits).
+    #[inline]
+    pub fn per(self, dt: Secs) -> f64 {
+        self.0 / dt.0
+    }
+}
+
+macro_rules! same_unit_arith {
+    ($ty:ident) => {
+        impl Add for $ty {
+            type Output = $ty;
+            #[inline]
+            fn add(self, rhs: $ty) -> $ty {
+                $ty(self.0 + rhs.0)
+            }
+        }
+        impl Sub for $ty {
+            type Output = $ty;
+            #[inline]
+            fn sub(self, rhs: $ty) -> $ty {
+                $ty(self.0 - rhs.0)
+            }
+        }
+        impl AddAssign for $ty {
+            #[inline]
+            fn add_assign(&mut self, rhs: $ty) {
+                self.0 += rhs.0;
+            }
+        }
+        impl SubAssign for $ty {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $ty) {
+                self.0 -= rhs.0;
+            }
+        }
+        impl Mul<f64> for $ty {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, rhs: f64) -> $ty {
+                $ty(self.0 * rhs)
+            }
+        }
+        impl Div<f64> for $ty {
+            type Output = $ty;
+            #[inline]
+            fn div(self, rhs: f64) -> $ty {
+                $ty(self.0 / rhs)
+            }
+        }
+    };
+}
+
+same_unit_arith!(Secs);
+same_unit_arith!(ByteVol);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_unit_arithmetic_works() {
+        let a = Secs::new(1.5) + Secs::new(0.5);
+        assert_eq!(a.get(), 2.0);
+        let mut v = ByteVol::new(1024.0);
+        v += ByteVol::new(1024.0);
+        v -= ByteVol::new(512.0);
+        assert_eq!(v.get(), 1536.0);
+        assert_eq!((Secs::new(4.0) - Secs::new(1.0)).get(), 3.0);
+    }
+
+    #[test]
+    fn scalar_scaling_works() {
+        assert_eq!((ByteVol::new(100.0) * 2.0).get(), 200.0);
+        assert_eq!((Secs::new(10.0) / 4.0).get(), 2.5);
+    }
+
+    #[test]
+    fn rates_are_bare_floats() {
+        assert_eq!(ByteVol::new(4096.0).per(Secs::new(2.0)), 2048.0);
+    }
+
+    #[test]
+    fn ordering_follows_the_raw_value() {
+        assert!(Secs::new(1.0) < Secs::new(2.0));
+        assert!(ByteVol::new(2.0) > ByteVol::new(1.0));
+    }
+}

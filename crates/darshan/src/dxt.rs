@@ -16,6 +16,7 @@
 //! The `dxt_aggregation_gap` bench quantifies the paper's conjecture by
 //! categorizing the same runs both ways.
 
+use crate::convert::{saturating_i64, u32_to_usize, usize_to_i64, usize_to_u64};
 use crate::counter::PosixCounter as C;
 use crate::counter::PosixFCounter as F;
 use crate::error::FormatError;
@@ -161,22 +162,22 @@ impl DxtTrace {
                 match a.kind {
                     OpKind::Read => {
                         reads += 1;
-                        bytes_read += a.length as i64;
+                        bytes_read = bytes_read.saturating_add(saturating_i64(a.length));
                         rs = rs.min(a.start);
                         re = re.max(a.end);
                         read_time += a.end - a.start;
                     }
                     OpKind::Write => {
                         writes += 1;
-                        bytes_written += a.length as i64;
+                        bytes_written = bytes_written.saturating_add(saturating_i64(a.length));
                         ws = ws.min(a.start);
                         we = we.max(a.end);
                         write_time += a.end - a.start;
                     }
                 }
             }
-            out.set(C::Opens, rec.opens.len() as i64)
-                .set(C::Closes, rec.closes.len() as i64)
+            out.set(C::Opens, usize_to_i64(rec.opens.len()))
+                .set(C::Closes, usize_to_i64(rec.closes.len()))
                 .set(C::Reads, reads)
                 .set(C::Writes, writes)
                 .set(C::BytesRead, bytes_read)
@@ -216,7 +217,24 @@ const MAX_ACCESSES: u32 = 256 * 1024 * 1024;
 
 /// Serialize a DXT trace to MDX bytes (same envelope discipline as MDF:
 /// little-endian, CRC-32 footer).
+///
+/// Convenience wrapper over [`try_to_bytes`]; panics only on a trace that
+/// [`from_bytes`] would reject as implausible anyway.
 pub fn to_bytes(trace: &DxtTrace) -> Vec<u8> {
+    try_to_bytes(trace).expect("trace exceeds MDX wire limits")
+}
+
+/// Encode an in-memory length as a `u32` wire field, enforcing `max`.
+fn wire_len(len: usize, max: u32, context: &'static str) -> Result<u32, FormatError> {
+    u32::try_from(len)
+        .ok()
+        .filter(|&l| l <= max)
+        .ok_or(FormatError::ImplausibleLength { context, len: usize_to_u64(len) })
+}
+
+/// Serialize a DXT trace to MDX bytes, reporting oversized fields as typed
+/// errors instead of silently truncating their length prefixes.
+pub fn try_to_bytes(trace: &DxtTrace) -> Result<Vec<u8>, FormatError> {
     let mut buf = BytesMut::new();
     buf.put_slice(DXT_MAGIC);
     buf.put_u16_le(DXT_VERSION);
@@ -227,14 +245,14 @@ pub fn to_bytes(trace: &DxtTrace) -> Vec<u8> {
     buf.put_u32_le(h.nprocs);
     buf.put_i64_le(h.start_time);
     buf.put_i64_le(h.end_time);
-    buf.put_u32_le(h.exe.len() as u32);
+    buf.put_u32_le(wire_len(h.exe.len(), u32::MAX, "exe")?);
     buf.put_slice(h.exe.as_bytes());
 
-    buf.put_u32_le(trace.records().len() as u32);
+    buf.put_u32_le(wire_len(trace.records().len(), MAX_RECORDS, "record count")?);
     for rec in trace.records() {
         buf.put_u64_le(rec.record_id);
         buf.put_i32_le(rec.rank);
-        buf.put_u32_le(rec.accesses.len() as u32);
+        buf.put_u32_le(wire_len(rec.accesses.len(), MAX_ACCESSES, "access count")?);
         for a in &rec.accesses {
             buf.put_u8(match a.kind {
                 OpKind::Read => 0,
@@ -245,24 +263,28 @@ pub fn to_bytes(trace: &DxtTrace) -> Vec<u8> {
             buf.put_f64_le(a.start);
             buf.put_f64_le(a.end);
         }
-        buf.put_u32_le(rec.opens.len() as u32);
+        buf.put_u32_le(wire_len(rec.opens.len(), MAX_ACCESSES, "open count")?);
         for &t in &rec.opens {
             buf.put_f64_le(t);
         }
-        buf.put_u32_le(rec.closes.len() as u32);
+        buf.put_u32_le(wire_len(rec.closes.len(), MAX_ACCESSES, "close count")?);
         for &t in &rec.closes {
             buf.put_f64_le(t);
         }
     }
-    buf.put_u32_le(trace.names().len() as u32);
+    buf.put_u32_le(wire_len(trace.names().len(), MAX_RECORDS, "name count")?);
     for (id, name) in trace.names() {
         buf.put_u64_le(*id);
-        buf.put_u16_le(name.len() as u16);
+        let name_len = u16::try_from(name.len()).map_err(|_| FormatError::ImplausibleLength {
+            context: "name",
+            len: usize_to_u64(name.len()),
+        })?;
+        buf.put_u16_le(name_len);
         buf.put_slice(name.as_bytes());
     }
     let crc = crate::synthutil::Crc32::checksum(&buf);
     buf.put_u32_le(crc);
-    buf.to_vec()
+    Ok(buf.to_vec())
 }
 
 /// Parse MDX bytes.
@@ -293,7 +315,7 @@ pub fn from_bytes(data: &[u8]) -> Result<DxtTrace, FormatError> {
     let nprocs = need(&mut buf, 4, "nprocs")?.get_u32_le();
     let start = need(&mut buf, 8, "start")?.get_i64_le();
     let end = need(&mut buf, 8, "end")?.get_i64_le();
-    let exe_len = need(&mut buf, 4, "exe len")?.get_u32_le() as usize;
+    let exe_len = u32_to_usize(need(&mut buf, 4, "exe len")?.get_u32_le());
     if buf.remaining() < exe_len {
         return Err(FormatError::Truncated { context: "exe" });
     }
@@ -305,10 +327,10 @@ pub fn from_bytes(data: &[u8]) -> Result<DxtTrace, FormatError> {
     if n_records > MAX_RECORDS {
         return Err(FormatError::ImplausibleLength {
             context: "record count",
-            len: n_records as u64,
+            len: u64::from(n_records),
         });
     }
-    let mut records = Vec::with_capacity(n_records as usize);
+    let mut records = Vec::with_capacity(u32_to_usize(n_records));
     for _ in 0..n_records {
         let record_id = need(&mut buf, 8, "record id")?.get_u64_le();
         let rank = need(&mut buf, 4, "rank")?.get_i32_le();
@@ -316,10 +338,10 @@ pub fn from_bytes(data: &[u8]) -> Result<DxtTrace, FormatError> {
         if n_acc > MAX_ACCESSES {
             return Err(FormatError::ImplausibleLength {
                 context: "access count",
-                len: n_acc as u64,
+                len: u64::from(n_acc),
             });
         }
-        let mut accesses = Vec::with_capacity(n_acc as usize);
+        let mut accesses = Vec::with_capacity(u32_to_usize(n_acc));
         for _ in 0..n_acc {
             let kind = match need(&mut buf, 1, "access kind")?.get_u8() {
                 0 => OpKind::Read,
@@ -348,7 +370,7 @@ pub fn from_bytes(data: &[u8]) -> Result<DxtTrace, FormatError> {
     let mut names = BTreeMap::new();
     for _ in 0..n_names.min(MAX_RECORDS) {
         let id = need(&mut buf, 8, "name id")?.get_u64_le();
-        let len = need(&mut buf, 2, "name len")?.get_u16_le() as usize;
+        let len = usize::from(need(&mut buf, 2, "name len")?.get_u16_le());
         if buf.remaining() < len {
             return Err(FormatError::Truncated { context: "name" });
         }

@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod convert;
 pub mod counter;
 pub mod dxt;
 pub mod error;

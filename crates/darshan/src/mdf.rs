@@ -30,6 +30,7 @@
 //! [`FormatError`]s, which the MOSAIC pre-processing step ① counts as
 //! *corrupted traces* and evicts.
 
+use crate::convert::{u32_to_usize, usize_to_u64};
 use crate::counter::{Module, N_POSIX_COUNTERS, N_POSIX_FCOUNTERS};
 use crate::error::FormatError;
 use crate::job::JobHeader;
@@ -57,7 +58,18 @@ pub const RECORD_WIRE_BYTES: usize = 8 + 4 + 1 + N_POSIX_COUNTERS * 8 + N_POSIX_
 const NAME_WIRE_MIN_BYTES: usize = 8 + 2;
 
 /// Serialize a trace to MDF bytes.
+///
+/// Convenience wrapper over [`try_to_bytes`] for traces that are known to
+/// fit the wire limits (anything a parser or builder in this workspace
+/// produced). Panics only on a trace that [`from_bytes`] would reject as
+/// implausible anyway.
 pub fn to_bytes(log: &TraceLog) -> Vec<u8> {
+    try_to_bytes(log).expect("trace exceeds MDF wire limits")
+}
+
+/// Serialize a trace to MDF bytes, reporting oversized fields as typed
+/// errors instead of silently truncating their length prefixes.
+pub fn try_to_bytes(log: &TraceLog) -> Result<Vec<u8>, FormatError> {
     let mut buf = BytesMut::with_capacity(estimated_size(log));
     buf.put_slice(MAGIC);
     buf.put_u16_le(VERSION);
@@ -68,9 +80,9 @@ pub fn to_bytes(log: &TraceLog) -> Vec<u8> {
     buf.put_u32_le(h.nprocs);
     buf.put_i64_le(h.start_time);
     buf.put_i64_le(h.end_time);
-    buf.put_u32_le(h.exe.len() as u32);
+    buf.put_u32_le(wire_len(h.exe.len(), MAX_EXE_LEN, "exe")?);
     buf.put_slice(h.exe.as_bytes());
-    buf.put_u32_le(log.records().len() as u32);
+    buf.put_u32_le(wire_len(log.records().len(), MAX_RECORDS, "record count")?);
     for r in log.records() {
         buf.put_u64_le(r.record_id);
         buf.put_i32_le(r.rank);
@@ -82,15 +94,27 @@ pub fn to_bytes(log: &TraceLog) -> Vec<u8> {
             buf.put_f64_le(c);
         }
     }
-    buf.put_u32_le(log.names().len() as u32);
+    buf.put_u32_le(wire_len(log.names().len(), MAX_NAMES, "name count")?);
     for (id, name) in log.names() {
         buf.put_u64_le(*id);
-        buf.put_u16_le(name.len() as u16);
+        let name_len = u16::try_from(name.len()).map_err(|_| FormatError::ImplausibleLength {
+            context: "name",
+            len: usize_to_u64(name.len()),
+        })?;
+        buf.put_u16_le(name_len);
         buf.put_slice(name.as_bytes());
     }
     let crc = Crc32::checksum(&buf);
     buf.put_u32_le(crc);
-    buf.to_vec()
+    Ok(buf.to_vec())
+}
+
+/// Encode an in-memory length as a `u32` wire field, enforcing `max`.
+fn wire_len(len: usize, max: u32, context: &'static str) -> Result<u32, FormatError> {
+    u32::try_from(len)
+        .ok()
+        .filter(|&l| l <= max)
+        .ok_or(FormatError::ImplausibleLength { context, len: usize_to_u64(len) })
 }
 
 /// Conservative size estimate used to pre-allocate the encode buffer.
@@ -135,26 +159,26 @@ pub fn from_bytes(data: &[u8]) -> Result<TraceLog, FormatError> {
     let end = get_i64(&mut buf, "end_time")?;
     let exe_len = get_u32(&mut buf, "exe length")?;
     if exe_len > MAX_EXE_LEN {
-        return Err(FormatError::ImplausibleLength { context: "exe", len: exe_len as u64 });
+        return Err(FormatError::ImplausibleLength { context: "exe", len: u64::from(exe_len) });
     }
-    let exe = get_string(&mut buf, exe_len as usize, "exe")?;
+    let exe = get_string(&mut buf, u32_to_usize(exe_len), "exe")?;
     let header = JobHeader::new(job_id, uid, nprocs, start, end).with_exe(exe);
 
     let n_records = get_u32(&mut buf, "record count")?;
     if n_records > MAX_RECORDS {
         return Err(FormatError::ImplausibleLength {
             context: "record count",
-            len: n_records as u64,
+            len: u64::from(n_records),
         });
     }
     // Pre-allocation bomb guard: a crafted header claiming millions of
     // records must not drive `with_capacity` into a multi-GB allocation.
     // Every record occupies RECORD_WIRE_BYTES, so a count the remaining
     // payload cannot possibly hold is rejected before any allocation.
-    if n_records as u64 * RECORD_WIRE_BYTES as u64 > buf.remaining() as u64 {
+    if u64::from(n_records) * usize_to_u64(RECORD_WIRE_BYTES) > usize_to_u64(buf.remaining()) {
         return Err(FormatError::Truncated { context: "record array" });
     }
-    let mut records = Vec::with_capacity(n_records as usize);
+    let mut records = Vec::with_capacity(u32_to_usize(n_records));
     for _ in 0..n_records {
         let record_id = get_u64(&mut buf, "record id")?;
         let rank = get_i32(&mut buf, "record rank")?;
@@ -173,24 +197,27 @@ pub fn from_bytes(data: &[u8]) -> Result<TraceLog, FormatError> {
 
     let n_names = get_u32(&mut buf, "name count")?;
     if n_names > MAX_NAMES {
-        return Err(FormatError::ImplausibleLength { context: "name count", len: n_names as u64 });
+        return Err(FormatError::ImplausibleLength {
+            context: "name count",
+            len: u64::from(n_names),
+        });
     }
     // Same guard for the name table: each entry needs at least its id and
     // length prefix on the wire.
-    if n_names as u64 * NAME_WIRE_MIN_BYTES as u64 > buf.remaining() as u64 {
+    if u64::from(n_names) * usize_to_u64(NAME_WIRE_MIN_BYTES) > usize_to_u64(buf.remaining()) {
         return Err(FormatError::Truncated { context: "name table" });
     }
     let mut names = BTreeMap::new();
     for _ in 0..n_names {
         let id = get_u64(&mut buf, "name id")?;
-        let len = get_u16(&mut buf, "name length")? as usize;
+        let len = usize::from(get_u16(&mut buf, "name length")?);
         let name = get_string(&mut buf, len, "name")?;
         names.insert(id, name);
     }
     if buf.has_remaining() {
         return Err(FormatError::ImplausibleLength {
             context: "trailing bytes",
-            len: buf.remaining() as u64,
+            len: usize_to_u64(buf.remaining()),
         });
     }
     Ok(TraceLog::from_parts(header, records, names))

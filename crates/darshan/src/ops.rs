@@ -14,6 +14,7 @@
 //!
 //! [`OperationView::from_log`] performs that extraction.
 
+use crate::convert::nonneg_u64;
 use crate::counter::{PosixCounter as C, PosixFCounter as F};
 use crate::log::TraceLog;
 use crate::record::PosixRecord;
@@ -150,7 +151,7 @@ impl OperationView {
                 kind: OpKind::Read,
                 start,
                 end,
-                bytes: rec.bytes_read().max(0) as u64,
+                bytes: nonneg_u64(rec.bytes_read()),
                 ranks,
             });
         }
@@ -159,11 +160,11 @@ impl OperationView {
                 kind: OpKind::Write,
                 start,
                 end,
-                bytes: rec.bytes_written().max(0) as u64,
+                bytes: nonneg_u64(rec.bytes_written()),
                 ranks,
             });
         }
-        let opens = rec.get(C::Opens).max(0) as u64;
+        let opens = nonneg_u64(rec.get(C::Opens));
         if opens > 0 {
             meta.push(MetaEvent {
                 time: rec.getf(F::OpenStartTimestamp),
@@ -173,7 +174,7 @@ impl OperationView {
         }
         // Darshan does not timestamp seeks: co-locate them (and stats) with
         // the record's opens, as the paper does.
-        let seeks = rec.get(C::Seeks).max(0) as u64;
+        let seeks = nonneg_u64(rec.get(C::Seeks));
         if seeks > 0 {
             meta.push(MetaEvent {
                 time: rec.getf(F::OpenStartTimestamp),
@@ -181,7 +182,7 @@ impl OperationView {
                 count: seeks,
             });
         }
-        let stats = rec.get(C::Stats).max(0) as u64;
+        let stats = nonneg_u64(rec.get(C::Stats));
         if stats > 0 {
             meta.push(MetaEvent {
                 time: rec.getf(F::OpenStartTimestamp),
@@ -189,7 +190,7 @@ impl OperationView {
                 count: stats,
             });
         }
-        let closes = rec.get(C::Closes).max(0) as u64;
+        let closes = nonneg_u64(rec.get(C::Closes));
         if closes > 0 {
             meta.push(MetaEvent {
                 time: rec.getf(F::CloseEndTimestamp),

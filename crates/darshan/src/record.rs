@@ -44,18 +44,21 @@ impl PosixRecord {
     /// Read an integer counter.
     #[inline]
     pub fn get(&self, c: PosixCounter) -> i64 {
+        // lint: allow(panic, "enum-derived index: PosixCounter::index() < N_POSIX_COUNTERS by construction")
         self.counters[c.index()]
     }
 
     /// Read a float counter.
     #[inline]
     pub fn getf(&self, c: PosixFCounter) -> f64 {
+        // lint: allow(panic, "enum-derived index: PosixFCounter::index() < N_POSIX_FCOUNTERS by construction")
         self.fcounters[c.index()]
     }
 
     /// Set an integer counter (chainable).
     #[inline]
     pub fn set(&mut self, c: PosixCounter, v: i64) -> &mut Self {
+        // lint: allow(panic, "enum-derived index: PosixCounter::index() < N_POSIX_COUNTERS by construction")
         self.counters[c.index()] = v;
         self
     }
@@ -63,6 +66,7 @@ impl PosixRecord {
     /// Set a float counter (chainable).
     #[inline]
     pub fn setf(&mut self, c: PosixFCounter, v: f64) -> &mut Self {
+        // lint: allow(panic, "enum-derived index: PosixFCounter::index() < N_POSIX_FCOUNTERS by construction")
         self.fcounters[c.index()] = v;
         self
     }
@@ -70,6 +74,7 @@ impl PosixRecord {
     /// Add to an integer counter (chainable).
     #[inline]
     pub fn add(&mut self, c: PosixCounter, v: i64) -> &mut Self {
+        // lint: allow(panic, "enum-derived index: PosixCounter::index() < N_POSIX_COUNTERS by construction")
         self.counters[c.index()] += v;
         self
     }

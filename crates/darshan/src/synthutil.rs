@@ -7,7 +7,7 @@ pub fn fnv1a64(data: &[u8]) -> u64 {
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;
     for &b in data {
-        h ^= b as u64;
+        h ^= u64::from(b);
         h = h.wrapping_mul(PRIME);
     }
     h
@@ -31,6 +31,7 @@ const fn build_crc_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
+        // lint: allow(cast, "const fn (try_from is non-const); i < 256 always fits u32")
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
@@ -55,7 +56,9 @@ impl Crc32 {
     pub fn update(&mut self, data: &[u8]) {
         let mut c = self.state;
         for &b in data {
-            c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+            let idx = crate::convert::u32_to_usize((c ^ u32::from(b)) & 0xff);
+            // lint: allow(panic, "idx is masked with & 0xff, always < CRC_TABLE.len() == 256")
+            c = CRC_TABLE[idx] ^ (c >> 8);
         }
         self.state = c;
     }

@@ -28,7 +28,7 @@ const RUNTIME_SLACK: f64 = 1.0;
 pub fn check_record(rec: &PosixRecord, runtime: f64, nprocs: u32) -> Vec<ValidityError> {
     let mut errs = Vec::new();
 
-    if rec.rank < SHARED_RANK || (rec.rank >= 0 && (rec.rank as u32) >= nprocs.max(1)) {
+    if rec.rank < SHARED_RANK || u32::try_from(rec.rank).is_ok_and(|r| r >= nprocs.max(1)) {
         errs.push(ValidityError::RankOutOfRange);
     }
     if rec.get(C::BytesRead) < 0 || rec.get(C::BytesWritten) < 0 {

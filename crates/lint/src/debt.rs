@@ -1,0 +1,270 @@
+//! `mosaic lint --debt` — a hotspots/debtmap-style technical-debt report.
+//!
+//! Ranks every workspace function by a composite of *how hard it is to
+//! change* (cyclomatic-ish complexity, nesting, non-structured exits,
+//! fan-out from the call graph) times *how often it actually changes*
+//! (per-file commit churn from `git log`). The score is deliberately
+//! simple — `complexity × churn` — so the ranking is explainable: a
+//! gnarly function nobody touches outranks nothing; a gnarly function on
+//! the hot path of every PR floats to the top of the refactor queue.
+//!
+//! Output is byte-stable: functions are sorted by `(score desc, file,
+//! line, name)`, JSON keys are emitted in a fixed order, and nothing
+//! depends on wall-clock time — two runs against the same tree and git
+//! state produce identical bytes.
+
+use crate::graph::CallGraph;
+use crate::lex::{lex, test_line_ranges};
+use crate::parse::{parse_file, ParsedFile};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One ranked function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DebtEntry {
+    /// Workspace-relative file, forward slashes.
+    pub file: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// `Owner::name` for methods, `name` for free functions.
+    pub function: String,
+    /// Cyclomatic-ish complexity (1 + branch points).
+    pub complexity: u32,
+    /// Maximum brace-nesting depth inside the body.
+    pub nesting: u32,
+    /// Non-structured exits (`return`, `break`, `continue`, `?`).
+    pub exits: u32,
+    /// Distinct workspace functions called.
+    pub fan_out: u32,
+    /// Commits that touched the defining file.
+    pub churn: u32,
+    /// `complexity × churn`.
+    pub score: u64,
+}
+
+/// The full report.
+#[derive(Debug, Default)]
+pub struct DebtReport {
+    /// Entries sorted by `(score desc, file, line, function)`.
+    pub entries: Vec<DebtEntry>,
+    /// Number of files contributing functions.
+    pub files: usize,
+}
+
+/// Commits-per-file from `git log`, as workspace-relative paths. Returns
+/// an empty map when `root` is not a git checkout (every file then gets
+/// churn 1, so the report degrades to a pure complexity ranking).
+fn git_churn(root: &Path) -> BTreeMap<String, u32> {
+    let out = std::process::Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["log", "--pretty=format:", "--name-only"])
+        .output();
+    let mut churn = BTreeMap::new();
+    if let Ok(out) = out {
+        if out.status.success() {
+            for line in String::from_utf8_lossy(&out.stdout).lines() {
+                let line = line.trim();
+                if line.ends_with(".rs") {
+                    *churn.entry(line.to_owned()).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    churn
+}
+
+/// Build the report from already-read `(rel, text)` pairs plus a churn map.
+/// Split out from [`debt_report`] so tests can run it hermetically.
+pub fn build_report(files: &[(String, String)], churn: &BTreeMap<String, u32>) -> DebtReport {
+    let parsed: Vec<(String, ParsedFile)> = files
+        .iter()
+        .map(|(rel, text)| {
+            let lexed = lex(text);
+            let tests = test_line_ranges(&lexed);
+            (rel.clone(), parse_file(&lexed, &tests))
+        })
+        .collect();
+    let refs: Vec<(&str, &ParsedFile)> = parsed.iter().map(|(r, p)| (r.as_str(), p)).collect();
+    let graph = CallGraph::build(&refs);
+
+    let mut entries = Vec::new();
+    let mut seen_files = std::collections::BTreeSet::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        let file_churn = churn.get(node.rel).copied().unwrap_or(1).max(1);
+        let f = node.f;
+        entries.push(DebtEntry {
+            file: node.rel.to_owned(),
+            line: f.line,
+            function: f.qualified(),
+            complexity: f.complexity,
+            nesting: f.nesting,
+            exits: f.exits,
+            fan_out: graph.fan_out(i) as u32,
+            churn: file_churn,
+            score: u64::from(f.complexity) * u64::from(file_churn),
+        });
+        seen_files.insert(node.rel.to_owned());
+    }
+    entries.sort_by(|a, b| {
+        b.score
+            .cmp(&a.score)
+            .then_with(|| a.file.cmp(&b.file))
+            .then_with(|| a.line.cmp(&b.line))
+            .then_with(|| a.function.cmp(&b.function))
+    });
+    DebtReport { entries, files: seen_files.len() }
+}
+
+/// Scan the workspace at `root` and build the full debt report.
+pub fn debt_report(root: &Path) -> std::io::Result<DebtReport> {
+    let mut files = Vec::new();
+    for path in crate::collect_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push((rel, std::fs::read_to_string(&path)?));
+    }
+    Ok(build_report(&files, &git_churn(root)))
+}
+
+impl DebtReport {
+    /// Stable machine-readable JSON, hand-rolled with fixed key order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"functions\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rank\": {}, \"function\": {}, \"file\": {}, \"line\": {}, \
+                 \"complexity\": {}, \"nesting\": {}, \"exits\": {}, \"fan_out\": {}, \
+                 \"churn\": {}, \"score\": {}}}",
+                i + 1,
+                crate::findings::json_str(&e.function),
+                crate::findings::json_str(&e.file),
+                e.line,
+                e.complexity,
+                e.nesting,
+                e.exits,
+                e.fan_out,
+                e.churn,
+                e.score
+            ));
+        }
+        if !self.entries.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"summary\": {{\"functions\": {}, \"files\": {}}}\n}}\n",
+            self.entries.len(),
+            self.files
+        ));
+        out
+    }
+
+    /// Markdown top-`n` table plus a one-line summary.
+    pub fn to_markdown(&self, n: usize) -> String {
+        let mut out = String::from(
+            "| rank | function | location | complexity | nesting | exits | fan-out | churn | score |\n\
+             |-----:|----------|----------|-----------:|--------:|------:|--------:|------:|------:|\n",
+        );
+        for (i, e) in self.entries.iter().take(n).enumerate() {
+            out.push_str(&format!(
+                "| {} | `{}` | `{}:{}` | {} | {} | {} | {} | {} | {} |\n",
+                i + 1,
+                e.function,
+                e.file,
+                e.line,
+                e.complexity,
+                e.nesting,
+                e.exits,
+                e.fan_out,
+                e.churn,
+                e.score
+            ));
+        }
+        out.push_str(&format!(
+            "\n{} function(s) ranked across {} file(s); score = complexity × churn.\n",
+            self.entries.len(),
+            self.files
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture_files() -> Vec<(String, String)> {
+        vec![
+            (
+                "crates/a/src/hot.rs".to_owned(),
+                "pub fn gnarly(x: u8) -> u8 {\n    if x > 1 { if x > 2 { return 3; } }\n    helper(x)\n}\nfn helper(x: u8) -> u8 { x }\n"
+                    .to_owned(),
+            ),
+            ("crates/a/src/cold.rs".to_owned(), "pub fn simple() {}\n".to_owned()),
+        ]
+    }
+
+    #[test]
+    fn churn_multiplies_complexity() {
+        let mut churn = BTreeMap::new();
+        churn.insert("crates/a/src/hot.rs".to_owned(), 10);
+        let r = build_report(&fixture_files(), &churn);
+        let gnarly = r.entries.iter().find(|e| e.function == "gnarly").unwrap();
+        assert_eq!(gnarly.complexity, 3); // 1 + two ifs
+        assert_eq!(gnarly.churn, 10);
+        assert_eq!(gnarly.score, 30);
+        assert_eq!(r.entries[0].function, "gnarly");
+    }
+
+    #[test]
+    fn unknown_files_default_to_churn_one() {
+        let r = build_report(&fixture_files(), &BTreeMap::new());
+        assert!(r.entries.iter().all(|e| e.churn == 1));
+    }
+
+    #[test]
+    fn fan_out_counts_resolved_calls() {
+        let r = build_report(&fixture_files(), &BTreeMap::new());
+        let gnarly = r.entries.iter().find(|e| e.function == "gnarly").unwrap();
+        assert_eq!(gnarly.fan_out, 1);
+    }
+
+    #[test]
+    fn json_is_byte_stable_and_ordered() {
+        let mut churn = BTreeMap::new();
+        churn.insert("crates/a/src/hot.rs".to_owned(), 4);
+        let a = build_report(&fixture_files(), &churn).to_json();
+        let b = build_report(&fixture_files(), &churn).to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"rank\": 1"));
+        assert!(a.contains("\"summary\": {\"functions\": 3, \"files\": 2}"));
+    }
+
+    #[test]
+    fn ties_break_by_file_then_line() {
+        let files = vec![
+            ("crates/a/src/b.rs".to_owned(), "pub fn bbb() {}\n".to_owned()),
+            ("crates/a/src/a.rs".to_owned(), "pub fn aaa() {}\npub fn zzz() {}\n".to_owned()),
+        ];
+        let r = build_report(&files, &BTreeMap::new());
+        let order: Vec<&str> = r.entries.iter().map(|e| e.function.as_str()).collect();
+        assert_eq!(order, vec!["aaa", "zzz", "bbb"]);
+    }
+
+    #[test]
+    fn markdown_table_caps_at_top_n() {
+        let r = build_report(&fixture_files(), &BTreeMap::new());
+        let md = r.to_markdown(1);
+        assert!(md.contains("| 1 | `"), "{md}");
+        assert!(!md.contains("| 2 | `"), "{md}");
+        assert!(md.contains("3 function(s) ranked"));
+    }
+}

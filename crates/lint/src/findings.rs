@@ -5,40 +5,56 @@ use std::fmt;
 /// Which invariant a finding violates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
-    /// L1 — panic-freedom in untrusted-input paths.
-    PanicFreedom,
     /// L2 — determinism (unordered collections, wall-clock, RNG).
     Determinism,
     /// L3 — unsafe hygiene (`#![forbid(unsafe_code)]`, no `unsafe` blocks).
     UnsafeHygiene,
     /// L4 — error-taxonomy exhaustiveness for `EvictReason`.
     Taxonomy,
+    /// L5 — transitive panic-reachability: no panic site in any function
+    /// reachable (over the workspace call graph) from an untrusted-input
+    /// entry point. Supersedes the old per-file L1 allowlist.
+    PanicReachability,
+    /// L6 — lossy-cast safety: no narrowing/sign/float-truncating `as`
+    /// casts in parse/merge/categorize paths.
+    LossyCast,
+    /// L7 — unit consistency: no `+`/`-` arithmetic mixing byte-volume and
+    /// seconds-duration identifiers outside the core unit newtypes.
+    UnitMix,
     /// A `lint: allow(...)` escape hatch that does not parse or lacks a
     /// justification — the hatch itself must be auditable.
     MalformedAllow,
+    /// A well-formed `lint: allow(...)` that no longer suppresses any
+    /// finding — stale escape hatches must be deleted, not accumulated.
+    UnusedAllow,
 }
 
 impl Rule {
     /// Stable machine-readable identifier.
     pub fn id(self) -> &'static str {
         match self {
-            Rule::PanicFreedom => "L1/panic-freedom",
             Rule::Determinism => "L2/determinism",
             Rule::UnsafeHygiene => "L3/unsafe-hygiene",
             Rule::Taxonomy => "L4/error-taxonomy",
+            Rule::PanicReachability => "L5/panic-reachability",
+            Rule::LossyCast => "L6/lossy-cast",
+            Rule::UnitMix => "L7/unit-consistency",
             Rule::MalformedAllow => "allow-syntax",
+            Rule::UnusedAllow => "unused-allow",
         }
     }
 
     /// The `lint: allow(<key>, "...")` key that can suppress this rule, if
-    /// any. Structural rules (L3, L4) and the allow syntax itself have no
-    /// per-line escape hatch.
+    /// any. Structural rules (L3, L4) and the allow machinery itself have
+    /// no per-line escape hatch.
     pub fn allow_key(self) -> Option<&'static str> {
         match self {
-            Rule::PanicFreedom => Some("panic"),
+            Rule::PanicReachability => Some("panic"),
             Rule::Determinism => Some("nondeterminism"),
             Rule::UnsafeHygiene => Some("unsafe"),
-            Rule::Taxonomy | Rule::MalformedAllow => None,
+            Rule::LossyCast => Some("cast"),
+            Rule::UnitMix => Some("unit"),
+            Rule::Taxonomy | Rule::MalformedAllow | Rule::UnusedAllow => None,
         }
     }
 }
@@ -130,7 +146,7 @@ impl Report {
 }
 
 /// Escape a string as a JSON string literal.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -162,7 +178,7 @@ mod tests {
                     message: "HashMap".into(),
                 },
                 Finding {
-                    rule: Rule::PanicFreedom,
+                    rule: Rule::PanicReachability,
                     file: "a.rs".into(),
                     line: 9,
                     message: "`.unwrap()`".into(),
@@ -210,6 +226,25 @@ mod tests {
     #[test]
     fn text_has_clickable_anchors() {
         let text = sample().render_text();
-        assert!(text.contains("a.rs:9: [L1/panic-freedom]"));
+        assert!(text.contains("a.rs:9: [L5/panic-reachability]"));
+    }
+
+    #[test]
+    fn every_rule_id_is_unique() {
+        let rules = [
+            Rule::Determinism,
+            Rule::UnsafeHygiene,
+            Rule::Taxonomy,
+            Rule::PanicReachability,
+            Rule::LossyCast,
+            Rule::UnitMix,
+            Rule::MalformedAllow,
+            Rule::UnusedAllow,
+        ];
+        for (i, a) in rules.iter().enumerate() {
+            for b in &rules[i + 1..] {
+                assert_ne!(a.id(), b.id());
+            }
+        }
     }
 }

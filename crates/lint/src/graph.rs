@@ -1,0 +1,417 @@
+//! The workspace call graph built from [`crate::parse`] output.
+//!
+//! Nodes are parsed `fn` items; edges are call sites resolved by name with
+//! a locality-first precedence (same impl type, same file, `use`-imports,
+//! same crate, then workspace-global). Resolution is deliberately an
+//! over-approximation — when several functions could be the callee, all of
+//! them grow an edge — because L5 uses the graph for *reachability of
+//! panics from untrusted input*, where a false edge costs an audit and a
+//! missing edge costs a crash at 462k-trace scale. Calls that resolve to
+//! nothing in the workspace (std, external shims) grow no edge.
+
+use crate::parse::{CallSite, FnInfo, ParsedFile};
+use std::collections::BTreeMap;
+
+/// One graph node: a function, with enough location context to resolve
+/// calls against it.
+#[derive(Debug)]
+pub struct Node<'a> {
+    /// Workspace-relative path of the defining file.
+    pub rel: &'a str,
+    /// Crate directory name (`darshan` for `crates/darshan/src/mdf.rs`).
+    pub krate: String,
+    /// File stem (`mdf` for `crates/darshan/src/mdf.rs`) — the module name
+    /// qualified calls usually go through.
+    pub stem: String,
+    /// The parsed function.
+    pub f: &'a FnInfo,
+}
+
+impl Node<'_> {
+    /// Human-readable label: `file-stem::fn` for free fns, `Type::fn` for
+    /// methods — unambiguous enough for finding messages.
+    pub fn label(&self) -> String {
+        match &self.f.owner {
+            Some(o) => format!("{o}::{}", self.f.name),
+            None => format!("{}::{}", self.stem, self.f.name),
+        }
+    }
+}
+
+/// A resolved call edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Callee node index.
+    pub callee: usize,
+    /// Line of the (first) call site that produced this edge.
+    pub line: u32,
+}
+
+/// The call graph over one set of parsed files.
+#[derive(Debug)]
+pub struct CallGraph<'a> {
+    /// All nodes, ordered by (input file order, source order) — stable.
+    pub nodes: Vec<Node<'a>>,
+    /// Outgoing edges per node, sorted by callee index, deduplicated.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+/// The crate directory name for a workspace-relative path.
+fn crate_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or(if rel.starts_with("examples/") { "examples" } else { "" })
+}
+
+/// The file stem (`mdf` for `…/mdf.rs`).
+fn stem_of(rel: &str) -> &str {
+    rel.rsplit('/').next().unwrap_or(rel).trim_end_matches(".rs")
+}
+
+/// `true` when a `use`/qualified path segment names this crate
+/// (`mosaic_darshan` and `darshan` both match crate dir `darshan`).
+fn seg_names_crate(seg: &str, krate: &str) -> bool {
+    seg == krate || seg.strip_prefix("mosaic_") == Some(krate)
+}
+
+impl<'a> CallGraph<'a> {
+    /// Build the graph from `(workspace-relative path, parsed file)` pairs.
+    /// Test functions and bodyless declarations never become nodes.
+    pub fn build(files: &[(&'a str, &'a ParsedFile)]) -> Self {
+        let mut nodes = Vec::new();
+        // (file index of each node) and per-file import lists, for resolution.
+        let mut node_file = Vec::new();
+        for (fidx, &(rel, parsed)) in files.iter().enumerate() {
+            for f in &parsed.fns {
+                if f.is_test || f.body.is_none() {
+                    continue;
+                }
+                nodes.push(Node {
+                    rel,
+                    krate: crate_of(rel).to_owned(),
+                    stem: stem_of(rel).to_owned(),
+                    f,
+                });
+                node_file.push(fidx);
+            }
+        }
+
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            by_name.entry(n.f.name.as_str()).or_default().push(i);
+        }
+
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); nodes.len()];
+        for caller in 0..nodes.len() {
+            let imports = &files[node_file[caller]].1.imports;
+            let mut seen: BTreeMap<usize, u32> = BTreeMap::new();
+            for call in &nodes[caller].f.calls {
+                for callee in resolve(&nodes, &by_name, caller, call, imports) {
+                    seen.entry(callee).or_insert(call.line);
+                }
+            }
+            edges[caller] = seen.into_iter().map(|(callee, line)| Edge { callee, line }).collect();
+        }
+        CallGraph { nodes, edges }
+    }
+
+    /// Node index of `fn name` in file `rel` (first match in source order).
+    pub fn find(&self, rel: &str, name: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.rel == rel && n.f.name == name)
+    }
+
+    /// Number of distinct workspace functions this node calls.
+    pub fn fan_out(&self, n: usize) -> usize {
+        self.edges[n].len()
+    }
+
+    /// Deterministic breadth-first reachability from `roots` (shortest
+    /// call paths; ties broken by node order).
+    pub fn reachable(&self, roots: &[usize]) -> Reach {
+        let mut parent: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut reached: Vec<bool> = vec![false; self.nodes.len()];
+        let mut order = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        let mut sorted_roots: Vec<usize> = roots.to_vec();
+        sorted_roots.sort_unstable();
+        sorted_roots.dedup();
+        for &r in &sorted_roots {
+            if !reached[r] {
+                reached[r] = true;
+                order.push(r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for e in &self.edges[n] {
+                if !reached[e.callee] {
+                    reached[e.callee] = true;
+                    parent[e.callee] = Some(n);
+                    order.push(e.callee);
+                    queue.push_back(e.callee);
+                }
+            }
+        }
+        Reach { order, parent }
+    }
+}
+
+/// Result of a reachability sweep.
+#[derive(Debug)]
+pub struct Reach {
+    /// Reached node indices in BFS order (roots first).
+    pub order: Vec<usize>,
+    parent: Vec<Option<usize>>,
+}
+
+impl Reach {
+    /// The call path from the root to `n`, inclusive, as node indices.
+    pub fn path_to(&self, n: usize) -> Vec<usize> {
+        let mut path = vec![n];
+        let mut cur = n;
+        while let Some(p) = self.parent[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Resolve one call site to candidate node indices.
+///
+/// Precedence, most local first; within the first non-empty tier *all*
+/// candidates are linked (over-approximation, see module docs):
+///
+/// 1. `self.m()` / `Self::m()` — methods of the caller's own impl type.
+/// 2. `Type::m()` — methods of that type: same file, same crate, anywhere.
+/// 3. `module::f()` — free fns whose file stem or crate matches the
+///    qualifier (`crate::`/`super::`/`self::` mean "this crate").
+/// 4. `recv.m()` — any method of that name: same file, same crate, anywhere.
+/// 5. `f()` — free fns: same file, then `use`-imported, then same crate,
+///    then anywhere in the workspace.
+fn resolve(
+    nodes: &[Node<'_>],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    caller: usize,
+    call: &CallSite,
+    imports: &[(String, String)],
+) -> Vec<usize> {
+    let Some(cands) = by_name.get(call.name.as_str()) else { return Vec::new() };
+    let me = &nodes[caller];
+    let pick = |filters: &[&dyn Fn(&Node<'_>) -> bool]| -> Vec<usize> {
+        for filt in filters {
+            let hit: Vec<usize> = cands.iter().copied().filter(|&c| filt(&nodes[c])).collect();
+            if !hit.is_empty() {
+                return hit;
+            }
+        }
+        Vec::new()
+    };
+    let same_file = |n: &Node<'_>| n.rel == me.rel;
+    let same_crate = |n: &Node<'_>| n.krate == me.krate;
+
+    // 1. self-method / Self:: associated call.
+    if call.recv_self || call.qual.as_deref() == Some("Self") {
+        if let Some(owner) = &me.f.owner {
+            let own = |n: &Node<'_>| n.f.owner.as_ref() == Some(owner);
+            return pick(&[
+                &|n: &Node<'_>| own(n) && same_file(n),
+                &|n: &Node<'_>| own(n) && same_crate(n),
+                &own,
+            ]);
+        }
+        return Vec::new();
+    }
+
+    if let Some(q) = &call.qual {
+        if q.chars().next().is_some_and(char::is_uppercase) {
+            // 2. Type::assoc_fn — match by impl-owner name.
+            let own = |n: &Node<'_>| n.f.owner.as_deref() == Some(q.as_str());
+            return pick(&[
+                &|n: &Node<'_>| own(n) && same_file(n),
+                &|n: &Node<'_>| own(n) && same_crate(n),
+                &own,
+            ]);
+        }
+        // 3. module::free_fn.
+        let free = |n: &Node<'_>| n.f.owner.is_none();
+        if matches!(q.as_str(), "crate" | "super" | "self") {
+            return pick(&[&|n: &Node<'_>| free(n) && same_file(n), &|n: &Node<'_>| {
+                free(n) && same_crate(n)
+            }]);
+        }
+        let stem_match = |n: &Node<'_>| free(n) && (n.stem == *q || seg_names_crate(q, &n.krate));
+        return pick(&[&|n: &Node<'_>| stem_match(n) && same_crate(n), &stem_match]);
+    }
+
+    if call.is_method {
+        // 4. Unqualified method on an unknown receiver.
+        let method = |n: &Node<'_>| n.f.owner.is_some();
+        return pick(&[
+            &|n: &Node<'_>| method(n) && same_file(n),
+            &|n: &Node<'_>| method(n) && same_crate(n),
+            &method,
+        ]);
+    }
+
+    // 5. Bare free-fn call.
+    let free = |n: &Node<'_>| n.f.owner.is_none();
+    let import_parent: Option<&str> =
+        imports.iter().find(|(leaf, _)| *leaf == call.name).map(|(_, parent)| parent.as_str());
+    let imported = |n: &Node<'_>| {
+        free(n) && import_parent.is_some_and(|p| n.stem == p || seg_names_crate(p, &n.krate))
+    };
+    pick(&[
+        &|n: &Node<'_>| free(n) && same_file(n),
+        &imported,
+        &|n: &Node<'_>| free(n) && same_crate(n),
+        &free,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::{lex, test_line_ranges};
+    use crate::parse::parse_file;
+
+    fn parse_files(srcs: &[(&str, &str)]) -> Vec<(String, ParsedFile)> {
+        srcs.iter()
+            .map(|(rel, src)| {
+                let lexed = lex(src);
+                let tests = test_line_ranges(&lexed);
+                ((*rel).to_owned(), parse_file(&lexed, &tests))
+            })
+            .collect()
+    }
+
+    fn build(files: &[(String, ParsedFile)]) -> CallGraph<'_> {
+        let refs: Vec<(&str, &ParsedFile)> = files.iter().map(|(r, p)| (r.as_str(), p)).collect();
+        CallGraph::build(&refs)
+    }
+
+    fn callees<'a>(g: &'a CallGraph<'a>, rel: &str, name: &str) -> Vec<String> {
+        let n = g.find(rel, name).unwrap();
+        g.edges[n].iter().map(|e| g.nodes[e.callee].label()).collect()
+    }
+
+    #[test]
+    fn cross_file_qualified_calls_resolve_by_stem() {
+        let files = parse_files(&[
+            ("crates/a/src/driver.rs", "pub fn run() { mdf::from_bytes(b); }"),
+            ("crates/a/src/mdf.rs", "pub fn from_bytes(b: &[u8]) {}"),
+            ("crates/a/src/dxt.rs", "pub fn from_bytes(b: &[u8]) {}"),
+        ]);
+        let g = build(&files);
+        assert_eq!(callees(&g, "crates/a/src/driver.rs", "run"), vec!["mdf::from_bytes"]);
+    }
+
+    #[test]
+    fn same_file_free_fns_shadow_other_crates() {
+        let files = parse_files(&[
+            ("crates/a/src/x.rs", "fn helper() {}\npub fn run() { helper(); }"),
+            ("crates/b/src/y.rs", "pub fn helper() {}"),
+        ]);
+        let g = build(&files);
+        assert_eq!(callees(&g, "crates/a/src/x.rs", "run"), vec!["x::helper"]);
+    }
+
+    #[test]
+    fn use_imports_beat_same_crate_shadows() {
+        let files = parse_files(&[
+            ("crates/a/src/x.rs", "use crate::good::helper;\npub fn run() { helper(); }"),
+            ("crates/a/src/good.rs", "pub fn helper() {}"),
+            ("crates/a/src/bad.rs", "pub fn helper() {}"),
+        ]);
+        let g = build(&files);
+        assert_eq!(callees(&g, "crates/a/src/x.rs", "run"), vec!["good::helper"]);
+    }
+
+    #[test]
+    fn self_methods_resolve_within_the_impl_type() {
+        let src = "\
+struct A;
+impl A {
+    fn step(&self) {}
+    fn run(&self) { self.step(); }
+}
+struct B;
+impl B {
+    fn step(&self) {}
+}
+";
+        let files = parse_files(&[("crates/a/src/x.rs", src)]);
+        let g = build(&files);
+        let run = g.find("crates/a/src/x.rs", "run").unwrap();
+        assert_eq!(g.edges[run].len(), 1);
+        let callee = &g.nodes[g.edges[run][0].callee];
+        assert_eq!(callee.f.owner.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn type_qualified_calls_resolve_across_files() {
+        let files = parse_files(&[
+            ("crates/a/src/m.rs", "struct Module;\nimpl Module { pub fn from_tag(t: u8) {} }"),
+            ("crates/b/src/use_it.rs", "pub fn go() { Module::from_tag(3); }"),
+        ]);
+        let g = build(&files);
+        assert_eq!(callees(&g, "crates/b/src/use_it.rs", "go"), vec!["Module::from_tag"]);
+    }
+
+    #[test]
+    fn unresolved_calls_grow_no_edges() {
+        let files = parse_files(&[(
+            "crates/a/src/x.rs",
+            "pub fn run(v: Vec<u8>) { v.push(1); std::process::exit(0); }",
+        )]);
+        let g = build(&files);
+        let run = g.find("crates/a/src/x.rs", "run").unwrap();
+        assert!(g.edges[run].is_empty());
+    }
+
+    #[test]
+    fn test_fns_are_not_nodes() {
+        let src = "\
+pub fn prod() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+";
+        let files = parse_files(&[("crates/a/src/x.rs", src)]);
+        let g = build(&files);
+        assert_eq!(g.nodes.len(), 1);
+    }
+
+    #[test]
+    fn bfs_paths_are_shortest_and_deterministic() {
+        let src = "\
+pub fn root() { a(); b(); }
+fn a() { c(); }
+fn b() { c(); }
+fn c() { leaf(); }
+fn leaf() {}
+";
+        let files = parse_files(&[("crates/a/src/x.rs", src)]);
+        let g = build(&files);
+        let root = g.find("crates/a/src/x.rs", "root").unwrap();
+        let reach = g.reachable(&[root]);
+        assert_eq!(reach.order.len(), 5);
+        let leaf = g.find("crates/a/src/x.rs", "leaf").unwrap();
+        let path: Vec<String> =
+            reach.path_to(leaf).into_iter().map(|n| g.nodes[n].f.name.clone()).collect();
+        // Shortest path goes through `a` (first in node order), not `b`.
+        assert_eq!(path, vec!["root", "a", "c", "leaf"]);
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let src = "pub fn a() { b(); }\nfn b() { a(); }";
+        let files = parse_files(&[("crates/a/src/x.rs", src)]);
+        let g = build(&files);
+        let a = g.find("crates/a/src/x.rs", "a").unwrap();
+        let reach = g.reachable(&[a]);
+        assert_eq!(reach.order.len(), 2);
+    }
+}

@@ -4,11 +4,10 @@
 //! `mosaic-lint` — the Mosaic workspace invariant linter.
 //!
 //! A self-hosted static-analysis pass over every `.rs` file in the
-//! workspace, enforcing four repo-specific invariants:
+//! workspace. On top of a hand-rolled tokenizer ([`lex`]) sits a
+//! lightweight item/function parser ([`parse`]) and a workspace call
+//! graph ([`graph`]), which make the rules *semantic*:
 //!
-//! - **L1 panic-freedom**: no `unwrap`/`expect`/panicking macros/slice
-//!   indexing in the darshan parsers and pipeline stages that handle
-//!   untrusted input. Escape hatch: `// lint: allow(panic, "<proof>")`.
 //! - **L2 determinism**: no `HashMap`/`HashSet`, wall-clock reads, or
 //!   ambient RNG in crates whose state feeds `ResultSnapshot` digests.
 //! - **L3 unsafe hygiene**: every crate root declares
@@ -16,17 +15,38 @@
 //! - **L4 error-taxonomy exhaustiveness**: every constructed
 //!   `EvictReason` variant is accounted for, by name, in `class` and
 //!   `slug` — so `by_reason` counters can never silently drop a reason.
+//! - **L5 transitive panic-reachability**: no panic site (`unwrap`/
+//!   `expect`, panicking macros, slice indexing) in *any function
+//!   reachable over the call graph* from the untrusted-input entry
+//!   points (darshan parsers, pipeline drivers). Findings name the call
+//!   path. Supersedes the old per-file L1 allowlist. Escape hatch:
+//!   `// lint: allow(panic, "<proof>")`.
+//! - **L6 lossy-cast safety**: no narrowing/sign/float-truncating `as`
+//!   casts in parse/merge/categorize paths — `try_from` + typed error,
+//!   a lossless `From`, or an audited `allow(cast, …)`.
+//! - **L7 unit consistency**: no `+`/`-` arithmetic mixing byte-volume
+//!   and seconds-duration identifiers; route through
+//!   `mosaic_core::units` newtypes or audit with `allow(unit, …)`.
+//! - **unused-allow**: a `lint: allow` that suppresses nothing is
+//!   itself reported, so audited escape hatches cannot go stale.
 //!
-//! Test code (`#[cfg(test)]` items) is exempt from L1/L2: a panicking
-//! test *is* the failure signal, and test-local clocks/collections never
-//! reach a digest.
+//! `--debt` flips the linter from gate to observability surface: a
+//! hotspots/debtmap-style report ([`debt`]) ranking every workspace
+//! function by cyclomatic-ish complexity × git churn.
+//!
+//! Test code (`#[cfg(test)]` items) is exempt from L2/L5/L6/L7: a
+//! panicking test *is* the failure signal, and test-local clocks or
+//! casts never reach a digest.
 //!
 //! The crate is deliberately dependency-free so it builds with a bare
 //! `rustc` on machines with no crates registry access; JSON output is
 //! hand-rolled with a fixed key order so reports are byte-stable.
 
+pub mod debt;
 pub mod findings;
+pub mod graph;
 pub mod lex;
+pub mod parse;
 pub mod rules;
 
 pub use findings::{Finding, Report, Rule};
@@ -108,11 +128,15 @@ pub const EXIT_FINDINGS: i32 = 1;
 pub const EXIT_ERROR: i32 = 2;
 
 /// Shared CLI driver used by both the standalone `mosaic-lint` binary and
-/// the `mosaic lint` subcommand. Accepts `--format text|json` and
-/// `--root <dir>`; returns the process exit code.
+/// the `mosaic lint` subcommand. Accepts `--format text|json`,
+/// `--root <dir>`, `--debt` (technical-debt report instead of findings)
+/// and `--top <n>` (rows in the markdown debt table); returns the process
+/// exit code.
 pub fn cli_main(args: &[String]) -> i32 {
     let mut format = "text".to_owned();
     let mut root_arg: Option<PathBuf> = None;
+    let mut debt = false;
+    let mut top = 10usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -134,12 +158,25 @@ pub fn cli_main(args: &[String]) -> i32 {
                     return EXIT_ERROR;
                 }
             },
+            "--debt" => debt = true,
+            "--top" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => top = n,
+                _ => {
+                    eprintln!("mosaic-lint: --top requires a number");
+                    return EXIT_ERROR;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: mosaic-lint [--format text|json] [--root <dir>]\n\n\
-                     Enforces the Mosaic workspace invariants (L1 panic-freedom,\n\
-                     L2 determinism, L3 unsafe hygiene, L4 error-taxonomy\n\
-                     exhaustiveness). Exits 0 when clean, 1 on findings."
+                    "usage: mosaic-lint [--format text|json] [--root <dir>] [--debt [--top <n>]]\n\n\
+                     Enforces the Mosaic workspace invariants: L2 determinism,\n\
+                     L3 unsafe hygiene, L4 error-taxonomy exhaustiveness,\n\
+                     L5 call-graph panic-reachability from untrusted-input entry\n\
+                     points, L6 lossy-cast safety, L7 unit consistency, and\n\
+                     unused-allow staleness. Exits 0 when clean, 1 on findings.\n\n\
+                     --debt ranks every workspace function by complexity x git\n\
+                     churn instead (markdown top-N table, or full JSON with\n\
+                     --format json); always exits 0."
                 );
                 return EXIT_CLEAN;
             }
@@ -169,6 +206,21 @@ pub fn cli_main(args: &[String]) -> i32 {
             }
         }
     };
+
+    if debt {
+        let report = match debt::debt_report(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("mosaic-lint: failed to scan {}: {e}", root.display());
+                return EXIT_ERROR;
+            }
+        };
+        match format.as_str() {
+            "json" => print!("{}", report.to_json()),
+            _ => print!("{}", report.to_markdown(top)),
+        }
+        return EXIT_CLEAN;
+    }
 
     let report = match scan_workspace(&root) {
         Ok(r) => r,

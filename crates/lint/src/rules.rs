@@ -1,12 +1,19 @@
-//! The Mosaic-specific invariant rules (L1–L4) and the escape hatch.
+//! The Mosaic-specific invariant rules (L2–L7) and the escape hatch.
 //!
-//! Scopes are path-based and deliberately explicit: the set of files that
-//! parse untrusted MDF bytes, the set of crates whose state feeds
-//! `ResultSnapshot` digests, and the crate roots that must forbid
-//! `unsafe` are all named here, next to the rules they parameterize.
+//! Scopes are explicit and named next to the rules they parameterize: the
+//! untrusted-input *entry points* the call graph is walked from (L5), the
+//! crates whose state feeds `ResultSnapshot` digests (L2), the
+//! parse/merge/categorize paths where a lossy cast corrupts category
+//! counts (L6), and the crates holding the (duration, volume) feature
+//! math (L7). L5 is semantic: instead of a per-file allowlist it walks
+//! the workspace call graph from the entry points, so a panic two call
+//! hops below `from_bytes` is found — and reported with its call path.
 
 use crate::findings::{Finding, Report, Rule};
+use crate::graph::CallGraph;
 use crate::lex::{in_ranges, lex, test_line_ranges, Lexed, Tok};
+use crate::parse::{parse_file, ParsedFile};
+use std::collections::BTreeMap;
 
 /// One input file: workspace-relative path (forward slashes) plus contents.
 #[derive(Debug, Clone)]
@@ -17,26 +24,74 @@ pub struct FileInput {
     pub text: String,
 }
 
-/// L1 scope — files that handle untrusted or externally-sourced input:
-/// the darshan parsers/validator and the pipeline stages every hostile
-/// trace flows through. Nothing here may panic; a crafted MDF file must
-/// surface as a typed `Err`, never as a crash at 462k-trace scale.
-const L1_UNTRUSTED_PATHS: &[&str] = &[
-    "crates/darshan/src/mdf.rs",
-    "crates/darshan/src/dxt.rs",
-    "crates/darshan/src/text.rs",
-    "crates/darshan/src/validate.rs",
-    "crates/pipeline/src/source.rs",
-    "crates/pipeline/src/executor.rs",
-    "crates/pipeline/src/incremental.rs",
-    "crates/pipeline/src/funnel.rs",
-    "crates/pipeline/src/snapshot.rs",
-    "crates/core/src/jaccard.rs",
+/// L5 entry points — the functions through which untrusted or
+/// externally-sourced bytes enter the system: the darshan parsers and
+/// validator surface, and the pipeline drivers every hostile trace flows
+/// through. Everything *reachable* from these over the workspace call
+/// graph must be panic-free; a crafted MDF file must surface as a typed
+/// `Err`, never as a crash at 462k-trace scale. If one of these is
+/// renamed, the missing root is itself a finding.
+const L5_ROOTS: &[(&str, &str)] = &[
+    ("crates/darshan/src/mdf.rs", "from_bytes"),
+    ("crates/darshan/src/dxt.rs", "from_bytes"),
+    ("crates/darshan/src/text.rs", "parse"),
+    ("crates/darshan/src/validate.rs", "validate"),
+    ("crates/darshan/src/validate.rs", "sanitize"),
+    ("crates/darshan/src/validate.rs", "check_record"),
+    ("crates/darshan/src/validate.rs", "check_header"),
+    ("crates/darshan/src/validate.rs", "delete_invalid"),
+    ("crates/pipeline/src/source.rs", "fetch"),
+    ("crates/pipeline/src/executor.rs", "process"),
+    ("crates/pipeline/src/executor.rs", "ingest_one"),
+    ("crates/pipeline/src/incremental.rs", "ingest"),
+    ("crates/pipeline/src/incremental.rs", "ingest_fetched"),
 ];
 
 /// Crates exempt from L2 — their output never feeds a `ResultSnapshot`
 /// digest (CLI presentation, benchmarks, the linter itself, test glue).
 const L2_EXEMPT_CRATES: &[&str] = &["cli", "bench", "lint", "integration", "examples"];
+
+/// L6 scope — the parse/merge/categorize paths where a silently wrapping
+/// cast corrupts offsets, record counts, or interval math.
+const L6_SCOPE: &[&str] = &["crates/darshan/src/", "crates/pipeline/src/", "crates/core/src/"];
+
+/// Cast targets L6 flags: every `as` to one of these can truncate, wrap,
+/// change sign, or (for `f32`) round. `as f64` is exempt — it is exact for
+/// every integer the formats can carry below 2^53, and the feature space
+/// log-scales immediately afterwards anyway.
+const LOSSY_CAST_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+];
+
+/// L7 scope — everywhere the (duration, volume) feature axes live.
+const L7_SCOPE: &[&str] =
+    &["crates/darshan/src/", "crates/pipeline/src/", "crates/core/src/", "crates/clustering/src/"];
+
+/// Identifier words that mark a seconds/duration quantity (L7).
+const TIME_WORDS: &[&str] = &[
+    "secs",
+    "sec",
+    "seconds",
+    "second",
+    "duration",
+    "durations",
+    "elapsed",
+    "runtime",
+    "time",
+    "times",
+    "timestamp",
+    "timestamps",
+    "start",
+    "end",
+    "gap",
+    "gaps",
+    "period",
+    "periods",
+];
+
+/// Identifier words that mark a byte-volume quantity (L7).
+const VOL_WORDS: &[&str] =
+    &["bytes", "byte", "volume", "volumes", "vol", "size", "sizes", "offset", "offsets", "nbytes"];
 
 /// Method calls that panic on the error/none case.
 const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
@@ -69,12 +124,13 @@ struct Allow {
 }
 
 /// One lexed input plus the per-file facts the rules share: its test-code
-/// line ranges and its well-formed escape hatches.
+/// line ranges, its well-formed escape hatches, and its parsed items.
 struct Prepared {
     idx: usize,
     lexed: Lexed,
     tests: Vec<(u32, u32)>,
     allows: Vec<Allow>,
+    parsed: ParsedFile,
 }
 
 /// Lint a set of in-memory files as one workspace. This is the whole
@@ -87,23 +143,54 @@ pub fn lint_files(files: &[FileInput]) -> Report {
         let lexed = lex(&file.text);
         let tests = test_line_ranges(&lexed);
         let allows = parse_allows(&file.rel, &lexed, &mut report.findings);
-        prepared.push(Prepared { idx, lexed, tests, allows });
+        let parsed = parse_file(&lexed, &tests);
+        prepared.push(Prepared { idx, lexed, tests, allows, parsed });
     }
+
+    // Suppressible findings accumulate per source file, then the escape
+    // hatch is applied once with usage tracking (for `unused-allow`).
+    let mut raw: Vec<Vec<Finding>> = (0..files.len()).map(|_| Vec::new()).collect();
+    for p in &prepared {
+        let rel = &files[p.idx].rel;
+        if l2_in_scope(rel) {
+            check_determinism(rel, &p.lexed, &p.tests, &mut raw[p.idx]);
+        }
+        check_unsafe_tokens(rel, &p.lexed, &p.tests, &mut raw[p.idx]);
+        if in_prefixes(rel, L6_SCOPE) {
+            check_lossy_casts(rel, &p.lexed, &p.tests, &mut raw[p.idx]);
+        }
+        if in_prefixes(rel, L7_SCOPE) {
+            check_unit_mixing(rel, &p.lexed, &p.tests, &mut raw[p.idx]);
+        }
+    }
+
+    check_panic_reachability(files, &prepared, &mut raw, &mut report.findings);
 
     for p in &prepared {
         let rel = &files[p.idx].rel;
-        let mut raw = Vec::new();
-        if l1_in_scope(rel) {
-            check_panic_freedom(rel, &p.lexed, &p.tests, &mut raw);
+        let mut used = vec![false; p.allows.len()];
+        raw[p.idx].retain(|f| match allow_index(f, &p.allows) {
+            Some(a) => {
+                used[a] = true;
+                false
+            }
+            None => true,
+        });
+        report.findings.append(&mut raw[p.idx]);
+        for (a, allow) in p.allows.iter().enumerate() {
+            if !used[a] {
+                report.findings.push(Finding {
+                    rule: Rule::UnusedAllow,
+                    file: rel.clone(),
+                    line: allow.line,
+                    message: format!(
+                        "`lint: allow({}, ...)` no longer suppresses any finding here; \
+                         delete the stale escape hatch so the audit trail stays honest",
+                        allow.key
+                    ),
+                });
+            }
         }
-        if l2_in_scope(rel) {
-            check_determinism(rel, &p.lexed, &p.tests, &mut raw);
-        }
-        check_unsafe_tokens(rel, &p.lexed, &p.tests, &mut raw);
-        // Apply the escape hatch: a justified allow on the same or the
-        // preceding line suppresses a finding of its key.
-        raw.retain(|f| !suppressed(f, &p.allows));
-        report.findings.append(&mut raw);
     }
 
     check_crate_roots(files, &prepared, &mut report.findings);
@@ -113,9 +200,9 @@ pub fn lint_files(files: &[FileInput]) -> Report {
     report
 }
 
-/// `true` when `rel` is one of the untrusted-input files.
-fn l1_in_scope(rel: &str) -> bool {
-    L1_UNTRUSTED_PATHS.contains(&rel)
+/// `true` when `rel` starts with any of the given path prefixes.
+fn in_prefixes(rel: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| rel.starts_with(p))
 }
 
 /// `true` when `rel` belongs to a crate whose state feeds snapshot digests.
@@ -124,6 +211,21 @@ fn l2_in_scope(rel: &str) -> bool {
         Some(name) => !L2_EXEMPT_CRATES.contains(&name),
         None => false,
     }
+}
+
+/// Crates that participate in the L5 call graph: the crates holding the
+/// [`L5_ROOTS`] (`darshan`, `pipeline`) plus their transitive workspace
+/// dependencies per `Cargo.toml` (`pipeline` → `core` + `obs`, `core` →
+/// `clustering` + `signal`). Crates outside this closure — `bench`,
+/// `synth`, `verify`, `lint`, `cli`, … — can never be linked into a
+/// parse/ingest code path, so including them would only let the graph's
+/// over-approximate method resolution invent false edges.
+const L5_CRATES: &[&str] = &["clustering", "core", "darshan", "obs", "pipeline", "signal"];
+
+/// Files that participate in the L5 call graph: production sources of the
+/// crates in the roots' dependency closure.
+fn graph_scope(rel: &str) -> bool {
+    rel.contains("/src/") && matches!(crate_of(rel), Some(k) if L5_CRATES.contains(&k))
 }
 
 /// The crate a path belongs to: `crates/<name>/…` or the `examples` package.
@@ -137,9 +239,11 @@ fn crate_of(rel: &str) -> Option<&str> {
     None
 }
 
-fn suppressed(f: &Finding, allows: &[Allow]) -> bool {
-    let Some(key) = f.rule.allow_key() else { return false };
-    allows.iter().any(|a| a.key == key && (a.line == f.line || a.line + 1 == f.line))
+/// Index of the first allow that suppresses `f`, if any: same key, same or
+/// immediately preceding line.
+fn allow_index(f: &Finding, allows: &[Allow]) -> Option<usize> {
+    let key = f.rule.allow_key()?;
+    allows.iter().position(|a| a.key == key && (a.line == f.line || a.line + 1 == f.line))
 }
 
 /// Parse every `lint: allow` directive; malformed ones (bad key, missing
@@ -175,8 +279,11 @@ fn parse_allows(rel: &str, lexed: &Lexed, findings: &mut Vec<Finding>) -> Vec<Al
             continue;
         };
         let key = key.trim();
-        if !matches!(key, "panic" | "nondeterminism" | "unsafe") {
-            fail(&format!("unknown rule {key:?}; expected `panic`, `nondeterminism` or `unsafe`"));
+        if !matches!(key, "panic" | "nondeterminism" | "unsafe" | "cast" | "unit") {
+            fail(&format!(
+                "unknown rule {key:?}; expected `panic`, `nondeterminism`, `unsafe`, \
+                 `cast` or `unit`"
+            ));
             continue;
         }
         let just = just.trim();
@@ -192,35 +299,121 @@ fn parse_allows(rel: &str, lexed: &Lexed, findings: &mut Vec<Finding>) -> Vec<Al
     allows
 }
 
-/// L1: no `unwrap`/`expect`, no panicking macros, no slice indexing.
-fn check_panic_freedom(rel: &str, lexed: &Lexed, tests: &[(u32, u32)], out: &mut Vec<Finding>) {
+/// L5: walk the workspace call graph from the untrusted-input entry points
+/// and flag every panic site (`unwrap`/`expect`, panicking macros, slice
+/// indexing) in any reached function, reporting the call path. A root
+/// listed in [`L5_ROOTS`] whose file is present but whose fn is missing is
+/// itself a finding, so the roots list cannot silently rot.
+fn check_panic_reachability(
+    files: &[FileInput],
+    prepared: &[Prepared],
+    raw: &mut [Vec<Finding>],
+    structural: &mut Vec<Finding>,
+) {
+    let graph_files: Vec<(&str, &ParsedFile)> = prepared
+        .iter()
+        .filter(|p| graph_scope(&files[p.idx].rel))
+        .map(|p| (files[p.idx].rel.as_str(), &p.parsed))
+        .collect();
+    let graph = CallGraph::build(&graph_files);
+
+    let mut roots = Vec::new();
+    for (file, name) in L5_ROOTS {
+        let mut found = false;
+        for (i, n) in graph.nodes.iter().enumerate() {
+            if n.rel == *file && n.f.name == *name {
+                roots.push(i);
+                found = true;
+            }
+        }
+        if !found && files.iter().any(|f| f.rel == *file) {
+            structural.push(Finding {
+                rule: Rule::PanicReachability,
+                file: (*file).to_owned(),
+                line: 1,
+                message: format!(
+                    "L5 entry point `{name}` not found in this file — if it was renamed, \
+                     update the roots list in crates/lint/src/rules.rs"
+                ),
+            });
+        }
+    }
+
+    let by_rel: BTreeMap<&str, usize> =
+        files.iter().enumerate().map(|(i, f)| (f.rel.as_str(), i)).collect();
+    let reach = graph.reachable(&roots);
+    for &n in &reach.order {
+        let node = &graph.nodes[n];
+        let Some(&pidx) = by_rel.get(node.rel) else { continue };
+        let Some((start, end)) = node.f.body else { continue };
+        // A nested fn's tokens sit inside the outer body span but belong to
+        // their own node; skip them here so unreachable inner fns are not
+        // charged to the outer function.
+        let nested: Vec<(usize, usize)> = prepared[pidx]
+            .parsed
+            .fns
+            .iter()
+            .filter_map(|f| f.body)
+            .filter(|&(s, e)| s > start && e <= end && (s, e) != (start, end))
+            .collect();
+        let path = reach.path_to(n);
+        let root_label = graph.nodes[path[0]].label();
+        let path_str =
+            path.iter().map(|&i| graph.nodes[i].label()).collect::<Vec<_>>().join(" -> ");
+        scan_panic_sites(
+            node.rel,
+            &prepared[pidx].lexed,
+            start,
+            end,
+            &nested,
+            &root_label,
+            &path_str,
+            &mut raw[pidx],
+        );
+    }
+}
+
+/// Flag the panic sites in one function body token range.
+#[allow(clippy::too_many_arguments)]
+fn scan_panic_sites(
+    rel: &str,
+    lexed: &Lexed,
+    start: usize,
+    end: usize,
+    nested: &[(usize, usize)],
+    root_label: &str,
+    path_str: &str,
+    out: &mut Vec<Finding>,
+) {
     let toks = &lexed.tokens;
-    for i in 0..toks.len() {
-        let line = toks[i].line;
-        if in_ranges(tests, line) {
+    for i in start..end.min(toks.len()) {
+        if nested.iter().any(|&(s, e)| i >= s && i < e) {
             continue;
         }
-        let mut push = |message: String| {
-            out.push(Finding { rule: Rule::PanicFreedom, file: rel.to_owned(), line, message });
+        let line = toks[i].line;
+        let mut push = |what: &str| {
+            out.push(Finding {
+                rule: Rule::PanicReachability,
+                file: rel.to_owned(),
+                line,
+                message: format!(
+                    "{what}, and this function is reachable from L5 entry point \
+                     `{root_label}` (call path: {path_str}); propagate a typed error \
+                     or justify with `lint: allow(panic, \"...\")`"
+                ),
+            });
         };
         match &toks[i].tok {
             Tok::Ident(name) if PANIC_METHODS.contains(&name.as_str()) => {
                 let is_method_call =
                     i > 0 && lexed.is_punct(i - 1, '.') && lexed.is_punct(i + 1, '(');
                 if is_method_call {
-                    push(format!(
-                        "`.{name}()` on an untrusted-input path can panic on hostile MDF \
-                         input; propagate a typed error (or justify with \
-                         `lint: allow(panic, \"...\")`)"
-                    ));
+                    push(&format!("`.{name}()` can panic on hostile input"));
                 }
             }
             Tok::Ident(name) if PANIC_MACROS.contains(&name.as_str()) => {
                 if lexed.is_punct(i + 1, '!') {
-                    push(format!(
-                        "`{name}!` on an untrusted-input path aborts the whole run; \
-                         return a typed error instead"
-                    ));
+                    push(&format!("`{name}!` aborts the whole run"));
                 }
             }
             Tok::Punct('[') if i > 0 => {
@@ -230,12 +423,7 @@ fn check_panic_freedom(rel: &str, lexed: &Lexed, tests: &[(u32, u32)], out: &mut
                     _ => false,
                 };
                 if indexes {
-                    push(
-                        "slice/array indexing can panic on attacker-controlled lengths; \
-                         use `.get()` / `.split_at_checked()` or justify with \
-                         `lint: allow(panic, \"...\")`"
-                            .to_owned(),
-                    );
+                    push("slice/array indexing can panic on attacker-controlled lengths");
                 }
             }
             _ => {}
@@ -277,6 +465,111 @@ fn check_determinism(rel: &str, lexed: &Lexed, tests: &[(u32, u32)], out: &mut V
         };
         if let Some(message) = message {
             out.push(Finding { rule: Rule::Determinism, file: rel.to_owned(), line, message });
+        }
+    }
+}
+
+/// L6: flag `as` casts to narrowing/sign-changing/precision-losing targets.
+/// Literal-source casts (`1 as u64`) are compile-time-checkable noise and
+/// are skipped; `as f64` is exempt (see [`LOSSY_CAST_TARGETS`]).
+fn check_lossy_casts(rel: &str, lexed: &Lexed, tests: &[(u32, u32)], out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if lexed.ident(i) != Some("as") {
+            continue;
+        }
+        let Some(ty) = lexed.ident(i + 1) else { continue };
+        if !LOSSY_CAST_TARGETS.contains(&ty) {
+            continue;
+        }
+        let line = toks[i].line;
+        if in_ranges(tests, line) {
+            continue;
+        }
+        if i > 0 && matches!(toks[i - 1].tok, Tok::Literal) {
+            continue;
+        }
+        out.push(Finding {
+            rule: Rule::LossyCast,
+            file: rel.to_owned(),
+            line,
+            message: format!(
+                "`as {ty}` silently truncates, wraps, or drops sign/precision on \
+                 out-of-range values; use `{ty}::try_from` with a typed error (or a \
+                 lossless `From`), or justify with `lint: allow(cast, \"...\")`"
+            ),
+        });
+    }
+}
+
+/// The unit class of an identifier under L7, by its `_`-separated words.
+/// Identifiers hitting both classes (`bytes_per_sec`) are rates and stay
+/// unclassified.
+fn unit_class(name: &str) -> Option<&'static str> {
+    let mut time = false;
+    let mut vol = false;
+    for part in name.split('_') {
+        time |= TIME_WORDS.contains(&part);
+        vol |= VOL_WORDS.contains(&part);
+    }
+    match (time, vol) {
+        (true, false) => Some("seconds/duration"),
+        (false, true) => Some("byte-volume"),
+        _ => None,
+    }
+}
+
+/// L7: flag `+`/`-` arithmetic whose operands classify into *different*
+/// unit classes (seconds vs bytes). Operands are identifier chains
+/// (`a.b.c` classifies by `c`); calls, literals and unclassifiable names
+/// are skipped, so the rule only fires on nameably-wrong math.
+fn check_unit_mixing(rel: &str, lexed: &Lexed, tests: &[(u32, u32)], out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let op = match &toks[i].tok {
+            Tok::Punct(c @ ('+' | '-')) => *c,
+            _ => continue,
+        };
+        let line = toks[i].line;
+        if in_ranges(tests, line) {
+            continue;
+        }
+        // `+=`, `-=`, `->` are not binary add/sub.
+        if lexed.is_punct(i + 1, '=') || (op == '-' && lexed.is_punct(i + 1, '>')) {
+            continue;
+        }
+        // Left operand: the identifier directly before the operator — the
+        // last segment of any `a.b.c` chain. Unary minus has punct there.
+        let Some(left) = (i > 0).then(|| lexed.ident(i - 1)).flatten() else { continue };
+        // Right operand: walk the identifier chain forward; a trailing `(`
+        // makes it a call whose unit we cannot name.
+        let mut j = i + 1;
+        let Some(mut right) = lexed.ident(j) else { continue };
+        while lexed.is_punct(j + 1, '.') {
+            match lexed.ident(j + 2) {
+                Some(seg) => {
+                    right = seg;
+                    j += 2;
+                }
+                None => break,
+            }
+        }
+        if lexed.is_punct(j + 1, '(') {
+            continue;
+        }
+        let (Some(lc), Some(rc)) = (unit_class(left), unit_class(right)) else { continue };
+        if lc != rc {
+            out.push(Finding {
+                rule: Rule::UnitMix,
+                file: rel.to_owned(),
+                line,
+                message: format!(
+                    "`{left} {op} {right}` mixes a {lc} identifier with a {rc} \
+                     identifier; keep the (duration, volume) feature axes apart via \
+                     `mosaic_core::units` newtypes or justify with \
+                     `lint: allow(unit, \"...\")`"
+                ),
+            });
         }
     }
 }
@@ -599,56 +892,114 @@ mod tests {
         f
     }
 
-    const L1_FILE: &str = "crates/darshan/src/mdf.rs";
+    const L5_FILE: &str = "crates/darshan/src/mdf.rs";
     const L2_FILE: &str = "crates/core/src/merge.rs";
 
     #[test]
-    fn l1_flags_unwrap_expect_and_macros() {
-        let src = "fn f(x: Option<u8>) -> u8 {\n    let a = x.unwrap();\n    let b = x.expect(\"y\");\n    panic!(\"no\");\n}\n";
-        let f = lint_rule(L1_FILE, src, Rule::PanicFreedom);
+    fn l5_flags_panics_inside_an_entry_point() {
+        let src = "pub fn from_bytes(x: Option<u8>) -> u8 {\n    let a = x.unwrap();\n    let b = x.expect(\"y\");\n    panic!(\"no\");\n}\n";
+        let f = lint_rule(L5_FILE, src, Rule::PanicReachability);
         assert_eq!(f.len(), 3, "{f:?}");
         assert_eq!(f[0].line, 2);
+        assert!(f[0].message.contains("mdf::from_bytes"), "{}", f[0].message);
     }
 
     #[test]
-    fn l1_flags_slice_indexing_but_not_array_literals() {
+    fn l5_follows_calls_two_hops_down_and_names_the_path() {
+        let src = "\
+pub fn from_bytes(d: &[u8]) -> u8 {
+    helper(d)
+}
+fn helper(d: &[u8]) -> u8 {
+    deep(d)
+}
+fn deep(d: &[u8]) -> u8 {
+    d[0]
+}
+";
+        let f = lint_rule(L5_FILE, src, Rule::PanicReachability);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 8);
+        assert!(
+            f[0].message.contains("mdf::from_bytes -> mdf::helper -> mdf::deep"),
+            "path missing: {}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn l5_unreachable_fns_may_panic() {
+        let src = "\
+pub fn from_bytes(d: &[u8]) -> u8 {
+    d.first().copied().unwrap_or(0)
+}
+pub fn writer_only(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+";
+        assert!(lint_rule(L5_FILE, src, Rule::PanicReachability).is_empty());
+    }
+
+    #[test]
+    fn l5_flags_slice_indexing_but_not_array_literals() {
         let src =
-            "fn f(d: &[u8]) -> u8 {\n    let t = [1u8, 2];\n    for x in [1, 2] {}\n    d[0]\n}\n";
-        let f = lint_rule(L1_FILE, src, Rule::PanicFreedom);
+            "pub fn from_bytes(d: &[u8]) -> u8 {\n    let t = [1u8, 2];\n    for x in [1, 2] {}\n    d[0]\n}\n";
+        let f = lint_rule(L5_FILE, src, Rule::PanicReachability);
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].line, 4);
     }
 
     #[test]
-    fn l1_ignores_unwrap_or_family_and_test_modules() {
-        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n#[cfg(test)]\nmod tests {\n    fn t() { None::<u8>.unwrap(); }\n}\n";
-        assert!(lint_rule(L1_FILE, src, Rule::PanicFreedom).is_empty());
+    fn l5_test_modules_are_exempt() {
+        let src = "pub fn from_bytes(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n#[cfg(test)]\nmod tests {\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        assert!(lint_rule(L5_FILE, src, Rule::PanicReachability).is_empty());
     }
 
     #[test]
-    fn l1_out_of_scope_files_are_quiet() {
+    fn l5_out_of_scope_files_are_quiet() {
         let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
         assert!(lint_one("crates/viz/src/bars.rs", src).is_empty());
     }
 
     #[test]
+    fn l5_missing_entry_point_is_a_finding() {
+        let src = "pub fn renamed_parse(d: &[u8]) -> u8 { 0 }\n";
+        let f = lint_rule(L5_FILE, src, Rule::PanicReachability);
+        assert!(
+            f.iter().any(|f| f.message.contains("entry point `from_bytes` not found")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
     fn justified_allow_suppresses_same_or_next_line() {
         let trailing =
-            "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(panic, \"len checked above\")\n";
-        assert!(lint_rule(L1_FILE, trailing, Rule::PanicFreedom).is_empty());
-        assert!(lint_rule(L1_FILE, trailing, Rule::MalformedAllow).is_empty());
+            "pub fn from_bytes(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(panic, \"len checked above\")\n";
+        assert!(lint_rule(L5_FILE, trailing, Rule::PanicReachability).is_empty());
+        assert!(lint_rule(L5_FILE, trailing, Rule::MalformedAllow).is_empty());
+        assert!(lint_rule(L5_FILE, trailing, Rule::UnusedAllow).is_empty());
         let preceding =
-            "// lint: allow(panic, \"len checked above\")\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
-        assert!(lint_rule(L1_FILE, preceding, Rule::PanicFreedom).is_empty());
+            "// lint: allow(panic, \"len checked above\")\npub fn from_bytes(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(lint_rule(L5_FILE, preceding, Rule::PanicReachability).is_empty());
+    }
+
+    #[test]
+    fn unused_allow_is_itself_a_finding() {
+        let src =
+            "pub fn from_bytes(x: Option<u8>) -> u8 { x.unwrap_or(0) } // lint: allow(panic, \"stale claim\")\n";
+        let f = lint_rule(L5_FILE, src, Rule::UnusedAllow);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 1);
+        assert!(f[0].message.contains("allow(panic"), "{}", f[0].message);
     }
 
     #[test]
     fn allow_missing_justification_is_itself_a_finding() {
-        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(panic)\n";
-        let f = lint_one(L1_FILE, src);
+        let src = "pub fn from_bytes(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(panic)\n";
+        let f = lint_one(L5_FILE, src);
         assert!(f.iter().any(|f| f.rule == Rule::MalformedAllow), "{f:?}");
         // …and it does NOT suppress the unwrap.
-        assert!(f.iter().any(|f| f.rule == Rule::PanicFreedom), "{f:?}");
+        assert!(f.iter().any(|f| f.rule == Rule::PanicReachability), "{f:?}");
     }
 
     #[test]
@@ -659,8 +1010,8 @@ mod tests {
             "// lint: allow(frobnication, \"x\")",
             "// lint: allowance",
         ] {
-            let src = format!("fn f() {{}}\n{bad}\n");
-            let f = lint_one(L1_FILE, &src);
+            let src = format!("pub fn from_bytes() {{}}\n{bad}\n");
+            let f = lint_one(L5_FILE, &src);
             assert!(
                 f.iter().any(|f| f.rule == Rule::MalformedAllow),
                 "{bad} should be malformed: {f:?}"
@@ -671,9 +1022,100 @@ mod tests {
     #[test]
     fn allow_key_must_match_the_rule() {
         let src =
-            "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(nondeterminism, \"wrong key\")\n";
-        let f = lint_one(L1_FILE, src);
-        assert!(f.iter().any(|f| f.rule == Rule::PanicFreedom), "{f:?}");
+            "pub fn from_bytes(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(nondeterminism, \"wrong key\")\n";
+        let f = lint_one(L5_FILE, src);
+        assert!(f.iter().any(|f| f.rule == Rule::PanicReachability), "{f:?}");
+        // The wrong-keyed allow suppressed nothing, so it is also stale.
+        assert!(f.iter().any(|f| f.rule == Rule::UnusedAllow), "{f:?}");
+    }
+
+    #[test]
+    fn l6_flags_narrowing_casts_but_not_f64_or_literals() {
+        let src = "\
+pub fn from_bytes(n: u64, f: f64) -> u32 {
+    let a = n as u32;
+    let b = n as f64;
+    let c = 7 as u64;
+    let d = f as f32;
+    let _ = (b, c, d);
+    a
+}
+";
+        let f = lint_rule(L5_FILE, src, Rule::LossyCast);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[1].line, 5);
+        assert!(f[0].message.contains("u32::try_from"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn l6_allow_suppresses_an_audited_cast() {
+        let src = "pub fn from_bytes(n: u64) -> u32 { n as u32 } // lint: allow(cast, \"n <= u32::MAX by header clamp\")\n";
+        assert!(lint_rule(L5_FILE, src, Rule::LossyCast).is_empty());
+        assert!(lint_rule(L5_FILE, src, Rule::UnusedAllow).is_empty());
+    }
+
+    #[test]
+    fn l6_is_scoped_to_parse_merge_categorize_paths() {
+        let src = "pub fn render(n: u64) -> u32 { n as u32 }\n";
+        assert!(lint_one("crates/viz/src/bars.rs", src).is_empty());
+        assert!(lint_one("crates/cli/src/table.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l6_test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = 300u64 as u8; }\n}\n";
+        assert!(lint_rule(L2_FILE, src, Rule::LossyCast).is_empty());
+    }
+
+    #[test]
+    fn l7_flags_mixed_unit_arithmetic() {
+        let src = "pub fn f(duration: f64, bytes: f64) -> f64 { duration + bytes }\n";
+        let f = lint_rule(L2_FILE, src, Rule::UnitMix);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("seconds/duration"), "{}", f[0].message);
+        assert!(f[0].message.contains("byte-volume"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn l7_classifies_field_chains_by_their_last_segment() {
+        let src = "pub fn f(s: &Seg) -> f64 { s.window.end_time - s.total_bytes }\n";
+        let f = lint_rule(L2_FILE, src, Rule::UnitMix);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn l7_same_class_and_unclassified_arithmetic_is_quiet() {
+        let src = "\
+pub fn f(s: &Seg) -> f64 {
+    let span = s.end_time - s.start_time;
+    let total = s.read_bytes + s.write_bytes;
+    let rate = s.bytes_per_sec + s.overhead;
+    let idx = s.cursor + s.stride;
+    span + total + rate + idx
+}
+";
+        assert!(lint_rule(L2_FILE, src, Rule::UnitMix).is_empty());
+    }
+
+    #[test]
+    fn l7_skips_calls_literals_and_compound_assignment() {
+        let src = "\
+pub fn f(s: &mut Seg) -> f64 {
+    s.bytes += 1.0;
+    let x = s.duration + helper(s);
+    let y = s.duration - 2.0;
+    x + y
+}
+fn helper(_s: &Seg) -> f64 { 0.0 }
+";
+        assert!(lint_rule(L2_FILE, src, Rule::UnitMix).is_empty());
+    }
+
+    #[test]
+    fn l7_allow_suppresses_audited_mixing() {
+        let src = "pub fn f(duration: f64, bytes: f64) -> f64 { duration + bytes } // lint: allow(unit, \"log-scaled composite score, dimensionless\")\n";
+        assert!(lint_rule(L2_FILE, src, Rule::UnitMix).is_empty());
     }
 
     #[test]
@@ -745,6 +1187,9 @@ impl EvictReason {
 }
 ";
 
+    /// Satisfies the L5 roots whose files are named in multi-file L4 tests.
+    const DARSHAN_ROOTS_OK: &str = "pub fn from_bytes(d: &[u8]) -> u8 { 0 }\n";
+
     #[test]
     fn l4_clean_taxonomy_passes() {
         let files = [
@@ -800,10 +1245,7 @@ impl EvictReason {
 
     #[test]
     fn l4_taxonomy_file_required_when_darshan_present() {
-        let files = [FileInput {
-            rel: "crates/darshan/src/mdf.rs".to_owned(),
-            text: "fn f() {}\n".to_owned(),
-        }];
+        let files = [FileInput { rel: L5_FILE.to_owned(), text: DARSHAN_ROOTS_OK.to_owned() }];
         let f = lint_files(&files).findings;
         assert!(f.iter().any(|f| f.rule == Rule::Taxonomy), "{f:?}");
     }

@@ -26,11 +26,31 @@ fn lint_fixture(fixture: &str, pretend_rel: &str) -> Vec<(Rule, u32, String)> {
 }
 
 #[test]
-fn l1_fixture_trips_panic_freedom() {
-    let findings = lint_fixture("l1_panic.rs", "crates/darshan/src/mdf.rs");
-    let l1: Vec<_> = findings.iter().filter(|(r, ..)| *r == Rule::PanicFreedom).collect();
-    // indexing ×2 (`data[0]`, `data[..4]`), `.unwrap()`, `.expect()`, `panic!`.
-    assert!(l1.len() >= 5, "{findings:?}");
+fn l5_fixture_reports_the_two_hop_call_path() {
+    let findings = lint_fixture("l5_panic.rs", "crates/darshan/src/mdf.rs");
+    let l5: Vec<_> = findings.iter().filter(|(r, ..)| *r == Rule::PanicReachability).collect();
+    // Indexing and `.unwrap()` in the root, plus the `panic!` two hops down.
+    assert!(l5.len() >= 3, "{findings:?}");
+    let deep = l5
+        .iter()
+        .find(|(_, _, m)| m.contains("panic!"))
+        .unwrap_or_else(|| panic!("no panic! finding in {findings:?}"));
+    assert!(
+        deep.2.contains("mdf::from_bytes -> mdf::helper -> mdf::deep"),
+        "call path missing from: {}",
+        deep.2
+    );
+}
+
+#[test]
+fn renaming_an_entry_point_is_itself_a_finding() {
+    // `unused_allow.rs` has no `from_bytes`, so pretending it is mdf.rs
+    // must flag the missing L5 root (the roots list cannot silently rot).
+    let findings = lint_fixture("unused_allow.rs", "crates/darshan/src/mdf.rs");
+    assert!(
+        findings.iter().any(|(r, _, m)| *r == Rule::PanicReachability && m.contains("entry point")),
+        "{findings:?}"
+    );
 }
 
 #[test]
@@ -64,24 +84,59 @@ fn l4_fixture_trips_taxonomy() {
 }
 
 #[test]
+fn l6_fixture_trips_lossy_casts_and_honours_the_audit() {
+    let findings = lint_fixture("l6_casts.rs", "crates/core/src/merge.rs");
+    let l6: Vec<_> = findings.iter().filter(|(r, ..)| *r == Rule::LossyCast).collect();
+    // `as u32`, `as u64` (sign-dropping), `as f32`; the audited `as usize`
+    // is suppressed and `as f64` is exempt.
+    assert_eq!(l6.len(), 3, "{findings:?}");
+    assert!(l6.iter().all(|(_, _, m)| m.contains("try_from")), "{findings:?}");
+    assert!(
+        !findings.iter().any(|(r, ..)| *r == Rule::UnusedAllow),
+        "the audited cast must consume its allow: {findings:?}"
+    );
+}
+
+#[test]
+fn l7_fixture_trips_unit_mixing_and_honours_the_audit() {
+    let findings = lint_fixture("l7_units.rs", "crates/core/src/merge.rs");
+    let l7: Vec<_> = findings.iter().filter(|(r, ..)| *r == Rule::UnitMix).collect();
+    // volume+time and time-volume flagged; the audited mix suppressed;
+    // volume+volume quiet.
+    assert_eq!(l7.len(), 2, "{findings:?}");
+    assert!(
+        !findings.iter().any(|(r, ..)| *r == Rule::UnusedAllow),
+        "the audited mix must consume its allow: {findings:?}"
+    );
+}
+
+#[test]
+fn stale_allow_is_reported_as_unused() {
+    let findings = lint_fixture("unused_allow.rs", "crates/core/src/merge.rs");
+    let stale: Vec<_> = findings.iter().filter(|(r, ..)| *r == Rule::UnusedAllow).collect();
+    assert_eq!(stale.len(), 1, "{findings:?}");
+}
+
+#[test]
 fn malformed_allows_are_findings_and_do_not_suppress() {
-    let findings = lint_fixture("bad_allow.rs", "crates/darshan/src/mdf.rs");
+    let findings = lint_fixture("bad_allow.rs", "crates/darshan/src/text.rs");
     let malformed = findings.iter().filter(|(r, ..)| *r == Rule::MalformedAllow).count();
     assert_eq!(malformed, 4, "{findings:?}");
-    // The unwraps they failed to cover still count.
-    let l1 = findings.iter().filter(|(r, ..)| *r == Rule::PanicFreedom).count();
-    assert_eq!(l1, 3, "{findings:?}");
+    // The unwraps they failed to cover still count: `parse` is the L5
+    // entry point for text.rs, so all three are reachable.
+    let l5 = findings.iter().filter(|(r, ..)| *r == Rule::PanicReachability).count();
+    assert_eq!(l5, 3, "{findings:?}");
 }
 
 #[test]
 fn fixture_reports_are_byte_stable() {
-    let path = fixture_dir().join("l1_panic.rs");
+    let path = fixture_dir().join("l5_panic.rs");
     let text = std::fs::read_to_string(path).expect("fixture readable");
     let input = [FileInput { rel: "crates/darshan/src/mdf.rs".to_owned(), text }];
     let a = lint_files(&input).to_json();
     let b = lint_files(&input).to_json();
     assert_eq!(a, b);
-    assert!(a.contains("\"L1/panic-freedom\""));
+    assert!(a.contains("\"L5/panic-reachability\""));
 }
 
 /// End-to-end through the CLI driver: a bad mini-workspace exits non-zero.
@@ -91,7 +146,8 @@ fn cli_exits_nonzero_on_a_dirty_tree() {
     let src = dir.join("crates/darshan/src");
     std::fs::create_dir_all(&src).expect("mkdir");
     std::fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
-    std::fs::write(src.join("mdf.rs"), "pub fn f(d: &[u8]) -> u8 { d[0] }\n").expect("fixture");
+    std::fs::write(src.join("mdf.rs"), "pub fn from_bytes(d: &[u8]) -> u8 { d[0] }\n")
+        .expect("fixture");
     let code = cli_main(&["--root".to_owned(), dir.display().to_string()]);
     std::fs::remove_dir_all(&dir).ok();
     assert_eq!(code, EXIT_FINDINGS);
@@ -111,4 +167,18 @@ fn cli_is_clean_on_this_workspace() {
         "json".to_owned(),
     ]);
     assert_eq!(code, mosaic_lint::EXIT_CLEAN);
+}
+
+/// `--debt --format json` is byte-stable and ranks the whole workspace —
+/// the report is meant to be diffable across CI runs.
+#[test]
+fn debt_report_is_byte_stable_and_ranks_the_workspace() {
+    let cwd = std::env::current_dir().expect("no working directory");
+    let start = option_env!("CARGO_MANIFEST_DIR").map(PathBuf::from).unwrap_or(cwd);
+    let root = find_workspace_root(&start).expect("workspace root not found");
+    let a = mosaic_lint::debt::debt_report(&root).expect("scan").to_json();
+    let b = mosaic_lint::debt::debt_report(&root).expect("scan").to_json();
+    assert_eq!(a, b);
+    let ranked = a.matches("\"rank\":").count();
+    assert!(ranked >= 100, "only {ranked} functions ranked");
 }

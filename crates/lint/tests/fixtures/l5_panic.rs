@@ -1,0 +1,21 @@
+//! Known-bad fixture for rule L5: panic avenues in the `from_bytes` entry
+//! point itself, plus a `panic!` seeded two call hops below it — the case
+//! the old per-file allowlist could never see.
+//! Linted under the pretend path `crates/darshan/src/mdf.rs`.
+
+pub fn from_bytes(data: &[u8]) -> u32 {
+    let first = data[0];
+    let last = *data.last().unwrap();
+    helper(data) + u32::from(first) + u32::from(last)
+}
+
+fn helper(data: &[u8]) -> u32 {
+    deep(data.len())
+}
+
+fn deep(n: usize) -> u32 {
+    if n == 0 {
+        panic!("empty input");
+    }
+    1
+}

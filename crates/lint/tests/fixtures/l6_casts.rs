@@ -1,0 +1,14 @@
+//! Known-bad fixture for rule L6: narrowing, sign-dropping and
+//! precision-dropping `as` casts on a merge path, one audited cast that
+//! must be suppressed, and an `as f64` that is exempt.
+//! Linted under the pretend path `crates/core/src/merge.rs`.
+
+pub fn casts(len: u64, count: i64, ratio: f64) -> f64 {
+    let a = len as u32;
+    let _b = count as u64;
+    let c = ratio as f32;
+    // lint: allow(cast, "demo: len is bounded by the wire-format cap")
+    let _d = len as usize;
+    let e = len as f64;
+    e + f64::from(a) + f64::from(c)
+}

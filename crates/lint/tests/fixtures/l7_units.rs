@@ -1,0 +1,13 @@
+//! Known-bad fixture for rule L7: `+`/`-` arithmetic mixing byte-volume
+//! and seconds-duration identifiers, one audited mix that must be
+//! suppressed, and same-class arithmetic that must stay quiet.
+//! Linted under the pretend path `crates/core/src/merge.rs`.
+
+pub fn mix(start_time: f64, total_bytes: f64, elapsed_secs: f64) -> f64 {
+    let bad = total_bytes + elapsed_secs;
+    let also_bad = start_time - total_bytes;
+    // lint: allow(unit, "demo: deliberately mixed for a composite score")
+    let audited = total_bytes + start_time;
+    let fine = total_bytes + total_bytes;
+    bad + also_bad + audited + fine
+}

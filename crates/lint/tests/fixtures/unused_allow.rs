@@ -1,0 +1,8 @@
+//! Fixture for the `unused-allow` rule: a stale escape hatch that no
+//! longer suppresses anything is itself a finding.
+//! Linted under the pretend path `crates/core/src/merge.rs`.
+
+pub fn tidy(x: u64) -> u64 {
+    // lint: allow(panic, "stale: there is no panic here any more")
+    x + 1
+}

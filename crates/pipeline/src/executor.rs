@@ -6,6 +6,7 @@ use crate::source::{TraceInput, TraceSource};
 use mosaic_core::category::Category;
 use mosaic_core::report::CategoryCounts;
 use mosaic_core::{Categorizer, CategorizerConfig, JaccardMatrix, TraceReport};
+use mosaic_darshan::convert::usize_to_u64;
 use mosaic_darshan::{mdf, validate, EvictReason, TraceLog};
 use mosaic_obs::{MetricsReport, Recorder, Stage};
 use rayon::prelude::*;
@@ -131,7 +132,7 @@ pub(crate) fn ingest_one(
         Ok(input) => input,
         Err(_) => return Ingested::Evicted(EvictReason::IoError),
     };
-    let wire = input.wire_len() as u64;
+    let wire = usize_to_u64(input.wire_len());
     let log: Arc<TraceLog> = match input {
         TraceInput::Bytes(bytes) => {
             // lint: allow(nondeterminism, "stage timing telemetry; metrics are excluded from ResultSnapshot digests")
@@ -220,7 +221,7 @@ pub fn process<S: TraceSource>(source: &S, config: &PipelineConfig) -> PipelineR
                 // lint: allow(nondeterminism, "stage timing telemetry; metrics are excluded from ResultSnapshot digests")
                 let started = Instant::now();
                 let fetched = source.fetch(i);
-                let wire = fetched.as_ref().map(|f| f.wire_len() as u64).unwrap_or(0);
+                let wire = fetched.as_ref().map(|f| usize_to_u64(f.wire_len())).unwrap_or(0);
                 recorder.record(Stage::Fetch, started.elapsed(), wire);
                 let out = ingest_one(fetched, i, &categorizer, &recorder);
                 if let Some(progress) = &config.progress {
@@ -251,7 +252,7 @@ pub fn process<S: TraceSource>(source: &S, config: &PipelineConfig) -> PipelineR
     let representatives = heaviest_per_app(outcomes.iter().map(|o| (o.app_key.clone(), o.weight)));
     funnel.unique_apps = representatives.len();
 
-    let metrics = recorder.finish(total as u64, workers);
+    let metrics = recorder.finish(usize_to_u64(total), workers);
     PipelineResult { funnel, outcomes, representatives, metrics }
 }
 

@@ -118,7 +118,7 @@ impl IncrementalAnalyzer {
     /// Per-stage timings and throughput since construction. Streaming is
     /// single-threaded, so `workers` is 1.
     pub fn metrics(&self) -> MetricsReport {
-        self.recorder.finish(self.funnel.total as u64, 1)
+        self.recorder.finish(mosaic_darshan::convert::usize_to_u64(self.funnel.total), 1)
     }
 
     /// Current all-runs distribution (exact, streaming).

@@ -70,7 +70,6 @@ impl ResultSnapshot {
     /// Canonical JSON: pretty-printed, with every map ordered. Equal
     /// snapshots always render to byte-identical strings.
     pub fn to_canonical_json(&self) -> String {
-        // lint: allow(panic, "serializing owned plain-data structs (no maps with non-string keys, no non-finite floats sources) cannot fail")
         serde_json::to_string_pretty(self).expect("snapshot serialization cannot fail")
     }
 

@@ -142,9 +142,13 @@ fn transform(data: &mut [Complex], inverse: bool) {
         while i < n {
             let mut w = Complex::new(1.0, 0.0);
             for j in 0..len / 2 {
+                // lint: allow(panic, "butterfly bounds: i + j + len/2 < n since i steps by len, j < len/2, len <= n")
                 let u = data[i + j];
+                // lint: allow(panic, "butterfly bounds: i + j + len/2 < n since i steps by len, j < len/2, len <= n")
                 let v = data[i + j + len / 2] * w;
+                // lint: allow(panic, "butterfly bounds: i + j + len/2 < n since i steps by len, j < len/2, len <= n")
                 data[i + j] = u + v;
+                // lint: allow(panic, "butterfly bounds: i + j + len/2 < n since i steps by len, j < len/2, len <= n")
                 data[i + j + len / 2] = u - v;
                 w = w * wlen;
             }

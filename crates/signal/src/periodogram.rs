@@ -47,16 +47,17 @@ pub fn find_peaks(freqs: &[f64], powers: &[f64], max_peaks: usize, threshold: f6
         return Vec::new();
     }
     let mut peaks: Vec<Peak> = Vec::new();
-    for i in 0..powers.len() {
-        let left = if i == 0 { 0.0 } else { powers[i - 1] };
-        let right = if i + 1 == powers.len() { 0.0 } else { powers[i + 1] };
-        if powers[i] >= left && powers[i] > right && powers[i] >= threshold * max_power {
+    let mut left = 0.0;
+    for (i, (&freq, &power)) in freqs.iter().zip(powers).enumerate() {
+        let right = powers.get(i + 1).copied().unwrap_or(0.0);
+        if power >= left && power > right && power >= threshold * max_power {
             peaks.push(Peak {
-                frequency: freqs[i],
-                period: if freqs[i] > 0.0 { 1.0 / freqs[i] } else { f64::INFINITY },
-                power: powers[i] / max_power,
+                frequency: freq,
+                period: if freq > 0.0 { 1.0 / freq } else { f64::INFINITY },
+                power: power / max_power,
             });
         }
+        left = power;
     }
     peaks.sort_by(|a, b| b.power.total_cmp(&a.power));
     peaks.truncate(max_peaks);
