@@ -9,13 +9,19 @@
 //! ```sh
 //! cargo run --release -p mosaic-bench --bin sec4e_performance [-- --n 20000]
 //! ```
+//!
+//! With `--trace-out FILE.json` the widest run records a structured span
+//! timeline: the Chrome trace-event JSON goes to `FILE.json` (open it in
+//! Perfetto) and the slowest-traces-per-stage table to `FILE.json.slow.md`.
 
-use mosaic_bench::{dataset, run_pipeline, Flags};
+use mosaic_bench::{dataset, run_pipeline_traced, Flags};
 use std::time::Instant;
 
 fn main() {
     let flags = Flags::from_args();
     let ds = dataset(&flags);
+    let trace_out = flags.has("trace-out").then(|| flags.get("trace-out", String::new()));
+    let trace_capacity = flags.get("trace-capacity", 65_536usize);
     println!("§IV-E — performance (n = {} traces, {} applications)", ds.len(), ds.apps().len());
     println!("paper reference: 462,502 traces in 165 min on 64 cores ≈ 47 traces/s (Python)\n");
 
@@ -29,9 +35,13 @@ fn main() {
     println!("{:>8} {:>12} {:>14} {:>10}", "threads", "seconds", "traces/s", "speedup");
     let mut base = None;
     let mut last = None;
+    let widest = candidates.last().copied().unwrap_or(1);
     for threads in candidates {
         let started = Instant::now();
-        let result = run_pipeline(&ds, Some(threads));
+        // Only the widest run pays for tracing, so the scaling numbers of
+        // the narrower runs stay untouched.
+        let capacity = (threads == widest && trace_out.is_some()).then_some(trace_capacity);
+        let result = run_pipeline_traced(&ds, Some(threads), capacity);
         let secs = started.elapsed().as_secs_f64();
         let rate = ds.len() as f64 / secs;
         let speedup = base.map(|b: f64| b / secs).unwrap_or(1.0);
@@ -55,6 +65,19 @@ fn main() {
             .map(|s| format!("{} {:.2}s", s.stage, s.total_seconds))
             .collect();
         println!("\nstage breakdown (cumulative worker seconds): {}", stages.join(", "));
+
+        if let (Some(path), Some(timeline)) = (&trace_out, &result.timeline) {
+            std::fs::write(path, timeline.to_chrome_json())
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            let md_path = format!("{path}.slow.md");
+            std::fs::write(&md_path, timeline.render_slow_md())
+                .unwrap_or_else(|e| panic!("writing {md_path}: {e}"));
+            println!(
+                "wrote {path} ({} spans kept, {} dropped by ring wrap) and {md_path}",
+                timeline.events.len(),
+                timeline.dropped
+            );
+        }
     }
 
     println!(

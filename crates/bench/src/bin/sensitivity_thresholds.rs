@@ -20,7 +20,7 @@ fn run(ds: &Dataset, categorizer: CategorizerConfig) -> mosaic_pipeline::Pipelin
         Payload::Log(log) => TraceInput::log(log),
         Payload::Bytes(bytes) => TraceInput::bytes(bytes),
     });
-    process(&source, &PipelineConfig { threads: None, categorizer, progress: None })
+    process(&source, &PipelineConfig { categorizer, ..Default::default() })
 }
 
 fn main() {

@@ -62,12 +62,26 @@ pub fn dataset(flags: &Flags) -> Dataset {
 
 /// Run the full pipeline over a dataset.
 pub fn run_pipeline(ds: &Dataset, threads: Option<usize>) -> PipelineResult {
+    run_pipeline_traced(ds, threads, None)
+}
+
+/// Run the full pipeline over a dataset, optionally recording a span
+/// timeline of `capacity` entries (attached to the result's `timeline`).
+pub fn run_pipeline_traced(
+    ds: &Dataset,
+    threads: Option<usize>,
+    trace_capacity: Option<usize>,
+) -> PipelineResult {
     let source = ClosureSource::new(ds.len(), |i| match ds.generate(i).payload {
         Payload::Log(log) => TraceInput::log(log),
         Payload::Bytes(bytes) => TraceInput::bytes(bytes),
     });
-    let config =
-        PipelineConfig { threads, categorizer: CategorizerConfig::default(), progress: None };
+    let config = PipelineConfig {
+        threads,
+        categorizer: CategorizerConfig::default(),
+        progress: None,
+        trace_capacity,
+    };
     process(&source, &config)
 }
 

@@ -66,7 +66,9 @@ USAGE:
   mosaic generate  --out DIR [--n N] [--seed S] [--corruption F]
   mosaic categorize FILE.mdf|FILE.txt [...]
   mosaic analyze   [--n N | --dir DIR] [--seed S] [--threads T] [--json]
-                   [--metrics FILE] [--markdown FILE]   (alias: mosaic run)
+                   [--metrics FILE] [--markdown FILE] [--progress]
+                   [--trace-out FILE.json] [--trace-md FILE.md]
+                   [--trace-capacity N]                 (alias: mosaic run)
   mosaic evaluate  [--n N] [--sample K] [--seed S]
   mosaic stability [--n N] [--seed S] [--min-runs R]
   mosaic interference [--n N] [--seed S] [--compress C] [--bandwidth-gbs B]
@@ -110,6 +112,13 @@ OPTIONS:
   --markdown FILE  write the analysis as a Markdown document
   --metrics FILE   dump per-stage timings, throughput and the typed funnel
                    breakdown as JSON
+  --progress       live stderr line: traces/s, per-stage EWMA, evictions
+  --trace-out FILE write a Chrome trace-event JSON span timeline (open in
+                   Perfetto or chrome://tracing; one track per worker)
+  --trace-md FILE  write the slowest-traces-per-stage table as Markdown
+  --trace-capacity N
+                   span ring size for --trace-out/--trace-md; older spans
+                   beyond it are dropped and counted  (default 65536)
   --all            verify: run every suite (the default when none is named)
   --differential   verify: batch/incremental, serial/parallel, MDF roundtrip
   --metamorphic    verify: time-shift/scale, permutation, corrupt-monotone
@@ -140,7 +149,10 @@ fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if let Some(key) = arg.strip_prefix("--") {
-            if matches!(key, "json" | "all" | "differential" | "metamorphic" | "golden" | "bless") {
+            if matches!(
+                key,
+                "json" | "all" | "differential" | "metamorphic" | "golden" | "bless" | "progress"
+            ) {
                 flags.insert(key.to_owned(), "true".to_owned());
                 continue;
             }
@@ -238,12 +250,32 @@ fn categorize(args: &[String]) -> Result<(), String> {
 }
 
 fn analyze(args: &[String]) -> Result<(), String> {
+    use std::io::Write as _;
+
     let (flags, _) = parse_flags(args)?;
     let threads: usize = flag(&flags, "threads", 0usize)?;
+    // --trace-out / --trace-md turn on structured span tracing; the ring
+    // capacity bounds timeline memory (spans beyond it are counted, not kept).
+    let trace_out = flags.get("trace-out").cloned();
+    let trace_md = flags.get("trace-md").cloned();
+    let tracing = trace_out.is_some() || trace_md.is_some();
+    let trace_capacity: usize = flag(&flags, "trace-capacity", 65_536usize)?;
+    let progress_on = flags.contains_key("progress");
     let config = PipelineConfig {
         threads: if threads == 0 { None } else { Some(threads) },
         categorizer: CategorizerConfig::default(),
-        progress: None,
+        progress: progress_on.then(|| {
+            let line = mosaic_obs::ProgressLine::new(std::time::Duration::from_millis(200));
+            std::sync::Arc::new(
+                move |done: usize, total: usize, recorder: &mosaic_obs::Recorder| {
+                    if let Some(rendered) = line.tick(done, total, recorder) {
+                        eprint!("\r{rendered}");
+                        let _ = std::io::stderr().flush();
+                    }
+                },
+            ) as mosaic_pipeline::executor::ProgressFn
+        }),
+        trace_capacity: tracing.then_some(trace_capacity),
     };
     let started = std::time::Instant::now();
     let result = if let Some(dir) = flags.get("dir") {
@@ -263,6 +295,26 @@ fn analyze(args: &[String]) -> Result<(), String> {
         process(&source, &config)
     };
     let elapsed = started.elapsed();
+    if progress_on {
+        eprintln!(); // finish the \r-redrawn progress line
+    }
+
+    if let Some(timeline) = &result.timeline {
+        if let Some(path) = &trace_out {
+            std::fs::write(Path::new(path), timeline.to_chrome_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "wrote {path} ({} spans kept, {} dropped) — open in https://ui.perfetto.dev",
+                timeline.events.len(),
+                timeline.dropped
+            );
+        }
+        if let Some(path) = &trace_md {
+            std::fs::write(Path::new(path), timeline.render_slow_md())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+    }
 
     if let Some(metrics_path) = flags.get("metrics") {
         let doc = serde_json::json!({
@@ -303,6 +355,9 @@ fn analyze(args: &[String]) -> Result<(), String> {
     println!("{}", result.jaccard_single_run().render_text());
     println!("== Pipeline stage metrics ==");
     println!("{}", result.metrics.render_table());
+    if let Some(timeline) = &result.timeline {
+        println!("{}", timeline.render_slow_md());
+    }
     println!(
         "processed {} traces in {:.2}s ({:.0} traces/s)",
         result.funnel.total,

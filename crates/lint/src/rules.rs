@@ -461,6 +461,22 @@ fn check_determinism(rel: &str, lexed: &Lexed, tests: &[(u32, u32)], out: &mut V
                  instead so runs are reproducible"
                     .to_owned(),
             ),
+            // Inside the observability crate every monotonic read — not just
+            // `::now()` — needs an audited proof that the value stays in
+            // telemetry and never reaches snapshot-bearing output, because
+            // obs is exactly where clock reads concentrate.
+            "elapsed" | "duration_since"
+                if rel.starts_with("crates/obs/")
+                    && i > 0
+                    && lexed.is_punct(i - 1, '.')
+                    && lexed.is_punct(i + 1, '(') =>
+            {
+                Some(format!(
+                    "`.{name}()` reads the monotonic clock inside `crates/obs`; prove the \
+                     value never feeds snapshot-bearing output with \
+                     `lint: allow(nondeterminism, \"...\")`"
+                ))
+            }
             _ => None,
         };
         if let Some(message) = message {
@@ -1130,6 +1146,23 @@ fn helper(_s: &Seg) -> f64 { 0.0 }
         let src = "use std::collections::HashMap;\nfn f() { let _ = std::time::Instant::now(); }\n";
         assert!(lint_one("crates/cli/src/args.rs", src).is_empty());
         assert!(lint_one("crates/bench/src/run.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l2_monotonic_reads_are_flagged_only_inside_obs() {
+        let src = "fn f(t: std::time::Instant, u: std::time::Instant) -> u128 {\n    t.elapsed().as_nanos() + u.duration_since(t).as_nanos()\n}\n";
+        // Outside crates/obs, `.elapsed()`/`.duration_since()` stay quiet.
+        assert!(lint_one(L2_FILE, src).is_empty());
+        // Inside (a non-root file: a crate root would also trip L3), both
+        // are L2 findings...
+        let f = lint_one("crates/obs/src/trace.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == Rule::Determinism).count(), 2, "{f:?}");
+        // ...and an audited allow on the preceding line discharges them.
+        let audited = "fn f(t: std::time::Instant) -> u128 {\n    // lint: allow(nondeterminism, \"telemetry only\")\n    t.elapsed().as_nanos()\n}\n";
+        assert!(lint_one("crates/obs/src/trace.rs", audited).is_empty());
+        // A field access named `elapsed` (no call parens) is not a read.
+        let field = "struct S { elapsed: u64 }\nfn f(s: &S) -> u64 { s.elapsed }\n";
+        assert!(lint_one("crates/obs/src/trace.rs", field).is_empty());
     }
 
     #[test]

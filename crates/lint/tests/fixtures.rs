@@ -63,6 +63,23 @@ fn l2_fixture_trips_determinism() {
     assert!(text.contains("Instant::now"), "{findings:?}");
     assert!(text.contains("SystemTime::now"), "{findings:?}");
     assert!(text.contains("thread_rng"), "{findings:?}");
+    // The monotonic-read arm is scoped to crates/obs: quiet elsewhere.
+    assert!(!text.contains("elapsed"), "{findings:?}");
+    assert!(!text.contains("duration_since"), "{findings:?}");
+}
+
+#[test]
+fn l2_clock_rule_is_stricter_inside_the_obs_crate() {
+    // The same fixture linted under a pretend crates/obs path must
+    // additionally flag every monotonic read, not just `::now()`.
+    let findings = lint_fixture("l2_nondet.rs", "crates/obs/src/demo.rs");
+    let l2: Vec<_> = findings.iter().filter(|(r, ..)| *r == Rule::Determinism).collect();
+    let text = format!("{l2:?}");
+    assert!(text.contains(".elapsed()"), "{findings:?}");
+    assert!(text.contains(".duration_since()"), "{findings:?}");
+    let monotonic =
+        l2.iter().filter(|(_, _, m)| m.contains("monotonic clock inside `crates/obs`")).count();
+    assert_eq!(monotonic, 2, "{findings:?}");
 }
 
 #[test]

@@ -17,3 +17,11 @@ pub fn tally(keys: &[u32]) -> usize {
     let _ = (started, stamp);
     seen.len() + counts.len() + jitter
 }
+
+/// Monotonic reads that are findings only under `crates/obs/` (the clock
+/// rule's stricter arm): `.elapsed()` and `.duration_since()` calls.
+pub fn monotonic_reads(epoch: std::time::Instant, later: std::time::Instant) -> u128 {
+    let a = epoch.elapsed().as_nanos();
+    let b = later.duration_since(epoch).as_nanos();
+    a + b
+}

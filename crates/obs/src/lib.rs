@@ -28,10 +28,24 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod progress;
+pub mod trace;
+
+pub use progress::ProgressLine;
+pub use trace::{
+    Exemplar, Span, SpanEvent, SpanOutcome, StageExemplars, TraceTimeline, Tracer,
+    EXEMPLARS_PER_STAGE,
+};
+
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// A [`Duration`] as saturating nanoseconds — the span/histogram currency.
+pub fn nanos_of(elapsed: Duration) -> u64 {
+    u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Number of log₂ histogram buckets: bucket `i` counts durations in
 /// `[2^i, 2^(i+1))` nanoseconds, so 40 buckets span 1 ns to ~18 minutes.
@@ -140,6 +154,11 @@ impl StageStats {
     /// Calls recorded so far.
     pub fn calls(&self) -> u64 {
         self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds recorded so far.
+    pub fn nanos(&self) -> u64 {
+        self.nanos.load(Ordering::Relaxed)
     }
 
     /// Consistent-enough snapshot for reporting (individual fields are read
@@ -276,12 +295,15 @@ impl MetricsReport {
     }
 }
 
-/// The shared, thread-safe metrics sink: one [`StageStats`] per stage plus
-/// the run's start instant. Workers record through `&Recorder`; the
-/// executor snapshots with [`Recorder::finish`] once all workers are done.
+/// The shared, thread-safe metrics sink: one [`StageStats`] per stage, a
+/// live eviction counter, the run's start instant, and (optionally) a
+/// structured [`Tracer`]. Workers record through `&Recorder`; the executor
+/// snapshots with [`Recorder::finish`] once all workers are done.
 #[derive(Debug)]
 pub struct Recorder {
     stages: [StageStats; Stage::ALL.len()],
+    evictions: AtomicU64,
+    tracer: Option<Tracer>,
     started: Instant,
 }
 
@@ -292,15 +314,71 @@ impl Default for Recorder {
 }
 
 impl Recorder {
-    /// Start a recorder; wall-clock measurement begins now.
+    /// Start a recorder; wall-clock measurement begins now. Tracing is off:
+    /// span recording degenerates to the aggregate counters, with zero
+    /// extra allocation on the hot path.
     pub fn new() -> Recorder {
-        // lint: allow(nondeterminism, "the Recorder exists to measure wall-clock; its metrics are excluded from ResultSnapshot digests")
-        Recorder { stages: std::array::from_fn(|_| StageStats::new()), started: Instant::now() }
+        Recorder {
+            stages: std::array::from_fn(|_| StageStats::new()),
+            evictions: AtomicU64::new(0),
+            // lint: allow(nondeterminism, "the Recorder exists to measure wall-clock; its metrics are excluded from ResultSnapshot digests")
+            started: Instant::now(),
+            tracer: None,
+        }
+    }
+
+    /// Start a recorder with structured span tracing enabled: a [`Tracer`]
+    /// ring holding up to `capacity` spans, snapshotted by
+    /// [`Recorder::timeline`].
+    pub fn with_tracer(capacity: usize) -> Recorder {
+        Recorder { tracer: Some(Tracer::new(capacity)), ..Recorder::new() }
+    }
+
+    /// `true` when structured span tracing is enabled.
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// The structured tracer, when tracing is enabled.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Nanoseconds since the recorder's epoch — the span time base.
+    pub fn now_ns(&self) -> u64 {
+        // lint: allow(nondeterminism, "span start offsets are telemetry; timelines are excluded from ResultSnapshot digests")
+        nanos_of(self.started.elapsed())
+    }
+
+    /// Record one span: the aggregate counters always, the structured
+    /// tracer when enabled. This is the executor's per-stage call site —
+    /// one method, so tracing on/off cannot diverge in what is counted.
+    pub fn span(&self, span: Span<'_>) {
+        self.record_nanos(span.stage, span.duration_ns, span.bytes);
+        if let Some(tracer) = &self.tracer {
+            tracer.record(span);
+        }
+    }
+
+    /// Count one funnel eviction (live telemetry for progress lines; the
+    /// authoritative typed accounting lives in the pipeline's funnel).
+    pub fn count_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Evictions counted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the structured timeline, when tracing is enabled.
+    pub fn timeline(&self) -> Option<TraceTimeline> {
+        self.tracer.as_ref().map(Tracer::snapshot)
     }
 
     /// Record one timed call of `stage`.
     pub fn record(&self, stage: Stage, elapsed: Duration, bytes: u64) {
-        self.record_nanos(stage, elapsed.as_nanos() as u64, bytes);
+        self.record_nanos(stage, nanos_of(elapsed), bytes);
     }
 
     /// Record with a raw nanosecond count (for durations measured elsewhere).
@@ -314,6 +392,7 @@ impl Recorder {
         // lint: allow(nondeterminism, "the Recorder exists to measure wall-clock; its metrics are excluded from ResultSnapshot digests")
         let t = Instant::now();
         let out = f();
+        // lint: allow(nondeterminism, "stage timing telemetry; metrics are excluded from ResultSnapshot digests")
         self.record(stage, t.elapsed(), bytes);
         out
     }
@@ -327,6 +406,7 @@ impl Recorder {
     /// Snapshot everything into a [`MetricsReport`]. `traces` is the number
     /// of inputs presented; `workers` the configured thread count.
     pub fn finish(&self, traces: u64, workers: usize) -> MetricsReport {
+        // lint: allow(nondeterminism, "wall-clock summary telemetry; metrics are excluded from ResultSnapshot digests")
         let wall = self.started.elapsed().as_secs_f64().max(1e-9);
         let stages: Vec<StageSnapshot> =
             Stage::ALL.iter().map(|&s| self.stage(s).snapshot(s)).collect();
@@ -429,6 +509,65 @@ mod tests {
         let md = report.render_markdown();
         assert!(md.contains("| `fetch` |"));
         assert!(md.contains("traces/s"));
+    }
+
+    #[test]
+    fn quantiles_interpolate_to_the_bucket_midpoint_at_boundaries() {
+        // A duration of exactly 2^i ns lands on a bucket's *lower* edge.
+        // Reporting that edge would bias p50/p99 low by up to 2×; the
+        // estimate must be the midpoint of [2^i, 2^(i+1)) instead, which
+        // never under-reports the true value.
+        for i in [4u32, 10, 17, 25] {
+            let s = StageStats::new();
+            for _ in 0..100 {
+                s.record(1u64 << i, 0);
+            }
+            let snap = s.snapshot(Stage::Parse);
+            let lower_edge_us = (1u64 << i) as f64 / 1_000.0;
+            let midpoint_us = 1.5 * lower_edge_us;
+            assert_eq!(snap.p50_micros, midpoint_us, "p50 at 2^{i} ns");
+            assert_eq!(snap.p99_micros, midpoint_us, "p99 at 2^{i} ns");
+            // Midpoint reporting keeps the estimate within the bucket:
+            // never below the true duration, never 2× above it.
+            assert!(snap.p50_micros >= lower_edge_us);
+            assert!(snap.p50_micros < 2.0 * lower_edge_us);
+        }
+    }
+
+    #[test]
+    fn top_bucket_quantile_reports_its_midpoint() {
+        let s = StageStats::new();
+        s.record(u64::MAX, 0); // clamped into the last bucket
+        let snap = s.snapshot(Stage::Fetch);
+        assert_eq!(snap.p99_micros, 1.5 * (1u64 << (N_BUCKETS - 1)) as f64 / 1_000.0);
+    }
+
+    #[test]
+    fn recorder_with_tracer_feeds_both_aggregate_and_timeline() {
+        let rec = Recorder::with_tracer(16);
+        assert!(rec.tracing());
+        rec.span(Span {
+            trace: 3,
+            stage: Stage::Parse,
+            start_ns: 10,
+            duration_ns: 5_000,
+            bytes: 256,
+            worker: 1,
+            outcome: SpanOutcome::Ok,
+            detail: None,
+        });
+        rec.count_eviction();
+        assert_eq!(rec.evictions(), 1);
+        let report = rec.finish(1, 1);
+        assert_eq!(report.stages[Stage::Parse.index()].calls, 1);
+        assert_eq!(report.bytes, 256);
+        let timeline = rec.timeline().expect("tracing enabled");
+        assert_eq!(timeline.events.len(), 1);
+        assert_eq!(timeline.events[0].trace, 3);
+        // The untraced recorder spends nothing and yields no timeline.
+        let plain = Recorder::new();
+        assert!(!plain.tracing());
+        assert!(plain.timeline().is_none());
     }
 
     #[test]

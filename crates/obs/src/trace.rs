@@ -1,0 +1,657 @@
+//! Structured per-trace span tracing.
+//!
+//! The aggregate [`Recorder`](crate::Recorder) answers "how slow is the
+//! parse stage on average?"; this module answers "*which* trace was slow,
+//! in *which* stage, and what did its journey through
+//! fetch→parse→validate→merge→categorize look like?". A [`Tracer`] collects
+//! `(trace, stage, start_ns, duration_ns, bytes, outcome)` span events into
+//! a bounded ring buffer written with a seqlock-style atomic protocol —
+//! recording is lock-free, wrapping overwrites the oldest spans, and the
+//! exact overwrite count is surfaced as [`TraceTimeline::dropped`] so
+//! truncation is never silent.
+//!
+//! Alongside the ring, a small per-stage reservoir keeps the
+//! [`EXEMPLARS_PER_STAGE`] slowest spans (trace name, duration, eviction
+//! reason if any). The reservoir is insert-only-on-improvement behind an
+//! atomic duration floor, so it survives ring wrap: even when millions of
+//! spans have been overwritten, the slowest ones remain inspectable.
+//!
+//! A [`TraceTimeline`] snapshot serializes two ways:
+//!
+//! * [`TraceTimeline::to_chrome_json`] — Chrome trace-event JSON, loadable
+//!   in Perfetto or `chrome://tracing`: one track per worker thread holding
+//!   the stage spans, plus one async span per trace stretching from its
+//!   first to its last stage;
+//! * [`TraceTimeline::render_slow_md`] — a compact markdown "slowest
+//!   traces per stage" table for reports and CI artifacts.
+//!
+//! The time base is the owning recorder's epoch (nanoseconds since the run
+//! started); the tracer itself never reads a clock, so determinism
+//! arguments stay confined to the recorder.
+
+use crate::Stage;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How many slow-trace exemplars each stage's reservoir retains.
+pub const EXEMPLARS_PER_STAGE: usize = 10;
+
+/// How a span ended: the trace advanced, or this stage evicted it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SpanOutcome {
+    /// The stage completed and the trace moved on.
+    Ok,
+    /// The stage evicted the trace: the input could not be read.
+    IoError,
+    /// The stage evicted the trace: the bytes did not parse.
+    FormatCorrupt,
+    /// The stage evicted the trace: validation failed fatally.
+    Invalid,
+}
+
+impl SpanOutcome {
+    /// Stable lowercase name (also the JSON spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanOutcome::Ok => "ok",
+            SpanOutcome::IoError => "io_error",
+            SpanOutcome::FormatCorrupt => "format_corrupt",
+            SpanOutcome::Invalid => "invalid",
+        }
+    }
+
+    /// `true` when the stage evicted the trace.
+    pub fn is_evicted(self) -> bool {
+        self != SpanOutcome::Ok
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            SpanOutcome::Ok => 0,
+            SpanOutcome::IoError => 1,
+            SpanOutcome::FormatCorrupt => 2,
+            SpanOutcome::Invalid => 3,
+        }
+    }
+
+    fn from_code(code: u64) -> SpanOutcome {
+        match code {
+            1 => SpanOutcome::IoError,
+            2 => SpanOutcome::FormatCorrupt,
+            3 => SpanOutcome::Invalid,
+            _ => SpanOutcome::Ok,
+        }
+    }
+}
+
+/// One timed stage execution, as recorded from a worker thread. `detail`
+/// carries the typed eviction slug for exemplars; it is only read (and only
+/// allocated into a `String`) when the span actually enters a reservoir.
+#[derive(Debug, Clone, Copy)]
+pub struct Span<'a> {
+    /// Trace identity — the source index of the trace.
+    pub trace: u64,
+    /// The pipeline stage this span timed.
+    pub stage: Stage,
+    /// Start offset in nanoseconds since the recorder epoch.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Bytes moved by the stage (0 when not byte-oriented).
+    pub bytes: u64,
+    /// Worker lane: 0 for the caller thread, `1 + pool index` for Rayon
+    /// workers. Becomes the track (`tid`) in the Chrome trace.
+    pub worker: u64,
+    /// How the span ended.
+    pub outcome: SpanOutcome,
+    /// Typed eviction slug (e.g. `validation:non_positive_runtime`) for the
+    /// exemplar table; `None` falls back to [`SpanOutcome::name`].
+    pub detail: Option<&'a str>,
+}
+
+/// Worker field width inside the packed meta word:
+/// `stage(8) | outcome(8) | worker(48)`.
+const WORKER_BITS: u32 = 48;
+const WORKER_MASK: u64 = (1 << WORKER_BITS) - 1;
+
+fn pack_meta(stage: Stage, outcome: SpanOutcome, worker: u64) -> u64 {
+    ((stage.index() as u64) << 56) | (outcome.code() << WORKER_BITS) | (worker & WORKER_MASK)
+}
+
+fn unpack_meta(meta: u64) -> (usize, SpanOutcome, u64) {
+    (
+        (meta >> 56) as usize,
+        SpanOutcome::from_code((meta >> WORKER_BITS) & 0xFF),
+        meta & WORKER_MASK,
+    )
+}
+
+/// One ring slot. `seq` is a seqlock sequence: even = stable, odd = a
+/// writer is mid-flight. Every field is an atomic, so a torn read is
+/// detectable (sequence moved) but never undefined behaviour — the crate
+/// stays `forbid(unsafe_code)`.
+#[derive(Debug)]
+struct Slot {
+    seq: AtomicU64,
+    trace: AtomicU64,
+    start_ns: AtomicU64,
+    duration_ns: AtomicU64,
+    bytes: AtomicU64,
+    meta: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            trace: AtomicU64::new(0),
+            start_ns: AtomicU64::new(0),
+            duration_ns: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Per-stage slow-span reservoir. `floor` is the smallest duration in a
+/// full reservoir; spans at or below it return without taking the lock, so
+/// the common case is one relaxed atomic load.
+#[derive(Debug)]
+struct Reservoir {
+    floor: AtomicU64,
+    top: Mutex<Vec<Exemplar>>,
+}
+
+impl Reservoir {
+    fn new() -> Reservoir {
+        Reservoir { floor: AtomicU64::new(0), top: Mutex::new(Vec::new()) }
+    }
+
+    fn offer(&self, span: &Span<'_>) {
+        let full_floor = self.floor.load(Ordering::Relaxed);
+        if span.duration_ns <= full_floor && full_floor > 0 {
+            return;
+        }
+        // The reservoir holds only fully-inserted exemplars; a panic
+        // elsewhere cannot leave it half-written, so poison recovery is
+        // sound (same argument as the executor's pool registry).
+        let mut top = self.top.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let pos = top.partition_point(|e| e.duration_ns >= span.duration_ns);
+        if pos >= EXEMPLARS_PER_STAGE {
+            return;
+        }
+        top.insert(
+            pos,
+            Exemplar {
+                trace: span.trace,
+                duration_ns: span.duration_ns,
+                outcome: span.detail.unwrap_or(span.outcome.name()).to_owned(),
+            },
+        );
+        top.truncate(EXEMPLARS_PER_STAGE);
+        if top.len() == EXEMPLARS_PER_STAGE {
+            if let Some(last) = top.last() {
+                self.floor.store(last.duration_ns, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Vec<Exemplar> {
+        self.top.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+}
+
+/// The span sink: a bounded ring of [`Span`] events plus one slow-span
+/// reservoir per stage. Shared by reference across worker threads;
+/// recording never blocks on another recorder.
+#[derive(Debug)]
+pub struct Tracer {
+    slots: Vec<Slot>,
+    head: AtomicU64,
+    reservoirs: [Reservoir; Stage::ALL.len()],
+}
+
+impl Tracer {
+    /// A tracer holding at most `capacity` spans (clamped to at least 1).
+    /// Memory cost is ~48 bytes per slot, paid once at construction — the
+    /// recording hot path allocates nothing.
+    pub fn new(capacity: usize) -> Tracer {
+        let capacity = capacity.max(1);
+        Tracer {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            head: AtomicU64::new(0),
+            reservoirs: std::array::from_fn(|_| Reservoir::new()),
+        }
+    }
+
+    /// Ring capacity in spans.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total spans offered so far (including any since overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Spans overwritten by ring wrap so far — the exact truncation count.
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Record one span. Lock-free: a claim `fetch_add` plus six atomic
+    /// stores; the exemplar reservoir is consulted behind an atomic floor
+    /// so the common case adds one relaxed load.
+    pub fn record(&self, span: Span<'_>) {
+        let n = self.head.fetch_add(1, Ordering::Relaxed);
+        let idx = (n % self.slots.len() as u64) as usize;
+        if let Some(slot) = self.slots.get(idx) {
+            slot.seq.fetch_add(1, Ordering::AcqRel);
+            slot.trace.store(span.trace, Ordering::Relaxed);
+            slot.start_ns.store(span.start_ns, Ordering::Relaxed);
+            slot.duration_ns.store(span.duration_ns, Ordering::Relaxed);
+            slot.bytes.store(span.bytes, Ordering::Relaxed);
+            slot.meta.store(pack_meta(span.stage, span.outcome, span.worker), Ordering::Relaxed);
+            slot.seq.fetch_add(1, Ordering::Release);
+        }
+        if let Some(reservoir) = self.reservoirs.get(span.stage.index()) {
+            reservoir.offer(&span);
+        }
+    }
+
+    /// Snapshot the ring and reservoirs into an immutable, serializable
+    /// [`TraceTimeline`]. Slots caught mid-write are counted as `torn` and
+    /// skipped rather than surfaced with inconsistent fields.
+    pub fn snapshot(&self) -> TraceTimeline {
+        let recorded = self.recorded();
+        let filled = recorded.min(self.slots.len() as u64) as usize;
+        let mut torn = 0u64;
+        let mut events = Vec::with_capacity(filled);
+        for slot in self.slots.iter().take(filled) {
+            let seq_before = slot.seq.load(Ordering::Acquire);
+            let trace = slot.trace.load(Ordering::Relaxed);
+            let start_ns = slot.start_ns.load(Ordering::Relaxed);
+            let duration_ns = slot.duration_ns.load(Ordering::Relaxed);
+            let bytes = slot.bytes.load(Ordering::Relaxed);
+            let meta = slot.meta.load(Ordering::Relaxed);
+            let seq_after = slot.seq.load(Ordering::Acquire);
+            if seq_before % 2 != 0 || seq_before != seq_after {
+                torn += 1;
+                continue;
+            }
+            let (stage_idx, outcome, worker) = unpack_meta(meta);
+            let Some(&stage) = Stage::ALL.get(stage_idx) else {
+                torn += 1;
+                continue;
+            };
+            events.push(SpanEvent { trace, stage, start_ns, duration_ns, bytes, worker, outcome });
+        }
+        events.sort_by_key(|e| (e.start_ns, e.trace, e.stage.index()));
+        let exemplars = Stage::ALL
+            .iter()
+            .zip(self.reservoirs.iter())
+            .map(|(&stage, reservoir)| StageExemplars { stage, slowest: reservoir.snapshot() })
+            .collect();
+        TraceTimeline {
+            capacity: self.slots.len(),
+            recorded,
+            dropped: self.dropped(),
+            torn,
+            events,
+            exemplars,
+        }
+    }
+}
+
+/// One span, snapshotted out of the ring.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// Trace identity (source index).
+    pub trace: u64,
+    /// The stage timed by this span.
+    pub stage: Stage,
+    /// Start offset in nanoseconds since the recorder epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Bytes moved (0 when not byte-oriented).
+    pub bytes: u64,
+    /// Worker lane the span ran on.
+    pub worker: u64,
+    /// How the span ended.
+    pub outcome: SpanOutcome,
+}
+
+/// One slow-trace exemplar, preserved across ring wrap.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Exemplar {
+    /// Trace identity (source index).
+    pub trace: u64,
+    /// Span duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Outcome label: `ok` or the typed eviction slug.
+    pub outcome: String,
+}
+
+impl Exemplar {
+    /// Display name of the trace, matching `generate`'s file naming.
+    pub fn name(&self) -> String {
+        format!("trace_{:07}", self.trace)
+    }
+}
+
+/// The slow-span reservoir of one stage, slowest first.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageExemplars {
+    /// The stage the exemplars belong to.
+    pub stage: Stage,
+    /// Up to [`EXEMPLARS_PER_STAGE`] slowest spans, duration-descending.
+    pub slowest: Vec<Exemplar>,
+}
+
+/// Immutable snapshot of a [`Tracer`]: the surviving span events, exact
+/// accounting of what the ring dropped, and the per-stage slow-trace
+/// exemplars. Deliberately *not* part of
+/// `mosaic_pipeline::ResultSnapshot` — timelines are environmental, and the
+/// determinism oracles must stay blind to them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceTimeline {
+    /// Ring capacity the tracer ran with.
+    pub capacity: usize,
+    /// Total spans offered over the run.
+    pub recorded: u64,
+    /// Spans lost to ring wrap — `recorded - capacity`, never hidden.
+    pub dropped: u64,
+    /// Slots skipped because a writer was mid-flight during the snapshot.
+    pub torn: u64,
+    /// Surviving spans, ordered by start offset.
+    pub events: Vec<SpanEvent>,
+    /// Per-stage slowest spans, one entry per [`Stage::ALL`] member.
+    pub exemplars: Vec<StageExemplars>,
+}
+
+impl TraceTimeline {
+    /// Serialize as Chrome trace-event JSON (the "JSON Array Format" with
+    /// an object envelope), loadable in Perfetto or `chrome://tracing`.
+    ///
+    /// Layout: process 1 holds one track (`tid`) per worker thread with the
+    /// stage spans as complete (`ph: "X"`) events, plus one nestable async
+    /// span (`ph: "b"`/`"e"`, one per trace id) stretching from the trace's
+    /// first stage to its last, so per-trace journeys read as single rows.
+    pub fn to_chrome_json(&self) -> String {
+        let us = |ns: u64| ns as f64 / 1_000.0;
+        let mut events = Vec::new();
+        let workers: BTreeSet<u64> = self.events.iter().map(|e| e.worker).collect();
+        for w in workers {
+            let name = if w == 0 { "main".to_owned() } else { format!("worker-{w}") };
+            events.push(serde_json::json!({
+                "name": "thread_name", "ph": "M", "pid": 1, "tid": w,
+                "args": {"name": name},
+            }));
+        }
+        let mut extents: BTreeMap<u64, (u64, u64, SpanOutcome)> = BTreeMap::new();
+        for e in &self.events {
+            events.push(serde_json::json!({
+                "name": e.stage.name(), "cat": "stage", "ph": "X",
+                "pid": 1, "tid": e.worker,
+                "ts": us(e.start_ns), "dur": us(e.duration_ns.max(1)),
+                "args": {
+                    "trace": e.trace,
+                    "bytes": e.bytes,
+                    "outcome": e.outcome.name(),
+                },
+            }));
+            let end = e.start_ns.saturating_add(e.duration_ns);
+            let entry = extents.entry(e.trace).or_insert((e.start_ns, end, e.outcome));
+            entry.0 = entry.0.min(e.start_ns);
+            entry.1 = entry.1.max(end);
+            if e.outcome.is_evicted() {
+                entry.2 = e.outcome;
+            }
+        }
+        for (trace, (start, end, outcome)) in extents {
+            let name = format!("trace_{trace:07}");
+            events.push(serde_json::json!({
+                "name": name, "cat": "trace", "ph": "b", "id": trace,
+                "pid": 1, "ts": us(start),
+                "args": {"outcome": outcome.name()},
+            }));
+            events.push(serde_json::json!({
+                "name": name, "cat": "trace", "ph": "e", "id": trace,
+                "pid": 1, "ts": us(end),
+            }));
+        }
+        let doc = serde_json::json!({
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "capacity": self.capacity,
+                "recorded": self.recorded,
+                "dropped": self.dropped,
+                "torn": self.torn,
+            },
+        });
+        serde_json::to_string(&doc).unwrap_or_else(|_| "{\"traceEvents\":[]}".to_owned())
+    }
+
+    /// Render the per-stage slow-trace exemplars as one compact markdown
+    /// table, with an explicit truncation note when the ring wrapped.
+    pub fn render_slow_md(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### Slowest traces per stage\n");
+        let _ = writeln!(
+            out,
+            "{} spans recorded, {} kept (ring capacity {}), {} dropped by wrap.\n",
+            self.recorded,
+            self.events.len(),
+            self.capacity,
+            self.dropped,
+        );
+        let _ = writeln!(out, "| stage | rank | trace | duration µs | outcome |");
+        let _ = writeln!(out, "|---|---:|---|---:|---|");
+        for group in &self.exemplars {
+            for (rank, e) in group.slowest.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "| `{}` | {} | `{}` | {:.1} | `{}` |",
+                    group.stage,
+                    rank + 1,
+                    e.name(),
+                    e.duration_ns as f64 / 1_000.0,
+                    e.outcome,
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: u64, stage: Stage, start_ns: u64, duration_ns: u64) -> Span<'static> {
+        Span {
+            trace,
+            stage,
+            start_ns,
+            duration_ns,
+            bytes: 0,
+            worker: 0,
+            outcome: SpanOutcome::Ok,
+            detail: None,
+        }
+    }
+
+    #[test]
+    fn meta_word_round_trips() {
+        for stage in Stage::ALL {
+            for outcome in [
+                SpanOutcome::Ok,
+                SpanOutcome::IoError,
+                SpanOutcome::FormatCorrupt,
+                SpanOutcome::Invalid,
+            ] {
+                let meta = pack_meta(stage, outcome, 12_345);
+                assert_eq!(unpack_meta(meta), (stage.index(), outcome, 12_345));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_and_counts_drops_exactly() {
+        let tracer = Tracer::new(8);
+        for i in 0..100u64 {
+            tracer.record(span(i, Stage::Parse, i * 10, 5));
+        }
+        let timeline = tracer.snapshot();
+        assert_eq!(timeline.capacity, 8);
+        assert_eq!(timeline.recorded, 100);
+        assert_eq!(timeline.dropped, 92);
+        assert_eq!(timeline.torn, 0);
+        assert_eq!(timeline.events.len(), 8);
+        // Only the last 8 spans survive the wrap.
+        let survivors: BTreeSet<u64> = timeline.events.iter().map(|e| e.trace).collect();
+        assert_eq!(survivors, (92..100).collect());
+    }
+
+    #[test]
+    fn exemplars_survive_ring_wrap() {
+        // A tiny ring, fed 200 spans whose slowest arrive early: the ring
+        // forgets them, the reservoir must not.
+        let tracer = Tracer::new(4);
+        for i in 0..200u64 {
+            // Trace i runs for (200 - i) µs: trace 0 is slowest.
+            tracer.record(span(i, Stage::Categorize, i, (200 - i) * 1_000));
+        }
+        let timeline = tracer.snapshot();
+        assert_eq!(timeline.dropped, 196);
+        let slow = &timeline.exemplars[Stage::Categorize.index()];
+        assert_eq!(slow.stage, Stage::Categorize);
+        assert_eq!(slow.slowest.len(), EXEMPLARS_PER_STAGE);
+        let traces: Vec<u64> = slow.slowest.iter().map(|e| e.trace).collect();
+        assert_eq!(traces, (0..EXEMPLARS_PER_STAGE as u64).collect::<Vec<_>>());
+        assert!(slow.slowest.windows(2).all(|w| w[0].duration_ns >= w[1].duration_ns));
+        assert_eq!(slow.slowest[0].name(), "trace_0000000");
+    }
+
+    #[test]
+    fn exemplar_keeps_eviction_slug() {
+        let tracer = Tracer::new(16);
+        tracer.record(Span {
+            trace: 7,
+            stage: Stage::Validate,
+            start_ns: 0,
+            duration_ns: 9_000,
+            bytes: 0,
+            worker: 0,
+            outcome: SpanOutcome::Invalid,
+            detail: Some("validation:non_positive_runtime"),
+        });
+        tracer.record(span(8, Stage::Validate, 10, 1_000));
+        let timeline = tracer.snapshot();
+        let slow = &timeline.exemplars[Stage::Validate.index()].slowest;
+        assert_eq!(slow[0].outcome, "validation:non_positive_runtime");
+        assert_eq!(slow[1].outcome, "ok");
+    }
+
+    #[test]
+    fn concurrent_recording_accounts_every_span() {
+        let tracer = Tracer::new(64);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let tracer = &tracer;
+                scope.spawn(move || {
+                    for i in 0..250u64 {
+                        tracer.record(span(t * 1_000 + i, Stage::Merge, i, i + 1));
+                    }
+                });
+            }
+        });
+        let timeline = tracer.snapshot();
+        assert_eq!(timeline.recorded, 1_000);
+        assert_eq!(timeline.dropped, 936);
+        assert_eq!(timeline.events.len() as u64 + timeline.torn, 64);
+    }
+
+    #[test]
+    fn chrome_json_is_valid_and_complete() {
+        let tracer = Tracer::new(32);
+        tracer.record(span(1, Stage::Fetch, 0, 2_000));
+        tracer.record(span(1, Stage::Parse, 2_000, 3_000));
+        tracer.record(Span {
+            trace: 2,
+            stage: Stage::Parse,
+            start_ns: 1_000,
+            duration_ns: 500,
+            bytes: 64,
+            worker: 3,
+            outcome: SpanOutcome::FormatCorrupt,
+            detail: Some("truncated"),
+        });
+        let json = tracer.snapshot().to_chrome_json();
+        let doc: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = doc["traceEvents"].as_array().expect("traceEvents array");
+        let phases: Vec<&str> = events.iter().filter_map(|e| e["ph"].as_str()).collect();
+        assert!(phases.contains(&"M"), "thread metadata missing: {phases:?}");
+        assert_eq!(phases.iter().filter(|p| **p == "X").count(), 3);
+        // One async b/e pair per trace.
+        assert_eq!(phases.iter().filter(|p| **p == "b").count(), 2);
+        assert_eq!(phases.iter().filter(|p| **p == "e").count(), 2);
+        let x_parse = events
+            .iter()
+            .find(|e| e["ph"] == "X" && e["args"]["trace"] == 2)
+            .expect("trace 2 span");
+        assert_eq!(x_parse["tid"], 3);
+        assert_eq!(x_parse["args"]["outcome"], "format_corrupt");
+        assert_eq!(doc["otherData"]["dropped"], 0);
+        // The evicted trace's async span reports the eviction.
+        let b2 = events
+            .iter()
+            .find(|e| e["ph"] == "b" && e["id"] == 2)
+            .expect("async begin for trace 2");
+        assert_eq!(b2["args"]["outcome"], "format_corrupt");
+    }
+
+    #[test]
+    fn slow_table_renders_all_stages_and_truncation() {
+        let tracer = Tracer::new(2);
+        for stage in Stage::ALL {
+            tracer.record(span(9, stage, 0, 4_000));
+        }
+        let md = tracer.snapshot().render_slow_md();
+        for stage in Stage::ALL {
+            assert!(md.contains(&format!("| `{}` |", stage.name())), "missing {stage} in\n{md}");
+        }
+        assert!(md.contains("trace_0000009"), "{md}");
+        assert!(md.contains("3 dropped by wrap"), "{md}");
+    }
+
+    #[test]
+    fn timeline_serde_round_trips() {
+        let tracer = Tracer::new(8);
+        tracer.record(span(1, Stage::Fetch, 0, 100));
+        let timeline = tracer.snapshot();
+        let json = serde_json::to_string(&timeline).expect("serializes");
+        let back: TraceTimeline = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, timeline);
+    }
+
+    #[test]
+    fn outcome_names_and_codes_are_stable() {
+        for (outcome, name) in [
+            (SpanOutcome::Ok, "ok"),
+            (SpanOutcome::IoError, "io_error"),
+            (SpanOutcome::FormatCorrupt, "format_corrupt"),
+            (SpanOutcome::Invalid, "invalid"),
+        ] {
+            assert_eq!(outcome.name(), name);
+            assert_eq!(SpanOutcome::from_code(outcome.code()), outcome);
+            assert_eq!(outcome.is_evicted(), outcome != SpanOutcome::Ok);
+        }
+    }
+}

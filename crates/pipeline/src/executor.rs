@@ -7,18 +7,19 @@ use mosaic_core::category::Category;
 use mosaic_core::report::CategoryCounts;
 use mosaic_core::{Categorizer, CategorizerConfig, JaccardMatrix, TraceReport};
 use mosaic_darshan::convert::usize_to_u64;
-use mosaic_darshan::{mdf, validate, EvictReason, TraceLog};
-use mosaic_obs::{MetricsReport, Recorder, Stage};
+use mosaic_darshan::{mdf, validate, EvictClass, EvictReason, TraceLog};
+use mosaic_obs::{nanos_of, MetricsReport, Recorder, Span, SpanOutcome, Stage, TraceTimeline};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
 
-/// Progress callback: `(traces done, traces total)`. Called from worker
-/// threads; must be cheap and thread-safe.
-pub type ProgressFn = Arc<dyn Fn(usize, usize) + Send + Sync>;
+/// Progress callback: `(traces done, traces total, live recorder)`. Called
+/// from worker threads; must be cheap and thread-safe. The recorder gives
+/// renderers (e.g. [`mosaic_obs::ProgressLine`]) the live per-stage atomics
+/// without any extra bookkeeping on the hot path.
+pub type ProgressFn = Arc<dyn Fn(usize, usize, &Recorder) + Send + Sync>;
 
 /// Executor configuration.
 #[derive(Clone, Default)]
@@ -30,6 +31,11 @@ pub struct PipelineConfig {
     /// Optional progress callback, invoked after every ingested trace with
     /// a relaxed atomic counter — contention-free even at full parallelism.
     pub progress: Option<ProgressFn>,
+    /// Structured span tracing: `Some(capacity)` records per-trace spans
+    /// into a bounded ring of that many entries and attaches the resulting
+    /// [`TraceTimeline`] to the [`PipelineResult`]. `None` (the default)
+    /// keeps the aggregate metrics only — zero extra allocation per trace.
+    pub trace_capacity: Option<usize>,
 }
 
 impl std::fmt::Debug for PipelineConfig {
@@ -38,6 +44,7 @@ impl std::fmt::Debug for PipelineConfig {
             .field("threads", &self.threads)
             .field("categorizer", &self.categorizer)
             .field("progress", &self.progress.is_some())
+            .field("trace_capacity", &self.trace_capacity)
             .finish()
     }
 }
@@ -74,6 +81,11 @@ pub struct PipelineResult {
     pub representatives: Vec<usize>,
     /// Per-stage timings and throughput for this run.
     pub metrics: MetricsReport,
+    /// Structured span timeline, present when the run was configured with
+    /// [`PipelineConfig::trace_capacity`]. Deliberately *not* part of any
+    /// `ResultSnapshot`: timelines carry wall-clock values and must never
+    /// feed the determinism oracles.
+    pub timeline: Option<TraceTimeline>,
 }
 
 impl PipelineResult {
@@ -120,28 +132,109 @@ pub(crate) enum Ingested {
     Valid(Box<RunOutcome>),
 }
 
+/// The span class recorded on an eviction's terminal stage.
+fn outcome_of(reason: EvictReason) -> SpanOutcome {
+    match reason.class() {
+        EvictClass::Io => SpanOutcome::IoError,
+        EvictClass::Format => SpanOutcome::FormatCorrupt,
+        EvictClass::Validation => SpanOutcome::Invalid,
+    }
+}
+
+/// One trace's span identity — recorder, trace id, worker lane — threaded
+/// through the stage call sites so each emits a full [`Span`] without
+/// re-deriving the lane. `Copy`, stack-only: when tracing is off the spans
+/// degenerate to the aggregate counters with zero extra allocation.
+#[derive(Clone, Copy)]
+pub(crate) struct SpanScope<'a> {
+    recorder: &'a Recorder,
+    trace: u64,
+    worker: u64,
+}
+
+impl<'a> SpanScope<'a> {
+    /// A scope for trace `index` on the current Rayon worker (lane
+    /// `1 + pool index`; lane 0 is a caller outside any pool).
+    pub(crate) fn current(recorder: &'a Recorder, index: usize) -> SpanScope<'a> {
+        SpanScope {
+            recorder,
+            trace: usize_to_u64(index),
+            worker: rayon::current_thread_index().map_or(0, |i| usize_to_u64(i) + 1),
+        }
+    }
+
+    /// Record one completed stage span.
+    pub(crate) fn emit(
+        &self,
+        stage: Stage,
+        start_ns: u64,
+        duration_ns: u64,
+        bytes: u64,
+        outcome: SpanOutcome,
+        detail: Option<&str>,
+    ) {
+        self.recorder.span(Span {
+            trace: self.trace,
+            stage,
+            start_ns,
+            duration_ns,
+            bytes,
+            worker: self.worker,
+            outcome,
+            detail,
+        });
+    }
+
+    /// Record a stage span that ends in eviction, count the eviction, and
+    /// produce the funnel fate. The typed slug is materialized only when a
+    /// tracer is attached to keep it.
+    fn evict(
+        &self,
+        stage: Stage,
+        start_ns: u64,
+        duration_ns: u64,
+        bytes: u64,
+        reason: EvictReason,
+    ) -> Ingested {
+        self.recorder.count_eviction();
+        let slug = if self.recorder.tracing() { Some(reason.slug()) } else { None };
+        self.emit(stage, start_ns, duration_ns, bytes, outcome_of(reason), slug.as_deref());
+        Ingested::Evicted(reason)
+    }
+}
+
 /// Parse → validate → categorize one fetched input, recording per-stage
-/// timings. The fetch itself (and its timing) is the caller's business.
+/// timings and spans. The fetch itself (and its span) is the caller's
+/// business; the `Err` fate of a fetch is still accounted here so batch and
+/// streaming funnels agree.
 pub(crate) fn ingest_one(
     fetched: std::io::Result<TraceInput>,
     index: usize,
     categorizer: &Categorizer,
     recorder: &Recorder,
 ) -> Ingested {
+    let scope = SpanScope::current(recorder, index);
     let input = match fetched {
         Ok(input) => input,
-        Err(_) => return Ingested::Evicted(EvictReason::IoError),
+        Err(_) => {
+            recorder.count_eviction();
+            return Ingested::Evicted(EvictReason::IoError);
+        }
     };
     let wire = usize_to_u64(input.wire_len());
     let log: Arc<TraceLog> = match input {
         TraceInput::Bytes(bytes) => {
-            // lint: allow(nondeterminism, "stage timing telemetry; metrics are excluded from ResultSnapshot digests")
-            let started = Instant::now();
+            let t0 = recorder.now_ns();
             let parsed = mdf::from_bytes(&bytes);
-            recorder.record(Stage::Parse, started.elapsed(), wire);
+            let dur = recorder.now_ns().saturating_sub(t0);
             match parsed {
-                Ok(log) => Arc::new(log),
-                Err(err) => return Ingested::Evicted(EvictReason::from(&err)),
+                Ok(log) => {
+                    scope.emit(Stage::Parse, t0, dur, wire, SpanOutcome::Ok, None);
+                    Arc::new(log)
+                }
+                Err(err) => {
+                    return scope.evict(Stage::Parse, t0, dur, wire, EvictReason::from(&err))
+                }
             }
         }
         TraceInput::Log(log) => log,
@@ -149,8 +242,7 @@ pub(crate) fn ingest_one(
 
     // Validate copy-on-write: the read-only pass decides the fate; the log
     // is cloned out of its `Arc` only when records actually need deleting.
-    // lint: allow(nondeterminism, "stage timing telemetry; metrics are excluded from ResultSnapshot digests")
-    let started = Instant::now();
+    let t0 = recorder.now_ns();
     let report = validate::validate(&log);
     let fate = if report.is_fatal() {
         Err(report.evict_reason())
@@ -161,18 +253,25 @@ pub(crate) fn ingest_one(
         let deleted = validate::delete_invalid(&mut owned, &report);
         Ok((Arc::new(owned), deleted))
     };
-    recorder.record(Stage::Validate, started.elapsed(), 0);
+    let dur = recorder.now_ns().saturating_sub(t0);
     let (log, sanitized_records) = match fate {
         Ok(pair) => pair,
-        Err(reason) => return Ingested::Evicted(reason),
+        Err(reason) => return scope.evict(Stage::Validate, t0, dur, 0, reason),
     };
+    scope.emit(Stage::Validate, t0, dur, 0, SpanOutcome::Ok, None);
 
+    // Categorization times itself; merge starts at `t0` and the three
+    // characterizations follow it, so the two spans tile the measured total.
+    let t0 = recorder.now_ns();
     let (report, timings) = categorizer.categorize_log_timed(&log);
-    recorder.record_nanos(Stage::Merge, timings.merge_nanos, 0);
-    recorder.record_nanos(
+    scope.emit(Stage::Merge, t0, timings.merge_nanos, 0, SpanOutcome::Ok, None);
+    scope.emit(
         Stage::Categorize,
+        t0.saturating_add(timings.merge_nanos),
         timings.total_nanos.saturating_sub(timings.merge_nanos),
         0,
+        SpanOutcome::Ok,
+        None,
     );
     Ingested::Valid(Box::new(RunOutcome {
         index,
@@ -211,24 +310,29 @@ fn pool_for(n: usize) -> Arc<rayon::ThreadPool> {
 /// Run the full pipeline over a source.
 pub fn process<S: TraceSource>(source: &S, config: &PipelineConfig) -> PipelineResult {
     let categorizer = Categorizer::new(config.categorizer.clone());
-    let recorder = Recorder::new();
+    let recorder = match config.trace_capacity {
+        Some(capacity) => Recorder::with_tracer(capacity),
+        None => Recorder::new(),
+    };
     let done = AtomicUsize::new(0);
     let total = source.len();
     let run = || {
         (0..total)
             .into_par_iter()
             .map(|i| {
-                // lint: allow(nondeterminism, "stage timing telemetry; metrics are excluded from ResultSnapshot digests")
-                let started = Instant::now();
+                let scope = SpanScope::current(&recorder, i);
+                let t0 = recorder.now_ns();
                 let fetched = source.fetch(i);
+                let dur = recorder.now_ns().saturating_sub(t0);
                 let wire = fetched.as_ref().map(|f| usize_to_u64(f.wire_len())).unwrap_or(0);
-                recorder.record(Stage::Fetch, started.elapsed(), wire);
+                let outcome = if fetched.is_ok() { SpanOutcome::Ok } else { SpanOutcome::IoError };
+                scope.emit(Stage::Fetch, t0, dur, wire, outcome, None);
                 let out = ingest_one(fetched, i, &categorizer, &recorder);
                 if let Some(progress) = &config.progress {
                     // Relaxed is enough: the count is monotonic telemetry,
                     // not a synchronization point.
                     let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    progress(n, total);
+                    progress(n, total, &recorder);
                 }
                 out
             })
@@ -253,7 +357,8 @@ pub fn process<S: TraceSource>(source: &S, config: &PipelineConfig) -> PipelineR
     funnel.unique_apps = representatives.len();
 
     let metrics = recorder.finish(usize_to_u64(total), workers);
-    PipelineResult { funnel, outcomes, representatives, metrics }
+    let timeline = recorder.timeline();
+    PipelineResult { funnel, outcomes, representatives, metrics, timeline }
 }
 
 #[cfg(test)]
@@ -462,8 +567,9 @@ mod tests {
         let c2 = calls.clone();
         let m2 = max_seen.clone();
         let config = PipelineConfig {
-            progress: Some(Arc::new(move |done, total| {
+            progress: Some(Arc::new(move |done, total, recorder: &Recorder| {
                 assert_eq!(total, 25);
+                assert!(recorder.stage(Stage::Validate).calls() > 0);
                 c2.fetch_add(1, Ordering::Relaxed);
                 m2.fetch_max(done, Ordering::Relaxed);
             })),
@@ -472,6 +578,71 @@ mod tests {
         let _ = process(&VecSource::new(inputs), &config);
         assert_eq!(calls.load(Ordering::Relaxed), 25);
         assert_eq!(max_seen.load(Ordering::Relaxed), 25);
+    }
+
+    #[test]
+    fn tracing_yields_identical_results_plus_a_timeline() {
+        let inputs: Vec<TraceInput> = (0..12)
+            .map(|i| TraceInput::bytes(mdf::to_bytes(&log_for(i, &format!("/bin/app{i}"), 1000))))
+            .collect();
+        let plain = process(&VecSource::new(inputs.clone()), &PipelineConfig::default());
+        assert!(plain.timeline.is_none(), "tracing off must attach no timeline");
+
+        let traced_cfg = PipelineConfig { trace_capacity: Some(1024), ..Default::default() };
+        let traced = process(&VecSource::new(inputs), &traced_cfg);
+
+        // The analytical result is byte-for-byte unaffected by tracing.
+        assert_eq!(plain.funnel, traced.funnel);
+        assert_eq!(plain.outcomes, traced.outcomes);
+        assert_eq!(plain.representatives, traced.representatives);
+
+        let timeline = traced.timeline.expect("tracing on must attach a timeline");
+        assert_eq!(timeline.capacity, 1024);
+        assert_eq!(timeline.recorded, 12 * 5, "five spans per fully-processed trace");
+        assert_eq!(timeline.dropped, 0);
+        for stage in Stage::ALL {
+            let of_stage = timeline.events.iter().filter(|e| e.stage == stage).count();
+            assert_eq!(of_stage, 12, "every trace must have a {stage} span");
+        }
+        let traces: BTreeSet<u64> = timeline.events.iter().map(|e| e.trace).collect();
+        assert_eq!(traces, (0..12).collect::<BTreeSet<u64>>());
+    }
+
+    #[test]
+    fn evicted_traces_carry_typed_outcomes_in_the_timeline() {
+        let inputs = vec![
+            TraceInput::bytes(mdf::to_bytes(&log_for(1, "/bin/a", 1000))),
+            TraceInput::bytes(b"garbage".to_vec()), // truncated → format corrupt
+            TraceInput::log({
+                let b = TraceLogBuilder::new(JobHeader::new(1, 1, 4, 5, 5));
+                b.finish() // zero runtime → validation fatal
+            }),
+        ];
+        let config = PipelineConfig { trace_capacity: Some(64), ..Default::default() };
+        let result = process(&VecSource::new(inputs), &config);
+        let timeline = result.timeline.expect("tracing on");
+
+        let parse_of = |trace: u64| {
+            timeline.events.iter().find(|e| e.trace == trace && e.stage == Stage::Parse)
+        };
+        assert_eq!(parse_of(0).map(|e| e.outcome), Some(SpanOutcome::Ok));
+        assert_eq!(parse_of(1).map(|e| e.outcome), Some(SpanOutcome::FormatCorrupt));
+        let validate_2 = timeline
+            .events
+            .iter()
+            .find(|e| e.trace == 2 && e.stage == Stage::Validate)
+            .expect("validate span");
+        assert_eq!(validate_2.outcome, SpanOutcome::Invalid);
+        // The exemplar reservoir kept the typed slugs, not just the class.
+        let parse_exemplars = &timeline.exemplars[Stage::Parse.index()];
+        assert!(
+            parse_exemplars.slowest.iter().any(|e| e.trace == 1 && e.outcome == "truncated"),
+            "{parse_exemplars:?}"
+        );
+        assert!(timeline.exemplars[Stage::Validate.index()]
+            .slowest
+            .iter()
+            .any(|e| e.trace == 2 && e.outcome == "validation:non_positive_runtime"));
     }
 
     #[test]

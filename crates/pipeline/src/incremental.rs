@@ -21,7 +21,7 @@ use crate::source::TraceInput;
 use mosaic_core::category::Category;
 use mosaic_core::report::CategoryCounts;
 use mosaic_core::{Categorizer, CategorizerConfig, TraceReport};
-use mosaic_obs::{MetricsReport, Recorder};
+use mosaic_obs::{MetricsReport, Recorder, TraceTimeline};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-application incremental state.
@@ -68,6 +68,20 @@ impl IncrementalAnalyzer {
             apps: BTreeMap::new(),
             recorder: Recorder::new(),
         }
+    }
+
+    /// New analyzer with structured span tracing enabled: per-trace spans
+    /// land in a ring of `capacity` entries, snapshotted by
+    /// [`IncrementalAnalyzer::timeline`]. The analytical results are
+    /// identical to an untraced analyzer's.
+    pub fn with_tracing(config: CategorizerConfig, capacity: usize) -> Self {
+        IncrementalAnalyzer { recorder: Recorder::with_tracer(capacity), ..Self::new(config) }
+    }
+
+    /// Snapshot the span timeline accumulated so far; `None` unless the
+    /// analyzer was built by [`IncrementalAnalyzer::with_tracing`].
+    pub fn timeline(&self) -> Option<TraceTimeline> {
+        self.recorder.timeline()
     }
 
     /// Ingest one trace. Returns the report for valid traces, `None` for
@@ -194,6 +208,41 @@ mod tests {
         let metrics = inc.metrics();
         assert_eq!(metrics.traces, 40);
         assert!(metrics.stages.iter().any(|s| s.stage == "parse" && s.calls > 0));
+    }
+
+    #[test]
+    fn traced_streaming_matches_untraced_and_keeps_spans() {
+        let inputs: Vec<TraceInput> = (0..10)
+            .map(|i| {
+                if i == 3 {
+                    TraceInput::bytes(vec![0u8; 8]) // corrupt
+                } else {
+                    TraceInput::bytes(mdf::to_bytes(&log_for(i, "/bin/app", (i as i64 + 1) << 20)))
+                }
+            })
+            .collect();
+
+        let mut plain = IncrementalAnalyzer::new(CategorizerConfig::default());
+        let mut traced = IncrementalAnalyzer::with_tracing(CategorizerConfig::default(), 256);
+        assert!(plain.timeline().is_none());
+        for input in inputs {
+            plain.ingest(input.clone());
+            traced.ingest(input);
+        }
+
+        assert_eq!(plain.funnel(), traced.funnel());
+        assert_eq!(plain.all_runs_counts(), traced.all_runs_counts());
+        assert_eq!(plain.single_run_counts(), traced.single_run_counts());
+
+        let timeline = traced.timeline().expect("tracing enabled");
+        assert_eq!(timeline.dropped, 0);
+        // 9 valid traces × 4 spans (parse/validate/merge/categorize; the
+        // streaming path does not fetch) + 1 parse span for the corrupt one.
+        assert_eq!(timeline.recorded, 9 * 4 + 1);
+        assert!(timeline
+            .events
+            .iter()
+            .any(|e| e.trace == 3 && e.outcome == mosaic_obs::SpanOutcome::FormatCorrupt));
     }
 
     #[test]

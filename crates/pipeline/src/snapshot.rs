@@ -11,8 +11,14 @@
 //! Determinism contract: every collection inside is ordered (`BTreeMap`
 //! under [`CategoryCounts`], representatives sorted by app key), so equal
 //! results serialize to byte-identical JSON and a stable [`digest`].
+//! The structured span timeline (`PipelineResult::timeline`) is
+//! environmental by nature — wall-clock offsets, worker lanes, ring
+//! truncation — and is therefore excluded by construction: [`of`] never
+//! reads it, so a traced and an untraced run of the same inputs snapshot
+//! byte-identically.
 //!
 //! [`digest`]: ResultSnapshot::digest
+//! [`of`]: ResultSnapshot::of
 
 use crate::executor::PipelineResult;
 use crate::funnel::FunnelStats;
@@ -140,6 +146,26 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.digest(), b.digest());
         assert_eq!(a.to_canonical_json(), b.to_canonical_json());
+    }
+
+    #[test]
+    fn snapshot_ignores_the_timeline() {
+        let inputs = vec![
+            TraceInput::log(log_for(2, "/bin/b", 500 << 20)),
+            TraceInput::log(log_for(1, "/bin/a x", 600 << 20)),
+            TraceInput::bytes(vec![7u8; 40]),
+        ];
+        let plain = process(&VecSource::new(inputs.clone()), &PipelineConfig::default());
+        let traced_cfg = PipelineConfig { trace_capacity: Some(128), ..Default::default() };
+        let traced = process(&VecSource::new(inputs), &traced_cfg);
+        assert!(plain.timeline.is_none());
+        assert!(traced.timeline.is_some());
+        // Byte-identical canonical JSON: the determinism oracles are blind
+        // to whether tracing was on.
+        assert_eq!(
+            ResultSnapshot::of(&plain).to_canonical_json(),
+            ResultSnapshot::of(&traced).to_canonical_json()
+        );
     }
 
     #[test]

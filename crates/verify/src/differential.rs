@@ -13,7 +13,10 @@
 //!   distributions must agree exactly;
 //! * **MDF roundtrip** — `write → parse → re-write` must be byte-stable for
 //!   every parseable trace, and a pipeline fed serialized bytes must answer
-//!   exactly like one fed the decoded logs.
+//!   exactly like one fed the decoded logs;
+//! * **traced vs untraced** — a run with structured span tracing enabled
+//!   must snapshot byte-identically to one without: the timeline is
+//!   observability, never part of the answer.
 
 use crate::VerifyReport;
 use mosaic_darshan::mdf;
@@ -121,6 +124,34 @@ pub fn run(report: &mut VerifyReport) {
             },
         );
 
+        // Tracing on vs off: the snapshot may not move by a byte, and the
+        // traced run must actually have produced a timeline.
+        let traced_config = PipelineConfig { trace_capacity: Some(4096), ..config(Some(2)) };
+        let traced_result = process(&VecSource::new(inputs.clone()), &traced_config);
+        let has_timeline = traced_result.timeline.is_some();
+        let traced = ResultSnapshot::of(&traced_result);
+        let untraced =
+            ResultSnapshot::of(&process(&VecSource::new(inputs.clone()), &config(Some(2))));
+        let identical = traced.to_canonical_json() == untraced.to_canonical_json();
+        report.check(
+            format!("differential/traced-vs-untraced/{}", corpus.name()),
+            identical && has_timeline,
+            if identical && has_timeline {
+                format!(
+                    "snapshots byte-identical with tracing on, digest {:016x}; timeline attached",
+                    traced.digest()
+                )
+            } else if !has_timeline {
+                "tracing was requested but no timeline was attached".to_owned()
+            } else {
+                format!(
+                    "tracing perturbed the snapshot: digest {:016x} vs {:016x}",
+                    traced.digest(),
+                    untraced.digest()
+                )
+            },
+        );
+
         // A pipeline fed wire bytes answers exactly like one fed logs.
         let byte_inputs: Vec<TraceInput> =
             (0..corpus.len()).map(|i| TraceInput::bytes(corpus.mdf_bytes(i))).collect();
@@ -144,9 +175,9 @@ mod tests {
         let mut report = VerifyReport::default();
         run(&mut report);
         assert!(report.passed(), "{}", report.render());
-        // 6 checks per corpus (3 pool comparisons, incremental, roundtrip,
-        // bytes-source) × 3 corpora.
-        assert_eq!(report.checks.len(), 18);
+        // 7 checks per corpus (3 pool comparisons, incremental, roundtrip,
+        // traced-vs-untraced, bytes-source) × 3 corpora.
+        assert_eq!(report.checks.len(), 21);
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! Parallel-pipeline integration: determinism across thread counts, the
 //! disk-file ingestion path, and memory-lean lazy generation.
 
-use mosaic_core::CategorizerConfig;
 use mosaic_pipeline::executor::{process, PipelineConfig};
 use mosaic_pipeline::source::{ClosureSource, TraceInput, VecSource};
 use mosaic_synth::{Dataset, DatasetConfig, Payload};
@@ -19,8 +18,7 @@ fn results_identical_across_thread_counts() {
     let mut results = Vec::new();
     for threads in [Some(1), Some(2), Some(4), None] {
         let source = ClosureSource::new(ds.len(), |i| input_for(&ds, i));
-        let config =
-            PipelineConfig { threads, categorizer: CategorizerConfig::default(), progress: None };
+        let config = PipelineConfig { threads, ..Default::default() };
         results.push(process(&source, &config));
     }
     for pair in results.windows(2) {
@@ -139,6 +137,40 @@ fn by_reason_sums_to_evictions_under_every_thread_count() {
     for pair in funnels.windows(2) {
         assert_eq!(pair[0], pair[1]);
     }
+}
+
+#[test]
+fn tracing_changes_no_results_and_spans_cover_the_funnel() {
+    // The observability tentpole's contract: a traced run is analytically
+    // indistinguishable from an untraced one, and the timeline it attaches
+    // accounts for every trace that entered the funnel.
+    let ds = Dataset::new(DatasetConfig { n_traces: 400, corruption_rate: 0.3, seed: 77 });
+    let source = ClosureSource::new(ds.len(), |i| input_for(&ds, i));
+    let plain = process(&source, &PipelineConfig::default());
+    assert!(plain.timeline.is_none());
+
+    let source = ClosureSource::new(ds.len(), |i| input_for(&ds, i));
+    let config = PipelineConfig { trace_capacity: Some(8192), ..Default::default() };
+    let traced = process(&source, &config);
+
+    assert_eq!(plain.funnel, traced.funnel);
+    assert_eq!(plain.outcomes, traced.outcomes);
+    assert_eq!(plain.representatives, traced.representatives);
+
+    let timeline = traced.timeline.expect("tracing enabled");
+    assert_eq!(timeline.dropped, 0, "8192 slots must hold a 400-trace corpus");
+    // Every trace fetched exactly once; fetch spans are the funnel roster.
+    let fetches = timeline
+        .events
+        .iter()
+        .filter(|e| e.stage == mosaic_obs::Stage::Fetch)
+        .map(|e| e.trace)
+        .collect::<std::collections::BTreeSet<u64>>();
+    assert_eq!(fetches.len(), 400);
+    // The Chrome export is valid JSON with one event stream.
+    let chrome: serde_json::Value =
+        serde_json::from_str(&timeline.to_chrome_json()).expect("valid JSON");
+    assert!(chrome["traceEvents"].as_array().map_or(0, Vec::len) > 400);
 }
 
 #[test]

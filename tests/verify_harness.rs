@@ -39,8 +39,8 @@ fn full_harness_is_green_on_fresh_checkout() {
     // invariant, and the committed golden snapshots.
     let report = run(&VerifyOptions::default());
     assert!(report.passed(), "{}", report.render());
-    // 6 differential + 5 metamorphic + 1 golden check per corpus × 3.
-    assert_eq!(report.checks.len(), 36, "{}", report.render());
+    // 7 differential + 5 metamorphic + 1 golden check per corpus × 3.
+    assert_eq!(report.checks.len(), 39, "{}", report.render());
 }
 
 #[test]
