@@ -14,10 +14,12 @@
 //!   length (start → next start of *any* operation) of the sparser
 //!   behaviour is clipped by the denser one and no longer reflects its
 //!   period — but its operations themselves stay self-similar;
-//! * the **period** of a group is the mean inter-arrival time of its
-//!   member operations (for a lone behaviour this equals the mean segment
-//!   length, so nothing changes in the simple case), and a group is only
-//!   accepted as periodic when those inter-arrivals are *regular*
+//! * the **period** of a group is a robust estimate of the inter-arrival
+//!   time of its member operations: gaps near a small integer multiple of
+//!   the median gap are folded back onto the base (Mean Shift sometimes
+//!   scatters a behaviour across clusters, leaving missed-occurrence
+//!   holes), then the mean of the folded gaps is taken. A group is only
+//!   accepted as periodic when the folded inter-arrivals are *regular*
 //!   (coefficient of variation below a threshold) — merely looking alike
 //!   is not periodicity.
 
@@ -32,7 +34,8 @@ use serde::{Deserialize, Serialize};
 pub struct PeriodicPattern {
     /// Number of occurrences (cluster size).
     pub occurrences: usize,
-    /// Mean period in seconds (mean inter-arrival of member operations).
+    /// Period in seconds: mean inter-arrival of member operations after
+    /// folding missed-occurrence gaps back onto the base cadence.
     pub period: f64,
     /// Order of magnitude of the period.
     pub magnitude: PeriodMagnitude,
@@ -61,6 +64,26 @@ fn op_feature(s: &Segment) -> [f64; 2] {
     [(1.0 + s.op_duration.max(0.0)).log10(), (1.0 + s.bytes as f64).log10()]
 }
 
+/// Largest integer multiple of the base period a gap may be folded down
+/// from (i.e. up to two consecutive missed occurrences are tolerated).
+const MAX_FOLD_FACTOR: f64 = 3.0;
+
+/// Relative tolerance for treating a gap as an integer multiple of the
+/// base period.
+const FOLD_TOL: f64 = 0.2;
+
+/// Median of an already-sorted, non-empty slice.
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        // lint: allow(panic, "mid = len / 2 < len for odd non-empty slices")
+        sorted[mid]
+    } else {
+        // lint: allow(panic, "even branch: len >= 2 (callers pass non-empty gap lists), so 1 <= mid < len")
+        0.5 * (sorted[mid - 1] + sorted[mid])
+    }
+}
+
 /// Detect periodic operations among `segments` (which must be sorted by
 /// start time, as [`crate::segment::segment`] produces them).
 ///
@@ -83,13 +106,39 @@ pub fn detect_periodic(segments: &[Segment], config: &CategorizerConfig) -> Vec<
         // lint: allow(panic, "windows(2) yields exactly-2-element slices")
         let gaps: Vec<f64> = starts.windows(2).map(|w| w[1] - w[0]).collect();
         debug_assert!(!gaps.is_empty());
-        let period = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        // Base-period estimate: the median gap. Mean Shift occasionally
+        // scatters a behaviour's occurrences across clusters (jitter pushes
+        // an op's duration over the bandwidth), which leaves double- or
+        // triple-period holes in each cluster's arrival stream; a plain
+        // mean inter-arrival then overshoots the true cadence.
+        let mut sorted_gaps = gaps.clone();
+        sorted_gaps.sort_by(f64::total_cmp);
+        let base = median_of_sorted(&sorted_gaps);
+        if base <= 0.0 {
+            continue;
+        }
+        // Harmonic folding: a gap sitting near a small integer multiple of
+        // the base is a missed occurrence, not a different cadence — fold
+        // it back onto the base. The fold factor is capped so genuinely
+        // irregular streams cannot be folded into false regularity.
+        let folded: Vec<f64> = gaps
+            .iter()
+            .map(|&g| {
+                let k = (g / base).round();
+                if (2.0..=MAX_FOLD_FACTOR).contains(&k) && (g / k - base).abs() <= FOLD_TOL * base {
+                    g / k
+                } else {
+                    g
+                }
+            })
+            .collect();
+        let period = folded.iter().sum::<f64>() / folded.len() as f64;
         if period <= 0.0 {
             continue;
         }
         // Regularity gate: similar-looking operations at irregular times
         // are repetition, not periodicity.
-        let var = gaps.iter().map(|g| (g - period).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let var = folded.iter().map(|g| (g - period).powi(2)).sum::<f64>() / folded.len() as f64;
         let regularity_cv = var.sqrt() / period;
         if regularity_cv > config.periodic_regularity_cv {
             continue;
@@ -247,6 +296,41 @@ mod tests {
         let config = CategorizerConfig { min_periodic_occurrences: 4, ..cfg() };
         assert!(detect_periodic(&train(60.0, 3, 1 << 20, 1.0), &config).is_empty());
         assert_eq!(detect_periodic(&train(60.0, 4, 1 << 20, 1.0), &config).len(), 1);
+    }
+
+    #[test]
+    fn missed_occurrences_fold_back_to_the_base_period() {
+        // Regression: when Mean Shift scatters a 120 s behaviour across
+        // clusters, a cluster that keeps 12 of 16 rounds sees a handful of
+        // 240 s gaps; a plain mean inter-arrival overshoots (the dxt_views
+        // integration test observed 152 s for a true 120 s cadence). The
+        // double-period gaps must fold back so the reported period stays
+        // at the base cadence.
+        let segments: Vec<Segment> = (0..16)
+            .filter(|i| ![3, 7, 11, 14].contains(i))
+            .map(|i| Segment {
+                start: 120.0 * i as f64,
+                duration: 120.0,
+                bytes: 128 << 20,
+                op_duration: 6.0,
+            })
+            .collect();
+        let patterns = detect_periodic(&segments, &cfg());
+        assert_eq!(patterns.len(), 1, "{patterns:?}");
+        assert!((patterns[0].period - 120.0).abs() < 1.0, "{patterns:?}");
+        assert!(patterns[0].regularity_cv < 0.05, "{patterns:?}");
+    }
+
+    #[test]
+    fn folding_does_not_rescue_irregular_streams() {
+        // Gaps far from any small multiple of the median must stay
+        // unfolded, so the regularity gate still rejects the stream.
+        let starts = [0.0, 130.0, 260.0, 980.0, 1110.0];
+        let segments: Vec<Segment> = starts
+            .iter()
+            .map(|&s| Segment { start: s, duration: 100.0, bytes: 1 << 30, op_duration: 3.0 })
+            .collect();
+        assert!(detect_periodic(&segments, &cfg()).is_empty());
     }
 
     #[test]

@@ -59,16 +59,22 @@ const NAME_WIRE_MIN_BYTES: usize = 8 + 2;
 
 /// Serialize a trace to MDF bytes.
 ///
-/// Convenience wrapper over [`try_to_bytes`] for traces that are known to
-/// fit the wire limits (anything a parser or builder in this workspace
-/// produced). Panics only on a trace that [`from_bytes`] would reject as
-/// implausible anyway.
+/// Convenience wrapper over [`try_to_bytes`] for traces whose fields are
+/// known to fit their length prefixes (anything a parser or builder in this
+/// workspace produced). Panics only on fields past `u32::MAX`/`u16::MAX`
+/// bytes, which no representable encoding could carry.
 pub fn to_bytes(log: &TraceLog) -> Vec<u8> {
     try_to_bytes(log).expect("trace exceeds MDF wire limits")
 }
 
 /// Serialize a trace to MDF bytes, reporting oversized fields as typed
 /// errors instead of silently truncating their length prefixes.
+///
+/// The writer only guards *representability* (a field must fit its length
+/// prefix); the plausibility bomb-guards (`MAX_EXE_LEN` and friends) belong
+/// to [`from_bytes`], which cannot trust its input. An in-memory trace past
+/// those limits still encodes self-consistently — and is then rejected on
+/// parse.
 pub fn try_to_bytes(log: &TraceLog) -> Result<Vec<u8>, FormatError> {
     let mut buf = BytesMut::with_capacity(estimated_size(log));
     buf.put_slice(MAGIC);
@@ -80,9 +86,9 @@ pub fn try_to_bytes(log: &TraceLog) -> Result<Vec<u8>, FormatError> {
     buf.put_u32_le(h.nprocs);
     buf.put_i64_le(h.start_time);
     buf.put_i64_le(h.end_time);
-    buf.put_u32_le(wire_len(h.exe.len(), MAX_EXE_LEN, "exe")?);
+    buf.put_u32_le(wire_len(h.exe.len(), "exe")?);
     buf.put_slice(h.exe.as_bytes());
-    buf.put_u32_le(wire_len(log.records().len(), MAX_RECORDS, "record count")?);
+    buf.put_u32_le(wire_len(log.records().len(), "record count")?);
     for r in log.records() {
         buf.put_u64_le(r.record_id);
         buf.put_i32_le(r.rank);
@@ -94,7 +100,7 @@ pub fn try_to_bytes(log: &TraceLog) -> Result<Vec<u8>, FormatError> {
             buf.put_f64_le(c);
         }
     }
-    buf.put_u32_le(wire_len(log.names().len(), MAX_NAMES, "name count")?);
+    buf.put_u32_le(wire_len(log.names().len(), "name count")?);
     for (id, name) in log.names() {
         buf.put_u64_le(*id);
         let name_len = u16::try_from(name.len()).map_err(|_| FormatError::ImplausibleLength {
@@ -109,12 +115,10 @@ pub fn try_to_bytes(log: &TraceLog) -> Result<Vec<u8>, FormatError> {
     Ok(buf.to_vec())
 }
 
-/// Encode an in-memory length as a `u32` wire field, enforcing `max`.
-fn wire_len(len: usize, max: u32, context: &'static str) -> Result<u32, FormatError> {
+/// Encode an in-memory length as a `u32` wire field.
+fn wire_len(len: usize, context: &'static str) -> Result<u32, FormatError> {
     u32::try_from(len)
-        .ok()
-        .filter(|&l| l <= max)
-        .ok_or(FormatError::ImplausibleLength { context, len: usize_to_u64(len) })
+        .map_err(|_| FormatError::ImplausibleLength { context, len: usize_to_u64(len) })
 }
 
 /// Conservative size estimate used to pre-allocate the encode buffer.

@@ -411,10 +411,10 @@ fn scan_panic_sites(
                     push(&format!("`.{name}()` can panic on hostile input"));
                 }
             }
-            Tok::Ident(name) if PANIC_MACROS.contains(&name.as_str()) => {
-                if lexed.is_punct(i + 1, '!') {
-                    push(&format!("`{name}!` aborts the whole run"));
-                }
+            Tok::Ident(name)
+                if PANIC_MACROS.contains(&name.as_str()) && lexed.is_punct(i + 1, '!') =>
+            {
+                push(&format!("`{name}!` aborts the whole run"));
             }
             Tok::Punct('[') if i > 0 => {
                 let indexes = match &toks[i - 1].tok {
@@ -435,12 +435,12 @@ fn scan_panic_sites(
 /// crates whose state can reach a snapshot digest.
 fn check_determinism(rel: &str, lexed: &Lexed, tests: &[(u32, u32)], out: &mut Vec<Finding>) {
     let toks = &lexed.tokens;
-    for i in 0..toks.len() {
-        let line = toks[i].line;
+    for (i, t) in toks.iter().enumerate() {
+        let line = t.line;
         if in_ranges(tests, line) {
             continue;
         }
-        let Tok::Ident(name) = &toks[i].tok else { continue };
+        let Tok::Ident(name) = &t.tok else { continue };
         let message = match name.as_str() {
             "HashMap" | "HashSet" => Some(format!(
                 "`{name}` iteration order is hash-seed dependent and can leak into \
@@ -541,12 +541,12 @@ fn unit_class(name: &str) -> Option<&'static str> {
 /// are skipped, so the rule only fires on nameably-wrong math.
 fn check_unit_mixing(rel: &str, lexed: &Lexed, tests: &[(u32, u32)], out: &mut Vec<Finding>) {
     let toks = &lexed.tokens;
-    for i in 0..toks.len() {
-        let op = match &toks[i].tok {
+    for (i, t) in toks.iter().enumerate() {
+        let op = match &t.tok {
             Tok::Punct(c @ ('+' | '-')) => *c,
             _ => continue,
         };
-        let line = toks[i].line;
+        let line = t.line;
         if in_ranges(tests, line) {
             continue;
         }
@@ -757,7 +757,7 @@ fn check_taxonomy(files: &[FileInput], prepared: &[Prepared], out: &mut Vec<Find
                 continue;
             }
             for (fn_name, covered) in &accounted {
-                if !covered.iter().any(|c| *c == variant) {
+                if !covered.contains(&variant) {
                     out.push(Finding {
                         rule: Rule::Taxonomy,
                         file: rel.clone(),

@@ -8,7 +8,7 @@ use mosaic_core::report::CategoryCounts;
 use mosaic_core::{Categorizer, CategorizerConfig, JaccardMatrix, TraceReport};
 use mosaic_darshan::convert::usize_to_u64;
 use mosaic_darshan::{mdf, validate, EvictClass, EvictReason, TraceLog};
-use mosaic_obs::{nanos_of, MetricsReport, Recorder, Span, SpanOutcome, Stage, TraceTimeline};
+use mosaic_obs::{MetricsReport, Recorder, Span, SpanOutcome, Stage, TraceTimeline};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};

@@ -81,12 +81,12 @@ pub fn corrupt_as<R: Rng>(mut log: TraceLog, kind: CorruptionKind, rng: &mut R) 
             // flipping the CRC also fails, but the payload case is the
             // interesting one).
             let idx = rng.gen_range(8..bytes.len() - 4);
-            bytes[idx] ^= 1 << rng.gen_range(0..8);
+            bytes[idx] ^= 1u8 << rng.gen_range(0..8);
             CorruptArtifact::Bytes(bytes)
         }
         CorruptionKind::BadMagic => {
             let mut bytes = mdf::to_bytes(&log);
-            bytes[rng.gen_range(0..8)] ^= 0xff;
+            bytes[rng.gen_range(0..8usize)] ^= 0xff;
             CorruptArtifact::Bytes(bytes)
         }
         CorruptionKind::DeallocatedRecords => {

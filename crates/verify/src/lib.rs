@@ -67,13 +67,19 @@ impl VerifyReport {
         self.checks.iter().filter(|c| !c.passed).collect()
     }
 
-    /// Render a terminal summary: one line per check, failures expanded.
+    /// Render a terminal summary: one line per check (with the first detail
+    /// line inline, so e.g. a bless's created/updated/unchanged verdict is
+    /// visible), failures expanded in full.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for c in &self.checks {
-            let mark = if c.passed { "PASS" } else { "FAIL" };
-            out.push_str(&format!("{mark}  {}\n", c.name));
-            if !c.passed {
+            if c.passed {
+                match c.detail.lines().next().filter(|l| !l.is_empty()) {
+                    Some(first) => out.push_str(&format!("PASS  {} — {first}\n", c.name)),
+                    None => out.push_str(&format!("PASS  {}\n", c.name)),
+                }
+            } else {
+                out.push_str(&format!("FAIL  {}\n", c.name));
                 for line in c.detail.lines() {
                     out.push_str(&format!("      {line}\n"));
                 }

@@ -1,0 +1,77 @@
+//! `collection::vec` and the size specifications it accepts.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Inclusive bounds on a generated collection's length.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> SizeRange {
+        SizeRange { min: exact, max: exact }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(range: std::ops::Range<usize>) -> SizeRange {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange { min: range.start, max: range.end - 1 }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(range: std::ops::RangeInclusive<usize>) -> SizeRange {
+        assert!(range.start() <= range.end(), "empty collection size range");
+        SizeRange { min: *range.start(), max: *range.end() }
+    }
+}
+
+/// Strategy producing `Vec`s whose length is drawn from `size` and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.usize_inclusive(self.size.min, self.size.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_size_spec_pins_the_length() {
+        let mut rng = TestRng::for_test("exact_size_spec_pins_the_length");
+        for _ in 0..20 {
+            assert_eq!(vec(0u8..10, 7).generate(&mut rng).len(), 7);
+        }
+    }
+
+    #[test]
+    fn range_size_spec_is_half_open_like_proptest() {
+        let mut rng = TestRng::for_test("range_size_spec_is_half_open_like_proptest");
+        let strat = vec(0u8..10, 0..4);
+        let mut seen_max = 0;
+        for _ in 0..200 {
+            let len = strat.generate(&mut rng).len();
+            assert!(len < 4);
+            seen_max = seen_max.max(len);
+        }
+        assert_eq!(seen_max, 3);
+    }
+}

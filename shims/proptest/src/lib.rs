@@ -1,0 +1,176 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Keeps the `proptest! { fn name(pat in strategy) { .. } }` surface and the
+//! strategy combinators this workspace's property tests use, but swaps the
+//! engine for a deliberately simple one: each test gets a deterministic RNG
+//! seeded from its own name, every case is freshly sampled, and failures
+//! report the sampled inputs. There is **no shrinking** and no persistence —
+//! a failure prints its inputs instead of minimizing them.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Defines property tests. Supports the optional
+/// `#![proptest_config(...)]` header followed by one or more
+/// `fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr);) => {};
+    (($config:expr); $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut __passed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            let __attempt_cap = __config.cases.saturating_mul(20).max(100);
+            while __passed < __config.cases {
+                __attempts += 1;
+                if __attempts > __attempt_cap {
+                    panic!(
+                        "proptest shim: test {} rejected too many cases ({} attempts for {} passes)",
+                        stringify!($name),
+                        __attempts,
+                        __passed,
+                    );
+                }
+                let mut __inputs = ::std::string::String::new();
+                $(
+                    let __value = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    __inputs.push_str(&::std::format!(
+                        "  {} = {:?}\n",
+                        stringify!($pat),
+                        &__value
+                    ));
+                    let $pat = __value;
+                )+
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        move || -> $crate::test_runner::TestCaseResult {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    ),
+                );
+                match __outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {
+                        __passed += 1;
+                    }
+                    ::std::result::Result::Ok(::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    )) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__msg),
+                    )) => {
+                        panic!(
+                            "proptest shim: {} failed after {} passing case(s): {}\ninputs:\n{}",
+                            stringify!($name),
+                            __passed,
+                            __msg,
+                            __inputs,
+                        );
+                    }
+                    ::std::result::Result::Err(__payload) => {
+                        let __msg = $crate::test_runner::panic_message(&__payload);
+                        panic!(
+                            "proptest shim: {} panicked after {} passing case(s): {}\ninputs:\n{}",
+                            stringify!($name),
+                            __passed,
+                            __msg,
+                            __inputs,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!(($config); $($rest)*);
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(*__l == *__r, $($fmt)+);
+            }
+        }
+    };
+}
+
+/// Fails the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
+}
+
+/// Discards the current case (does not count toward the case budget)
+/// unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}

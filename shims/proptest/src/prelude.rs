@@ -1,0 +1,9 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+/// `prop::collection::vec(...)`, `prop::sample::Index`, etc.
+pub use crate as prop;

@@ -1,0 +1,41 @@
+//! `sample::Index`: an index drawn independently of the collection it will
+//! eventually select into.
+
+/// A raw draw that maps onto `0..len` when a length is supplied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    pub(crate) fn from_raw(raw: u64) -> Index {
+        Index { raw }
+    }
+
+    /// Project the draw onto `0..len`. Panics if `len == 0`, as upstream.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot select an index from an empty collection");
+        (self.raw % len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_projects_within_bounds() {
+        for raw in [0u64, 1, 41, u64::MAX] {
+            let idx = Index::from_raw(raw);
+            for len in [1usize, 2, 7, 1000] {
+                assert!(idx.index(len) < len);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection")]
+    fn index_into_empty_panics() {
+        Index::from_raw(3).index(0);
+    }
+}

@@ -1,0 +1,157 @@
+//! String strategies from regex-shaped patterns.
+//!
+//! Real proptest compiles the full regex language; the shim supports the
+//! two shapes this workspace's tests use — a character class with a
+//! repetition count (`"[a-z/_.0-9]{0,40}"`) and the non-control escape
+//! (`"\PC{0,2000}"`) — and panics loudly on anything else.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+enum CharSet {
+    /// Explicit candidates expanded from a `[...]` class.
+    Explicit(Vec<char>),
+    /// `\PC`: any non-control scalar value, biased toward printable ASCII.
+    NonControl,
+}
+
+struct Pattern {
+    chars: CharSet,
+    min_len: usize,
+    max_len: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Pattern {
+    let unsupported = || -> ! {
+        panic!("proptest shim: unsupported string pattern `{pattern}` (supported: `[class]{{m,n}}`, `\\PC{{m,n}}`)")
+    };
+    let rest;
+    let chars = if let Some(class_rest) = pattern.strip_prefix('[') {
+        let Some(close) = class_rest.find(']') else { unsupported() };
+        let entries: Vec<char> = class_rest[..close].chars().collect();
+        let mut candidates = Vec::new();
+        let mut i = 0;
+        while i < entries.len() {
+            if i + 2 < entries.len() && entries[i + 1] == '-' {
+                let (lo, hi) = (entries[i], entries[i + 2]);
+                if lo > hi {
+                    unsupported();
+                }
+                for code in lo as u32..=hi as u32 {
+                    candidates.extend(char::from_u32(code));
+                }
+                i += 3;
+            } else {
+                candidates.push(entries[i]);
+                i += 1;
+            }
+        }
+        if candidates.is_empty() {
+            unsupported();
+        }
+        rest = &class_rest[close + 1..];
+        CharSet::Explicit(candidates)
+    } else if let Some(pc_rest) = pattern.strip_prefix("\\PC") {
+        rest = pc_rest;
+        CharSet::NonControl
+    } else {
+        unsupported()
+    };
+
+    let (min_len, max_len) = if rest.is_empty() {
+        (1, 1)
+    } else {
+        let Some(counts) = rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) else {
+            unsupported()
+        };
+        match counts.split_once(',') {
+            Some((min, max)) => {
+                let (Ok(min), Ok(max)) = (min.parse(), max.parse()) else { unsupported() };
+                (min, max)
+            }
+            None => {
+                let Ok(exact) = counts.parse() else { unsupported() };
+                (exact, exact)
+            }
+        }
+    };
+    if min_len > max_len {
+        unsupported();
+    }
+    Pattern { chars, min_len, max_len }
+}
+
+fn sample_non_control(rng: &mut TestRng) -> char {
+    // Bias toward printable ASCII so generated strings stay legible; the
+    // remaining draws exercise multi-byte scalar values.
+    if rng.next_u64() % 10 < 8 {
+        return char::from_u32(0x20 + (rng.next_u32() % 0x5F)).unwrap_or(' ');
+    }
+    loop {
+        let code = rng.next_u32() % 0x11_0000;
+        if let Some(ch) = char::from_u32(code) {
+            if !ch.is_control() {
+                return ch;
+            }
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pattern = parse_pattern(self);
+        let len = rng.usize_inclusive(pattern.min_len, pattern.max_len);
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            match &pattern.chars {
+                CharSet::Explicit(candidates) => {
+                    out.push(candidates[rng.usize_inclusive(0, candidates.len() - 1)]);
+                }
+                CharSet::NonControl => out.push(sample_non_control(rng)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_pattern_respects_alphabet_and_length() {
+        let mut rng = TestRng::for_test("class_pattern_respects_alphabet_and_length");
+        let pattern = "[a-z/_.0-9]{0,40}";
+        for _ in 0..200 {
+            let s = pattern.generate(&mut rng);
+            assert!(s.chars().count() <= 40);
+            for ch in s.chars() {
+                assert!(
+                    ch.is_ascii_lowercase() || ch.is_ascii_digit() || "/_.".contains(ch),
+                    "unexpected char {ch:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_control_pattern_never_emits_control_chars() {
+        let mut rng = TestRng::for_test("non_control_pattern_never_emits_control_chars");
+        let pattern = "\\PC{0,2000}";
+        for _ in 0..20 {
+            let s = pattern.generate(&mut rng);
+            assert!(s.chars().count() <= 2000);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn exact_count_pattern_pins_length() {
+        let mut rng = TestRng::for_test("exact_count_pattern_pins_length");
+        for _ in 0..20 {
+            assert_eq!("[a-b]{5}".generate(&mut rng).chars().count(), 5);
+        }
+    }
+}

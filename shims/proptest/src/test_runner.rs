@@ -1,0 +1,118 @@
+//! Deterministic case driver: config, per-test RNG, and case outcomes.
+
+/// Per-block configuration; only `cases` is honored by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was discarded (`prop_assume!`); it does not count.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Render a `catch_unwind` payload for the failure report.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// SplitMix64 seeded from the test name: every run of a given test draws
+/// the same case sequence, so failures reproduce without a persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the test name; distinct tests get distinct streams.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: hash }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform usize in `[min, max]` (both inclusive).
+    pub fn usize_inclusive(&mut self, min: usize, max: usize) -> usize {
+        debug_assert!(min <= max);
+        let span = (max - min) as u128 + 1;
+        min + ((self.next_u64() as u128) % span) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_test_name_gives_same_stream() {
+        let mut a = TestRng::for_test("alpha");
+        let mut b = TestRng::for_test("alpha");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_test_names_give_distinct_streams() {
+        let mut a = TestRng::for_test("alpha");
+        let mut b = TestRng::for_test("beta");
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn usize_inclusive_hits_both_endpoints() {
+        let mut rng = TestRng::for_test("endpoints");
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.usize_inclusive(0, 2)] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+}

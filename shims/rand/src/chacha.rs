@@ -1,0 +1,128 @@
+//! The ChaCha stream cipher core, word-compatible with `rand_chacha`.
+//!
+//! Layout follows D. J. Bernstein's original ChaCha (and `rand_chacha`):
+//! constants ‖ 256-bit key ‖ 64-bit block counter ‖ 64-bit nonce, all
+//! little-endian `u32` words. The keystream is the sequence of 64-byte
+//! blocks with the counter incrementing once per block; [`RngCore`] output
+//! consumes that byte stream front to back.
+//!
+//! Correctness is pinned by the published test vectors in
+//! `tests/vectors.rs`: the IETF/djb all-zero ChaCha20 block and the ECRYPT
+//! ChaCha8 256-bit-key vector.
+
+use crate::{RngCore, SeedableRng};
+
+/// `"expand 32-byte k"` as four little-endian words.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: `ROUNDS` rounds over `state`, plus the feed-forward.
+fn block<const ROUNDS: usize>(state: &[u32; 16]) -> [u32; 16] {
+    let mut w = *state;
+    for _ in 0..ROUNDS / 2 {
+        // Column round.
+        quarter_round(&mut w, 0, 4, 8, 12);
+        quarter_round(&mut w, 1, 5, 9, 13);
+        quarter_round(&mut w, 2, 6, 10, 14);
+        quarter_round(&mut w, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut w, 0, 5, 10, 15);
+        quarter_round(&mut w, 1, 6, 11, 12);
+        quarter_round(&mut w, 2, 7, 8, 13);
+        quarter_round(&mut w, 3, 4, 9, 14);
+    }
+    for (o, s) in w.iter_mut().zip(state.iter()) {
+        *o = o.wrapping_add(*s);
+    }
+    w
+}
+
+/// A deterministic ChaCha keystream RNG with a const round count.
+#[derive(Clone, Debug)]
+pub struct ChaChaRng<const ROUNDS: usize> {
+    state: [u32; 16],
+    /// Current 64-byte output block, as bytes.
+    buffer: [u8; 64],
+    /// Next unread byte in `buffer`; 64 means exhausted.
+    pos: usize,
+}
+
+impl<const ROUNDS: usize> ChaChaRng<ROUNDS> {
+    fn refill(&mut self) {
+        let words = block::<ROUNDS>(&self.state);
+        for (i, w) in words.iter().enumerate() {
+            self.buffer[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        self.pos = 0;
+        // 64-bit block counter in words 12–13.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+    }
+
+    fn next_bytes<const N: usize>(&mut self) -> [u8; N] {
+        let mut out = [0u8; N];
+        let mut filled = 0;
+        while filled < N {
+            if self.pos >= 64 {
+                self.refill();
+            }
+            let take = (N - filled).min(64 - self.pos);
+            out[filled..filled + take].copy_from_slice(&self.buffer[self.pos..self.pos + take]);
+            self.pos += take;
+            filled += take;
+        }
+        out
+    }
+}
+
+impl<const ROUNDS: usize> SeedableRng for ChaChaRng<ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> ChaChaRng<ROUNDS> {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            let mut raw = [0u8; 4];
+            raw.copy_from_slice(chunk);
+            state[4 + i] = u32::from_le_bytes(raw);
+        }
+        // Words 12–15 (counter and nonce) start at zero.
+        ChaChaRng { state, buffer: [0u8; 64], pos: 64 }
+    }
+}
+
+impl<const ROUNDS: usize> RngCore for ChaChaRng<ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.next_bytes::<4>())
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.next_bytes::<8>())
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut filled = 0;
+        while filled < dest.len() {
+            if self.pos >= 64 {
+                self.refill();
+            }
+            let take = (dest.len() - filled).min(64 - self.pos);
+            dest[filled..filled + take].copy_from_slice(&self.buffer[self.pos..self.pos + take]);
+            self.pos += take;
+            filled += take;
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build container has no route to the crates registry, so every
+//! external dependency is replaced by a small in-repo crate (see
+//! `shims/README.md`). This one provides the deterministic-RNG surface the
+//! workspace uses:
+//!
+//! * [`RngCore`] / [`SeedableRng`] — the core traits, with the PCG32-based
+//!   [`SeedableRng::seed_from_u64`] expansion matching `rand_core` 0.6.
+//! * [`Rng`] — `gen_range` over integer and float ranges (inclusive and
+//!   half-open), `gen`, `gen_bool`, blanket-implemented for every
+//!   [`RngCore`].
+//! * [`rngs::StdRng`] — ChaCha12-backed, seedable.
+//! * [`chacha::ChaChaRng`] — the ChaCha core re-exported by the
+//!   `rand_chacha` shim, pinned to published test vectors.
+//! * [`distributions`] — [`Distribution`], [`Standard`], [`WeightedIndex`].
+//! * [`seq::SliceRandom`] — Fisher–Yates [`shuffle`].
+//!
+//! Streams are internally consistent and stable forever (they feed the
+//! golden snapshots in `tests/golden/`), but are *not* promised to be
+//! bit-identical to the real `rand` crate's distributions: only the raw
+//! ChaCha keystream is vector-pinned. Everything downstream of the
+//! keystream is this shim's own (documented, frozen) arithmetic.
+//!
+//! [`Distribution`]: distributions::Distribution
+//! [`Standard`]: distributions::Standard
+//! [`WeightedIndex`]: distributions::WeightedIndex
+//! [`shuffle`]: seq::SliceRandom::shuffle
+
+#![forbid(unsafe_code)]
+
+pub mod chacha;
+
+/// The core of every random number generator: a stream of words.
+pub trait RngCore {
+    /// The next 32 bits of the stream.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with the next bytes of the stream.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed array type (32 bytes for every generator here).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed via the PCG32 step used by
+    /// `rand_core` 0.6, so seeds written in tests and benches select the
+    /// same generator state the real crate would.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 1_442_695_040_888_963_407;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let word = xorshifted.rotate_right(rot);
+            let len = chunk.len();
+            chunk.copy_from_slice(&word.to_le_bytes()[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Exclusive scaling factor turning 53 random bits into `[0, 1)`.
+const F64_UNIT: f64 = 1.0 / (1u64 << 53) as f64;
+
+/// A uniform `[0, 1)` double from the top 53 bits of one output word.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * F64_UNIT
+}
+
+/// Range types [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draw one uniform value from the range. Panics on an empty range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for std::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let span = (self.end as i128) - (self.start as i128);
+                assert!(span > 0, "gen_range called with an empty range");
+                let idx = ((rng.next_u64() as u128 * span as u128) >> 64) as i128;
+                (self.start as i128 + idx) as $ty
+            }
+        }
+        impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range called with an empty range");
+                let span = (hi as i128) - (lo as i128) + 1;
+                let idx = ((rng.next_u64() as u128 * span as u128) >> 64) as i128;
+                (lo as i128 + idx) as $ty
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for std::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range called with an empty range");
+                let unit = unit_f64(rng) as $ty;
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range called with an empty range");
+                // 53 bits scaled into [0, 1]: the closed upper end is
+                // reachable, and a degenerate lo..=lo range returns lo.
+                let unit = ((rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64) as $ty;
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+
+float_range!(f32, f64);
+
+/// Convenience sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform value from `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// A value of the [`Standard`] distribution for `T` (`f64` in
+    /// `[0, 1)`, integers over the full domain, fair `bool`).
+    ///
+    /// [`Standard`]: distributions::Standard
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Seedable generator types.
+
+    use crate::chacha::ChaChaRng;
+    use crate::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: ChaCha with 12 rounds, like
+    /// `rand` 0.8's `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng(ChaChaRng<12>);
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            StdRng(ChaChaRng::from_seed(seed))
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.0.fill_bytes(dest)
+        }
+    }
+}
+
+pub mod distributions {
+    //! Value distributions over a generator.
+
+    use std::borrow::Borrow;
+
+    use crate::{unit_f64, Rng};
+
+    /// A way of turning generator words into values of `T`.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The canonical distribution per type: full-domain integers, `[0, 1)`
+    /// floats, fair booleans.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            unit_f64(rng)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            unit_f64(rng) as f32
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    macro_rules! standard_int {
+        ($($ty:ty: $src:ident),*) => {$(
+            impl Distribution<$ty> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                    rng.$src() as $ty
+                }
+            }
+        )*};
+    }
+
+    standard_int!(u8: next_u32, u16: next_u32, u32: next_u32, i8: next_u32, i16: next_u32,
+        i32: next_u32, u64: next_u64, i64: next_u64, usize: next_u64, isize: next_u64);
+
+    /// Why a [`WeightedIndex`] could not be built.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum WeightedError {
+        /// No weights were supplied.
+        NoItem,
+        /// A weight was negative or not finite.
+        InvalidWeight,
+        /// Every weight was zero.
+        AllWeightsZero,
+    }
+
+    impl std::fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                WeightedError::NoItem => f.write_str("no weights"),
+                WeightedError::InvalidWeight => f.write_str("negative or non-finite weight"),
+                WeightedError::AllWeightsZero => f.write_str("all weights zero"),
+            }
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    /// Index sampling proportional to a list of non-negative weights.
+    #[derive(Clone, Debug)]
+    pub struct WeightedIndex {
+        /// Strictly non-decreasing cumulative weights; the last entry is
+        /// the positive total.
+        cumulative: Vec<f64>,
+    }
+
+    impl WeightedIndex {
+        /// Build from anything yielding borrowable `f64` weights.
+        pub fn new<I>(weights: I) -> Result<WeightedIndex, WeightedError>
+        where
+            I: IntoIterator,
+            I::Item: std::borrow::Borrow<f64>,
+        {
+            let mut cumulative = Vec::new();
+            let mut total = 0.0f64;
+            for w in weights {
+                let w = *w.borrow();
+                if !(w.is_finite() && w >= 0.0) {
+                    return Err(WeightedError::InvalidWeight);
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() {
+                return Err(WeightedError::NoItem);
+            }
+            if total <= 0.0 {
+                return Err(WeightedError::AllWeightsZero);
+            }
+            Ok(WeightedIndex { cumulative })
+        }
+    }
+
+    impl Distribution<usize> for WeightedIndex {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+            // `total` is positive by construction, so the last element can
+            // never be selected by `partition_point` with x < total.
+            let total = match self.cumulative.last() {
+                Some(&t) => t,
+                None => return 0,
+            };
+            let x = unit_f64(rng) * total;
+            self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers.
+
+    use crate::Rng;
+
+    /// Random-order operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Uniform in-place Fisher–Yates shuffle.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly chosen element, `None` when empty.
+        fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, WeightedError, WeightedIndex};
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17u32);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.5..7.5f64);
+            assert!((-2.5..7.5).contains(&f));
+            let i = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&i));
+            let x = rng.gen_range(0.0..=0.0f64);
+            assert_eq!(x, 0.0);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_both_ends_of_inclusive_ints() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..=2usize)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let p = hits as f64 / 20_000.0;
+        assert!((p - 0.25).abs() < 0.02, "p = {p}");
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!rng.gen_bool(0.0), "p = 0 must never yield true");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "a 100-element shuffle leaving order intact is ~impossible");
+    }
+
+    #[test]
+    fn weighted_index_follows_weights_and_skips_zeros() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = WeightedIndex::new([1.0f64, 0.0, 3.0]).unwrap();
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero weight must never be drawn");
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_weights() {
+        assert_eq!(WeightedIndex::new(&[] as &[f64]).unwrap_err(), WeightedError::NoItem);
+        assert_eq!(WeightedIndex::new([0.0f64, 0.0]).unwrap_err(), WeightedError::AllWeightsZero);
+        assert_eq!(WeightedIndex::new([1.0f64, -0.5]).unwrap_err(), WeightedError::InvalidWeight);
+    }
+
+    #[test]
+    fn standard_f64_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline shim for the `rand_chacha` crate.
+//!
+//! The ChaCha implementation itself lives in the `rand` shim
+//! (`rand::chacha`) so that `rand::rngs::StdRng` can share it without a
+//! dependency cycle; this crate provides the `rand_chacha` names the
+//! workspace imports. See `shims/README.md` and the keystream test vectors
+//! in `shims/rand_chacha/tests/vectors.rs`.
+
+#![forbid(unsafe_code)]
+
+use rand::chacha::ChaChaRng;
+
+/// ChaCha with 8 rounds: the workspace's standard seeded generator.
+pub type ChaCha8Rng = ChaChaRng<8>;
+
+/// ChaCha with 12 rounds (backs `rand::rngs::StdRng`).
+pub type ChaCha12Rng = ChaChaRng<12>;
+
+/// ChaCha with the full 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<20>;
+
+pub mod rand_core {
+    //! The subset of `rand_core` re-exported by the real crate.
+    pub use rand::{RngCore, SeedableRng};
+}

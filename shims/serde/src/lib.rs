@@ -1,0 +1,26 @@
+//! Offline shim for the `serde` crate.
+//!
+//! A serde-shaped data model — `Serialize`/`Serializer` with the
+//! `SerializeStruct`-style sub-traits, `Deserialize`/`Deserializer` with
+//! `Visitor`/`MapAccess`/`SeqAccess` — sized to exactly the surface this
+//! workspace uses, so the hand-written impls (`EvictReason`, `Category`)
+//! and the 60-odd derive sites compile unchanged against it.
+//!
+//! Simplifications versus real serde, deliberate and load-bearing:
+//!
+//! * no `*_seed` deserialization — `MapAccess`/`SeqAccess` expose the plain
+//!   `next_key::<K>()` / `next_value::<V>()` forms the derives use;
+//! * `MapAccess::next_value_with` is a shim-only extension that lets the
+//!   derive hand a struct-shaped [`de::Visitor`] to an externally-tagged
+//!   struct-variant payload without a helper type;
+//! * no zero-copy `&'de str` borrowing — every string visit goes through
+//!   `visit_str` with an arbitrary-lifetime slice.
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,532 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented without syn/quote.
+//!
+//! The input item is parsed by walking its raw `TokenTree`s and the output
+//! impl is rendered as a source string (`TokenStream::from_str` at the
+//! end). Coverage is exactly what this workspace derives on: braced structs
+//! with named fields and enums of unit / newtype / braced-struct variants,
+//! plus the `#[serde(default)]` and `#[serde(rename_all = "snake_case")]`
+//! attributes. Anything else panics with a clear message at compile time —
+//! widening the shim is a deliberate act, not an accident.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(serialize_impl(&item))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(deserialize_impl(&item))
+}
+
+fn render(source: String) -> TokenStream {
+    source
+        .parse()
+        .unwrap_or_else(|e| panic!("serde shim derive emitted invalid Rust: {e}\n{source}"))
+}
+
+// ---- item model ----------------------------------------------------------
+
+struct Field {
+    name: String,
+    /// Name on the wire (after `rename_all`).
+    wire: String,
+    /// Type, re-rendered verbatim from its tokens.
+    ty: String,
+    has_default: bool,
+    is_option: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    wire: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ---- parsing -------------------------------------------------------------
+
+#[derive(Default)]
+struct SerdeAttrs {
+    default: bool,
+    rename_all_snake: bool,
+}
+
+fn is_punct(token: Option<&TokenTree>, ch: char) -> bool {
+    matches!(token, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+fn ident_text(token: Option<&TokenTree>) -> Option<String> {
+    match token {
+        Some(TokenTree::Ident(ident)) => Some(ident.to_string()),
+        _ => None,
+    }
+}
+
+/// Consume leading attributes, folding any `#[serde(...)]` content into the
+/// returned summary. `#[doc]`, `#[default]` and the rest are skipped.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut out = SerdeAttrs::default();
+    while is_punct(tokens.get(*i), '#') {
+        let Some(TokenTree::Group(group)) = tokens.get(*i + 1) else {
+            panic!("serde shim derive: `#` not followed by an attribute group");
+        };
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        if ident_text(inner.first()).as_deref() == Some("serde") {
+            let Some(TokenTree::Group(args)) = inner.get(1) else {
+                panic!("serde shim derive: bare `#[serde]` attribute");
+            };
+            parse_serde_args(args, &mut out);
+        }
+        *i += 2;
+    }
+    out
+}
+
+fn parse_serde_args(args: &proc_macro::Group, out: &mut SerdeAttrs) {
+    let toks: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        match ident_text(toks.get(i)).as_deref() {
+            Some("default") => {
+                out.default = true;
+                i += 1;
+            }
+            Some("rename_all") => {
+                if !is_punct(toks.get(i + 1), '=') {
+                    panic!("serde shim derive: expected `rename_all = \"...\"`");
+                }
+                let style = toks.get(i + 2).map(|t| t.to_string()).unwrap_or_default();
+                if style != "\"snake_case\"" {
+                    panic!("serde shim derive: only rename_all = \"snake_case\" is supported, got {style}");
+                }
+                out.rename_all_snake = true;
+                i += 3;
+            }
+            other => panic!(
+                "serde shim derive: unsupported #[serde(...)] item {:?}",
+                other.unwrap_or("<non-ident>")
+            ),
+        }
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if ident_text(tokens.get(*i)).as_deref() == Some("pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(group)) = tokens.get(*i) {
+            if group.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (pos, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if pos > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn wire_name(name: &str, snake: bool) -> String {
+    if snake {
+        snake_case(name)
+    } else {
+        name.to_owned()
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let container = take_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let keyword = ident_text(tokens.get(i))
+        .unwrap_or_else(|| panic!("serde shim derive: expected `struct` or `enum`"));
+    i += 1;
+    let name = ident_text(tokens.get(i))
+        .unwrap_or_else(|| panic!("serde shim derive: expected the item name"));
+    i += 1;
+    if is_punct(tokens.get(i), '<') {
+        panic!("serde shim derive: generic types are not supported (on `{name}`)");
+    }
+    let Some(TokenTree::Group(body)) = tokens.get(i) else {
+        panic!("serde shim derive: `{name}` has no braced body (tuple/unit items unsupported)");
+    };
+    if body.delimiter() != Delimiter::Brace {
+        panic!("serde shim derive: `{name}` must have a braced body");
+    }
+    let body = match keyword.as_str() {
+        "struct" => Body::Struct(parse_fields(body, container.rename_all_snake)),
+        "enum" => Body::Enum(parse_variants(body, container.rename_all_snake)),
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+    Item { name, body }
+}
+
+fn parse_fields(group: &proc_macro::Group, snake: bool) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = ident_text(tokens.get(i))
+            .unwrap_or_else(|| panic!("serde shim derive: expected a field name"));
+        i += 1;
+        if !is_punct(tokens.get(i), ':') {
+            panic!("serde shim derive: expected `:` after field `{name}`");
+        }
+        i += 1;
+        // The type runs to the next comma outside angle brackets.
+        let mut depth = 0i32;
+        let mut ty_tokens: Vec<&TokenTree> = Vec::new();
+        while let Some(token) = tokens.get(i) {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    ',' if depth == 0 => break,
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    _ => {}
+                }
+            }
+            ty_tokens.push(token);
+            i += 1;
+        }
+        if i < tokens.len() {
+            i += 1; // the comma
+        }
+        let is_option = ident_text(ty_tokens.first().copied()).as_deref() == Some("Option")
+            && is_punct(ty_tokens.get(1).copied(), '<');
+        let ty = ty_tokens.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ");
+        fields.push(Field {
+            wire: wire_name(&name, snake),
+            name,
+            ty,
+            has_default: attrs.default,
+            is_option,
+        });
+    }
+    fields
+}
+
+fn parse_variants(group: &proc_macro::Group, snake: bool) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        let _attrs = take_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_text(tokens.get(i))
+            .unwrap_or_else(|| panic!("serde shim derive: expected a variant name"));
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(payload)) if payload.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = payload.stream().into_iter().collect();
+                let mut depth = 0i32;
+                for token in &inner {
+                    if let TokenTree::Punct(p) = token {
+                        match p.as_char() {
+                            ',' if depth == 0 => panic!(
+                                "serde shim derive: tuple variant `{name}` unsupported (newtype only)"
+                            ),
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                }
+                i += 1;
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(payload)) if payload.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(payload, snake);
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if is_punct(tokens.get(i), '=') {
+            // Explicit discriminant (e.g. `Posix = 0`): irrelevant to the
+            // wire format, skip to the variant separator.
+            i += 1;
+            while i < tokens.len() && !is_punct(tokens.get(i), ',') {
+                i += 1;
+            }
+        }
+        if is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+        variants.push(Variant { wire: wire_name(&name, snake), name, kind });
+    }
+    variants
+}
+
+// ---- Serialize codegen ---------------------------------------------------
+
+fn serialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let mut out = format!(
+                "let mut __state = ::serde::Serializer::serialize_struct(__serializer, \"{name}\", {}usize)?;\n",
+                fields.len()
+            );
+            for f in fields {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{}\", &self.{})?;\n",
+                    f.wire, f.name
+                ));
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(__state)");
+            out
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                let wire = &v.wire;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(__serializer, \"{name}\", {idx}u32, \"{wire}\"),\n"
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{vname}(__field0) => ::serde::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {idx}u32, \"{wire}\", __field0),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let bindings =
+                            fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(", ");
+                        let mut inner = format!(
+                            "{name}::{vname} {{ {bindings} }} => {{\n\
+                             let mut __state = ::serde::Serializer::serialize_struct_variant(__serializer, \"{name}\", {idx}u32, \"{wire}\", {}usize)?;\n",
+                            fields.len()
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __state, \"{}\", {})?;\n",
+                                f.wire, f.name
+                            ));
+                        }
+                        inner.push_str("::serde::ser::SerializeStructVariant::end(__state)\n}\n");
+                        arms.push_str(&inner);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+// ---- Deserialize codegen -------------------------------------------------
+
+/// The `visit_map` interior shared by struct bodies and struct-variant
+/// payloads: accumulate known fields, skip unknown ones, then build `ctor`.
+fn visit_map_body(ctor: &str, fields: &[Field]) -> String {
+    let mut decls = String::new();
+    let mut arms = String::new();
+    let mut builds = String::new();
+    for f in fields {
+        let fname = &f.name;
+        let wire = &f.wire;
+        let ty = &f.ty;
+        decls.push_str(&format!(
+            "let mut __field_{fname}: ::core::option::Option<{ty}> = ::core::option::Option::None;\n"
+        ));
+        arms.push_str(&format!(
+            "\"{wire}\" => {{ __field_{fname} = ::core::option::Option::Some(__map.next_value()?); }}\n"
+        ));
+        let missing = if f.is_option {
+            "::core::option::Option::None".to_owned()
+        } else if f.has_default {
+            "::core::default::Default::default()".to_owned()
+        } else {
+            format!(
+                "return ::core::result::Result::Err(::serde::de::Error::missing_field(\"{wire}\"))"
+            )
+        };
+        builds.push_str(&format!(
+            "{fname}: match __field_{fname} {{\n\
+             ::core::option::Option::Some(__v) => __v,\n\
+             ::core::option::Option::None => {missing},\n\
+             }},\n"
+        ));
+    }
+    format!(
+        "{decls}\
+         while let ::core::option::Option::Some(__key) = __map.next_key::<::std::string::String>()? {{\n\
+         match __key.as_str() {{\n\
+         {arms}\
+         _ => {{ let _ = __map.next_value::<::serde::de::IgnoredAny>()?; }}\n\
+         }}\n\
+         }}\n\
+         ::core::result::Result::Ok({ctor} {{\n{builds}}})"
+    )
+}
+
+fn map_visitor(
+    visitor: &str,
+    value_ty: &str,
+    expect: &str,
+    ctor: &str,
+    fields: &[Field],
+) -> String {
+    let body = visit_map_body(ctor, fields);
+    format!(
+        "struct {visitor};\n\
+         impl<'de> ::serde::de::Visitor<'de> for {visitor} {{\n\
+         type Value = {value_ty};\n\
+         fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+         __f.write_str(\"{expect}\")\n\
+         }}\n\
+         fn visit_map<__A: ::serde::de::MapAccess<'de>>(self, mut __map: __A) -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn deserialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let visitor = map_visitor("__Visitor", name, &format!("struct {name}"), name, fields);
+            format!("{visitor}__deserializer.deserialize_map(__Visitor)")
+        }
+        Body::Enum(variants) => {
+            let mut variant_visitors = String::new();
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            let mut has_unit = false;
+            let mut has_data = false;
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                let wire = &v.wire;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        has_unit = true;
+                        unit_arms.push_str(&format!(
+                            "\"{wire}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                        data_arms.push_str(&format!(
+                            "\"{wire}\" => {{ let _ = __map.next_value::<::serde::de::IgnoredAny>()?; {name}::{vname} }}\n"
+                        ));
+                    }
+                    VariantKind::Newtype => {
+                        has_data = true;
+                        data_arms.push_str(&format!(
+                            "\"{wire}\" => {name}::{vname}(__map.next_value()?),\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        has_data = true;
+                        let visitor = format!("__Variant{idx}Visitor");
+                        variant_visitors.push_str(&map_visitor(
+                            &visitor,
+                            name,
+                            &format!("struct variant {name}::{vname}"),
+                            &format!("{name}::{vname}"),
+                            fields,
+                        ));
+                        data_arms.push_str(&format!(
+                            "\"{wire}\" => __map.next_value_with({visitor})?,\n"
+                        ));
+                    }
+                }
+            }
+            let visit_str = if has_unit {
+                format!(
+                    "fn visit_str<__E: ::serde::de::Error>(self, __v: &str) -> ::core::result::Result<{name}, __E> {{\n\
+                     match __v {{\n\
+                     {unit_arms}\
+                     __other => ::core::result::Result::Err(::serde::de::Error::custom(::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                     }}\n\
+                     }}\n"
+                )
+            } else {
+                String::new()
+            };
+            let visit_map = if has_data {
+                format!(
+                    "fn visit_map<__A: ::serde::de::MapAccess<'de>>(self, mut __map: __A) -> ::core::result::Result<{name}, __A::Error> {{\n\
+                     let __key = match __map.next_key::<::std::string::String>()? {{\n\
+                     ::core::option::Option::Some(__k) => __k,\n\
+                     ::core::option::Option::None => return ::core::result::Result::Err(::serde::de::Error::custom(\"expected a variant name\")),\n\
+                     }};\n\
+                     let __value = match __key.as_str() {{\n\
+                     {data_arms}\
+                     __other => return ::core::result::Result::Err(::serde::de::Error::custom(::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                     }};\n\
+                     ::core::result::Result::Ok(__value)\n\
+                     }}\n"
+                )
+            } else {
+                String::new()
+            };
+            format!(
+                "{variant_visitors}\
+                 struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                 __f.write_str(\"enum {name}\")\n\
+                 }}\n\
+                 {visit_str}\
+                 {visit_map}\
+                 }}\n\
+                 __deserializer.deserialize_any(__Visitor)"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) -> ::core::result::Result<{name}, __D::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}

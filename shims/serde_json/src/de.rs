@@ -1,0 +1,583 @@
+//! Deserialization: a recursive-descent parser to [`Value`], and a
+//! deserializer that replays a `Value` tree into any `Deserialize` impl.
+
+use std::collections::btree_map;
+use std::collections::BTreeMap;
+
+use serde::de::{Error as _, Visitor};
+
+use crate::{Error, Number, Value};
+
+/// Parse a JSON document into any deserializable type.
+pub fn from_str<T: serde::de::DeserializeOwned>(input: &str) -> Result<T, Error> {
+    T::deserialize(ValueDeserializer(parse(input)?))
+}
+
+// ---- text -> Value -------------------------------------------------------
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.value(0)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", parser.pos)));
+    }
+    Ok(value)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected `{}` at byte {}", char::from(b), self.pos)))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::new("recursion limit exceeded"));
+        }
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(other) => {
+                Err(Error::new(format!("unexpected byte `{}` at {}", char::from(other), self.pos)))
+            }
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            entries.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        other => {
+                            return Err(Error::new(format!(
+                                "invalid escape `\\{}`",
+                                char::from(other)
+                            )))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character; the input is a &str so
+                    // byte-stepping to the next char boundary is safe.
+                    let rest = &self.bytes[self.pos..];
+                    let len = utf8_len(rest[0]);
+                    let chunk = rest
+                        .get(..len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| Error::new("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, Error> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|c| std::str::from_utf8(c).ok())
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        let code = u16::from_str_radix(chunk, 16)
+            .map_err(|_| Error::new(format!("invalid \\u escape `{chunk}`")))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, Error> {
+        let high = self.hex4()?;
+        if (0xD800..0xDC00).contains(&high) {
+            // High surrogate: a \uXXXX low surrogate must follow.
+            if !self.eat_keyword("\\u") {
+                return Err(Error::new("unpaired surrogate"));
+            }
+            let low = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&low) {
+                return Err(Error::new("invalid low surrogate"));
+            }
+            let code = 0x10000 + ((u32::from(high) - 0xD800) << 10) + (u32::from(low) - 0xDC00);
+            char::from_u32(code).ok_or_else(|| Error::new("invalid surrogate pair"))
+        } else if (0xDC00..0xE000).contains(&high) {
+            Err(Error::new("unpaired low surrogate"))
+        } else {
+            char::from_u32(u32::from(high)).ok_or_else(|| Error::new("invalid \\u escape"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        let number = if is_float {
+            Number::Float(
+                text.parse::<f64>().map_err(|_| Error::new(format!("invalid number `{text}`")))?,
+            )
+        } else if text.starts_with('-') {
+            match text.parse::<i64>() {
+                Ok(v) => Number::from_i64(v),
+                // Magnitude overflow degrades to float, as in serde_json
+                // without arbitrary_precision.
+                Err(_) => Number::Float(
+                    text.parse::<f64>()
+                        .map_err(|_| Error::new(format!("invalid number `{text}`")))?,
+                ),
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(v) => Number::PosInt(v),
+                Err(_) => Number::Float(
+                    text.parse::<f64>()
+                        .map_err(|_| Error::new(format!("invalid number `{text}`")))?,
+                ),
+            }
+        };
+        Ok(Value::Number(number))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+// ---- Value -> Deserialize ------------------------------------------------
+
+/// Replays an owned [`Value`] into a visitor.
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> serde::Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.0 {
+            Value::Null => visitor.visit_unit(),
+            Value::Bool(b) => visitor.visit_bool(b),
+            Value::Number(Number::PosInt(v)) => visitor.visit_u64(v),
+            Value::Number(Number::NegInt(v)) => visitor.visit_i64(v),
+            Value::Number(Number::Float(v)) => visitor.visit_f64(v),
+            Value::String(s) => visitor.visit_string(s),
+            Value::Array(items) => visitor.visit_seq(SeqDeserializer(items.into_iter())),
+            Value::Object(entries) => {
+                visitor.visit_map(MapDeserializer { iter: entries.into_iter(), pending: None })
+            }
+        }
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.deserialize_any(visitor)
+    }
+
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.deserialize_any(visitor)
+    }
+
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.deserialize_any(visitor)
+    }
+
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.deserialize_any(visitor)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.deserialize_any(visitor)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.deserialize_any(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.0 {
+            Value::Null => visitor.visit_none(),
+            other => visitor.visit_some(ValueDeserializer(other)),
+        }
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.deserialize_any(visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.deserialize_any(visitor)
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.deserialize_any(visitor)
+    }
+}
+
+struct SeqDeserializer(std::vec::IntoIter<Value>);
+
+impl<'de> serde::de::SeqAccess<'de> for SeqDeserializer {
+    type Error = Error;
+
+    fn next_element<T: serde::Deserialize<'de>>(&mut self) -> Result<Option<T>, Error> {
+        match self.0.next() {
+            Some(value) => T::deserialize(ValueDeserializer(value)).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.0.len())
+    }
+}
+
+struct MapDeserializer {
+    iter: btree_map::IntoIter<String, Value>,
+    pending: Option<Value>,
+}
+
+impl<'de> serde::de::MapAccess<'de> for MapDeserializer {
+    type Error = Error;
+
+    fn next_key<K: serde::Deserialize<'de>>(&mut self) -> Result<Option<K>, Error> {
+        match self.iter.next() {
+            Some((key, value)) => {
+                self.pending = Some(value);
+                K::deserialize(KeyDeserializer(key)).map(Some)
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn next_value<V: serde::Deserialize<'de>>(&mut self) -> Result<V, Error> {
+        let value =
+            self.pending.take().ok_or_else(|| Error::new("next_value called before next_key"))?;
+        V::deserialize(ValueDeserializer(value))
+    }
+
+    fn next_value_with<V: Visitor<'de>>(&mut self, visitor: V) -> Result<V::Value, Error> {
+        let value = self
+            .pending
+            .take()
+            .ok_or_else(|| Error::new("next_value_with called before next_key"))?;
+        serde::Deserializer::deserialize_any(ValueDeserializer(value), visitor)
+    }
+}
+
+/// Deserializes a map key. Keys are always JSON strings, but integer-keyed
+/// maps round-trip by re-parsing the text when an integer entry point asks.
+struct KeyDeserializer(String);
+
+impl KeyDeserializer {
+    fn parse_number(&self) -> Result<Value, Error> {
+        if let Ok(v) = self.0.parse::<u64>() {
+            return Ok(Value::Number(Number::PosInt(v)));
+        }
+        if let Ok(v) = self.0.parse::<i64>() {
+            return Ok(Value::Number(Number::from_i64(v)));
+        }
+        self.0
+            .parse::<f64>()
+            .map(|v| Value::Number(Number::Float(v)))
+            .map_err(|_| Error::new(format!("invalid numeric key `{}`", self.0)))
+    }
+}
+
+impl<'de> serde::Deserializer<'de> for KeyDeserializer {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        visitor.visit_string(self.0)
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.0.as_str() {
+            "true" => visitor.visit_bool(true),
+            "false" => visitor.visit_bool(false),
+            other => Err(Error::custom(format!("invalid boolean key `{other}`"))),
+        }
+    }
+
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        ValueDeserializer(self.parse_number()?).deserialize_i64(visitor)
+    }
+
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        ValueDeserializer(self.parse_number()?).deserialize_u64(visitor)
+    }
+
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        ValueDeserializer(self.parse_number()?).deserialize_f64(visitor)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.deserialize_any(visitor)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.deserialize_any(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        visitor.visit_some(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Error> {
+        Err(Error::custom("JSON object keys cannot be sequences"))
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Error> {
+        Err(Error::custom("JSON object keys cannot be maps"))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.deserialize_any(visitor)
+    }
+}
+
+// ---- Deserialize for Value -----------------------------------------------
+
+struct ValueVisitor;
+
+impl<'de> Visitor<'de> for ValueVisitor {
+    type Value = Value;
+
+    fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("any JSON value")
+    }
+
+    fn visit_bool<E: serde::de::Error>(self, v: bool) -> Result<Value, E> {
+        Ok(Value::Bool(v))
+    }
+
+    fn visit_i64<E: serde::de::Error>(self, v: i64) -> Result<Value, E> {
+        Ok(Value::Number(Number::from_i64(v)))
+    }
+
+    fn visit_u64<E: serde::de::Error>(self, v: u64) -> Result<Value, E> {
+        Ok(Value::Number(Number::PosInt(v)))
+    }
+
+    fn visit_f64<E: serde::de::Error>(self, v: f64) -> Result<Value, E> {
+        Ok(Value::Number(Number::Float(v)))
+    }
+
+    fn visit_str<E: serde::de::Error>(self, v: &str) -> Result<Value, E> {
+        Ok(Value::String(v.to_owned()))
+    }
+
+    fn visit_unit<E: serde::de::Error>(self) -> Result<Value, E> {
+        Ok(Value::Null)
+    }
+
+    fn visit_none<E: serde::de::Error>(self) -> Result<Value, E> {
+        Ok(Value::Null)
+    }
+
+    fn visit_some<D: serde::Deserializer<'de>>(self, deserializer: D) -> Result<Value, D::Error> {
+        serde::Deserialize::deserialize(deserializer)
+    }
+
+    fn visit_seq<A: serde::de::SeqAccess<'de>>(self, mut seq: A) -> Result<Value, A::Error> {
+        let mut items = Vec::new();
+        while let Some(item) = seq.next_element::<Value>()? {
+            items.push(item);
+        }
+        Ok(Value::Array(items))
+    }
+
+    fn visit_map<A: serde::de::MapAccess<'de>>(self, mut map: A) -> Result<Value, A::Error> {
+        let mut entries = BTreeMap::new();
+        while let Some(key) = map.next_key::<String>()? {
+            let value = map.next_value::<Value>()?;
+            entries.insert(key, value);
+        }
+        Ok(Value::Object(entries))
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Value {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Value, D::Error> {
+        deserializer.deserialize_any(ValueVisitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc: Value =
+            from_str(r#"{"a": [1, -2, 3.5], "b": {"c": null, "d": "x\ny"}, "e": true}"#).unwrap();
+        assert_eq!(doc["a"][0], 1);
+        assert_eq!(doc["a"][1], -2);
+        assert_eq!(doc["a"][2], 3.5);
+        assert!(doc["b"]["c"].is_null());
+        assert_eq!(doc["b"]["d"], "x\ny");
+        assert_eq!(doc["e"], true);
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogate_pairs_decode() {
+        let doc: Value = from_str(r#""Aé😀""#).unwrap();
+        assert_eq!(doc, "Aé😀");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>(r#""\ud800""#).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(from_str::<Value>(&deep).is_err());
+    }
+
+    #[test]
+    fn numbers_round_trip_through_text() {
+        let doc: Value = from_str("18446744073709551615").unwrap();
+        assert_eq!(doc, 18_446_744_073_709_551_615u64);
+        let doc: Value = from_str("-9007199254740993").unwrap();
+        assert_eq!(doc, -9_007_199_254_740_993i64);
+        let doc: Value = from_str("1e3").unwrap();
+        assert_eq!(doc, 1000.0f64);
+    }
+}

@@ -1,0 +1,350 @@
+//! Offline shim for the `serde_json` crate.
+//!
+//! Everything funnels through [`Value`]: serialization builds a `Value` tree
+//! and renders it; deserialization parses to a `Value` tree and replays it
+//! into the target's `Deserialize` impl. Matching real serde_json defaults,
+//! objects are backed by `BTreeMap` (sorted keys) and non-finite floats
+//! serialize as `null`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub mod de;
+pub mod ser;
+
+pub use de::from_str;
+pub use ser::{to_string, to_string_pretty};
+
+/// Any valid JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+/// A JSON number: non-negative integers normalize to `PosInt`, so `NegInt`
+/// is always strictly negative. Integers and floats never compare equal,
+/// matching serde_json.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::Float(_) => None,
+        }
+    }
+
+    pub(crate) fn from_i64(v: i64) -> Number {
+        match u64::try_from(v) {
+            Ok(u) => Number::PosInt(u),
+            Err(_) => Number::NegInt(v),
+        }
+    }
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.get(key),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! eq_integer {
+    ($($ty:ty),*) => {$(
+        impl PartialEq<$ty> for Value {
+            fn eq(&self, other: &$ty) -> bool {
+                match self {
+                    Value::Number(n) => match i64::try_from(*other) {
+                        Ok(v) => *n == Number::from_i64(v),
+                        // Only u64 values above i64::MAX land here.
+                        Err(_) => n.as_u64() == u64::try_from(*other).ok(),
+                    },
+                    _ => false,
+                }
+            }
+        }
+    )*};
+}
+
+eq_integer!(i32, i64, u32, u64, usize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, Value::Number(Number::Float(v)) if v == other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&ser::write_compact(self))
+    }
+}
+
+/// Shared error type for both directions, as in real serde_json.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Error {
+        Error::new(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Error {
+        Error::new(msg.to_string())
+    }
+}
+
+/// Convert any serializable value into a [`Value`] tree. Serialization into
+/// the value builder cannot fail for the types this workspace uses; an
+/// impl-raised error degrades to `Null` rather than panicking.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize(ser::ValueSerializer).unwrap_or(Value::Null)
+}
+
+/// Build a [`Value`] from JSON-shaped syntax. Object and array literals
+/// recurse; any other value position takes a Rust expression through
+/// [`to_value`].
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object(::std::collections::BTreeMap::new()) };
+    ({ $($body:tt)+ }) => {{
+        let mut __object = ::std::collections::BTreeMap::new();
+        $crate::json_entries!(__object; $($body)+);
+        $crate::Value::Object(__object)
+    }};
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($body:tt)+ ]) => {
+        $crate::json_elements!([] $($body)+)
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`]: munches array elements, accumulating
+/// finished element expressions in the leading `[...]` so the terminal rule
+/// can emit one `vec![...]` literal.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_elements {
+    ([$($elem:expr),*]) => {
+        $crate::Value::Array(::std::vec![$($elem),*])
+    };
+    ([$($elem:expr),*] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_elements!([$($elem,)* $crate::json!({ $($inner)* })] $($($rest)*)?)
+    };
+    ([$($elem:expr),*] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_elements!([$($elem,)* $crate::json!([ $($inner)* ])] $($($rest)*)?)
+    };
+    ([$($elem:expr),*] null $(, $($rest:tt)*)?) => {
+        $crate::json_elements!([$($elem,)* $crate::Value::Null] $($($rest)*)?)
+    };
+    ([$($elem:expr),*] $value:expr , $($rest:tt)*) => {
+        $crate::json_elements!([$($elem,)* $crate::to_value(&$value)] $($rest)*)
+    };
+    ([$($elem:expr),*] $value:expr) => {
+        $crate::json_elements!([$($elem,)* $crate::to_value(&$value)])
+    };
+}
+
+/// Implementation detail of [`json!`]: munches `"key": value` pairs into a
+/// map. The brace/bracket/null rules must precede the `expr` rules so nested
+/// literals recurse instead of hard-failing expression parsing.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entries {
+    ($map:ident;) => {};
+    ($map:ident; $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_entries!($map; $($($rest)*)?);
+    };
+    ($map:ident; $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json_entries!($map; $($($rest)*)?);
+    };
+    ($map:ident; $key:literal : null $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::Value::Null);
+        $crate::json_entries!($map; $($($rest)*)?);
+    };
+    ($map:ident; $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::to_value(&$value));
+        $crate::json_entries!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : $value:expr) => {
+        $map.insert($key.to_string(), $crate::to_value(&$value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_objects_and_exprs() {
+        let tid = 3u64;
+        let doc = json!({
+            "name": format!("worker-{tid}"),
+            "ph": "X",
+            "args": { "trace": 2, "nested": { "deep": null } },
+            "list": [1, 2, 3],
+            "tail": tid,
+        });
+        assert_eq!(doc["name"], "worker-3");
+        assert_eq!(doc["ph"], "X");
+        assert_eq!(doc["args"]["trace"], 2);
+        assert!(doc["args"]["nested"]["deep"].is_null());
+        assert_eq!(doc["list"][1], 2);
+        assert_eq!(doc["tail"], 3u64);
+    }
+
+    #[test]
+    fn missing_keys_index_to_null() {
+        let doc = json!({"a": 1});
+        assert!(doc["nope"].is_null());
+        assert!(doc["nope"]["deeper"].is_null());
+    }
+
+    #[test]
+    fn integers_and_floats_are_distinct_numbers() {
+        assert_ne!(to_value(&1i64), to_value(&1.0f64));
+        assert_eq!(to_value(&1i64), to_value(&1u64));
+        assert_eq!(to_value(&-3i64), Value::Number(Number::NegInt(-3)));
+    }
+}

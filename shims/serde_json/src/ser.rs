@@ -1,0 +1,382 @@
+//! Serialization: a `Value`-building [`serde::Serializer`] plus compact and
+//! pretty writers over the finished tree.
+
+use std::collections::BTreeMap;
+
+use crate::{Error, Number, Value};
+
+/// Render any serializable value as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write_compact(&value.serialize(ValueSerializer)?))
+}
+
+/// Render any serializable value as 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(ValueSerializer)?, Some(0));
+    Ok(out)
+}
+
+pub(crate) fn write_compact(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, None);
+    out
+}
+
+/// `indent` is `Some(depth)` in pretty mode, `None` in compact mode.
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                open_line(out, indent);
+                write_value(out, item, indent.map(|d| d + 1));
+            }
+            close_line(out, indent);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                open_line(out, indent);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent.map(|d| d + 1));
+            }
+            close_line(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn open_line(out: &mut String, indent: Option<usize>) {
+    if let Some(depth) = indent {
+        out.push('\n');
+        for _ in 0..=depth {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn close_line(out: &mut String, indent: Option<usize>) {
+    if let Some(depth) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::PosInt(v) => out.push_str(&v.to_string()),
+        Number::NegInt(v) => out.push_str(&v.to_string()),
+        // `{:?}` keeps a trailing `.0` on integral floats and round-trips,
+        // matching serde_json's rendering closely enough for goldens.
+        Number::Float(v) => out.push_str(&format!("{v:?}")),
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- the Value-building serializer ---------------------------------------
+
+/// Serializes any `serde::Serialize` type into a [`Value`] tree.
+pub struct ValueSerializer;
+
+/// Map/struct keys must render as JSON strings; numbers are stringified the
+/// way serde_json does for integer-keyed maps.
+fn key_string(value: Value) -> Result<String, Error> {
+    match value {
+        Value::String(s) => Ok(s),
+        Value::Number(n) => {
+            let mut out = String::new();
+            write_number(&mut out, n);
+            Ok(out)
+        }
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(Error::new(format!("JSON object key must be a string, got {other:?}"))),
+    }
+}
+
+pub struct SeqBuilder {
+    items: Vec<Value>,
+}
+
+impl serde::ser::SerializeSeq for SeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_element<T: serde::Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Array(self.items))
+    }
+}
+
+pub struct MapBuilder {
+    entries: BTreeMap<String, Value>,
+    /// `Some(variant)` when building an externally-tagged struct variant:
+    /// `end` wraps the map as `{"Variant": {...}}`.
+    wrap_variant: Option<&'static str>,
+}
+
+impl MapBuilder {
+    fn finish(self) -> Value {
+        let object = Value::Object(self.entries);
+        match self.wrap_variant {
+            Some(variant) => {
+                let mut outer = BTreeMap::new();
+                outer.insert(variant.to_owned(), object);
+                Value::Object(outer)
+            }
+            None => object,
+        }
+    }
+}
+
+impl serde::ser::SerializeMap for MapBuilder {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_entry<K: serde::Serialize + ?Sized, V: serde::Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Error> {
+        let key = key_string(key.serialize(ValueSerializer)?)?;
+        self.entries.insert(key, value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(self.finish())
+    }
+}
+
+impl serde::ser::SerializeStruct for MapBuilder {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_field<T: serde::Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.entries.insert(key.to_owned(), value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(self.finish())
+    }
+}
+
+impl serde::ser::SerializeStructVariant for MapBuilder {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_field<T: serde::Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        serde::ser::SerializeStruct::serialize_field(self, key, value)
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(self.finish())
+    }
+}
+
+impl serde::Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeSeq = SeqBuilder;
+    type SerializeMap = MapBuilder;
+    type SerializeStruct = MapBuilder;
+    type SerializeStructVariant = MapBuilder;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Error> {
+        Ok(Value::Bool(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::from_i64(v)))
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::PosInt(v)))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Value, Error> {
+        // serde_json renders non-finite floats as null.
+        if v.is_finite() {
+            Ok(Value::Number(Number::Float(v)))
+        } else {
+            Ok(Value::Null)
+        }
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::String(v.to_owned()))
+    }
+
+    fn serialize_unit(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_none(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_some<T: serde::Serialize + ?Sized>(self, value: &T) -> Result<Value, Error> {
+        value.serialize(ValueSerializer)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Value, Error> {
+        Ok(Value::String(variant.to_owned()))
+    }
+
+    fn serialize_newtype_variant<T: serde::Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Value, Error> {
+        let mut outer = BTreeMap::new();
+        outer.insert(variant.to_owned(), value.serialize(ValueSerializer)?);
+        Ok(Value::Object(outer))
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqBuilder, Error> {
+        Ok(SeqBuilder { items: Vec::with_capacity(len.unwrap_or(0)) })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<MapBuilder, Error> {
+        Ok(MapBuilder { entries: BTreeMap::new(), wrap_variant: None })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<MapBuilder, Error> {
+        Ok(MapBuilder { entries: BTreeMap::new(), wrap_variant: None })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<MapBuilder, Error> {
+        Ok(MapBuilder { entries: BTreeMap::new(), wrap_variant: Some(variant) })
+    }
+}
+
+impl serde::Serialize for Value {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Value::Null => serializer.serialize_unit(),
+            Value::Bool(b) => serializer.serialize_bool(*b),
+            Value::Number(Number::PosInt(v)) => serializer.serialize_u64(*v),
+            Value::Number(Number::NegInt(v)) => serializer.serialize_i64(*v),
+            Value::Number(Number::Float(v)) => serializer.serialize_f64(*v),
+            Value::String(s) => serializer.serialize_str(s),
+            Value::Array(items) => items.serialize(serializer),
+            Value::Object(entries) => entries.serialize(serializer),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{json, to_string, to_string_pretty, Value};
+
+    #[test]
+    fn compact_rendering_matches_serde_json_conventions() {
+        let doc = json!({
+            "b": 1,
+            "a": [1.5, true, null],
+            "s": "line\n\"quoted\"\\",
+        });
+        // BTreeMap backing means keys come out sorted, as with default
+        // serde_json Map.
+        assert_eq!(
+            to_string(&doc).unwrap(),
+            r#"{"a":[1.5,true,null],"b":1,"s":"line\n\"quoted\"\\"}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_indents_by_two_spaces() {
+        let doc = json!({"a": 1, "b": {"c": [1, 2]}});
+        let pretty = to_string_pretty(&doc).unwrap();
+        assert_eq!(
+            pretty,
+            "{\n  \"a\": 1,\n  \"b\": {\n    \"c\": [\n      1,\n      2\n    ]\n  }\n}"
+        );
+    }
+
+    #[test]
+    fn integral_floats_keep_their_decimal_point() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.1f64).unwrap(), "0.1");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn empty_containers_render_compactly_even_in_pretty_mode() {
+        let doc = json!({"a": Vec::<u64>::new()});
+        assert_eq!(to_string_pretty(&doc).unwrap(), "{\n  \"a\": []\n}");
+        assert_eq!(to_string(&Value::Object(Default::default())).unwrap(), "{}");
+    }
+}

@@ -4,32 +4,24 @@
 
 use mosaic_verify::{golden, run, VerifyOptions, VerifyReport};
 
-/// Bless `tests/golden/` if any standard snapshot is missing.
+/// Assert that every standard snapshot is committed in `tests/golden/`.
 ///
-/// On a checkout that carries the committed snapshots this is a no-op and
-/// every comparison below stays strict — any drift fails. The bootstrap
-/// exists because the snapshots can only be produced by running the
-/// pipeline (`mosaic verify --golden --bless`), so a checkout that predates
-/// them must generate rather than fail; the blessed files should then be
-/// committed. `Once` serializes the two tests that read the directory.
+/// The snapshots are part of the repository; a missing file means the
+/// checkout is broken or a new corpus was added without blessing it. This
+/// must *fail loudly*, never silently regenerate: an auto-bless would pin
+/// whatever the current (possibly buggy) code produces and the golden
+/// suite would verify nothing. To add or update snapshots intentionally,
+/// run `mosaic verify --golden --bless` and commit the diff.
 fn ensure_golden() {
-    static BOOTSTRAP: std::sync::Once = std::sync::Once::new();
-    BOOTSTRAP.call_once(|| {
-        let dir = golden::default_dir();
-        let missing = mosaic_synth::MiniCorpus::standard()
-            .iter()
-            .any(|corpus| !dir.join(format!("{}.json", corpus.name())).exists());
-        if missing {
-            eprintln!("tests/golden is incomplete — blessing fresh snapshots; commit the results");
-            let blessing = run(&VerifyOptions {
-                differential: false,
-                metamorphic: false,
-                bless: true,
-                ..VerifyOptions::default()
-            });
-            assert!(blessing.passed(), "{}", blessing.render());
-        }
-    });
+    let dir = golden::default_dir();
+    for corpus in mosaic_synth::MiniCorpus::standard() {
+        let path = dir.join(format!("{}.json", corpus.name()));
+        assert!(
+            path.exists(),
+            "missing golden snapshot {} — run `mosaic verify --golden --bless` and commit it",
+            path.display()
+        );
+    }
 }
 
 #[test]
