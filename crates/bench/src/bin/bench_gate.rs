@@ -1,0 +1,50 @@
+//! The throughput-regression gate.
+//!
+//! Compares a fresh `sec4e_performance` report against the committed
+//! baseline and exits nonzero when throughput regressed by more than
+//! `--max-regression` (default 10 %). Run by CI on every push:
+//!
+//! ```sh
+//! cargo run --release -p mosaic-bench --bin sec4e_performance -- --n 2000 \
+//!     --bench-out target/BENCH_sec4e.json
+//! cargo run --release -p mosaic-bench --bin bench_gate -- \
+//!     --baseline BENCH_sec4e.json --current target/BENCH_sec4e.json
+//! ```
+//!
+//! To refresh the baseline after an intentional perf change, re-run
+//! `sec4e_performance` with `--bench-out BENCH_sec4e.json` at the workspace
+//! root and commit the result alongside the change that explains it.
+
+use mosaic_bench::{perf, Flags};
+use serde_json::Value;
+
+fn read_report(path: &str) -> Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
+}
+
+fn main() {
+    let flags = Flags::from_args();
+    let baseline_path = flags.get("baseline", "BENCH_sec4e.json".to_owned());
+    let current_path = flags.get("current", "target/BENCH_sec4e.json".to_owned());
+    let max_regression = flags.get("max-regression", 0.10f64);
+
+    let baseline = read_report(&baseline_path);
+    let current = read_report(&current_path);
+    println!(
+        "bench gate: {current_path} vs baseline {baseline_path} (allowance {:.0}%)",
+        100.0 * max_regression
+    );
+    match perf::gate(&baseline, &current, max_regression) {
+        Ok(verdict) => println!("PASS — {verdict}"),
+        Err(reason) => {
+            eprintln!("FAIL — {reason}");
+            eprintln!(
+                "if this regression is intentional, refresh the baseline: \
+                 cargo run --release -p mosaic-bench --bin sec4e_performance -- \
+                 --n 2000 --bench-out {baseline_path}  (and commit it)"
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -8,10 +8,12 @@
 #![forbid(unsafe_code)]
 
 use mosaic_core::CategorizerConfig;
-use mosaic_pipeline::executor::{process, PipelineConfig, PipelineResult};
-use mosaic_pipeline::source::{ClosureSource, TraceInput};
+use mosaic_pipeline::executor::{process, ParseMode, PipelineConfig, PipelineResult};
+use mosaic_pipeline::source::{ClosureSource, TraceInput, VecSource};
 use mosaic_synth::{Dataset, DatasetConfig, Payload};
 use std::collections::HashMap;
+
+pub mod perf;
 
 /// Parsed `--key value` flags.
 pub struct Flags(HashMap<String, String>);
@@ -81,8 +83,32 @@ pub fn run_pipeline_traced(
         categorizer: CategorizerConfig::default(),
         progress: None,
         trace_capacity,
+        parse_mode: ParseMode::default(),
     };
     process(&source, &config)
+}
+
+/// Pre-serialize every dataset payload to MDF wire bytes. Deliberately a
+/// separate step so wire-fed benchmarks can serialize OUTSIDE the timed
+/// region and measure parse→validate→merge→categorize, not generation.
+pub fn wire_inputs(ds: &Dataset) -> Vec<TraceInput> {
+    (0..ds.len())
+        .map(|i| match ds.generate(i).payload {
+            Payload::Log(log) => TraceInput::bytes(mosaic_darshan::mdf::to_bytes(&log)),
+            Payload::Bytes(bytes) => TraceInput::bytes(bytes),
+        })
+        .collect()
+}
+
+/// Run the pipeline over pre-built inputs with an explicit parse mode — the
+/// owned-vs-zerocopy comparison harness of `sec4e_performance`.
+pub fn run_pipeline_inputs(
+    inputs: Vec<TraceInput>,
+    threads: Option<usize>,
+    parse_mode: ParseMode,
+) -> PipelineResult {
+    let config = PipelineConfig { threads, parse_mode, ..Default::default() };
+    process(&VecSource::new(inputs), &config)
 }
 
 /// Print a two-column "paper vs measured" row.

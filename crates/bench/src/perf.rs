@@ -1,0 +1,249 @@
+//! The recorded performance trajectory: the `BENCH_sec4e.json` schema, its
+//! writer, and the throughput-regression gate CI enforces.
+//!
+//! `sec4e_performance` emits one report per run. The repository commits a
+//! baseline (`BENCH_sec4e.json` at the workspace root); `bench_gate`
+//! compares a fresh run against it and fails when throughput regresses by
+//! more than the configured fraction. The report also records the in-run
+//! zero-copy vs owned speedup, which is machine-portable evidence (both
+//! paths run on the same box seconds apart) independent of the absolute
+//! gate.
+
+use mosaic_pipeline::PipelineResult;
+use serde_json::{json, Value};
+
+/// Schema version of the report; bump on breaking layout changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Top-level keys every report must carry.
+pub const REQUIRED_KEYS: [&str; 8] = [
+    "schema_version",
+    "n_traces",
+    "valid",
+    "traces_per_sec",
+    "owned_traces_per_sec",
+    "speedup",
+    "workers",
+    "stages",
+];
+
+/// Per-stage keys every `stages[]` entry must carry.
+pub const STAGE_KEYS: [&str; 5] = ["stage", "calls", "p50_ns", "p99_ns", "max_ns"];
+
+/// Build the report for one wire-fed benchmark run. `zc_secs`/`owned_secs`
+/// are wall-clock seconds of the zero-copy and owned runs over the same
+/// pre-serialized inputs; per-stage percentiles come from the zero-copy
+/// run's observability histograms (µs buckets, exported as nanoseconds).
+pub fn report(n_traces: usize, zc_secs: f64, owned_secs: f64, zc_run: &PipelineResult) -> Value {
+    let rate = |secs: f64| if secs > 0.0 { n_traces as f64 / secs } else { 0.0 };
+    let traces_per_sec = rate(zc_secs);
+    let owned_traces_per_sec = rate(owned_secs);
+    let speedup = if traces_per_sec > 0.0 { owned_secs / zc_secs } else { 0.0 };
+    let stages: Vec<Value> = zc_run
+        .metrics
+        .stages
+        .iter()
+        .map(|s| {
+            json!({
+                "stage": s.stage,
+                "calls": s.calls,
+                "total_seconds": s.total_seconds,
+                "p50_ns": s.p50_micros * 1_000.0,
+                "p99_ns": s.p99_micros * 1_000.0,
+                "max_ns": s.max_micros * 1_000.0,
+            })
+        })
+        .collect();
+    json!({
+        "schema_version": SCHEMA_VERSION,
+        "n_traces": n_traces,
+        "valid": zc_run.funnel.valid,
+        "traces_per_sec": traces_per_sec,
+        "owned_traces_per_sec": owned_traces_per_sec,
+        "speedup": speedup,
+        "workers": zc_run.metrics.workers,
+        "stages": stages,
+    })
+}
+
+fn f64_of(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key).and_then(Value::as_f64).ok_or_else(|| format!("missing numeric key {key:?}"))
+}
+
+/// Validate a report against the schema: all required keys present, every
+/// stage entry complete with monotone percentiles (`p50 ≤ p99 ≤ max`), and
+/// a nonzero throughput.
+pub fn validate(v: &Value) -> Result<(), String> {
+    for key in REQUIRED_KEYS {
+        if v.get(key).is_none() {
+            return Err(format!("missing required key {key:?}"));
+        }
+    }
+    let version = f64_of(v, "schema_version")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!("schema_version {version} != supported {SCHEMA_VERSION}"));
+    }
+    if f64_of(v, "traces_per_sec")? <= 0.0 {
+        return Err("traces_per_sec must be > 0".to_owned());
+    }
+    if f64_of(v, "owned_traces_per_sec")? <= 0.0 {
+        return Err("owned_traces_per_sec must be > 0".to_owned());
+    }
+    let stages = v
+        .get("stages")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "stages must be an array".to_owned())?;
+    if stages.is_empty() {
+        return Err("stages must be non-empty".to_owned());
+    }
+    for (i, s) in stages.iter().enumerate() {
+        for key in STAGE_KEYS {
+            if s.get(key).is_none() {
+                return Err(format!("stage entry {i} missing key {key:?}"));
+            }
+        }
+        // p50/p99 come from the same monotone histogram scan, so ordering
+        // must hold; `max_ns` is an exact sample while the percentiles are
+        // bucket-midpoint estimates, so it may legitimately sit below p99.
+        let (p50, p99, max) = (f64_of(s, "p50_ns")?, f64_of(s, "p99_ns")?, f64_of(s, "max_ns")?);
+        if p50 > p99 {
+            return Err(format!(
+                "stage entry {i}: percentiles not monotone: p50 {p50} > p99 {p99}"
+            ));
+        }
+        if p50 < 0.0 || max < 0.0 {
+            return Err(format!("stage entry {i}: negative duration"));
+        }
+    }
+    Ok(())
+}
+
+/// The regression gate: both reports must validate, and the current
+/// throughput may not fall more than `max_regression` (a fraction, e.g.
+/// `0.10`) below the baseline's. Returns a human-readable verdict either
+/// way; `Err` means the gate fails.
+pub fn gate(baseline: &Value, current: &Value, max_regression: f64) -> Result<String, String> {
+    validate(baseline).map_err(|e| format!("baseline report invalid: {e}"))?;
+    validate(current).map_err(|e| format!("current report invalid: {e}"))?;
+    let base = f64_of(baseline, "traces_per_sec")?;
+    let cur = f64_of(current, "traces_per_sec")?;
+    let floor = base * (1.0 - max_regression);
+    let delta = (cur - base) / base;
+    if cur < floor {
+        return Err(format!(
+            "throughput regression: {cur:.0} traces/s vs baseline {base:.0} \
+             ({:+.1}%, allowed floor {floor:.0})",
+            100.0 * delta
+        ));
+    }
+    Ok(format!(
+        "throughput ok: {cur:.0} traces/s vs baseline {base:.0} ({:+.1}%, floor {floor:.0})",
+        100.0 * delta
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_pipeline_inputs, wire_inputs};
+    use mosaic_pipeline::ParseMode;
+    use mosaic_synth::{Dataset, DatasetConfig};
+
+    fn sample_report() -> Value {
+        let ds = Dataset::new(DatasetConfig { n_traces: 40, corruption_rate: 0.3, seed: 7 });
+        let inputs = wire_inputs(&ds);
+        let run = run_pipeline_inputs(inputs, Some(1), ParseMode::ZeroCopy);
+        report(ds.len(), 0.5, 0.8, &run)
+    }
+
+    /// Return the report with `key` replaced (the shim `Value` has no
+    /// mutation API, so tests rebuild via the public enum variants).
+    fn with_key(mut r: Value, key: &str, val: Value) -> Value {
+        if let Value::Object(map) = &mut r {
+            map.insert(key.to_owned(), val);
+        }
+        r
+    }
+
+    fn without_key(mut r: Value, key: &str) -> Value {
+        if let Value::Object(map) = &mut r {
+            map.remove(key);
+        }
+        r
+    }
+
+    fn with_stage0_key(mut r: Value, key: &str, val: Value) -> Value {
+        if let Value::Object(map) = &mut r {
+            if let Some(Value::Array(stages)) = map.get_mut("stages") {
+                if let Some(Value::Object(stage)) = stages.first_mut() {
+                    stage.insert(key.to_owned(), val);
+                }
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn emitted_report_satisfies_its_own_schema() {
+        let r = sample_report();
+        validate(&r).unwrap();
+        // Spot-check the advertised values.
+        assert_eq!(r["schema_version"].as_u64(), Some(SCHEMA_VERSION));
+        assert_eq!(r["n_traces"].as_u64(), Some(40));
+        assert!(r["valid"].as_u64().unwrap() > 0);
+        assert!((r["traces_per_sec"].as_f64().unwrap() - 80.0).abs() < 1e-9);
+        assert!((r["speedup"].as_f64().unwrap() - 1.6).abs() < 1e-9);
+        assert_eq!(r["stages"].as_array().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn schema_rejects_missing_keys_and_degenerate_values() {
+        let r = without_key(sample_report(), "speedup");
+        assert!(validate(&r).unwrap_err().contains("speedup"));
+
+        let r = with_key(sample_report(), "traces_per_sec", json!(0.0));
+        assert!(validate(&r).unwrap_err().contains("traces_per_sec"));
+
+        let r = with_key(sample_report(), "stages", json!([]));
+        assert!(validate(&r).unwrap_err().contains("non-empty"));
+
+        let r = with_key(sample_report(), "schema_version", json!(99));
+        assert!(validate(&r).unwrap_err().contains("schema_version"));
+    }
+
+    #[test]
+    fn schema_rejects_non_monotone_percentiles() {
+        let r = with_stage0_key(sample_report(), "p50_ns", json!(10_000.0));
+        let r = with_stage0_key(r, "p99_ns", json!(1.0));
+        let err = validate(&r).unwrap_err();
+        assert!(err.contains("not monotone"), "{err}");
+    }
+
+    #[test]
+    fn gate_passes_small_dips_and_fails_large_ones() {
+        let base = sample_report();
+        let base_rate = base["traces_per_sec"].as_f64().unwrap();
+
+        // 5% below: within the 10% allowance.
+        let current = with_key(base.clone(), "traces_per_sec", json!(base_rate * 0.95));
+        gate(&base, &current, 0.10).unwrap();
+
+        // 15% below: gate fails.
+        let current = with_key(base.clone(), "traces_per_sec", json!(base_rate * 0.85));
+        let err = gate(&base, &current, 0.10).unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+
+        // Faster than baseline always passes.
+        let current = with_key(base.clone(), "traces_per_sec", json!(base_rate * 2.0));
+        gate(&base, &current, 0.10).unwrap();
+    }
+
+    #[test]
+    fn gate_refuses_invalid_reports() {
+        let base = sample_report();
+        let err = gate(&base, &json!({}), 0.10).unwrap_err();
+        assert!(err.contains("current report invalid"), "{err}");
+        let err = gate(&json!({"schema_version": 1}), &base, 0.10).unwrap_err();
+        assert!(err.contains("baseline report invalid"), "{err}");
+    }
+}

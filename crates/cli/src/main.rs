@@ -15,7 +15,7 @@
 #![forbid(unsafe_code)]
 
 use mosaic_core::CategorizerConfig;
-use mosaic_pipeline::executor::{process, PipelineConfig};
+use mosaic_pipeline::executor::{process, ParseMode, PipelineConfig};
 use mosaic_pipeline::source::{ClosureSource, TraceInput};
 use mosaic_synth::truth::AccuracyReport;
 use mosaic_synth::{Dataset, DatasetConfig, Payload};
@@ -68,7 +68,8 @@ USAGE:
   mosaic analyze   [--n N | --dir DIR] [--seed S] [--threads T] [--json]
                    [--metrics FILE] [--markdown FILE] [--progress]
                    [--trace-out FILE.json] [--trace-md FILE.md]
-                   [--trace-capacity N]                 (alias: mosaic run)
+                   [--trace-capacity N] [--parse-mode zerocopy|owned]
+                                                        (alias: mosaic run)
   mosaic evaluate  [--n N] [--sample K] [--seed S]
   mosaic stability [--n N] [--seed S] [--min-runs R]
   mosaic interference [--n N] [--seed S] [--compress C] [--bandwidth-gbs B]
@@ -119,6 +120,9 @@ OPTIONS:
   --trace-capacity N
                    span ring size for --trace-out/--trace-md; older spans
                    beyond it are dropped and counted  (default 65536)
+  --parse-mode M   zerocopy (default) ingests wire bytes through the
+                   borrowed-view/columnar hot path; owned runs the
+                   reference parser for A/B timing and triage
   --all            verify: run every suite (the default when none is named)
   --differential   verify: batch/incremental, serial/parallel, MDF roundtrip
   --metamorphic    verify: time-shift/scale, permutation, corrupt-monotone
@@ -261,6 +265,15 @@ fn analyze(args: &[String]) -> Result<(), String> {
     let tracing = trace_out.is_some() || trace_md.is_some();
     let trace_capacity: usize = flag(&flags, "trace-capacity", 65_536usize)?;
     let progress_on = flags.contains_key("progress");
+    // --parse-mode owned keeps the reference path reachable from the CLI
+    // for A/B timing and divergence triage; zero-copy is the default.
+    let parse_mode = match flags.get("parse-mode").map(String::as_str) {
+        None | Some("zerocopy") => ParseMode::ZeroCopy,
+        Some("owned") => ParseMode::Owned,
+        Some(other) => {
+            return Err(format!("--parse-mode must be zerocopy or owned, got {other:?}"))
+        }
+    };
     let config = PipelineConfig {
         threads: if threads == 0 { None } else { Some(threads) },
         categorizer: CategorizerConfig::default(),
@@ -276,6 +289,7 @@ fn analyze(args: &[String]) -> Result<(), String> {
             ) as mosaic_pipeline::executor::ProgressFn
         }),
         trace_capacity: tracing.then_some(trace_capacity),
+        parse_mode,
     };
     let started = std::time::Instant::now();
     let result = if let Some(dir) = flags.get("dir") {

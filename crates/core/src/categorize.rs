@@ -2,6 +2,7 @@
 //! characterizations → a category set (Fig 1 of the paper).
 
 use crate::category::{Category, OpKindTag};
+use crate::columnar;
 use crate::config::{CategorizerConfig, PeriodicityMethod};
 use crate::merge::merge_all;
 use crate::metadata::{self, MetadataResult};
@@ -170,6 +171,58 @@ impl Categorizer {
         (report, timings)
     }
 
+    /// Categorize a loaded [`columnar::TraceArena`] — the zero-copy
+    /// pipeline's entry point. Produces the same [`TraceReport`] as
+    /// [`Categorizer::categorize_timed`] on the equivalent
+    /// [`OperationView`] (the `zerocopy-vs-owned` oracle pins this), while
+    /// reusing the arena's buffers for merging and materialization.
+    pub fn categorize_arena_timed(
+        &self,
+        arena: &mut columnar::TraceArena,
+    ) -> (TraceReport, CategorizeTimings) {
+        // lint: allow(nondeterminism, "timings feed MetricsReport telemetry only, never ResultSnapshot digests")
+        let started = std::time::Instant::now();
+        let mut merge_nanos = 0u64;
+        let mut categories = BTreeSet::new();
+        let trace = &arena.trace;
+        let scratch = &mut arena.scratch;
+
+        let read = self.direction_columnar(
+            &trace.reads,
+            trace.runtime,
+            OpKind::Read,
+            &mut categories,
+            &mut merge_nanos,
+            scratch,
+        );
+        let write = self.direction_columnar(
+            &trace.writes,
+            trace.runtime,
+            OpKind::Write,
+            &mut categories,
+            &mut merge_nanos,
+            scratch,
+        );
+
+        let metadata =
+            metadata::characterize(&trace.meta, trace.runtime, trace.nprocs, &self.config);
+        for label in &metadata.labels {
+            categories.insert(Category::Metadata(*label));
+        }
+
+        let report = TraceReport {
+            categories,
+            read,
+            write,
+            metadata,
+            runtime: trace.runtime,
+            nprocs: trace.nprocs,
+        };
+        // lint: allow(cast, "elapsed nanoseconds exceed u64 only after ~584 years")
+        let total_nanos = started.elapsed().as_nanos() as u64;
+        (report, CategorizeTimings { merge_nanos, total_nanos })
+    }
+
     fn direction(
         &self,
         raw: &[Operation],
@@ -191,8 +244,58 @@ impl Categorizer {
         // insignificant direction contributes no periodic categories even if
         // its few tiny operations happen to be evenly spaced.
         let significant = temporality.label != crate::category::TemporalityLabel::Insignificant;
+        let periodic =
+            if significant { self.detect_periodicity(&merged, runtime) } else { Vec::new() };
+
+        insert_periodic_categories(tag, &periodic, categories, self.config.busy_time_split);
+
+        DirectionReport { merged_ops: merged.len(), raw_ops: raw.len(), temporality, periodic }
+    }
+
+    /// One direction of the arena path: columnar merge, columnar temporality,
+    /// then segmentation/periodicity on the materialized (short) merged list.
+    fn direction_columnar(
+        &self,
+        raw: &columnar::OpColumns,
+        runtime: f64,
+        kind: OpKind,
+        categories: &mut BTreeSet<Category>,
+        merge_nanos: &mut u64,
+        scratch: &mut columnar::MergeScratch,
+    ) -> DirectionReport {
+        let tag = OpKindTag::from(kind);
+        // lint: allow(nondeterminism, "timings feed MetricsReport telemetry only, never ResultSnapshot digests")
+        let merge_started = std::time::Instant::now();
+        columnar::merge_all_columnar(raw, runtime, &self.config, scratch);
+        // lint: allow(cast, "elapsed nanoseconds exceed u64 only after ~584 years")
+        *merge_nanos += merge_started.elapsed().as_nanos() as u64;
+        let temporality =
+            temporality::characterize_columnar(&scratch.merged, runtime, &self.config);
+        categories.insert(Category::Temporality { kind: tag, label: temporality.label });
+
+        let significant = temporality.label != crate::category::TemporalityLabel::Insignificant;
         let periodic = if significant {
-            let segments = segment(&merged, runtime);
+            scratch.merged.materialize(kind, &mut scratch.ops);
+            self.detect_periodicity(&scratch.ops, runtime)
+        } else {
+            Vec::new()
+        };
+
+        insert_periodic_categories(tag, &periodic, categories, self.config.busy_time_split);
+
+        DirectionReport {
+            merged_ops: scratch.merged.len(),
+            raw_ops: raw.len(),
+            temporality,
+            periodic,
+        }
+    }
+
+    /// Periodicity detection on one direction's merged operations — shared by
+    /// the row-oriented and columnar paths.
+    fn detect_periodicity(&self, merged: &[Operation], runtime: f64) -> Vec<PeriodicPattern> {
+        {
+            let segments = segment(merged, runtime);
             match self.config.periodicity_method {
                 PeriodicityMethod::MeanShift => detect_periodic(&segments, &self.config),
                 PeriodicityMethod::Spectral => {
@@ -228,24 +331,28 @@ impl Categorizer {
                     patterns
                 }
             }
-        } else {
-            Vec::new()
-        };
+        }
+    }
+}
 
-        if !periodic.is_empty() {
-            categories.insert(Category::Periodic { kind: tag });
-            for p in &periodic {
-                categories
-                    .insert(Category::PeriodicMagnitude { kind: tag, magnitude: p.magnitude });
-                if p.is_low_busy(self.config.busy_time_split) {
-                    categories.insert(Category::PeriodicLowBusyTime { kind: tag });
-                } else {
-                    categories.insert(Category::PeriodicHighBusyTime { kind: tag });
-                }
+/// Insert the periodicity categories a direction's detected patterns imply —
+/// shared by the row-oriented and columnar paths.
+fn insert_periodic_categories(
+    tag: OpKindTag,
+    periodic: &[PeriodicPattern],
+    categories: &mut BTreeSet<Category>,
+    busy_time_split: f64,
+) {
+    if !periodic.is_empty() {
+        categories.insert(Category::Periodic { kind: tag });
+        for p in periodic {
+            categories.insert(Category::PeriodicMagnitude { kind: tag, magnitude: p.magnitude });
+            if p.is_low_busy(busy_time_split) {
+                categories.insert(Category::PeriodicLowBusyTime { kind: tag });
+            } else {
+                categories.insert(Category::PeriodicHighBusyTime { kind: tag });
             }
         }
-
-        DirectionReport { merged_ops: merged.len(), raw_ops: raw.len(), temporality, periodic }
     }
 }
 
@@ -402,6 +509,66 @@ mod tests {
         let (timed, t) = c.categorize_timed(&v);
         assert_eq!(timed, c.categorize(&v));
         assert!(t.total_nanos >= t.merge_nanos, "{t:?}");
+    }
+
+    #[test]
+    fn arena_path_matches_view_path() {
+        // Build a log whose reads are periodic and whose writes end-load,
+        // run both the owned (view) and columnar (arena) paths, and demand
+        // identical reports — including the periodicity sub-structure.
+        use mosaic_darshan::counter::PosixCounter as C;
+        use mosaic_darshan::counter::PosixFCounter as F;
+        use mosaic_darshan::job::JobHeader;
+        use mosaic_darshan::log::TraceLogBuilder;
+        use mosaic_darshan::mdf;
+        use mosaic_darshan::validate;
+        use mosaic_darshan::view::{validate_view, TraceView};
+
+        let mut b = TraceLogBuilder::new(JobHeader::new(9, 2, 8, 0, 1000).with_exe("/bin/sim"));
+        for i in 0..9 {
+            let r = b.begin_record(&format!("/ckpt{i}"), -1);
+            b.record_mut(r)
+                .set(C::Reads, 8)
+                .set(C::BytesRead, (300 * MB) as i64)
+                .set(C::Opens, 8)
+                .set(C::Closes, 8)
+                .setf(F::OpenStartTimestamp, 49.0 + 100.0 * i as f64)
+                .setf(F::ReadStartTimestamp, 50.0 + 100.0 * i as f64)
+                .setf(F::ReadEndTimestamp, 58.0 + 100.0 * i as f64)
+                .setf(F::CloseEndTimestamp, 59.0 + 100.0 * i as f64);
+        }
+        let w = b.begin_record("/result", 0);
+        b.record_mut(w)
+            .set(C::Writes, 64)
+            .set(C::BytesWritten, (500 * MB) as i64)
+            .setf(F::WriteStartTimestamp, 950.0)
+            .setf(F::WriteEndTimestamp, 990.0);
+        let bad = b.begin_record("/corrupt", 0);
+        b.record_mut(bad).set(C::BytesRead, -1);
+        let log = b.finish();
+        let bytes = mdf::to_bytes(&log);
+
+        // Owned path.
+        let report = validate::validate(&log);
+        let mut sanitized = log.clone();
+        validate::delete_invalid(&mut sanitized, &report);
+        let (owned, _) = categorizer().categorize_log_timed(&sanitized);
+
+        // Arena path.
+        let tv = TraceView::parse(&bytes).unwrap();
+        let mut arena = columnar::TraceArena::default();
+        arena.trace.load(&tv, &validate_view(&tv));
+        let (columnar_report, t) = categorizer().categorize_arena_timed(&mut arena);
+
+        assert_eq!(columnar_report, owned);
+        assert!(columnar_report.has(Category::Periodic { kind: OpKindTag::Read }));
+        assert!(t.total_nanos >= t.merge_nanos, "{t:?}");
+
+        // And again on the same arena: reuse must not perturb results.
+        let tv = TraceView::parse(&bytes).unwrap();
+        arena.trace.load(&tv, &validate_view(&tv));
+        let (again, _) = categorizer().categorize_arena_timed(&mut arena);
+        assert_eq!(again, owned);
     }
 
     #[test]

@@ -54,6 +54,7 @@
 
 pub mod categorize;
 pub mod category;
+pub mod columnar;
 pub mod config;
 pub mod discovery;
 pub mod jaccard;

@@ -103,7 +103,29 @@ pub fn characterize(
 ) -> TemporalityResult {
     let total_bytes: u64 = ops.iter().map(|o| o.bytes).sum();
     let chunk_bytes = chunk_volumes(ops, runtime, config.chunks);
+    characterize_from_chunks(chunk_bytes, total_bytes, config)
+}
 
+/// Characterize from columnar (struct-of-arrays) merged operations — the
+/// zero-copy path's entry point. The chunk apportioning streams the column
+/// arrays; the decision core is shared with [`characterize`].
+pub fn characterize_columnar(
+    cols: &crate::columnar::OpColumns,
+    runtime: f64,
+    config: &CategorizerConfig,
+) -> TemporalityResult {
+    let total_bytes: u64 = cols.bytes.iter().sum();
+    let chunk_bytes = crate::columnar::chunk_volumes_columnar(cols, runtime, config.chunks);
+    characterize_from_chunks(chunk_bytes, total_bytes, config)
+}
+
+/// The label decision, shared verbatim by the row and columnar entry points
+/// so the two paths cannot drift.
+pub fn characterize_from_chunks(
+    chunk_bytes: Vec<f64>,
+    total_bytes: u64,
+    config: &CategorizerConfig,
+) -> TemporalityResult {
     if total_bytes < config.insignificant_bytes {
         return TemporalityResult {
             label: TemporalityLabel::Insignificant,

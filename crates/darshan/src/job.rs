@@ -23,6 +23,15 @@ pub struct JobHeader {
     pub exe: String,
 }
 
+/// Application name of an executable line: basename of its first
+/// whitespace-separated token. Shared by [`JobHeader::app_name`] and the
+/// borrowed [`crate::view::TraceView`], so both paths group applications
+/// identically.
+pub fn app_name_of(exe: &str) -> &str {
+    let first = exe.split_whitespace().next().unwrap_or("");
+    first.rsplit('/').next().unwrap_or(first)
+}
+
 impl JobHeader {
     /// Create a header. `exe` defaults to empty; see [`JobHeader::with_exe`].
     pub fn new(job_id: u64, uid: u32, nprocs: u32, start_time: i64, end_time: i64) -> Self {
@@ -49,8 +58,7 @@ impl JobHeader {
     /// this name (pre-processing step ①); Blue Waters traces encode it in the
     /// log file name.
     pub fn app_name(&self) -> &str {
-        let first = self.exe.split_whitespace().next().unwrap_or("");
-        first.rsplit('/').next().unwrap_or(first)
+        app_name_of(&self.exe)
     }
 
     /// The `(uid, app_name)` pair used for application deduplication.

@@ -72,9 +72,11 @@ pub mod synthutil;
 pub mod text;
 pub mod transform;
 pub mod validate;
+pub mod view;
 
 pub use error::{EvictClass, EvictReason, FormatError, ValidityError};
 pub use job::JobHeader;
 pub use log::{TraceLog, TraceLogBuilder};
 pub use ops::{MetaEvent, MetaKind, OpKind, Operation, OperationView};
 pub use record::PosixRecord;
+pub use view::{RecordView, TraceView};

@@ -76,11 +76,18 @@ pub fn check_record(rec: &PosixRecord, runtime: f64, nprocs: u32) -> Vec<Validit
 
 /// Check job-level invariants.
 pub fn check_header(log: &TraceLog) -> Vec<ValidityError> {
+    check_header_fields(log.header().runtime(), log.header().nprocs)
+}
+
+/// Header invariants on bare fields — the shared core of [`check_header`]
+/// and the borrowed-view validation ([`crate::view::validate_view`]), so
+/// both paths apply the same rules in the same order.
+pub fn check_header_fields(runtime: f64, nprocs: u32) -> Vec<ValidityError> {
     let mut errs = Vec::new();
-    if log.header().runtime() <= 0.0 {
+    if runtime <= 0.0 {
         errs.push(ValidityError::NonPositiveRuntime);
     }
-    if log.header().nprocs == 0 {
+    if nprocs == 0 {
         errs.push(ValidityError::ZeroProcs);
     }
     errs

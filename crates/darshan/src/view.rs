@@ -1,0 +1,618 @@
+//! Borrowed, zero-copy views over MDF wire bytes.
+//!
+//! [`crate::mdf::from_bytes`] materializes an owned [`TraceLog`] — a
+//! `String` for the exe, a `Vec<PosixRecord>` and a `BTreeMap` name table —
+//! on every parse, even for traces that validation will evict a microsecond
+//! later. [`TraceView::parse`] instead performs the *same* structural
+//! verification (byte-for-byte identical accept/reject decisions and error
+//! precedence, pinned by the `zerocopy_agreement` property tests) but keeps
+//! everything borrowed:
+//!
+//! * header fields are decoded to scalars, the exe stays a `&str` into the
+//!   input buffer;
+//! * the record array stays a raw `&[u8]` walked through fixed-offset
+//!   [`RecordView`] accessors — a record is only decoded (to a stack
+//!   [`PosixRecord`], still heap-free) when validation or extraction needs
+//!   it;
+//! * the name table is reduced to a sorted id list (validation only needs
+//!   membership) plus the raw region for the rare full materialization.
+//!
+//! The ownership rule for everything downstream: a `TraceView` borrows the
+//! wire buffer and must not outlive it; anything that survives the trace
+//! (reports, app keys) is copied out at the last moment.
+
+use crate::convert::{u32_to_usize, usize_to_u64};
+use crate::counter::{Module, PosixCounter, PosixFCounter, N_POSIX_COUNTERS};
+use crate::error::FormatError;
+use crate::job::JobHeader;
+use crate::log::TraceLog;
+use crate::mdf::{MAGIC, MAX_EXE_LEN, MAX_NAMES, MAX_RECORDS, RECORD_WIRE_BYTES, VERSION};
+use crate::record::{PosixRecord, SHARED_RANK};
+use crate::synthutil::Crc32;
+use crate::validate::{check_header_fields, check_record, ValidityReport};
+use crate::ValidityError;
+use std::collections::BTreeMap;
+
+/// Byte offset of the counter array inside one wire record.
+const COUNTERS_OFF: usize = 8 + 4 + 1;
+/// Byte offset of the fcounter array inside one wire record.
+const FCOUNTERS_OFF: usize = COUNTERS_OFF + N_POSIX_COUNTERS * 8;
+/// Minimum wire size of one name-table entry (id + length prefix).
+const NAME_WIRE_MIN_BYTES: usize = 8 + 2;
+
+/// A borrowing cursor over the payload, mirroring the owned parser's
+/// `Bytes` getters: every read names the field it was after, so truncation
+/// errors carry the same context strings.
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], FormatError> {
+        if self.buf.len() < n {
+            return Err(FormatError::Truncated { context });
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u16(&mut self, context: &'static str) -> Result<u16, FormatError> {
+        Ok(le_u16(self.take(2, context)?, 0))
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, FormatError> {
+        Ok(le_u32(self.take(4, context)?, 0))
+    }
+
+    fn i64(&mut self, context: &'static str) -> Result<i64, FormatError> {
+        Ok(le_i64(self.take(8, context)?, 0))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, FormatError> {
+        Ok(le_u64(self.take(8, context)?, 0))
+    }
+
+    fn str(&mut self, len: usize, context: &'static str) -> Result<&'a str, FormatError> {
+        let raw = self.take(len, context)?;
+        std::str::from_utf8(raw).map_err(|_| FormatError::InvalidUtf8 { context })
+    }
+}
+
+// Fixed-width little-endian readers. Callers guarantee `off + size` is in
+// bounds (cursor takes and record strides are length-checked structurally),
+// so the slice indexing below cannot fire on any input that reached them.
+
+fn le_u8(b: &[u8], off: usize) -> u8 {
+    // lint: allow(panic, "callers pass offsets inside a length-checked take/stride")
+    b[off]
+}
+
+fn le_u16(b: &[u8], off: usize) -> u16 {
+    let mut a = [0u8; 2];
+    // lint: allow(panic, "callers pass offsets inside a length-checked take/stride")
+    a.copy_from_slice(&b[off..off + 2]);
+    u16::from_le_bytes(a)
+}
+
+fn le_u32(b: &[u8], off: usize) -> u32 {
+    let mut a = [0u8; 4];
+    // lint: allow(panic, "callers pass offsets inside a length-checked take/stride")
+    a.copy_from_slice(&b[off..off + 4]);
+    u32::from_le_bytes(a)
+}
+
+fn le_i32(b: &[u8], off: usize) -> i32 {
+    let mut a = [0u8; 4];
+    // lint: allow(panic, "callers pass offsets inside a length-checked take/stride")
+    a.copy_from_slice(&b[off..off + 4]);
+    i32::from_le_bytes(a)
+}
+
+fn le_u64(b: &[u8], off: usize) -> u64 {
+    let mut a = [0u8; 8];
+    // lint: allow(panic, "callers pass offsets inside a length-checked take/stride")
+    a.copy_from_slice(&b[off..off + 8]);
+    u64::from_le_bytes(a)
+}
+
+fn le_i64(b: &[u8], off: usize) -> i64 {
+    let mut a = [0u8; 8];
+    // lint: allow(panic, "callers pass offsets inside a length-checked take/stride")
+    a.copy_from_slice(&b[off..off + 8]);
+    i64::from_le_bytes(a)
+}
+
+fn le_f64(b: &[u8], off: usize) -> f64 {
+    let mut a = [0u8; 8];
+    // lint: allow(panic, "callers pass offsets inside a length-checked take/stride")
+    a.copy_from_slice(&b[off..off + 8]);
+    f64::from_le_bytes(a)
+}
+
+/// One wire record, viewed in place.
+///
+/// Wraps exactly [`RECORD_WIRE_BYTES`] bytes of a structurally verified
+/// record array; all accessors are fixed-offset little-endian reads.
+#[derive(Clone, Copy)]
+pub struct RecordView<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> RecordView<'a> {
+    /// Stable hash of the file path.
+    #[inline]
+    pub fn record_id(&self) -> u64 {
+        le_u64(self.data, 0)
+    }
+
+    /// Rank that produced the record, or [`SHARED_RANK`].
+    #[inline]
+    pub fn rank(&self) -> i32 {
+        le_i32(self.data, 8)
+    }
+
+    /// The raw module tag byte (verified known at parse time).
+    #[inline]
+    pub fn module_tag(&self) -> u8 {
+        le_u8(self.data, 12)
+    }
+
+    /// The module, decoded from the (parse-verified) tag.
+    #[inline]
+    pub fn module(&self) -> Module {
+        // The tag was checked by `TraceView::parse`; an unknown tag cannot
+        // reach here, so the fallback is unreachable rather than lossy.
+        Module::from_tag(self.module_tag()).unwrap_or(Module::Posix)
+    }
+
+    /// Read an integer counter.
+    #[inline]
+    pub fn get(&self, c: PosixCounter) -> i64 {
+        le_i64(self.data, COUNTERS_OFF + c.index() * 8)
+    }
+
+    /// Read a float counter.
+    #[inline]
+    pub fn getf(&self, c: PosixFCounter) -> f64 {
+        le_f64(self.data, FCOUNTERS_OFF + c.index() * 8)
+    }
+
+    /// Number of ranks this record stands for (mirrors
+    /// [`PosixRecord::rank_count`]).
+    #[inline]
+    pub fn rank_count(&self, nprocs: u32) -> u32 {
+        if self.rank() == SHARED_RANK {
+            nprocs
+        } else {
+            1
+        }
+    }
+
+    /// Bytes read by this record.
+    #[inline]
+    pub fn bytes_read(&self) -> i64 {
+        self.get(PosixCounter::BytesRead)
+    }
+
+    /// Bytes written by this record.
+    #[inline]
+    pub fn bytes_written(&self) -> i64 {
+        self.get(PosixCounter::BytesWritten)
+    }
+
+    /// `true` if the record observed any read activity (mirrors
+    /// [`PosixRecord::has_reads`]: both an op count and a byte volume).
+    #[inline]
+    pub fn has_reads(&self) -> bool {
+        self.get(PosixCounter::Reads) > 0 && self.bytes_read() > 0
+    }
+
+    /// `true` if the record observed any write activity.
+    #[inline]
+    pub fn has_writes(&self) -> bool {
+        self.get(PosixCounter::Writes) > 0 && self.bytes_written() > 0
+    }
+
+    /// The read-activity interval, if any (mirrors
+    /// [`PosixRecord::read_interval`]).
+    pub fn read_interval(&self) -> Option<(f64, f64)> {
+        if self.has_reads() {
+            Some((
+                self.getf(PosixFCounter::ReadStartTimestamp),
+                self.getf(PosixFCounter::ReadEndTimestamp),
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// The write-activity interval, if any.
+    pub fn write_interval(&self) -> Option<(f64, f64)> {
+        if self.has_writes() {
+            Some((
+                self.getf(PosixFCounter::WriteStartTimestamp),
+                self.getf(PosixFCounter::WriteEndTimestamp),
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Decode to an owned record — stack-only, no heap allocation; the
+    /// arrays are copied straight out of the wire bytes.
+    pub fn decode(&self) -> PosixRecord {
+        let mut rec = PosixRecord::new(self.record_id(), self.rank());
+        rec.module = self.module();
+        for (i, c) in rec.counters.iter_mut().enumerate() {
+            *c = le_i64(self.data, COUNTERS_OFF + i * 8);
+        }
+        for (i, c) in rec.fcounters.iter_mut().enumerate() {
+            *c = le_f64(self.data, FCOUNTERS_OFF + i * 8);
+        }
+        rec
+    }
+}
+
+/// A structurally verified MDF trace, borrowed from its wire buffer.
+///
+/// Produced by [`TraceView::parse`], which accepts and rejects exactly the
+/// inputs [`crate::mdf::from_bytes`] does — same errors, same precedence —
+/// without materializing records or the name table.
+pub struct TraceView<'a> {
+    /// Scheduler job identifier.
+    pub job_id: u64,
+    /// Numeric user id that ran the job.
+    pub uid: u32,
+    /// Number of MPI processes (ranks).
+    pub nprocs: u32,
+    /// Job start, Unix seconds.
+    pub start_time: i64,
+    /// Job end, Unix seconds.
+    pub end_time: i64,
+    /// Executable command line, borrowed from the wire buffer.
+    pub exe: &'a str,
+    records: &'a [u8],
+    n_records: usize,
+    /// Sorted record ids present in the name table (membership only — the
+    /// path strings stay on the wire).
+    name_ids: Vec<u64>,
+    names_raw: &'a [u8],
+    n_names: usize,
+}
+
+impl<'a> TraceView<'a> {
+    /// Parse MDF bytes into a borrowed view.
+    ///
+    /// The structural pass — magic, checksum, header decoding, bomb guards,
+    /// per-record module tags, name-table shape, trailing-byte check — is
+    /// identical to [`crate::mdf::from_bytes`]; only the materialization is
+    /// skipped.
+    pub fn parse(data: &'a [u8]) -> Result<TraceView<'a>, FormatError> {
+        if data.len() < MAGIC.len() + 4 + 4 {
+            return Err(FormatError::Truncated { context: "file header" });
+        }
+        if !data.starts_with(MAGIC) {
+            return Err(FormatError::BadMagic);
+        }
+        let (payload, footer) = data.split_at(data.len() - 4);
+        let expected = le_u32(footer, 0);
+        let actual = Crc32::checksum(payload);
+        if expected != actual {
+            return Err(FormatError::ChecksumMismatch { expected, actual });
+        }
+
+        // lint: allow(panic, "payload.len() = data.len() - 4 >= 12 by the header-length guard, so the magic can be sliced off")
+        let mut cur = Cursor { buf: &payload[8..] };
+        let version = cur.u16("version")?;
+        if version > VERSION {
+            return Err(FormatError::UnsupportedVersion(version));
+        }
+        let _flags = cur.u16("flags")?;
+
+        let job_id = cur.u64("job_id")?;
+        let uid = cur.u32("uid")?;
+        let nprocs = cur.u32("nprocs")?;
+        let start_time = cur.i64("start_time")?;
+        let end_time = cur.i64("end_time")?;
+        let exe_len = cur.u32("exe length")?;
+        if exe_len > MAX_EXE_LEN {
+            return Err(FormatError::ImplausibleLength { context: "exe", len: u64::from(exe_len) });
+        }
+        let exe = cur.str(u32_to_usize(exe_len), "exe")?;
+
+        let n_records = cur.u32("record count")?;
+        if n_records > MAX_RECORDS {
+            return Err(FormatError::ImplausibleLength {
+                context: "record count",
+                len: u64::from(n_records),
+            });
+        }
+        // Same pre-allocation bomb guard as the owned parser: a claimed
+        // count the remaining payload cannot hold is rejected up front.
+        if u64::from(n_records) * usize_to_u64(RECORD_WIRE_BYTES) > usize_to_u64(cur.remaining()) {
+            return Err(FormatError::Truncated { context: "record array" });
+        }
+        let n_records = u32_to_usize(n_records);
+        // Cannot overflow: the product fit inside `remaining` above.
+        let records = cur.take(n_records * RECORD_WIRE_BYTES, "record array")?;
+        // The owned parser rejects unknown module tags record by record;
+        // walking the tag bytes here keeps the accept set identical.
+        for i in 0..n_records {
+            let tag = le_u8(records, i * RECORD_WIRE_BYTES + 12);
+            if Module::from_tag(tag).is_none() {
+                return Err(FormatError::UnknownModule(tag));
+            }
+        }
+
+        let n_names = cur.u32("name count")?;
+        if n_names > MAX_NAMES {
+            return Err(FormatError::ImplausibleLength {
+                context: "name count",
+                len: u64::from(n_names),
+            });
+        }
+        if u64::from(n_names) * usize_to_u64(NAME_WIRE_MIN_BYTES) > usize_to_u64(cur.remaining()) {
+            return Err(FormatError::Truncated { context: "name table" });
+        }
+        let n_names = u32_to_usize(n_names);
+        let names_region = cur.buf;
+        let mut name_ids = Vec::with_capacity(n_names);
+        for _ in 0..n_names {
+            let id = cur.u64("name id")?;
+            let len = usize::from(cur.u16("name length")?);
+            let _name = cur.str(len, "name")?;
+            name_ids.push(id);
+        }
+        // lint: allow(panic, "the cursor only shrinks, so the consumed prefix length is <= names_region.len()")
+        let names_raw = &names_region[..names_region.len() - cur.remaining()];
+        if cur.remaining() > 0 {
+            return Err(FormatError::ImplausibleLength {
+                context: "trailing bytes",
+                len: usize_to_u64(cur.remaining()),
+            });
+        }
+        name_ids.sort_unstable();
+        Ok(TraceView {
+            job_id,
+            uid,
+            nprocs,
+            start_time,
+            end_time,
+            exe,
+            records,
+            n_records,
+            name_ids,
+            names_raw,
+            n_names,
+        })
+    }
+
+    /// Number of records on the wire.
+    #[inline]
+    pub fn n_records(&self) -> usize {
+        self.n_records
+    }
+
+    /// View of record `i`. Returns `None` past the end.
+    #[inline]
+    pub fn record(&self, i: usize) -> Option<RecordView<'a>> {
+        if i >= self.n_records {
+            return None;
+        }
+        let off = i * RECORD_WIRE_BYTES;
+        Some(RecordView { data: &self.records[off..off + RECORD_WIRE_BYTES] })
+    }
+
+    /// Iterate over all record views.
+    pub fn records(&self) -> impl Iterator<Item = RecordView<'a>> + '_ {
+        self.records.chunks_exact(RECORD_WIRE_BYTES).map(|data| RecordView { data })
+    }
+
+    /// `true` when the name table has an entry for `record_id`.
+    #[inline]
+    pub fn has_name(&self, record_id: u64) -> bool {
+        self.name_ids.binary_search(&record_id).is_ok()
+    }
+
+    /// Number of name-table entries on the wire (duplicates included).
+    #[inline]
+    pub fn n_names(&self) -> usize {
+        self.n_names
+    }
+
+    /// Wallclock runtime in seconds (mirrors [`JobHeader::runtime`]).
+    #[inline]
+    pub fn runtime(&self) -> f64 {
+        (self.end_time - self.start_time) as f64
+    }
+
+    /// Application name (mirrors [`JobHeader::app_name`]), borrowed.
+    pub fn app_name(&self) -> &'a str {
+        crate::job::app_name_of(self.exe)
+    }
+
+    /// The `(uid, app_name)` dedup key (mirrors [`JobHeader::app_key`]).
+    pub fn app_key(&self) -> (u32, String) {
+        (self.uid, self.app_name().to_owned())
+    }
+
+    /// Materialize the owned [`TraceLog`] this view verifies. Exactly what
+    /// [`crate::mdf::from_bytes`] would have produced — used by tests and by
+    /// callers that need the name strings after all.
+    pub fn to_log(&self) -> TraceLog {
+        let header =
+            JobHeader::new(self.job_id, self.uid, self.nprocs, self.start_time, self.end_time)
+                .with_exe(self.exe);
+        let records: Vec<PosixRecord> = self.records().map(|r| r.decode()).collect();
+        let mut names = BTreeMap::new();
+        let mut cur = Cursor { buf: self.names_raw };
+        for _ in 0..self.n_names {
+            // The region was fully verified by `parse`; re-walking it cannot
+            // fail, and the `if let` keeps the panic path out anyway.
+            if let (Ok(id), Ok(len)) = (cur.u64("name id"), cur.u16("name length")) {
+                if let Ok(name) = cur.str(usize::from(len), "name") {
+                    names.insert(id, name.to_owned());
+                }
+            }
+        }
+        TraceLog::from_parts(header, records, names)
+    }
+}
+
+/// Validate a borrowed trace, mirroring [`crate::validate::validate`] rule
+/// for rule: header invariants, per-record checks in record order, and the
+/// name-table membership check appended after the record rules.
+pub fn validate_view(view: &TraceView<'_>) -> ValidityReport {
+    let runtime = view.runtime();
+    let nprocs = view.nprocs;
+    let header_errors = check_header_fields(runtime, nprocs);
+    let mut record_errors = Vec::new();
+    for (i, rec) in view.records().enumerate() {
+        let decoded = rec.decode();
+        let mut errs = check_record(&decoded, runtime, nprocs);
+        if !view.has_name(decoded.record_id) {
+            errs.push(ValidityError::MissingName);
+        }
+        if !errs.is_empty() {
+            record_errors.push((i, errs));
+        }
+    }
+    ValidityReport { header_errors, record_errors, records_checked: view.n_records() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::PosixCounter as C;
+    use crate::counter::PosixFCounter as F;
+    use crate::log::TraceLogBuilder;
+    use crate::mdf;
+    use crate::validate;
+
+    fn sample() -> TraceLog {
+        let mut b = TraceLogBuilder::new(
+            JobHeader::new(99, 1234, 256, 1_500_000_000, 1_500_007_200)
+                .with_exe("/apps/milc/su3_rmd in.milc"),
+        );
+        for i in 0..5 {
+            let r = b.begin_record(&format!("/scratch/file.{i}"), if i == 0 { -1 } else { i });
+            b.record_mut(r)
+                .set(C::Reads, i as i64 * 10)
+                .set(C::BytesRead, i as i64 * 1024)
+                .set(C::Opens, 2)
+                .setf(F::ReadStartTimestamp, i as f64)
+                .setf(F::ReadEndTimestamp, i as f64 + 0.5);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn view_roundtrip_matches_owned_parser() {
+        let log = sample();
+        let bytes = mdf::to_bytes(&log);
+        let view = TraceView::parse(&bytes).unwrap();
+        assert_eq!(view.to_log(), mdf::from_bytes(&bytes).unwrap());
+        assert_eq!(view.n_records(), log.records().len());
+        assert_eq!(view.exe, log.header().exe);
+        assert_eq!(view.app_key(), log.header().app_key());
+        assert_eq!(view.runtime(), log.header().runtime());
+    }
+
+    #[test]
+    fn record_views_decode_identically() {
+        let log = sample();
+        let bytes = mdf::to_bytes(&log);
+        let view = TraceView::parse(&bytes).unwrap();
+        for (owned, borrowed) in log.records().iter().zip(view.records()) {
+            assert_eq!(&borrowed.decode(), owned);
+            assert_eq!(borrowed.record_id(), owned.record_id);
+            assert_eq!(borrowed.rank(), owned.rank);
+            assert_eq!(borrowed.read_interval(), owned.read_interval());
+            assert_eq!(borrowed.write_interval(), owned.write_interval());
+            assert_eq!(borrowed.rank_count(256), owned.rank_count(256));
+        }
+    }
+
+    #[test]
+    fn errors_match_owned_parser_on_corrupted_inputs() {
+        let bytes = mdf::to_bytes(&sample());
+        // Truncations at every prefix length must agree exactly.
+        for cut in 0..bytes.len() {
+            let owned = mdf::from_bytes(&bytes[..cut]);
+            let borrowed = TraceView::parse(&bytes[..cut]).map(|_| ());
+            assert_eq!(borrowed, owned.map(|_| ()), "cut at {cut}");
+        }
+        // Bit flips anywhere must agree (checksum mismatch, mostly).
+        for pos in (0..bytes.len()).step_by(7) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x20;
+            let owned = mdf::from_bytes(&corrupt).map(|_| ());
+            let borrowed = TraceView::parse(&corrupt).map(|_| ());
+            assert_eq!(borrowed, owned, "flip at {pos}");
+        }
+    }
+
+    #[test]
+    fn validate_view_matches_owned_validate() {
+        // A log exercising several validity rules at once.
+        let mut b = TraceLogBuilder::new(JobHeader::new(1, 1, 4, 0, 100).with_exe("/bin/a"));
+        let good = b.begin_record("/good", 0);
+        b.record_mut(good)
+            .set(C::Reads, 1)
+            .set(C::BytesRead, 10)
+            .setf(F::ReadStartTimestamp, 1.0)
+            .setf(F::ReadEndTimestamp, 2.0);
+        let bad = b.begin_record("/bad", 9); // rank out of range
+        b.record_mut(bad).set(C::BytesRead, -5); // negative bytes too
+        let late = b.begin_record("/late", 1);
+        b.record_mut(late).setf(F::CloseEndTimestamp, 500.0); // beyond runtime
+        let log = b.finish();
+        let bytes = mdf::to_bytes(&log);
+
+        let view = TraceView::parse(&bytes).unwrap();
+        assert_eq!(validate_view(&view), validate::validate(&log));
+    }
+
+    #[test]
+    fn missing_name_is_flagged_in_record_order() {
+        // Hand-assemble a log whose record has no name-table entry.
+        let header = JobHeader::new(1, 1, 4, 0, 100);
+        let mut rec = PosixRecord::new(42, 0);
+        rec.set(C::Opens, 1);
+        let log = TraceLog::from_parts(header, vec![rec], BTreeMap::new());
+        let bytes = mdf::to_bytes(&log);
+        let view = TraceView::parse(&bytes).unwrap();
+        let report = validate_view(&view);
+        assert_eq!(report, validate::validate(&log));
+        assert!(report.record_errors[0].1.contains(&ValidityError::MissingName));
+        assert!(!view.has_name(42));
+    }
+
+    #[test]
+    fn empty_log_view() {
+        let log = TraceLogBuilder::new(JobHeader::new(0, 0, 0, 0, 0)).finish();
+        let bytes = mdf::to_bytes(&log);
+        let view = TraceView::parse(&bytes).unwrap();
+        assert_eq!(view.n_records(), 0);
+        assert_eq!(view.n_names(), 0);
+        assert_eq!(view.exe, "");
+        assert!(view.record(0).is_none());
+        assert_eq!(view.to_log(), log);
+        // Header errors (zero runtime, zero procs) agree with the owned path.
+        assert_eq!(validate_view(&view), validate::validate(&log));
+    }
+
+    #[test]
+    fn borrowed_exe_points_into_the_input() {
+        let log = sample();
+        let bytes = mdf::to_bytes(&log);
+        let view = TraceView::parse(&bytes).unwrap();
+        let buf_range = bytes.as_ptr() as usize..bytes.as_ptr() as usize + bytes.len();
+        assert!(buf_range.contains(&(view.exe.as_ptr() as usize)), "exe must be zero-copy");
+    }
+}

@@ -40,6 +40,8 @@ const L5_ROOTS: &[(&str, &str)] = &[
     ("crates/darshan/src/validate.rs", "check_record"),
     ("crates/darshan/src/validate.rs", "check_header"),
     ("crates/darshan/src/validate.rs", "delete_invalid"),
+    ("crates/darshan/src/view.rs", "parse"),
+    ("crates/darshan/src/view.rs", "validate_view"),
     ("crates/pipeline/src/source.rs", "fetch"),
     ("crates/pipeline/src/executor.rs", "process"),
     ("crates/pipeline/src/executor.rs", "ingest_one"),

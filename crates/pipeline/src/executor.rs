@@ -21,6 +21,25 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// without any extra bookkeeping on the hot path.
 pub type ProgressFn = Arc<dyn Fn(usize, usize, &Recorder) + Send + Sync>;
 
+/// How byte-fed traces are parsed and carried through the funnel.
+///
+/// Both modes produce byte-identical [`PipelineResult`]s (the
+/// `zerocopy-vs-owned` differential oracle pins this); they differ only in
+/// allocation behaviour. Log-fed inputs ([`TraceInput::Log`]) always take
+/// the owned path — there are no wire bytes to borrow from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ParseMode {
+    /// Borrowed [`mosaic_darshan::TraceView`] over the wire bytes plus a
+    /// per-thread columnar arena: no per-record materialization, no
+    /// per-trace interval vectors. The default.
+    #[default]
+    ZeroCopy,
+    /// Decode into an owned [`TraceLog`] ([`mdf::from_bytes`]) and
+    /// categorize through row-oriented `Vec<Operation>`s — the reference
+    /// implementation, kept as the differential baseline.
+    Owned,
+}
+
 /// Executor configuration.
 #[derive(Clone, Default)]
 pub struct PipelineConfig {
@@ -36,6 +55,8 @@ pub struct PipelineConfig {
     /// [`TraceTimeline`] to the [`PipelineResult`]. `None` (the default)
     /// keeps the aggregate metrics only — zero extra allocation per trace.
     pub trace_capacity: Option<usize>,
+    /// Parse/carry strategy for byte-fed traces; see [`ParseMode`].
+    pub parse_mode: ParseMode,
 }
 
 impl std::fmt::Debug for PipelineConfig {
@@ -45,6 +66,7 @@ impl std::fmt::Debug for PipelineConfig {
             .field("categorizer", &self.categorizer)
             .field("progress", &self.progress.is_some())
             .field("trace_capacity", &self.trace_capacity)
+            .field("parse_mode", &self.parse_mode)
             .finish()
     }
 }
@@ -203,6 +225,74 @@ impl<'a> SpanScope<'a> {
     }
 }
 
+thread_local! {
+    /// The per-worker trace arena of the zero-copy path. Thread-local (not
+    /// per-call) so steady-state ingestion reuses grown buffers instead of
+    /// reallocating per trace; `ColumnarTrace::load` and the merge scratch
+    /// only ever `clear()` it.
+    static ARENA: std::cell::RefCell<mosaic_core::columnar::TraceArena> =
+        std::cell::RefCell::new(mosaic_core::columnar::TraceArena::default());
+}
+
+/// The zero-copy ingest path: borrowed parse, borrowed validation, columnar
+/// extraction into the worker's arena, arena categorization. Stage spans
+/// mirror the owned path one-for-one (same stages, same outcomes).
+fn ingest_zero_copy(
+    bytes: &[u8],
+    index: usize,
+    categorizer: &Categorizer,
+    recorder: &Recorder,
+    scope: SpanScope<'_>,
+    wire: u64,
+) -> Ingested {
+    let t0 = recorder.now_ns();
+    let parsed = mosaic_darshan::TraceView::parse(bytes);
+    let dur = recorder.now_ns().saturating_sub(t0);
+    let view = match parsed {
+        Ok(view) => {
+            scope.emit(Stage::Parse, t0, dur, wire, SpanOutcome::Ok, None);
+            view
+        }
+        Err(err) => return scope.evict(Stage::Parse, t0, dur, wire, EvictReason::from(&err)),
+    };
+
+    let t0 = recorder.now_ns();
+    let report = mosaic_darshan::view::validate_view(&view);
+    let dur = recorder.now_ns().saturating_sub(t0);
+    if report.is_fatal() {
+        return scope.evict(Stage::Validate, t0, dur, 0, report.evict_reason());
+    }
+    scope.emit(Stage::Validate, t0, dur, 0, SpanOutcome::Ok, None);
+    // No delete pass: the arena load below skips the flagged records, which
+    // is the zero-copy equivalent of `delete_invalid`.
+    let sanitized_records = report.record_errors.len();
+
+    ARENA.with(|cell| {
+        let mut arena = cell.borrow_mut();
+        arena.trace.load(&view, &report);
+        let t0 = recorder.now_ns();
+        let (trace_report, timings) = categorizer.categorize_arena_timed(&mut arena);
+        scope.emit(Stage::Merge, t0, timings.merge_nanos, 0, SpanOutcome::Ok, None);
+        scope.emit(
+            Stage::Categorize,
+            t0.saturating_add(timings.merge_nanos),
+            timings.total_nanos.saturating_sub(timings.merge_nanos),
+            0,
+            SpanOutcome::Ok,
+            None,
+        );
+        Ingested::Valid(Box::new(RunOutcome {
+            index,
+            app_key: view.app_key(),
+            weight: arena.trace.weight,
+            sanitized_records,
+            start_time: view.start_time,
+            end_time: view.end_time,
+            report: trace_report,
+        }))
+    })
+}
+
 /// Parse → validate → categorize one fetched input, recording per-stage
 /// timings and spans. The fetch itself (and its span) is the caller's
 /// business; the `Err` fate of a fetch is still accounted here so batch and
@@ -212,6 +302,7 @@ pub(crate) fn ingest_one(
     index: usize,
     categorizer: &Categorizer,
     recorder: &Recorder,
+    mode: ParseMode,
 ) -> Ingested {
     let scope = SpanScope::current(recorder, index);
     let input = match fetched {
@@ -223,6 +314,9 @@ pub(crate) fn ingest_one(
     };
     let wire = usize_to_u64(input.wire_len());
     let log: Arc<TraceLog> = match input {
+        TraceInput::Bytes(bytes) if mode == ParseMode::ZeroCopy => {
+            return ingest_zero_copy(&bytes, index, categorizer, recorder, scope, wire);
+        }
         TraceInput::Bytes(bytes) => {
             let t0 = recorder.now_ns();
             let parsed = mdf::from_bytes(&bytes);
@@ -327,7 +421,7 @@ pub fn process<S: TraceSource>(source: &S, config: &PipelineConfig) -> PipelineR
                 let wire = fetched.as_ref().map(|f| usize_to_u64(f.wire_len())).unwrap_or(0);
                 let outcome = if fetched.is_ok() { SpanOutcome::Ok } else { SpanOutcome::IoError };
                 scope.emit(Stage::Fetch, t0, dur, wire, outcome, None);
-                let out = ingest_one(fetched, i, &categorizer, &recorder);
+                let out = ingest_one(fetched, i, &categorizer, &recorder, config.parse_mode);
                 if let Some(progress) = &config.progress {
                     // Relaxed is enough: the count is monotonic telemetry,
                     // not a synchronization point.
@@ -643,6 +737,54 @@ mod tests {
             .slowest
             .iter()
             .any(|e| e.trace == 2 && e.outcome == "validation:non_positive_runtime"));
+    }
+
+    #[test]
+    fn parse_modes_agree_on_mixed_inputs() {
+        // Valid, corrupt, fatally-invalid, and partially-corrupt byte-fed
+        // traces: both parse modes must produce identical funnels, outcomes,
+        // and representatives — and the same span structure when traced.
+        let mut partially_bad =
+            TraceLogBuilder::new(JobHeader::new(3, 7, 4, 0, 1000).with_exe("/bin/m"));
+        let g = partially_bad.begin_record("/good", 0);
+        partially_bad
+            .record_mut(g)
+            .set(C::Writes, 2)
+            .set(C::BytesWritten, 600 << 20)
+            .setf(F::WriteStartTimestamp, 900.0)
+            .setf(F::WriteEndTimestamp, 960.0);
+        let bad = partially_bad.begin_record("/bad", 0);
+        partially_bad.record_mut(bad).set(C::BytesRead, -5);
+        let inputs: Vec<TraceInput> = vec![
+            TraceInput::bytes(mdf::to_bytes(&log_for(1, "/bin/a", 900 << 20))),
+            TraceInput::bytes(b"garbage".to_vec()),
+            TraceInput::bytes(mdf::to_bytes(
+                &TraceLogBuilder::new(JobHeader::new(1, 1, 4, 5, 5)).finish(),
+            )),
+            TraceInput::bytes(mdf::to_bytes(&partially_bad.finish())),
+            TraceInput::log(log_for(2, "/bin/b", 700 << 20)),
+        ];
+        let zc_cfg = PipelineConfig { trace_capacity: Some(256), ..Default::default() };
+        assert_eq!(zc_cfg.parse_mode, ParseMode::ZeroCopy, "zero-copy must be the default");
+        let owned_cfg = PipelineConfig {
+            parse_mode: ParseMode::Owned,
+            trace_capacity: Some(256),
+            ..zc_cfg.clone()
+        };
+        let zc = process(&VecSource::new(inputs.clone()), &zc_cfg);
+        let owned = process(&VecSource::new(inputs), &owned_cfg);
+        assert_eq!(zc.funnel, owned.funnel);
+        assert_eq!(zc.outcomes, owned.outcomes);
+        assert_eq!(zc.representatives, owned.representatives);
+        assert_eq!(zc.outcomes[1].sanitized_records, 1, "partial corruption sanitized");
+        let spans = |r: &PipelineResult| {
+            let t = r.timeline.as_ref().expect("traced");
+            t.events
+                .iter()
+                .map(|e| (e.trace, format!("{:?}", e.stage), format!("{:?}", e.outcome)))
+                .collect::<BTreeSet<_>>()
+        };
+        assert_eq!(spans(&zc), spans(&owned), "span structure must match stage-for-stage");
     }
 
     #[test]

@@ -80,10 +80,28 @@ impl BenchmarkGroup<'_> {
             _ => String::new(),
         };
         println!("bench {label}: {:.1} ns/iter ({} iters){rate}", bencher.mean_ns, bencher.iters);
+        println!("{}", machine_line(&label, bencher.mean_ns, bencher.iters));
         self
     }
 
     pub fn finish(self) {}
+}
+
+/// The stable machine-readable result line emitted after the human one:
+/// a `BENCH_RESULT ` prefix followed by a single-line JSON object with
+/// fixed keys (`name`, `ns_per_iter`, `iters`). Scripts grep the prefix and
+/// parse the rest; the human line above it stays free to change.
+pub fn machine_line(label: &str, mean_ns: f64, iters: u64) -> String {
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    format!(
+        "BENCH_RESULT {{\"name\":\"{escaped}\",\"ns_per_iter\":{mean_ns:.1},\"iters\":{iters}}}"
+    )
 }
 
 /// Runs and times one benchmark routine.
@@ -164,6 +182,20 @@ mod tests {
         group.finish();
         // one warmup + at least one timed iteration
         assert!(calls >= 2);
+    }
+
+    #[test]
+    fn machine_line_is_stable_single_line_json() {
+        assert_eq!(
+            machine_line("merge/concurrent/10000", 1234.56, 42),
+            r#"BENCH_RESULT {"name":"merge/concurrent/10000","ns_per_iter":1234.6,"iters":42}"#
+        );
+        // Quotes and backslashes in labels stay valid JSON.
+        assert_eq!(
+            machine_line(r#"odd"\label"#, 0.0, 0),
+            r#"BENCH_RESULT {"name":"odd\"\\label","ns_per_iter":0.0,"iters":0}"#
+        );
+        assert!(!machine_line("x", 1.0, 1).contains('\n'));
     }
 
     #[test]

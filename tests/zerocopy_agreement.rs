@@ -1,0 +1,175 @@
+//! Property pin for the zero-copy hot path: [`TraceView::parse`] must
+//! accept, reject, decode, and validate **exactly** like the owned
+//! reference parser `mdf::from_bytes` on every input — arbitrary garbage,
+//! mutated real traces, and structurally valid logs with hostile counter
+//! values. The borrowed parser additionally must never panic.
+//!
+//! Deliberately compares parse results and validity reports, not pipeline
+//! aggregates: arbitrary `i64` counters are free to be absurd here, and the
+//! contract under test is the parser pair, not downstream arithmetic.
+
+use mosaic_darshan::job::JobHeader;
+use mosaic_darshan::log::TraceLog;
+use mosaic_darshan::record::PosixRecord;
+use mosaic_darshan::synthutil::Crc32;
+use mosaic_darshan::validate;
+use mosaic_darshan::view::{validate_view, TraceView};
+use mosaic_darshan::{mdf, TraceLogBuilder};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// The agreement contract, applied to one byte buffer: identical
+/// accept/reject decision, identical error (variant and payload), identical
+/// decoded log, identical validity report.
+fn assert_parsers_agree(bytes: &[u8]) -> TestCaseResult {
+    let owned = mdf::from_bytes(bytes);
+    let borrowed = TraceView::parse(bytes);
+    match (&owned, &borrowed) {
+        (Ok(log), Ok(view)) => {
+            prop_assert_eq!(&view.to_log(), log, "decoded logs differ");
+            prop_assert_eq!(
+                validate_view(view),
+                validate::validate(log),
+                "validity reports differ"
+            );
+            prop_assert_eq!(view.n_records(), log.records().len());
+            prop_assert_eq!(view.exe, log.header().exe.as_str());
+            prop_assert_eq!(view.app_key(), log.header().app_key());
+        }
+        (Err(owned_err), Err(borrowed_err)) => {
+            prop_assert_eq!(borrowed_err, owned_err, "rejection errors differ");
+        }
+        _ => {
+            prop_assert!(
+                false,
+                "accept/reject disagree: owned accepts = {}, borrowed accepts = {}",
+                owned.is_ok(),
+                borrowed.is_ok()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// A small but real trace to mutate: mixed ranks, read activity, meta ops.
+fn seed_trace_bytes() -> Vec<u8> {
+    let mut b = TraceLogBuilder::new(
+        JobHeader::new(7, 99, 16, 1_600_000_000, 1_600_003_600).with_exe("/apps/ior/ior -a POSIX"),
+    );
+    for i in 0..4i64 {
+        let r = b.begin_record(&format!("/scratch/out.{i}"), i as i32 - 1);
+        b.record_mut(r)
+            .set(mosaic_darshan::counter::PosixCounter::Reads, 8 * (i + 1))
+            .set(mosaic_darshan::counter::PosixCounter::BytesRead, 4096 * (i + 1))
+            .set(mosaic_darshan::counter::PosixCounter::Opens, 2)
+            .setf(mosaic_darshan::counter::PosixFCounter::ReadStartTimestamp, i as f64)
+            .setf(mosaic_darshan::counter::PosixFCounter::ReadEndTimestamp, i as f64 + 0.25);
+    }
+    mdf::to_bytes(&b.finish())
+}
+
+/// Structurally valid logs with adversarial contents: arbitrary counters
+/// (including negatives and near-overflow magnitudes), arbitrary ranks,
+/// records with and without name-table entries.
+fn arb_log() -> impl Strategy<Value = TraceLog> {
+    let arb_record = (
+        any::<u64>(),
+        -3i32..70,
+        prop::collection::vec(any::<i64>(), mosaic_darshan::counter::N_POSIX_COUNTERS),
+        prop::collection::vec(-1.0e9f64..1.0e9, mosaic_darshan::counter::N_POSIX_FCOUNTERS),
+        any::<bool>(),
+    );
+    (
+        any::<u64>(),
+        any::<u32>(),
+        0u32..2048,
+        -1000i64..2_000_000_000,
+        0i64..2_000_000_000,
+        prop::collection::vec(arb_record, 0..12),
+    )
+        .prop_map(|(job_id, uid, nprocs, start, end, recs)| {
+            let header = JobHeader::new(job_id, uid, nprocs, start, end).with_exe("/bin/prop");
+            let mut names = BTreeMap::new();
+            let records: Vec<PosixRecord> = recs
+                .into_iter()
+                .map(|(id, rank, counters, fcounters, named)| {
+                    let mut rec = PosixRecord::new(id, rank);
+                    rec.counters.copy_from_slice(&counters);
+                    rec.fcounters.copy_from_slice(&fcounters);
+                    if named {
+                        names.insert(id, format!("/prop/{id}"));
+                    }
+                    rec
+                })
+                .collect();
+            TraceLog::from_parts(header, records, names)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_and_agree(
+        bytes in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        assert_parsers_agree(&bytes)?;
+    }
+
+    #[test]
+    fn magic_prefixed_garbage_agrees(
+        tail in prop::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        // Forcing the magic past the first check exercises the checksum and
+        // header decoding paths instead of bailing at byte 0.
+        let mut bytes = mdf::MAGIC.to_vec();
+        bytes.extend(tail);
+        assert_parsers_agree(&bytes)?;
+    }
+
+    #[test]
+    fn truncated_and_extended_real_traces_agree(
+        cut in 0usize..2000,
+        junk in prop::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let mut bytes = seed_trace_bytes();
+        let cut = cut.min(bytes.len());
+        bytes.truncate(cut);
+        bytes.extend(junk);
+        assert_parsers_agree(&bytes)?;
+    }
+
+    #[test]
+    fn bit_flipped_real_traces_agree(pos in 0usize..2000, mask in 1u8..=255) {
+        let mut bytes = seed_trace_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= mask;
+        assert_parsers_agree(&bytes)?;
+    }
+
+    #[test]
+    fn recrced_corruptions_reach_structural_checks_and_agree(
+        pos in 0usize..2000,
+        mask in 1u8..=255,
+    ) {
+        // Flip a payload byte, then repair the CRC footer: both parsers get
+        // past the checksum and must agree on the *structural* verdict
+        // (record counts, module tags, name-table shape, trailing bytes).
+        let mut bytes = seed_trace_bytes();
+        let pos = pos % (bytes.len() - 4);
+        bytes[pos] ^= mask;
+        let crc = Crc32::checksum(&bytes[..bytes.len() - 4]);
+        let footer = bytes.len() - 4;
+        bytes[footer..].copy_from_slice(&crc.to_le_bytes());
+        assert_parsers_agree(&bytes)?;
+    }
+
+    #[test]
+    fn adversarial_valid_logs_decode_and_validate_identically(log in arb_log()) {
+        let bytes = mdf::to_bytes(&log);
+        assert_parsers_agree(&bytes)?;
+        // Both parsers must *accept* a well-formed serialization, however
+        // hostile the counter values are.
+        prop_assert!(TraceView::parse(&bytes).is_ok());
+    }
+}
