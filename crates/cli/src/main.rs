@@ -80,7 +80,8 @@ USAGE:
   mosaic watch     --dir DIR [--interval SECS] [--rounds R]
   mosaic verify    [--all | --differential --metamorphic --golden]
                    [--bless] [--golden-dir DIR] [--json]
-  mosaic lint      [--format text|json] [--root DIR] [--debt [--top N]]
+  mosaic lint      [--format text|json] [--root DIR] [--sarif FILE]
+                   [--debt [--top N]]
   mosaic help
 
 SUBCOMMANDS:
@@ -98,7 +99,8 @@ SUBCOMMANDS:
   verify        differential / metamorphic / golden-snapshot conformance
   lint          enforce workspace invariants: determinism (L2), unsafe
                 hygiene (L3), taxonomy (L4), call-graph panic-reachability
-                (L5), lossy-cast safety (L6), unit consistency (L7);
+                (L5), lossy-cast safety (L6), unit consistency (L7),
+                wire-taint dataflow (L8), parser guard parity (L9);
                 --debt ranks functions by complexity x git churn instead
 
 OPTIONS:
@@ -131,6 +133,7 @@ OPTIONS:
   --golden-dir DIR verify: override the golden snapshot directory
   --format F       lint: output format, `text` or `json`  (default text)
   --root DIR       lint: workspace root (default: nearest [workspace] manifest)
+  --sarif FILE     lint: additionally write a stable SARIF 2.1.0 document
   --debt           lint: technical-debt report instead of findings (exit 0)
   --top N          lint: rows in the markdown debt table     (default 10)
 ";

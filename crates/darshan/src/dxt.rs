@@ -212,8 +212,7 @@ pub const DXT_MAGIC: &[u8; 8] = b"MOSAICDX";
 /// Current MDX version.
 pub const DXT_VERSION: u16 = 1;
 
-const MAX_RECORDS: u32 = 64 * 1024 * 1024;
-const MAX_ACCESSES: u32 = 256 * 1024 * 1024;
+use crate::limits::{MAX_ACCESSES, MAX_RECORDS};
 
 /// Serialize a DXT trace to MDX bytes (same envelope discipline as MDF:
 /// little-endian, CRC-32 footer).

@@ -26,6 +26,8 @@
 //!   and metadata events) that MOSAIC's merging/segmentation consumes.
 //! * [`mdf`] — the MOSAIC Darshan Format: a compact, CRC-protected binary
 //!   serialization with a writer and a strict parser.
+//! * [`limits`] — the shared decompression-bomb guard constants every binary
+//!   parser compares untrusted lengths against.
 //! * [`text`] — a `darshan-parser`-style line-oriented text format.
 //! * [`validate`] — the validity rules of MOSAIC's pre-processing step ①
 //!   (corrupted-entry detection and eviction).
@@ -64,6 +66,7 @@ pub mod counter;
 pub mod dxt;
 pub mod error;
 pub mod job;
+pub mod limits;
 pub mod log;
 pub mod mdf;
 pub mod ops;

@@ -45,12 +45,10 @@ pub const MAGIC: &[u8; 8] = b"MOSAICDF";
 /// Current format version.
 pub const VERSION: u16 = 1;
 
-/// Decompression-bomb guard: longest accepted `exe` string.
-pub const MAX_EXE_LEN: u32 = 64 * 1024;
-/// Decompression-bomb guard: highest accepted record count.
-pub const MAX_RECORDS: u32 = 64 * 1024 * 1024;
-/// Decompression-bomb guard: highest accepted name-table size.
-pub const MAX_NAMES: u32 = 64 * 1024 * 1024;
+// Decompression-bomb guards live in [`crate::limits`]; re-exported here so
+// existing `mdf::MAX_*` call sites (and the L9 guard-parity anchor) keep one
+// canonical definition.
+pub use crate::limits::{MAX_EXE_LEN, MAX_NAMES, MAX_RECORDS};
 
 /// Exact wire size of one record (fixed-width fields only).
 pub const RECORD_WIRE_BYTES: usize = 8 + 4 + 1 + N_POSIX_COUNTERS * 8 + N_POSIX_FCOUNTERS * 8;

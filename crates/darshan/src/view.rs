@@ -25,8 +25,9 @@ use crate::convert::{u32_to_usize, usize_to_u64};
 use crate::counter::{Module, PosixCounter, PosixFCounter, N_POSIX_COUNTERS};
 use crate::error::FormatError;
 use crate::job::JobHeader;
+use crate::limits::{MAX_EXE_LEN, MAX_NAMES, MAX_RECORDS};
 use crate::log::TraceLog;
-use crate::mdf::{MAGIC, MAX_EXE_LEN, MAX_NAMES, MAX_RECORDS, RECORD_WIRE_BYTES, VERSION};
+use crate::mdf::{MAGIC, RECORD_WIRE_BYTES, VERSION};
 use crate::record::{PosixRecord, SHARED_RANK};
 use crate::synthutil::Crc32;
 use crate::validate::{check_header_fields, check_record, ValidityReport};

@@ -21,6 +21,15 @@ pub enum Rule {
     /// L7 — unit consistency: no `+`/`-` arithmetic mixing byte-volume and
     /// seconds-duration identifiers outside the core unit newtypes.
     UnitMix,
+    /// L8 — wire-taint dataflow: a length read off the wire must be
+    /// compared against a named `limits::MAX_*` guard constant before it
+    /// sizes an allocation (`with_capacity`, `reserve`, `vec![x; n]`,
+    /// slice-range bounds), on every interprocedural path.
+    WireTaint,
+    /// L9 — guard parity: the owned (`mdf.rs`) and borrowed (`view.rs`)
+    /// MDF parsers must compare against the same set of `MAX_*` guard
+    /// constants — the static twin of the runtime differential oracle.
+    GuardParity,
     /// A `lint: allow(...)` escape hatch that does not parse or lacks a
     /// justification — the hatch itself must be auditable.
     MalformedAllow,
@@ -39,14 +48,16 @@ impl Rule {
             Rule::PanicReachability => "L5/panic-reachability",
             Rule::LossyCast => "L6/lossy-cast",
             Rule::UnitMix => "L7/unit-consistency",
+            Rule::WireTaint => "L8/wire-taint",
+            Rule::GuardParity => "L9/guard-parity",
             Rule::MalformedAllow => "allow-syntax",
             Rule::UnusedAllow => "unused-allow",
         }
     }
 
     /// The `lint: allow(<key>, "...")` key that can suppress this rule, if
-    /// any. Structural rules (L3, L4) and the allow machinery itself have
-    /// no per-line escape hatch.
+    /// any. Structural rules (L3, L4, L9) and the allow machinery itself
+    /// have no per-line escape hatch.
     pub fn allow_key(self) -> Option<&'static str> {
         match self {
             Rule::PanicReachability => Some("panic"),
@@ -54,10 +65,45 @@ impl Rule {
             Rule::UnsafeHygiene => Some("unsafe"),
             Rule::LossyCast => Some("cast"),
             Rule::UnitMix => Some("unit"),
-            Rule::Taxonomy | Rule::MalformedAllow | Rule::UnusedAllow => None,
+            Rule::WireTaint => Some("taint"),
+            Rule::Taxonomy | Rule::GuardParity | Rule::MalformedAllow | Rule::UnusedAllow => None,
+        }
+    }
+
+    /// One-line rule description for report metadata (SARIF `rules` table).
+    pub fn short_description(self) -> &'static str {
+        match self {
+            Rule::Determinism => "No unordered collections, wall-clock or RNG in pipeline code",
+            Rule::UnsafeHygiene => "forbid(unsafe_code) at every crate root; no unsafe tokens",
+            Rule::Taxonomy => "EvictReason taxonomy is matched exhaustively",
+            Rule::PanicReachability => {
+                "No panic site reachable from an untrusted-input entry point"
+            }
+            Rule::LossyCast => "No narrowing/sign/float-truncating `as` casts in data paths",
+            Rule::UnitMix => "No arithmetic mixing byte-volume and seconds identifiers",
+            Rule::WireTaint => {
+                "Wire-read lengths must be MAX_*-guard-dominated before sizing allocations"
+            }
+            Rule::GuardParity => "Owned and borrowed MDF parsers share one MAX_* guard set",
+            Rule::MalformedAllow => "lint: allow(...) must parse and carry a justification",
+            Rule::UnusedAllow => "lint: allow(...) that suppresses nothing must be deleted",
         }
     }
 }
+
+/// Every rule, in report order — keep in sync with the `Rule` enum.
+pub const ALL_RULES: &[Rule] = &[
+    Rule::Determinism,
+    Rule::UnsafeHygiene,
+    Rule::Taxonomy,
+    Rule::PanicReachability,
+    Rule::LossyCast,
+    Rule::UnitMix,
+    Rule::WireTaint,
+    Rule::GuardParity,
+    Rule::MalformedAllow,
+    Rule::UnusedAllow,
+];
 
 impl fmt::Display for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -141,6 +187,49 @@ impl Report {
             self.files_scanned,
             self.findings.len()
         ));
+        out
+    }
+
+    /// Stable SARIF 2.1.0 document. Hand-rolled like [`Report::to_json`]:
+    /// fixed key order, pre-sorted findings, the full rule table always
+    /// present — equal reports are byte-identical, so the CI artifact diffs
+    /// cleanly between runs.
+    pub fn to_sarif(&self) -> String {
+        let mut out = String::from(
+            "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+             \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+             \"driver\": {\n          \"name\": \"mosaic-lint\",\n          \
+             \"informationUri\": \"https://github.com/mosaic/mosaic\",\n          \"rules\": [",
+        );
+        for (i, r) in ALL_RULES.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+                json_str(r.id()),
+                json_str(r.short_description())
+            ));
+        }
+        out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n        {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": \
+                 {}}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+                 {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+                json_str(f.rule.id()),
+                json_str(&f.message),
+                json_str(&f.file),
+                f.line
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }\n  ]\n}\n");
         out
     }
 }

@@ -54,6 +54,10 @@ pub struct CallGraph<'a> {
     pub nodes: Vec<Node<'a>>,
     /// Outgoing edges per node, sorted by callee index, deduplicated.
     pub edges: Vec<Vec<Edge>>,
+    /// Candidate nodes per function name, for post-build call resolution.
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// Per-node `use`-import list of the defining file.
+    node_imports: Vec<&'a [(String, String)]>,
 }
 
 /// The crate directory name for a workspace-relative path.
@@ -96,14 +100,16 @@ impl<'a> CallGraph<'a> {
             }
         }
 
-        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         for (i, n) in nodes.iter().enumerate() {
-            by_name.entry(n.f.name.as_str()).or_default().push(i);
+            by_name.entry(n.f.name.clone()).or_default().push(i);
         }
 
         let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); nodes.len()];
+        let mut node_imports: Vec<&'a [(String, String)]> = Vec::with_capacity(nodes.len());
         for caller in 0..nodes.len() {
             let imports = &files[node_file[caller]].1.imports;
+            node_imports.push(imports.as_slice());
             let mut seen: BTreeMap<usize, u32> = BTreeMap::new();
             for call in &nodes[caller].f.calls {
                 for callee in resolve(&nodes, &by_name, caller, call, imports) {
@@ -112,7 +118,15 @@ impl<'a> CallGraph<'a> {
             }
             edges[caller] = seen.into_iter().map(|(callee, line)| Edge { callee, line }).collect();
         }
-        CallGraph { nodes, edges }
+        CallGraph { nodes, edges, by_name, node_imports }
+    }
+
+    /// Resolve one call site observed inside `caller`'s body with the same
+    /// precedence the graph edges were built with. Lets token-level passes
+    /// (the L8 taint walk) ask "which workspace fns could this call reach?"
+    /// for calls re-discovered after construction.
+    pub fn resolve_site(&self, caller: usize, call: &CallSite) -> Vec<usize> {
+        resolve(&self.nodes, &self.by_name, caller, call, self.node_imports[caller])
     }
 
     /// Node index of `fn name` in file `rel` (first match in source order).
@@ -192,7 +206,7 @@ impl Reach {
 ///    then anywhere in the workspace.
 fn resolve(
     nodes: &[Node<'_>],
-    by_name: &BTreeMap<&str, Vec<usize>>,
+    by_name: &BTreeMap<String, Vec<usize>>,
     caller: usize,
     call: &CallSite,
     imports: &[(String, String)],

@@ -27,6 +27,16 @@
 //! - **L7 unit consistency**: no `+`/`-` arithmetic mixing byte-volume
 //!   and seconds-duration identifiers; route through
 //!   `mosaic_core::units` newtypes or audit with `allow(unit, …)`.
+//! - **L8 wire-taint dataflow** ([`dataflow`]): a length read off the
+//!   wire by the binary parsers must be compared against a named
+//!   `limits::MAX_*` guard constant before it sizes an allocation
+//!   (`with_capacity`, `reserve`, `vec![x; n]`, slice-range bounds),
+//!   on every interprocedural path; findings print the full taint
+//!   path. Escape hatch: `// lint: allow(taint, "<proof>")`.
+//! - **L9 guard parity**: the owned (`mdf.rs`) and borrowed (`view.rs`)
+//!   parsers must enforce the same `MAX_*` guard set, anchored in the
+//!   shared `darshan::limits` module — the static twin of the runtime
+//!   differential oracle.
 //! - **unused-allow**: a `lint: allow` that suppresses nothing is
 //!   itself reported, so audited escape hatches cannot go stale.
 //!
@@ -42,6 +52,7 @@
 //! `rustc` on machines with no crates registry access; JSON output is
 //! hand-rolled with a fixed key order so reports are byte-stable.
 
+pub mod dataflow;
 pub mod debt;
 pub mod findings;
 pub mod graph;
@@ -74,11 +85,13 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     None
 }
 
-/// Collect every `.rs` file under `crates/` and `examples/`, as
-/// workspace-relative forward-slash paths, sorted.
+/// Collect every `.rs` file under `crates/`, `examples/` and `shims/`, as
+/// workspace-relative forward-slash paths, sorted. The shims are in-repo
+/// stand-ins for external dependencies, so they carry the same unsafe-hygiene
+/// obligations as first-party code.
 pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
-    for top in ["crates", "examples"] {
+    for top in ["crates", "examples", "shims"] {
         let dir = root.join(top);
         if dir.is_dir() {
             walk(&dir, &mut out)?;
@@ -129,12 +142,14 @@ pub const EXIT_ERROR: i32 = 2;
 
 /// Shared CLI driver used by both the standalone `mosaic-lint` binary and
 /// the `mosaic lint` subcommand. Accepts `--format text|json`,
-/// `--root <dir>`, `--debt` (technical-debt report instead of findings)
+/// `--root <dir>`, `--sarif <path>` (additionally write a stable SARIF
+/// 2.1.0 document), `--debt` (technical-debt report instead of findings)
 /// and `--top <n>` (rows in the markdown debt table); returns the process
 /// exit code.
 pub fn cli_main(args: &[String]) -> i32 {
     let mut format = "text".to_owned();
     let mut root_arg: Option<PathBuf> = None;
+    let mut sarif_path: Option<PathBuf> = None;
     let mut debt = false;
     let mut top = 10usize;
     let mut it = args.iter();
@@ -158,6 +173,13 @@ pub fn cli_main(args: &[String]) -> i32 {
                     return EXIT_ERROR;
                 }
             },
+            "--sarif" => match it.next() {
+                Some(v) => sarif_path = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("mosaic-lint: --sarif requires a path");
+                    return EXIT_ERROR;
+                }
+            },
             "--debt" => debt = true,
             "--top" => match it.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) => top = n,
@@ -168,12 +190,18 @@ pub fn cli_main(args: &[String]) -> i32 {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: mosaic-lint [--format text|json] [--root <dir>] [--debt [--top <n>]]\n\n\
+                    "usage: mosaic-lint [--format text|json] [--root <dir>] [--sarif <path>]\n\
+                     \x20                  [--debt [--top <n>]]\n\n\
                      Enforces the Mosaic workspace invariants: L2 determinism,\n\
                      L3 unsafe hygiene, L4 error-taxonomy exhaustiveness,\n\
                      L5 call-graph panic-reachability from untrusted-input entry\n\
-                     points, L6 lossy-cast safety, L7 unit consistency, and\n\
+                     points, L6 lossy-cast safety, L7 unit consistency,\n\
+                     L8 wire-taint dataflow (untrusted lengths must be\n\
+                     MAX_*-guard-dominated before sizing allocations),\n\
+                     L9 owned/borrowed parser guard-set parity, and\n\
                      unused-allow staleness. Exits 0 when clean, 1 on findings.\n\n\
+                     --sarif <path> additionally writes the findings as a\n\
+                     stable SARIF 2.1.0 document (for CI artifact upload).\n\n\
                      --debt ranks every workspace function by complexity x git\n\
                      churn instead (markdown top-N table, or full JSON with\n\
                      --format json); always exits 0."
@@ -230,6 +258,12 @@ pub fn cli_main(args: &[String]) -> i32 {
         }
     };
 
+    if let Some(path) = sarif_path {
+        if let Err(e) = std::fs::write(&path, report.to_sarif()) {
+            eprintln!("mosaic-lint: failed to write SARIF to {}: {e}", path.display());
+            return EXIT_ERROR;
+        }
+    }
     match format.as_str() {
         "json" => print!("{}", report.to_json()),
         _ => print!("{}", report.render_text()),

@@ -1,4 +1,4 @@
-//! The Mosaic-specific invariant rules (L2–L7) and the escape hatch.
+//! The Mosaic-specific invariant rules (L2–L9) and the escape hatch.
 //!
 //! Scopes are explicit and named next to the rules they parameterize: the
 //! untrusted-input *entry points* the call graph is walked from (L5), the
@@ -167,6 +167,7 @@ pub fn lint_files(files: &[FileInput]) -> Report {
     }
 
     check_panic_reachability(files, &prepared, &mut raw, &mut report.findings);
+    check_wire_taint_rule(files, &prepared, &mut raw);
 
     for p in &prepared {
         let rel = &files[p.idx].rel;
@@ -197,9 +198,54 @@ pub fn lint_files(files: &[FileInput]) -> Report {
 
     check_crate_roots(files, &prepared, &mut report.findings);
     check_taxonomy(files, &prepared, &mut report.findings);
+    check_guard_parity_rule(files, &prepared, &mut report.findings);
 
     report.normalize();
     report
+}
+
+/// L8: run the interprocedural wire-taint pass over the same production
+/// call graph L5 uses. Findings are suppressible per-site via
+/// `lint: allow(taint, "<proof>")`, so they land in the per-file `raw`
+/// buckets rather than going straight to the report.
+fn check_wire_taint_rule(files: &[FileInput], prepared: &[Prepared], raw: &mut [Vec<Finding>]) {
+    let graph_files: Vec<(&str, &ParsedFile)> = prepared
+        .iter()
+        .filter(|p| graph_scope(&files[p.idx].rel))
+        .map(|p| (files[p.idx].rel.as_str(), &p.parsed))
+        .collect();
+    let graph = CallGraph::build(&graph_files);
+    let lexed_by_rel: BTreeMap<&str, &Lexed> = prepared
+        .iter()
+        .filter(|p| graph_scope(&files[p.idx].rel))
+        .map(|p| (files[p.idx].rel.as_str(), &p.lexed))
+        .collect();
+    let by_rel: BTreeMap<&str, usize> =
+        files.iter().enumerate().map(|(i, f)| (f.rel.as_str(), i)).collect();
+    for t in crate::dataflow::check_wire_taint(&graph, &lexed_by_rel) {
+        let Some(&pidx) = by_rel.get(t.rel.as_str()) else { continue };
+        raw[pidx].push(Finding {
+            rule: Rule::WireTaint,
+            file: t.rel,
+            line: t.line,
+            message: t.message,
+        });
+    }
+}
+
+/// L9: guard-set parity between the owned and borrowed parsers, plus the
+/// `limits.rs` anchoring check. Structural — no per-line escape hatch.
+fn check_guard_parity_rule(files: &[FileInput], prepared: &[Prepared], out: &mut Vec<Finding>) {
+    let inputs: Vec<(&str, &Lexed)> =
+        prepared.iter().map(|p| (files[p.idx].rel.as_str(), &p.lexed)).collect();
+    for t in crate::dataflow::check_guard_parity(&inputs) {
+        out.push(Finding {
+            rule: Rule::GuardParity,
+            file: t.rel,
+            line: t.line,
+            message: t.message,
+        });
+    }
 }
 
 /// `true` when `rel` starts with any of the given path prefixes.
@@ -281,10 +327,10 @@ fn parse_allows(rel: &str, lexed: &Lexed, findings: &mut Vec<Finding>) -> Vec<Al
             continue;
         };
         let key = key.trim();
-        if !matches!(key, "panic" | "nondeterminism" | "unsafe" | "cast" | "unit") {
+        if !matches!(key, "panic" | "nondeterminism" | "unsafe" | "cast" | "unit" | "taint") {
             fail(&format!(
                 "unknown rule {key:?}; expected `panic`, `nondeterminism`, `unsafe`, \
-                 `cast` or `unit`"
+                 `cast`, `unit` or `taint`"
             ));
             continue;
         }
@@ -628,19 +674,18 @@ fn check_crate_roots(files: &[FileInput], prepared: &[Prepared], out: &mut Vec<F
 }
 
 /// A crate root: `crates/<name>/src/lib.rs`, `crates/<name>/src/main.rs`,
-/// or the examples package's `examples/lib.rs`.
+/// a shim's `shims/<name>/src/lib.rs`, or the examples package's
+/// `examples/lib.rs`.
 fn is_crate_root(rel: &str) -> bool {
     if rel == "examples/lib.rs" {
         return true;
     }
-    match rel.strip_prefix("crates/") {
-        Some(rest) => {
-            let mut parts = rest.split('/');
-            let (_name, src, file, end) = (parts.next(), parts.next(), parts.next(), parts.next());
-            src == Some("src") && matches!(file, Some("lib.rs") | Some("main.rs")) && end.is_none()
-        }
-        None => false,
-    }
+    let Some(rest) = rel.strip_prefix("crates/").or_else(|| rel.strip_prefix("shims/")) else {
+        return false;
+    };
+    let mut parts = rest.split('/');
+    let (_name, src, file, end) = (parts.next(), parts.next(), parts.next(), parts.next());
+    src == Some("src") && matches!(file, Some("lib.rs") | Some("main.rs")) && end.is_none()
 }
 
 /// Match the token sequence `# ! [ forbid ( unsafe_code ) ]`.

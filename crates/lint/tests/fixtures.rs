@@ -18,11 +18,24 @@ fn fixture_dir() -> PathBuf {
 
 /// Lint one fixture file under a pretend workspace-relative path.
 fn lint_fixture(fixture: &str, pretend_rel: &str) -> Vec<(Rule, u32, String)> {
-    let path = fixture_dir().join(fixture);
-    let text = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
-    let report = lint_files(&[FileInput { rel: pretend_rel.to_owned(), text }]);
-    report.findings.into_iter().map(|f| (f.rule, f.line, f.message)).collect()
+    lint_fixture_set(&[(fixture, pretend_rel)]).into_iter().map(|(r, _, l, m)| (r, l, m)).collect()
+}
+
+/// Lint several fixture files together (for the cross-file rules),
+/// each under its pretend workspace-relative path.
+fn lint_fixture_set(pairs: &[(&str, &str)]) -> Vec<(Rule, String, u32, String)> {
+    let dir = fixture_dir();
+    let inputs: Vec<FileInput> = pairs
+        .iter()
+        .map(|(fixture, pretend_rel)| {
+            let path = dir.join(fixture);
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+            FileInput { rel: (*pretend_rel).to_owned(), text }
+        })
+        .collect();
+    let report = lint_files(&inputs);
+    report.findings.into_iter().map(|f| (f.rule, f.file, f.line, f.message)).collect()
 }
 
 #[test]
@@ -125,6 +138,72 @@ fn l7_fixture_trips_unit_mixing_and_honours_the_audit() {
         !findings.iter().any(|(r, ..)| *r == Rule::UnusedAllow),
         "the audited mix must consume its allow: {findings:?}"
     );
+}
+
+#[test]
+fn l8_fixture_flags_each_unguarded_sink_with_its_taint_path() {
+    let findings = lint_fixture("l8_taint.rs", "crates/darshan/src/mdf.rs");
+    let l8: Vec<_> = findings.iter().filter(|(r, ..)| *r == Rule::WireTaint).collect();
+    // Unguarded root, wrong-branch guard, two-hop return, hidden-sink
+    // helper, `vec![x; n]`, and the slice-range bound — nothing else.
+    assert_eq!(l8.len(), 6, "{findings:?}");
+    // Every finding walks all the way back to the wire read.
+    assert!(
+        l8.iter()
+            .all(|(_, _, m)| m.contains("taint path:") && m.contains("wire read `get_u32_le`")),
+        "{l8:?}"
+    );
+    // The two-hop case names the returning helper, the hidden-sink case
+    // the allocating one.
+    assert!(l8.iter().any(|(_, _, m)| m.contains("returned by")), "{l8:?}");
+    assert!(l8.iter().any(|(_, _, m)| m.contains("alloc_records")), "{l8:?}");
+    // `guarded` and `audited` are quiet; the stale audit is itself flagged.
+    let stale: Vec<_> = findings.iter().filter(|(r, ..)| *r == Rule::UnusedAllow).collect();
+    assert_eq!(stale.len(), 1, "{findings:?}");
+}
+
+#[test]
+fn l9_fixture_flags_guard_drift_in_both_directions() {
+    let findings = lint_fixture_set(&[
+        ("l9_mdf.rs", "crates/darshan/src/mdf.rs"),
+        ("l9_view.rs", "crates/darshan/src/view.rs"),
+    ]);
+    let l9: Vec<_> = findings.iter().filter(|(r, ..)| *r == Rule::GuardParity).collect();
+    assert_eq!(l9.len(), 2, "{findings:?}");
+    assert!(
+        l9.iter().any(|(_, f, _, m)| f.ends_with("view.rs")
+            && m.contains("`MAX_NAMES`")
+            && m.contains("the borrowed parser never does")),
+        "{l9:?}"
+    );
+    assert!(
+        l9.iter().any(|(_, f, _, m)| f.ends_with("mdf.rs")
+            && m.contains("`MAX_EXE_LEN`")
+            && m.contains("the owned parser never does")),
+        "{l9:?}"
+    );
+    // Both halves guard correctly, so the taint pass stays quiet.
+    assert!(!findings.iter().any(|(r, ..)| *r == Rule::WireTaint), "{findings:?}");
+}
+
+#[test]
+fn l9_guard_constants_must_anchor_in_the_limits_module() {
+    let findings = lint_fixture_set(&[
+        ("l9_mdf.rs", "crates/darshan/src/mdf.rs"),
+        ("l9_view.rs", "crates/darshan/src/view.rs"),
+        ("l9_limits.rs", "crates/darshan/src/limits.rs"),
+    ]);
+    let anchor: Vec<_> = findings
+        .iter()
+        .filter(|(r, _, _, m)| *r == Rule::GuardParity && m.contains("is not declared in"))
+        .collect();
+    // `MAX_RECORDS` is declared; `MAX_NAMES` (mdf) and `MAX_EXE_LEN`
+    // (view) are not.
+    assert_eq!(anchor.len(), 2, "{findings:?}");
+    assert!(anchor.iter().any(|(_, f, _, m)| f.ends_with("mdf.rs") && m.contains("`MAX_NAMES`")));
+    assert!(anchor
+        .iter()
+        .any(|(_, f, _, m)| f.ends_with("view.rs") && m.contains("`MAX_EXE_LEN`")));
 }
 
 #[test]

@@ -1,0 +1,81 @@
+//! L8 fixture: wire-read lengths flowing into allocation sinks.
+//!
+//! Linted under the pretend path `crates/darshan/src/mdf.rs`, so the
+//! cursor reads below seed taint. Each function is one scenario; the
+//! harness asserts the exact finding set, so a weakened pass shows up
+//! as a count mismatch, not a silent hole.
+
+pub const MAX_RECORDS: u32 = 16_777_216;
+
+/// Unguarded: the wire length sizes the allocation directly.
+pub fn from_bytes(cur: &mut Cursor) -> Vec<u64> {
+    let n_records = cur.get_u32_le();
+    Vec::with_capacity(crate::convert::to_usize(n_records))
+}
+
+/// The comparison exists but guards the wrong branch: the early return
+/// fires on *small* lengths, so the fall-through path still allocates
+/// with the unbounded one.
+fn wrong_branch(cur: &mut Cursor) -> Vec<u64> {
+    let n = cur.get_u32_le();
+    if n < MAX_RECORDS {
+        return Vec::new();
+    }
+    Vec::with_capacity(crate::convert::to_usize(n))
+}
+
+/// Two hops: the length is read by a helper and returned to the caller.
+fn read_len(cur: &mut Cursor) -> u32 {
+    cur.get_u32_le()
+}
+
+fn two_hop(cur: &mut Cursor) -> Vec<u64> {
+    let n = read_len(cur);
+    Vec::with_capacity(crate::convert::to_usize(n))
+}
+
+/// The sink hides inside a helper: the tainted argument allocates there.
+fn alloc_records(n: u32) -> Vec<u64> {
+    Vec::with_capacity(crate::convert::to_usize(n))
+}
+
+fn sink_helper(cur: &mut Cursor) -> Vec<u64> {
+    let n = cur.get_u32_le();
+    alloc_records(n)
+}
+
+/// `vec![elem; n]` allocates `n` elements just like `with_capacity`.
+fn vec_macro(cur: &mut Cursor) -> Vec<u8> {
+    let n = cur.get_u32_le();
+    vec![0u8; crate::convert::to_usize(n)]
+}
+
+/// A slice-range bound materializes `n` bytes downstream.
+fn slice_prefix<'a>(cur: &mut Cursor, d: &'a [u8]) -> &'a [u8] {
+    let n = cur.get_u32_le();
+    &d[..crate::convert::to_usize(n)]
+}
+
+/// Correctly guarded: an exceed-direction comparison with a diverging
+/// body dominates the sink — quiet.
+fn guarded(cur: &mut Cursor) -> Vec<u64> {
+    let n = cur.get_u32_le();
+    if n > MAX_RECORDS {
+        return Vec::new();
+    }
+    Vec::with_capacity(crate::convert::to_usize(n))
+}
+
+/// Audited: the allow consumes the finding.
+fn audited(cur: &mut Cursor) -> Vec<u64> {
+    let n = cur.get_u32_le();
+    // lint: allow(taint, "n is clamped by the frame header validated in from_bytes")
+    Vec::with_capacity(crate::convert::to_usize(n))
+}
+
+/// This allow suppresses nothing: `len` is a caller-provided count, not
+/// a wire read — the stale claim must itself be reported.
+fn stale_audit(len: usize) -> Vec<u64> {
+    // lint: allow(taint, "bounded upstream (stale claim)")
+    Vec::with_capacity(len)
+}

@@ -1,0 +1,17 @@
+//! L9 fixture, owned half: enforces `MAX_RECORDS` and `MAX_NAMES`.
+//! Its borrowed twin (`l9_view.rs`) dropped `MAX_NAMES` and invented
+//! `MAX_EXE_LEN`, so guard parity must flag drift in both directions.
+
+use crate::limits::{MAX_NAMES, MAX_RECORDS};
+
+pub fn from_bytes(cur: &mut Cursor) -> Vec<u64> {
+    let n_records = cur.get_u32_le();
+    if n_records > MAX_RECORDS {
+        return Vec::new();
+    }
+    let n_names = cur.get_u32_le();
+    if n_names > MAX_NAMES {
+        return Vec::new();
+    }
+    Vec::with_capacity(crate::convert::to_usize(n_records))
+}

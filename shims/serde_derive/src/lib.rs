@@ -9,6 +9,8 @@
 //! attributes. Anything else panics with a clear message at compile time —
 //! widening the shim is a deliberate act, not an accident.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[proc_macro_derive(Serialize, attributes(serde))]
