@@ -81,7 +81,7 @@ USAGE:
   mosaic verify    [--all | --differential --metamorphic --golden]
                    [--bless] [--golden-dir DIR] [--json]
   mosaic lint      [--format text|json] [--root DIR] [--sarif FILE]
-                   [--debt [--top N]]
+                   [--sync-report FILE] [--debt [--top N]]
   mosaic help
 
 SUBCOMMANDS:
@@ -100,7 +100,8 @@ SUBCOMMANDS:
   lint          enforce workspace invariants: determinism (L2), unsafe
                 hygiene (L3), taxonomy (L4), call-graph panic-reachability
                 (L5), lossy-cast safety (L6), unit consistency (L7),
-                wire-taint dataflow (L8), parser guard parity (L9);
+                wire-taint dataflow (L8), parser guard parity (L9),
+                atomics discipline (L10), lock discipline (L11);
                 --debt ranks functions by complexity x git churn instead
 
 OPTIONS:
@@ -134,6 +135,9 @@ OPTIONS:
   --format F       lint: output format, `text` or `json`  (default text)
   --root DIR       lint: workspace root (default: nearest [workspace] manifest)
   --sarif FILE     lint: additionally write a stable SARIF 2.1.0 document
+  --sync-report FILE
+                   lint: additionally write the L10/L11 atomic-field
+                   inventory and lock-acquisition-order graph as JSON
   --debt           lint: technical-debt report instead of findings (exit 0)
   --top N          lint: rows in the markdown debt table     (default 10)
 ";

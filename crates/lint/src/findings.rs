@@ -30,6 +30,18 @@ pub enum Rule {
     /// MDF parsers must compare against the same set of `MAX_*` guard
     /// constants — the static twin of the runtime differential oracle.
     GuardParity,
+    /// L10 — atomics discipline: every `store(Release)` pairs with a
+    /// `load(Acquire)` on the same atomic (and vice versa); `Relaxed` is
+    /// reserved for counters whose loaded value never guards a read of
+    /// non-atomic shared data; the seqlock write bracket (odd before the
+    /// payload, even-with-Release after it, Acquire + fence on the reader
+    /// re-check) is verified structurally.
+    AtomicsDiscipline,
+    /// L11 — lock discipline: no `MutexGuard` live across a
+    /// `par_*`/`pool.install`/blocking-IO call, the workspace
+    /// lock-acquisition-order graph is acyclic, and `lock()` results use
+    /// the `PoisonError::into_inner` idiom instead of `unwrap`.
+    LockDiscipline,
     /// A `lint: allow(...)` escape hatch that does not parse or lacks a
     /// justification — the hatch itself must be auditable.
     MalformedAllow,
@@ -50,6 +62,8 @@ impl Rule {
             Rule::UnitMix => "L7/unit-consistency",
             Rule::WireTaint => "L8/wire-taint",
             Rule::GuardParity => "L9/guard-parity",
+            Rule::AtomicsDiscipline => "L10/atomics-discipline",
+            Rule::LockDiscipline => "L11/lock-discipline",
             Rule::MalformedAllow => "allow-syntax",
             Rule::UnusedAllow => "unused-allow",
         }
@@ -66,6 +80,7 @@ impl Rule {
             Rule::LossyCast => Some("cast"),
             Rule::UnitMix => Some("unit"),
             Rule::WireTaint => Some("taint"),
+            Rule::AtomicsDiscipline | Rule::LockDiscipline => Some("sync"),
             Rule::Taxonomy | Rule::GuardParity | Rule::MalformedAllow | Rule::UnusedAllow => None,
         }
     }
@@ -85,6 +100,12 @@ impl Rule {
                 "Wire-read lengths must be MAX_*-guard-dominated before sizing allocations"
             }
             Rule::GuardParity => "Owned and borrowed MDF parsers share one MAX_* guard set",
+            Rule::AtomicsDiscipline => {
+                "Release/Acquire pairing, seqlock brackets and Relaxed hygiene on atomics"
+            }
+            Rule::LockDiscipline => {
+                "No guard live across fan-out, acyclic lock order, PoisonError::into_inner"
+            }
             Rule::MalformedAllow => "lint: allow(...) must parse and carry a justification",
             Rule::UnusedAllow => "lint: allow(...) that suppresses nothing must be deleted",
         }
@@ -101,6 +122,8 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::UnitMix,
     Rule::WireTaint,
     Rule::GuardParity,
+    Rule::AtomicsDiscipline,
+    Rule::LockDiscipline,
     Rule::MalformedAllow,
     Rule::UnusedAllow,
 ];
@@ -327,6 +350,8 @@ mod tests {
             Rule::PanicReachability,
             Rule::LossyCast,
             Rule::UnitMix,
+            Rule::AtomicsDiscipline,
+            Rule::LockDiscipline,
             Rule::MalformedAllow,
             Rule::UnusedAllow,
         ];

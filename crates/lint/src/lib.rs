@@ -37,6 +37,22 @@
 //!   parsers must enforce the same `MAX_*` guard set, anchored in the
 //!   shared `darshan::limits` module — the static twin of the runtime
 //!   differential oracle.
+//! - **L10 atomics discipline** ([`sync`]): every Release-strength
+//!   publish on an atomic must have an Acquire-strength consumer on the
+//!   same field somewhere in the workspace (and vice versa); `Relaxed`
+//!   is reserved for pure counters — a Relaxed-guarded branch must not
+//!   read non-atomic shared fields, and a `fetch_*` result that is
+//!   consumed must pair its ordering; the seqlock write/read brackets in
+//!   `obs::trace` are verified shape-wise (odd store + `fence(Release)`
+//!   before the payload, even `store(Release)` after, Acquire loads and
+//!   `fence(Acquire)` around the reader's re-check). Escape hatch:
+//!   `// lint: allow(sync, "<proof>")`.
+//! - **L11 lock discipline** ([`sync`]): no `lock()`/`try_lock()` guard
+//!   live across a `par_*`/`pool.install`/blocking-IO call, an acyclic
+//!   workspace lock-acquisition-order graph (each cycle reported once
+//!   with every hop's site), and poison-handling parity — `lock()`
+//!   recovers via `PoisonError::into_inner`, `try_lock()` treats
+//!   contention as a skip, never `unwrap`. Same `sync` escape hatch.
 //! - **unused-allow**: a `lint: allow` that suppresses nothing is
 //!   itself reported, so audited escape hatches cannot go stale.
 //!
@@ -59,6 +75,7 @@ pub mod graph;
 pub mod lex;
 pub mod parse;
 pub mod rules;
+pub mod sync;
 
 pub use findings::{Finding, Report, Rule};
 pub use rules::{lint_files, FileInput};
@@ -116,8 +133,9 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Read and lint the whole workspace rooted at `root`.
-pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
+/// Read every lintable file under `root` into in-memory inputs with
+/// workspace-relative forward-slash paths.
+pub fn collect_inputs(root: &Path) -> std::io::Result<Vec<FileInput>> {
     let mut inputs = Vec::new();
     for path in collect_rs_files(root)? {
         let rel = path
@@ -130,7 +148,12 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
         let text = std::fs::read_to_string(&path)?;
         inputs.push(FileInput { rel, text });
     }
-    Ok(lint_files(&inputs))
+    Ok(inputs)
+}
+
+/// Read and lint the whole workspace rooted at `root`.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
+    Ok(lint_files(&collect_inputs(root)?))
 }
 
 /// Exit status for a lint run: 0 clean, 1 findings, 2 usage/IO error.
@@ -143,13 +166,15 @@ pub const EXIT_ERROR: i32 = 2;
 /// Shared CLI driver used by both the standalone `mosaic-lint` binary and
 /// the `mosaic lint` subcommand. Accepts `--format text|json`,
 /// `--root <dir>`, `--sarif <path>` (additionally write a stable SARIF
-/// 2.1.0 document), `--debt` (technical-debt report instead of findings)
-/// and `--top <n>` (rows in the markdown debt table); returns the process
-/// exit code.
+/// 2.1.0 document), `--sync-report <path>` (additionally write the
+/// L10/L11 atomic-inventory + lock-order-graph JSON artifact), `--debt`
+/// (technical-debt report instead of findings) and `--top <n>` (rows in
+/// the markdown debt table); returns the process exit code.
 pub fn cli_main(args: &[String]) -> i32 {
     let mut format = "text".to_owned();
     let mut root_arg: Option<PathBuf> = None;
     let mut sarif_path: Option<PathBuf> = None;
+    let mut sync_report_path: Option<PathBuf> = None;
     let mut debt = false;
     let mut top = 10usize;
     let mut it = args.iter();
@@ -180,6 +205,13 @@ pub fn cli_main(args: &[String]) -> i32 {
                     return EXIT_ERROR;
                 }
             },
+            "--sync-report" => match it.next() {
+                Some(v) => sync_report_path = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("mosaic-lint: --sync-report requires a path");
+                    return EXIT_ERROR;
+                }
+            },
             "--debt" => debt = true,
             "--top" => match it.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) => top = n,
@@ -191,17 +223,23 @@ pub fn cli_main(args: &[String]) -> i32 {
             "--help" | "-h" => {
                 println!(
                     "usage: mosaic-lint [--format text|json] [--root <dir>] [--sarif <path>]\n\
-                     \x20                  [--debt [--top <n>]]\n\n\
+                     \x20                  [--sync-report <path>] [--debt [--top <n>]]\n\n\
                      Enforces the Mosaic workspace invariants: L2 determinism,\n\
                      L3 unsafe hygiene, L4 error-taxonomy exhaustiveness,\n\
                      L5 call-graph panic-reachability from untrusted-input entry\n\
                      points, L6 lossy-cast safety, L7 unit consistency,\n\
                      L8 wire-taint dataflow (untrusted lengths must be\n\
                      MAX_*-guard-dominated before sizing allocations),\n\
-                     L9 owned/borrowed parser guard-set parity, and\n\
+                     L9 owned/borrowed parser guard-set parity,\n\
+                     L10 atomics discipline (Release/Acquire pairing, seqlock\n\
+                     brackets, Relaxed hygiene), L11 lock discipline (no guard\n\
+                     across fan-out, acyclic lock order, poison parity), and\n\
                      unused-allow staleness. Exits 0 when clean, 1 on findings.\n\n\
                      --sarif <path> additionally writes the findings as a\n\
                      stable SARIF 2.1.0 document (for CI artifact upload).\n\n\
+                     --sync-report <path> additionally writes the L10/L11\n\
+                     atomic-field inventory and lock-acquisition-order graph\n\
+                     as stable JSON (for CI artifact upload).\n\n\
                      --debt ranks every workspace function by complexity x git\n\
                      churn instead (markdown top-N table, or full JSON with\n\
                      --format json); always exits 0."
@@ -250,17 +288,24 @@ pub fn cli_main(args: &[String]) -> i32 {
         return EXIT_CLEAN;
     }
 
-    let report = match scan_workspace(&root) {
-        Ok(r) => r,
+    let inputs = match collect_inputs(&root) {
+        Ok(i) => i,
         Err(e) => {
             eprintln!("mosaic-lint: failed to scan {}: {e}", root.display());
             return EXIT_ERROR;
         }
     };
+    let report = lint_files(&inputs);
 
     if let Some(path) = sarif_path {
         if let Err(e) = std::fs::write(&path, report.to_sarif()) {
             eprintln!("mosaic-lint: failed to write SARIF to {}: {e}", path.display());
+            return EXIT_ERROR;
+        }
+    }
+    if let Some(path) = sync_report_path {
+        if let Err(e) = std::fs::write(&path, rules::sync_report_json(&inputs)) {
+            eprintln!("mosaic-lint: failed to write sync report to {}: {e}", path.display());
             return EXIT_ERROR;
         }
     }

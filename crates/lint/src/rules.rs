@@ -1,4 +1,4 @@
-//! The Mosaic-specific invariant rules (L2–L9) and the escape hatch.
+//! The Mosaic-specific invariant rules (L2–L11) and the escape hatch.
 //!
 //! Scopes are explicit and named next to the rules they parameterize: the
 //! untrusted-input *entry points* the call graph is walked from (L5), the
@@ -168,6 +168,7 @@ pub fn lint_files(files: &[FileInput]) -> Report {
 
     check_panic_reachability(files, &prepared, &mut raw, &mut report.findings);
     check_wire_taint_rule(files, &prepared, &mut raw);
+    check_sync_rules(files, &prepared, &mut raw);
 
     for p in &prepared {
         let rel = &files[p.idx].rel;
@@ -231,6 +232,54 @@ fn check_wire_taint_rule(files: &[FileInput], prepared: &[Prepared], raw: &mut [
             message: t.message,
         });
     }
+}
+
+/// L10/L11: the concurrency-protocol pass. Unlike the L5/L8 call-graph
+/// rules this scans *every* input file — the `shims/rayon` pool and the
+/// test-support crates hold locks and atomics too, and a deadlock there
+/// wedges CI just as hard. Findings are suppressible per-site via
+/// `lint: allow(sync, "<proof>")`.
+fn check_sync_rules(files: &[FileInput], prepared: &[Prepared], raw: &mut [Vec<Finding>]) {
+    let inputs: Vec<crate::sync::SyncInput<'_>> = prepared
+        .iter()
+        .map(|p| crate::sync::SyncInput {
+            rel: files[p.idx].rel.as_str(),
+            lexed: &p.lexed,
+            tests: &p.tests,
+            parsed: &p.parsed,
+        })
+        .collect();
+    let by_rel: BTreeMap<&str, usize> =
+        files.iter().enumerate().map(|(i, f)| (f.rel.as_str(), i)).collect();
+    for t in crate::sync::check_sync(&inputs) {
+        let Some(&pidx) = by_rel.get(t.rel.as_str()) else { continue };
+        let rule = match t.rule {
+            crate::sync::SyncRule::Atomics => Rule::AtomicsDiscipline,
+            crate::sync::SyncRule::Locks => Rule::LockDiscipline,
+        };
+        raw[pidx].push(Finding { rule, file: t.rel, line: t.line, message: t.message });
+    }
+}
+
+/// The `--sync-report` artifact over the same inputs `lint_files` sees:
+/// the atomic/lock inventory and the lock-acquisition-order graph.
+pub fn sync_report_json(files: &[FileInput]) -> String {
+    let prepared: Vec<(String, Lexed)> =
+        files.iter().map(|f| (f.rel.clone(), lex(&f.text))).collect();
+    let staged: Vec<(Vec<(u32, u32)>, ParsedFile)> = prepared
+        .iter()
+        .map(|(_, lexed)| {
+            let tests = test_line_ranges(lexed);
+            let parsed = parse_file(lexed, &tests);
+            (tests, parsed)
+        })
+        .collect();
+    let inputs: Vec<crate::sync::SyncInput<'_>> = prepared
+        .iter()
+        .zip(&staged)
+        .map(|((rel, lexed), (tests, parsed))| crate::sync::SyncInput { rel, lexed, tests, parsed })
+        .collect();
+    crate::sync::report_json(&inputs)
 }
 
 /// L9: guard-set parity between the owned and borrowed parsers, plus the
@@ -327,10 +376,13 @@ fn parse_allows(rel: &str, lexed: &Lexed, findings: &mut Vec<Finding>) -> Vec<Al
             continue;
         };
         let key = key.trim();
-        if !matches!(key, "panic" | "nondeterminism" | "unsafe" | "cast" | "unit" | "taint") {
+        if !matches!(
+            key,
+            "panic" | "nondeterminism" | "unsafe" | "cast" | "unit" | "taint" | "sync"
+        ) {
             fail(&format!(
                 "unknown rule {key:?}; expected `panic`, `nondeterminism`, `unsafe`, \
-                 `cast`, `unit` or `taint`"
+                 `cast`, `unit`, `taint` or `sync`"
             ));
             continue;
         }

@@ -207,6 +207,80 @@ fn l9_guard_constants_must_anchor_in_the_limits_module() {
 }
 
 #[test]
+fn l10_atomics_fixture_flags_each_pairing_hole_and_honours_the_audit() {
+    let findings = lint_fixture("l10_atomics.rs", "crates/obs/src/l10_atomics.rs");
+    let l10: Vec<_> = findings.iter().filter(|(r, ..)| *r == Rule::AtomicsDiscipline).collect();
+    // Release into the void, Relaxed publish of an Acquire-consumed
+    // field, Acquire of a never-published field, the consumed Relaxed
+    // RMW, and the Relaxed-guarded plain-field read — nothing else.
+    assert_eq!(l10.len(), 5, "{findings:?}");
+    let text = format!("{l10:?}");
+    assert!(text.contains("half_published` but no Acquire-strength load"), "{findings:?}");
+    assert!(text.contains("weak_flag"), "{findings:?}");
+    assert!(text.contains("use Release ordering"), "{findings:?}");
+    assert!(text.contains("phantom_ready"), "{findings:?}");
+    assert!(text.contains("synchronizes with nothing"), "{findings:?}");
+    assert!(text.contains("result of `self.ticket.fetch_add"), "{findings:?}");
+    assert!(text.contains("non-atomic field `staged`"), "{findings:?}");
+    // The audited ticket counter is suppressed and its allow consumed.
+    assert!(!text.contains("audited_ticket"), "{findings:?}");
+    assert!(
+        !findings.iter().any(|(r, ..)| *r == Rule::UnusedAllow),
+        "the audited counter must consume its allow: {findings:?}"
+    );
+}
+
+#[test]
+fn l10_seqlock_fixture_flags_both_bracket_sides() {
+    let findings = lint_fixture("l10_seqlock.rs", "crates/obs/src/l10_seqlock.rs");
+    let l10: Vec<_> = findings.iter().filter(|(r, ..)| *r == Rule::AtomicsDiscipline).collect();
+    // Writer: pre-bracket payload store, Release open, Relaxed close.
+    // Reader: Relaxed first check, Relaxed re-check, missing fence.
+    // RMW writer: fetch_add open and fetch_add close. Eight exactly —
+    // the good reader and the bracket fields stay quiet elsewhere.
+    assert_eq!(l10.len(), 8, "{findings:?}");
+    let text = format!("{l10:?}");
+    assert!(text.contains("written before the seqlock bracket"), "{findings:?}");
+    assert!(text.contains("does not order the payload writes that follow"), "{findings:?}");
+    assert!(text.contains("must close with `store(Release)`"), "{findings:?}");
+    assert!(text.contains("first sequence load must be `Acquire`"), "{findings:?}");
+    assert!(text.contains("re-check must load with `Acquire`"), "{findings:?}");
+    assert!(text.contains("add `fence(Acquire)`"), "{findings:?}");
+    assert!(text.contains("read-modify-write open"), "{findings:?}");
+    assert!(text.contains("closes with `fetch_add`"), "{findings:?}");
+}
+
+#[test]
+fn l11_guard_fixture_flags_liveness_and_poison_but_not_the_dropped_twin() {
+    let findings = lint_fixture("l11_guard.rs", "crates/obs/src/l11_guard.rs");
+    let l11: Vec<_> = findings.iter().filter(|(r, ..)| *r == Rule::LockDiscipline).collect();
+    // The guard live across `run_chunked`, `lock().unwrap()`, and
+    // `try_lock().expect(…)`; the drop-first twin is quiet.
+    assert_eq!(l11.len(), 3, "{findings:?}");
+    let text = format!("{l11:?}");
+    assert!(text.contains("still live across `run_chunked"), "{findings:?}");
+    assert!(text.contains("drop(reg)"), "{findings:?}");
+    assert!(text.contains("PoisonError::into_inner"), "{findings:?}");
+    assert!(text.contains("WouldBlock"), "{findings:?}");
+}
+
+#[test]
+fn l11_order_fixture_reports_the_cycle_once_with_every_hop() {
+    let findings = lint_fixture("l11_order.rs", "crates/obs/src/l11_order.rs");
+    let l11: Vec<_> = findings.iter().filter(|(r, ..)| *r == Rule::LockDiscipline).collect();
+    // One canonical cycle diagnostic, not one per participating edge; the
+    // `audit` path drops its first guard and contributes no edge.
+    assert_eq!(l11.len(), 1, "{findings:?}");
+    let (_, line, message) = l11[0];
+    assert!(message.contains("lock-order cycle `journal` -> `ledger` -> `journal`"), "{message}");
+    assert!(message.contains("while holding `ledger`"), "{message}");
+    assert!(message.contains("while holding `journal`"), "{message}");
+    // Both hops are annotated with their acquisition site.
+    assert_eq!(message.matches("l11_order.rs:").count(), 2, "{message}");
+    assert!(*line > 0);
+}
+
+#[test]
 fn stale_allow_is_reported_as_unused() {
     let findings = lint_fixture("unused_allow.rs", "crates/core/src/merge.rs");
     let stale: Vec<_> = findings.iter().filter(|(r, ..)| *r == Rule::UnusedAllow).collect();

@@ -1,0 +1,61 @@
+//! Deliberately bad: L10 atomics-discipline violations — unpaired
+//! Release/Acquire, a Relaxed publish on a consumed field, a consumed
+//! Relaxed read-modify-write, and a Relaxed-guarded read of plain shared
+//! state. One audited counter shows the `allow(sync, …)` hatch working.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Publisher {
+    half_published: AtomicU64,
+    weak_flag: AtomicU64,
+    phantom_ready: AtomicU64,
+    ticket: AtomicU64,
+    audited_ticket: AtomicU64,
+    gate: AtomicU64,
+    staged: Vec<u64>,
+}
+
+impl Publisher {
+    fn release_into_the_void(&self) {
+        // Release with no Acquire consumer anywhere: pairs with nothing.
+        self.half_published.store(1, Ordering::Release);
+    }
+
+    fn peek_half_published(&self) -> u64 {
+        self.half_published.load(Ordering::Relaxed)
+    }
+
+    fn weak_publish(&self) {
+        // Relaxed store on a field consumed with Acquire below.
+        self.weak_flag.store(1, Ordering::Relaxed);
+    }
+
+    fn weak_consume(&self) -> u64 {
+        self.weak_flag.load(Ordering::Acquire)
+    }
+
+    fn phantom_acquire(&self) -> u64 {
+        // Acquire with no Release-strength publish anywhere.
+        self.phantom_ready.load(Ordering::Acquire)
+    }
+
+    fn claim(&self) -> u64 {
+        // The claimed value is consumed under Relaxed with no proof.
+        let n = self.ticket.fetch_add(1, Ordering::Relaxed);
+        n
+    }
+
+    fn claim_audited(&self) -> u64 {
+        // lint: allow(sync, "pure ticket counter: the value only names this call's slot and orders nothing")
+        let n = self.audited_ticket.fetch_add(1, Ordering::Relaxed);
+        n
+    }
+
+    fn guarded_read(&self) -> u64 {
+        // A Relaxed load guards a read of non-atomic shared data.
+        if self.gate.load(Ordering::Relaxed) > 0 {
+            return self.staged.len() as u64;
+        }
+        0
+    }
+}

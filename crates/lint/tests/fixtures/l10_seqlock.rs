@@ -1,0 +1,68 @@
+//! Deliberately bad: L10 seqlock-bracket violations on both sides — a
+//! writer whose payload leaks outside the bracket and whose open/close
+//! orderings are wrong, a writer using in-place read-modify-writes for
+//! the sequence, and a reader missing the Acquire edges.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+struct Cell {
+    seq: AtomicU64,
+    payload_a: AtomicU64,
+    payload_b: AtomicU64,
+}
+
+struct RmwCell {
+    rseq: AtomicU64,
+    rpayload: AtomicU64,
+}
+
+impl Cell {
+    fn broken_writer(&self, lap: u64, v: u64) {
+        // Payload store before the bracket opens: readable under the old
+        // even sequence.
+        self.payload_a.store(v, Ordering::Relaxed);
+        // Release on the open orders nothing that follows it.
+        self.seq.store(lap * 2 + 1, Ordering::Release);
+        self.payload_a.store(v, Ordering::Relaxed);
+        self.payload_b.store(v + 1, Ordering::Relaxed);
+        // Relaxed close publishes nothing.
+        self.seq.store(lap * 2 + 2, Ordering::Relaxed);
+    }
+
+    fn broken_reader(&self) -> Option<(u64, u64)> {
+        // Relaxed first check: payload loads may float above it.
+        let before = self.seq.load(Ordering::Relaxed);
+        let a = self.payload_a.load(Ordering::Relaxed);
+        let b = self.payload_b.load(Ordering::Relaxed);
+        // No Acquire fence before the re-check, and the re-check itself
+        // is Relaxed.
+        let after = self.seq.load(Ordering::Relaxed);
+        if before == after && before % 2 == 0 {
+            Some((a, b))
+        } else {
+            None
+        }
+    }
+}
+
+impl RmwCell {
+    fn rmw_writer(&self, v: u64) {
+        // In-place increments: two racing writers can make the sequence
+        // even while both payloads are still in flight.
+        self.rseq.fetch_add(1, Ordering::AcqRel);
+        self.rpayload.store(v, Ordering::Relaxed);
+        self.rseq.fetch_add(1, Ordering::Release);
+    }
+
+    fn good_reader(&self) -> Option<u64> {
+        let before = self.rseq.load(Ordering::Acquire);
+        let v = self.rpayload.load(Ordering::Relaxed);
+        fence(Ordering::Acquire);
+        let after = self.rseq.load(Ordering::Acquire);
+        if before == after && before % 2 == 0 {
+            Some(v)
+        } else {
+            None
+        }
+    }
+}

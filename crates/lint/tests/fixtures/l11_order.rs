@@ -1,0 +1,32 @@
+//! Deliberately bad: an L11 lock-acquisition-order cycle — one path takes
+//! `ledger` then `journal`, another takes `journal` then `ledger`. Two
+//! threads entering from different ends deadlock. The third function
+//! shows the repaired shape: dropping the first guard removes the edge.
+
+use std::sync::Mutex;
+
+struct Books {
+    ledger: Mutex<Vec<u64>>,
+    journal: Mutex<Vec<u64>>,
+}
+
+fn post_entry(b: &Books, v: u64) {
+    let mut ledger = b.ledger.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut journal = b.journal.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    ledger.push(v);
+    journal.push(v);
+}
+
+fn reconcile(b: &Books) -> usize {
+    let journal = b.journal.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let ledger = b.ledger.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    journal.len() + ledger.len()
+}
+
+fn audit(b: &Books) -> usize {
+    let journal = b.journal.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let journal_len = journal.len();
+    drop(journal);
+    let ledger = b.ledger.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    journal_len + ledger.len()
+}

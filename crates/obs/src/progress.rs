@@ -15,6 +15,7 @@
 
 use crate::{Recorder, Stage};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -36,6 +37,7 @@ struct ProgressState {
 pub struct ProgressLine {
     every: Duration,
     state: Mutex<ProgressState>,
+    skipped: AtomicU64,
 }
 
 impl ProgressLine {
@@ -52,14 +54,26 @@ impl ProgressLine {
                 last_nanos: [0; Stage::ALL.len()],
                 ewma_micros: [0.0; Stage::ALL.len()],
             }),
+            skipped: AtomicU64::new(0),
         }
+    }
+
+    /// Ticks skipped because another thread held the state lock. Purely
+    /// observational: a high count on a healthy run just means workers
+    /// tick faster than frames render, but a count that equals the tick
+    /// count would mean the line never updates.
+    pub fn skipped(&self) -> u64 {
+        self.skipped.load(Ordering::Relaxed)
     }
 
     /// Offer a progress tick. Returns the freshly-rendered line when the
     /// redraw interval elapsed, `None` when throttled (or when another
     /// thread holds the state — skipping a frame beats blocking a worker).
     pub fn tick(&self, done: usize, total: usize, recorder: &Recorder) -> Option<String> {
-        let Ok(mut state) = self.state.try_lock() else { return None };
+        let Ok(mut state) = self.state.try_lock() else {
+            self.skipped.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
         // lint: allow(nondeterminism, "redraw throttling only; the rendered line goes to stderr, never into snapshot-bearing output")
         let now = Instant::now();
         // lint: allow(nondeterminism, "redraw throttling only; the rendered line goes to stderr, never into snapshot-bearing output")
@@ -122,6 +136,25 @@ mod tests {
             assert!(rendered.contains(stage.name()), "{rendered}");
         }
         assert!(rendered.contains("1 evicted"), "{rendered}");
+    }
+
+    #[test]
+    fn contended_tick_never_blocks_and_is_counted() {
+        let rec = Recorder::new();
+        let line = ProgressLine::new(Duration::ZERO);
+        assert_eq!(line.skipped(), 0);
+        {
+            // Hold the state lock on this very thread: if tick() ever
+            // blocked on a contended lock this test would deadlock
+            // instead of fail.
+            let _held = line.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            assert_eq!(line.tick(1, 10, &rec), None);
+            assert_eq!(line.skipped(), 1, "the skipped frame must be observable");
+        }
+        // Once the lock is free the same tick renders, and the skip count
+        // stays at the one contended frame.
+        assert!(line.tick(2, 10, &rec).is_some());
+        assert_eq!(line.skipped(), 1);
     }
 
     #[test]

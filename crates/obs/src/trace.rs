@@ -33,7 +33,7 @@ use crate::Stage;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// How many slow-trace exemplars each stage's reservoir retains.
@@ -246,17 +246,34 @@ impl Tracer {
     /// Record one span. Lock-free: a claim `fetch_add` plus six atomic
     /// stores; the exemplar reservoir is consulted behind an atomic floor
     /// so the common case adds one relaxed load.
+    ///
+    /// The slot's sequence values are derived from the claimed ticket, not
+    /// read-modify-written in place: lap `k` of a slot is written under
+    /// `2k+1` (odd, torn) and published as `2k+2` (even, whole). With an
+    /// in-place `fetch_add` open, two writers landing on the same slot
+    /// could take the sequence through odd→even while payload stores from
+    /// both are still interleaving — a reader would accept the mix. With
+    /// lap-derived stores the interleaving writers store *different*
+    /// values, so the reader's before/after equality check fails and the
+    /// slot counts as torn instead.
     pub fn record(&self, span: Span<'_>) {
+        // lint: allow(sync, "pure ticket counter: the claimed value only selects a slot index and lap; publication is ordered by the seqlock bracket below, and recorded() tolerates staleness")
         let n = self.head.fetch_add(1, Ordering::Relaxed);
-        let idx = (n % self.slots.len() as u64) as usize;
+        let cap = self.slots.len() as u64;
+        let lap = n / cap;
+        let idx = (n % cap) as usize;
         if let Some(slot) = self.slots.get(idx) {
-            slot.seq.fetch_add(1, Ordering::AcqRel);
+            // Seqlock write bracket (L10-verified): odd store, then a
+            // Release fence ordering it before the payload, then the even
+            // Release store publishing the payload to Acquire readers.
+            slot.seq.store(lap * 2 + 1, Ordering::Relaxed);
+            fence(Ordering::Release);
             slot.trace.store(span.trace, Ordering::Relaxed);
             slot.start_ns.store(span.start_ns, Ordering::Relaxed);
             slot.duration_ns.store(span.duration_ns, Ordering::Relaxed);
             slot.bytes.store(span.bytes, Ordering::Relaxed);
             slot.meta.store(pack_meta(span.stage, span.outcome, span.worker), Ordering::Relaxed);
-            slot.seq.fetch_add(1, Ordering::Release);
+            slot.seq.store(lap * 2 + 2, Ordering::Release);
         }
         if let Some(reservoir) = self.reservoirs.get(span.stage.index()) {
             reservoir.offer(&span);
@@ -278,8 +295,16 @@ impl Tracer {
             let duration_ns = slot.duration_ns.load(Ordering::Relaxed);
             let bytes = slot.bytes.load(Ordering::Relaxed);
             let meta = slot.meta.load(Ordering::Relaxed);
+            // Order the Relaxed payload loads before the sequence re-check;
+            // without the fence they could be satisfied *after* it and a
+            // torn read accepted as whole (L10-verified).
+            fence(Ordering::Acquire);
             let seq_after = slot.seq.load(Ordering::Acquire);
-            if seq_before % 2 != 0 || seq_before != seq_after {
+            // `seq_before == 0` is a slot no writer has finished claiming
+            // (the `head` ticket is taken before the odd store lands), so
+            // its payload is still the zeroed default — count it torn
+            // rather than emit a ghost all-zero span.
+            if seq_before == 0 || seq_before % 2 != 0 || seq_before != seq_after {
                 torn += 1;
                 continue;
             }
@@ -299,7 +324,10 @@ impl Tracer {
         TraceTimeline {
             capacity: self.slots.len(),
             recorded,
-            dropped: self.dropped(),
+            // Derived from the same head read as `recorded`, not a second
+            // one — concurrent writers advance the head, and a snapshot
+            // must be internally consistent.
+            dropped: recorded.saturating_sub(self.slots.len() as u64),
             torn,
             events,
             exemplars,

@@ -423,8 +423,7 @@ pub fn process<S: TraceSource>(source: &S, config: &PipelineConfig) -> PipelineR
                 scope.emit(Stage::Fetch, t0, dur, wire, outcome, None);
                 let out = ingest_one(fetched, i, &categorizer, &recorder, config.parse_mode);
                 if let Some(progress) = &config.progress {
-                    // Relaxed is enough: the count is monotonic telemetry,
-                    // not a synchronization point.
+                    // lint: allow(sync, "pure progress counter: the value only feeds the monotonic done/total display and guards no shared state; ingest results flow through the scoped-join, not this count")
                     let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                     progress(n, total, &recorder);
                 }

@@ -203,6 +203,7 @@ where
                     AMBIENT_THREADS.with(|a| a.set(Some(workers)));
                     let mut local: Vec<(usize, Vec<R>)> = Vec::new();
                     loop {
+                        // lint: allow(sync, "work-stealing cursor: each claimed range is disjoint by the fetch_add itself, and the produced pieces are published by the scoped-thread join, not by this counter")
                         let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
                         if lo >= total {
                             break;
