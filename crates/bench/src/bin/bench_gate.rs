@@ -2,7 +2,10 @@
 //!
 //! Compares a fresh `sec4e_performance` report against the committed
 //! baseline and exits nonzero when throughput regressed by more than
-//! `--max-regression` (default 10 %). Run by CI on every push:
+//! `--max-regression` (default 10 %) or any stage's p99 latency grew past
+//! `--max-p99-regression` times its baseline (default 3.0 — a loose
+//! multiple, since sub-µs percentiles are noisy across machines). Run by
+//! CI on every push:
 //!
 //! ```sh
 //! cargo run --release -p mosaic-bench --bin sec4e_performance -- --n 2000 \
@@ -28,14 +31,16 @@ fn main() {
     let baseline_path = flags.get("baseline", "BENCH_sec4e.json".to_owned());
     let current_path = flags.get("current", "target/BENCH_sec4e.json".to_owned());
     let max_regression = flags.get("max-regression", 0.10f64);
+    let max_p99_ratio = flags.get("max-p99-regression", 3.0f64);
 
     let baseline = read_report(&baseline_path);
     let current = read_report(&current_path);
     println!(
-        "bench gate: {current_path} vs baseline {baseline_path} (allowance {:.0}%)",
+        "bench gate: {current_path} vs baseline {baseline_path} \
+         (throughput allowance {:.0}%, stage p99 ceiling {max_p99_ratio}x)",
         100.0 * max_regression
     );
-    match perf::gate(&baseline, &current, max_regression) {
+    match perf::gate(&baseline, &current, max_regression, max_p99_ratio) {
         Ok(verdict) => println!("PASS — {verdict}"),
         Err(reason) => {
             eprintln!("FAIL — {reason}");

@@ -84,6 +84,7 @@ pub fn run_pipeline_traced(
         progress: None,
         trace_capacity,
         parse_mode: ParseMode::default(),
+        metrics: false,
     };
     process(&source, &config)
 }

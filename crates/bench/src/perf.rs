@@ -9,14 +9,21 @@
 //! paths run on the same box seconds apart) independent of the absolute
 //! gate.
 
+use mosaic_obs::RELATIVE_ERROR;
 use mosaic_pipeline::PipelineResult;
 use serde_json::{json, Value};
 
 /// Schema version of the report; bump on breaking layout changes.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: per-stage `p50_ns`/`p99_ns` come from the log-linear
+/// [`mosaic_obs::QuantileSketch`] (no longer power-of-two bucket
+/// midpoints) and the report carries `quantile_error_bound` — the
+/// sketch's advertised relative error — so validators know how much
+/// slack the percentile invariants are owed.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Top-level keys every report must carry.
-pub const REQUIRED_KEYS: [&str; 8] = [
+pub const REQUIRED_KEYS: [&str; 9] = [
     "schema_version",
     "n_traces",
     "valid",
@@ -24,6 +31,7 @@ pub const REQUIRED_KEYS: [&str; 8] = [
     "owned_traces_per_sec",
     "speedup",
     "workers",
+    "quantile_error_bound",
     "stages",
 ];
 
@@ -33,7 +41,8 @@ pub const STAGE_KEYS: [&str; 5] = ["stage", "calls", "p50_ns", "p99_ns", "max_ns
 /// Build the report for one wire-fed benchmark run. `zc_secs`/`owned_secs`
 /// are wall-clock seconds of the zero-copy and owned runs over the same
 /// pre-serialized inputs; per-stage percentiles come from the zero-copy
-/// run's observability histograms (µs buckets, exported as nanoseconds).
+/// run's quantile sketches (relative error ≤ `quantile_error_bound`,
+/// exported as nanoseconds).
 pub fn report(n_traces: usize, zc_secs: f64, owned_secs: f64, zc_run: &PipelineResult) -> Value {
     let rate = |secs: f64| if secs > 0.0 { n_traces as f64 / secs } else { 0.0 };
     let traces_per_sec = rate(zc_secs);
@@ -62,6 +71,7 @@ pub fn report(n_traces: usize, zc_secs: f64, owned_secs: f64, zc_run: &PipelineR
         "owned_traces_per_sec": owned_traces_per_sec,
         "speedup": speedup,
         "workers": zc_run.metrics.workers,
+        "quantile_error_bound": RELATIVE_ERROR,
         "stages": stages,
     })
 }
@@ -70,9 +80,10 @@ fn f64_of(v: &Value, key: &str) -> Result<f64, String> {
     v.get(key).and_then(Value::as_f64).ok_or_else(|| format!("missing numeric key {key:?}"))
 }
 
-/// Validate a report against the schema: all required keys present, every
-/// stage entry complete with monotone percentiles (`p50 ≤ p99 ≤ max`), and
-/// a nonzero throughput.
+/// Validate a report against the schema: all required keys present, a
+/// plausible `quantile_error_bound`, every stage entry complete with
+/// monotone percentiles (`p50 ≤ p99`, and `p99` within the quantile
+/// tolerance band of the exact `max_ns` sample), and nonzero throughput.
 pub fn validate(v: &Value) -> Result<(), String> {
     for key in REQUIRED_KEYS {
         if v.get(key).is_none() {
@@ -82,6 +93,10 @@ pub fn validate(v: &Value) -> Result<(), String> {
     let version = f64_of(v, "schema_version")?;
     if version != SCHEMA_VERSION as f64 {
         return Err(format!("schema_version {version} != supported {SCHEMA_VERSION}"));
+    }
+    let band = f64_of(v, "quantile_error_bound")?;
+    if !(band > 0.0 && band < 1.0) {
+        return Err(format!("quantile_error_bound {band} outside (0, 1)"));
     }
     if f64_of(v, "traces_per_sec")? <= 0.0 {
         return Err("traces_per_sec must be > 0".to_owned());
@@ -102,13 +117,21 @@ pub fn validate(v: &Value) -> Result<(), String> {
                 return Err(format!("stage entry {i} missing key {key:?}"));
             }
         }
-        // p50/p99 come from the same monotone histogram scan, so ordering
-        // must hold; `max_ns` is an exact sample while the percentiles are
-        // bucket-midpoint estimates, so it may legitimately sit below p99.
+        // p50/p99 come from the same monotone sketch scan, so ordering must
+        // hold exactly. `max_ns` is an exact sample while the percentiles
+        // are sketch estimates: p99 may sit below max (usual) or above it by
+        // at most the sketch's relative error (p99 estimates the true p99,
+        // which is ≤ max).
         let (p50, p99, max) = (f64_of(s, "p50_ns")?, f64_of(s, "p99_ns")?, f64_of(s, "max_ns")?);
         if p50 > p99 {
             return Err(format!(
                 "stage entry {i}: percentiles not monotone: p50 {p50} > p99 {p99}"
+            ));
+        }
+        if p99 > max * (1.0 + band) {
+            return Err(format!(
+                "stage entry {i}: p99 {p99} exceeds max {max} beyond the \
+                 quantile tolerance band ({band})"
             ));
         }
         if p50 < 0.0 || max < 0.0 {
@@ -118,11 +141,19 @@ pub fn validate(v: &Value) -> Result<(), String> {
     Ok(())
 }
 
-/// The regression gate: both reports must validate, and the current
-/// throughput may not fall more than `max_regression` (a fraction, e.g.
-/// `0.10`) below the baseline's. Returns a human-readable verdict either
-/// way; `Err` means the gate fails.
-pub fn gate(baseline: &Value, current: &Value, max_regression: f64) -> Result<String, String> {
+/// The regression gate: both reports must validate, the current throughput
+/// may not fall more than `max_regression` (a fraction, e.g. `0.10`) below
+/// the baseline's, and no stage's p99 latency may grow past `max_p99_ratio`
+/// times its baseline value (a deliberately loose multiple — sub-µs stage
+/// percentiles are noisy across machines, so this catches order-of-magnitude
+/// blowups, not jitter). Returns a human-readable verdict either way; `Err`
+/// means the gate fails.
+pub fn gate(
+    baseline: &Value,
+    current: &Value,
+    max_regression: f64,
+    max_p99_ratio: f64,
+) -> Result<String, String> {
     validate(baseline).map_err(|e| format!("baseline report invalid: {e}"))?;
     validate(current).map_err(|e| format!("current report invalid: {e}"))?;
     let base = f64_of(baseline, "traces_per_sec")?;
@@ -136,8 +167,41 @@ pub fn gate(baseline: &Value, current: &Value, max_regression: f64) -> Result<St
             100.0 * delta
         ));
     }
+    // Per-stage p99 gate, matched by stage name: stages present in only one
+    // report are skipped (schema evolution must not hard-fail the gate).
+    let stage_p99s = |v: &Value| -> Vec<(String, f64)> {
+        v.get("stages")
+            .and_then(Value::as_array)
+            .map(|stages| {
+                stages
+                    .iter()
+                    .filter_map(|s| {
+                        let name = s.get("stage").and_then(Value::as_str)?;
+                        let p99 = s.get("p99_ns").and_then(Value::as_f64)?;
+                        Some((name.to_owned(), p99))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let base_stages = stage_p99s(baseline);
+    for (name, cur_p99) in stage_p99s(current) {
+        let Some((_, base_p99)) = base_stages.iter().find(|(n, _)| *n == name) else {
+            continue;
+        };
+        // Floor the baseline at 1 µs: ratios on tens-of-nanoseconds stages
+        // are pure measurement noise.
+        let ceiling = base_p99.max(1_000.0) * max_p99_ratio;
+        if cur_p99 > ceiling {
+            return Err(format!(
+                "stage {name:?} p99 regression: {cur_p99:.0} ns vs baseline {base_p99:.0} ns \
+                 (ceiling {ceiling:.0} ns at {max_p99_ratio}x)"
+            ));
+        }
+    }
     Ok(format!(
-        "throughput ok: {cur:.0} traces/s vs baseline {base:.0} ({:+.1}%, floor {floor:.0})",
+        "throughput ok: {cur:.0} traces/s vs baseline {base:.0} ({:+.1}%, floor {floor:.0}); \
+         all stage p99s within {max_p99_ratio}x of baseline",
         100.0 * delta
     ))
 }
@@ -209,6 +273,30 @@ mod tests {
 
         let r = with_key(sample_report(), "schema_version", json!(99));
         assert!(validate(&r).unwrap_err().contains("schema_version"));
+
+        let r = with_key(sample_report(), "quantile_error_bound", json!(1.5));
+        assert!(validate(&r).unwrap_err().contains("quantile_error_bound"));
+
+        let r = without_key(sample_report(), "quantile_error_bound");
+        assert!(validate(&r).unwrap_err().contains("quantile_error_bound"));
+    }
+
+    #[test]
+    fn schema_rejects_p99_outside_the_tolerance_band() {
+        // p99 above max × (1 + band) cannot come from a sound sketch: the
+        // true p99 is ≤ max, and the estimate errs by at most the band.
+        let r = with_stage0_key(sample_report(), "p50_ns", json!(1.0));
+        let r = with_stage0_key(r, "p99_ns", json!(2_000.0));
+        let r = with_stage0_key(r, "max_ns", json!(1_000.0));
+        let err = validate(&r).unwrap_err();
+        assert!(err.contains("tolerance band"), "{err}");
+
+        // ...but p99 slightly above max — within the band — is legitimate
+        // (midpoint estimate of the bucket holding the max sample).
+        let r = with_stage0_key(sample_report(), "p50_ns", json!(1.0));
+        let r = with_stage0_key(r, "p99_ns", json!(1_030.0));
+        let r = with_stage0_key(r, "max_ns", json!(1_000.0));
+        validate(&r).unwrap();
     }
 
     #[test]
@@ -226,24 +314,44 @@ mod tests {
 
         // 5% below: within the 10% allowance.
         let current = with_key(base.clone(), "traces_per_sec", json!(base_rate * 0.95));
-        gate(&base, &current, 0.10).unwrap();
+        gate(&base, &current, 0.10, 3.0).unwrap();
 
         // 15% below: gate fails.
         let current = with_key(base.clone(), "traces_per_sec", json!(base_rate * 0.85));
-        let err = gate(&base, &current, 0.10).unwrap_err();
+        let err = gate(&base, &current, 0.10, 3.0).unwrap_err();
         assert!(err.contains("regression"), "{err}");
 
         // Faster than baseline always passes.
         let current = with_key(base.clone(), "traces_per_sec", json!(base_rate * 2.0));
-        gate(&base, &current, 0.10).unwrap();
+        gate(&base, &current, 0.10, 3.0).unwrap();
+    }
+
+    #[test]
+    fn gate_catches_stage_p99_blowups_but_tolerates_noise() {
+        let base = sample_report();
+        // Pin a baseline stage p99 above the 1 µs noise floor so the ratio
+        // is meaningful, keeping max within the tolerance band.
+        let base = with_stage0_key(base, "p50_ns", json!(1_000.0));
+        let base = with_stage0_key(base, "p99_ns", json!(10_000.0));
+        let base = with_stage0_key(base, "max_ns", json!(20_000.0));
+
+        // 2x the baseline p99: inside the 3x ceiling.
+        let current = with_stage0_key(base.clone(), "p99_ns", json!(20_000.0));
+        gate(&base, &current, 0.10, 3.0).unwrap();
+
+        // 5x the baseline p99: the gate fails and names the stage.
+        let current = with_stage0_key(base.clone(), "p99_ns", json!(50_000.0));
+        let current = with_stage0_key(current, "max_ns", json!(60_000.0));
+        let err = gate(&base, &current, 0.10, 3.0).unwrap_err();
+        assert!(err.contains("p99 regression"), "{err}");
     }
 
     #[test]
     fn gate_refuses_invalid_reports() {
         let base = sample_report();
-        let err = gate(&base, &json!({}), 0.10).unwrap_err();
+        let err = gate(&base, &json!({}), 0.10, 3.0).unwrap_err();
         assert!(err.contains("current report invalid"), "{err}");
-        let err = gate(&json!({"schema_version": 1}), &base, 0.10).unwrap_err();
+        let err = gate(&json!({"schema_version": 2}), &base, 0.10, 3.0).unwrap_err();
         assert!(err.contains("baseline report invalid"), "{err}");
     }
 }

@@ -69,6 +69,7 @@ USAGE:
                    [--metrics FILE] [--markdown FILE] [--progress]
                    [--trace-out FILE.json] [--trace-md FILE.md]
                    [--trace-capacity N] [--parse-mode zerocopy|owned]
+                   [--metrics-out FILE] [--metrics-format prom|json]
                                                         (alias: mosaic run)
   mosaic evaluate  [--n N] [--sample K] [--seed S]
   mosaic stability [--n N] [--seed S] [--min-runs R]
@@ -126,6 +127,13 @@ OPTIONS:
   --parse-mode M   zerocopy (default) ingests wire bytes through the
                    borrowed-view/columnar hot path; owned runs the
                    reference parser for A/B timing and triage
+  --metrics-out FILE
+                   export the unified metrics registry (gauges, eviction
+                   reasons, per-worker utilization, sketch-backed stage
+                   latency summaries) after the run
+  --metrics-format F
+                   exposition format for --metrics-out: `prom`
+                   (Prometheus/OpenMetrics text, the default) or `json`
   --all            verify: run every suite (the default when none is named)
   --differential   verify: batch/incremental, serial/parallel, MDF roundtrip
   --metamorphic    verify: time-shift/scale, permutation, corrupt-monotone
@@ -260,6 +268,15 @@ fn categorize(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Exposition format for `--metrics-out`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    /// Prometheus/OpenMetrics text (the default).
+    Prom,
+    /// Byte-stable pretty JSON.
+    Json,
+}
+
 fn analyze(args: &[String]) -> Result<(), String> {
     use std::io::Write as _;
 
@@ -281,6 +298,14 @@ fn analyze(args: &[String]) -> Result<(), String> {
             return Err(format!("--parse-mode must be zerocopy or owned, got {other:?}"))
         }
     };
+    // --metrics-out attaches the unified registry; the format is validated
+    // up front so a bad flag fails before a long run, not after it.
+    let metrics_out = flags.get("metrics-out").cloned();
+    let metrics_format = match flags.get("metrics-format").map(String::as_str) {
+        None | Some("prom") => MetricsFormat::Prom,
+        Some("json") => MetricsFormat::Json,
+        Some(other) => return Err(format!("--metrics-format must be prom or json, got {other:?}")),
+    };
     let config = PipelineConfig {
         threads: if threads == 0 { None } else { Some(threads) },
         categorizer: CategorizerConfig::default(),
@@ -297,6 +322,7 @@ fn analyze(args: &[String]) -> Result<(), String> {
         }),
         trace_capacity: tracing.then_some(trace_capacity),
         parse_mode,
+        metrics: metrics_out.is_some(),
     };
     let started = std::time::Instant::now();
     let result = if let Some(dir) = flags.get("dir") {
@@ -335,6 +361,15 @@ fn analyze(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("writing {path}: {e}"))?;
             eprintln!("wrote {path}");
         }
+    }
+
+    if let (Some(path), Some(registry)) = (&metrics_out, &result.registry) {
+        let rendered = match metrics_format {
+            MetricsFormat::Prom => registry.to_openmetrics(),
+            MetricsFormat::Json => registry.to_json(),
+        };
+        std::fs::write(Path::new(path), rendered).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path} ({} metric families)", registry.families.len());
     }
 
     if let Some(metrics_path) = flags.get("metrics") {

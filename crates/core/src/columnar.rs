@@ -26,7 +26,7 @@
 //! that must outlive the trace (the report) is built from copies.
 
 use crate::config::CategorizerConfig;
-use mosaic_darshan::convert::nonneg_u64;
+use mosaic_darshan::convert::{nonneg_u64, usize_to_u64};
 use mosaic_darshan::counter::{PosixCounter as C, PosixFCounter as F};
 use mosaic_darshan::ops::{MetaEvent, MetaKind, OpKind, Operation};
 use mosaic_darshan::validate::ValidityReport;
@@ -65,6 +65,22 @@ impl OpColumns {
         self.ends.clear();
         self.bytes.clear();
         self.ranks.clear();
+    }
+
+    /// Heap bytes held by the four column buffers (capacity, not length —
+    /// arenas keep capacity across `clear()`, and resident memory is what
+    /// the `mosaic.arena.resident_bytes` gauge reports).
+    pub fn resident_bytes(&self) -> u64 {
+        usize_to_u64(self.starts.capacity().saturating_mul(std::mem::size_of::<f64>()))
+            .saturating_add(usize_to_u64(
+                self.ends.capacity().saturating_mul(std::mem::size_of::<f64>()),
+            ))
+            .saturating_add(usize_to_u64(
+                self.bytes.capacity().saturating_mul(std::mem::size_of::<u64>()),
+            ))
+            .saturating_add(usize_to_u64(
+                self.ranks.capacity().saturating_mul(std::mem::size_of::<u32>()),
+            ))
     }
 
     /// Append one operation.
@@ -240,6 +256,35 @@ pub struct TraceArena {
     pub trace: ColumnarTrace,
     /// Merge/materialization scratch (working side).
     pub scratch: MergeScratch,
+}
+
+impl ColumnarTrace {
+    /// Heap bytes held by the trace's column and meta buffers (capacity,
+    /// not length).
+    pub fn resident_bytes(&self) -> u64 {
+        self.reads.resident_bytes().saturating_add(self.writes.resident_bytes()).saturating_add(
+            usize_to_u64(self.meta.capacity().saturating_mul(std::mem::size_of::<MetaEvent>())),
+        )
+    }
+}
+
+impl MergeScratch {
+    /// Heap bytes held by the scratch buffers (capacity, not length).
+    pub fn resident_bytes(&self) -> u64 {
+        usize_to_u64(self.idx.capacity().saturating_mul(std::mem::size_of::<usize>()))
+            .saturating_add(self.merged.resident_bytes())
+            .saturating_add(usize_to_u64(
+                self.ops.capacity().saturating_mul(std::mem::size_of::<Operation>()),
+            ))
+    }
+}
+
+impl TraceArena {
+    /// Total heap bytes resident in this arena — what one worker's
+    /// steady-state trace processing keeps allocated.
+    pub fn resident_bytes(&self) -> u64 {
+        self.trace.resident_bytes().saturating_add(self.scratch.resident_bytes())
+    }
 }
 
 /// Concurrent merging on columns: one stable index sort by `(start, end)`,

@@ -1,9 +1,13 @@
 //! # mosaic-obs
 //!
 //! Per-stage observability for the MOSAIC pipeline: lock-free counters,
-//! log₂ timing histograms and throughput accounting, recorded from worker
-//! threads with relaxed atomics and snapshotted into a serializable
-//! [`MetricsReport`] when a run finishes.
+//! log-linear [`QuantileSketch`] timing histograms and throughput
+//! accounting, recorded from worker threads with relaxed atomics and
+//! snapshotted into a serializable [`MetricsReport`] when a run finishes.
+//! On top of the per-stage substrate sit a unified [`MetricsRegistry`]
+//! (counters, gauges, and summaries under stable dotted names — see
+//! [`metrics`]), OpenMetrics/JSON exposition (see [`expo`]), and a bounded
+//! ring of windowed health snapshots (see [`window`]).
 //!
 //! The paper's §IV-E performance claims (and every later optimisation PR)
 //! need per-stage evidence, not a single wall-clock number: this crate is
@@ -28,28 +32,33 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod expo;
+pub mod metrics;
 pub mod progress;
+pub mod sketch;
 pub mod trace;
+pub mod window;
 
+pub use expo::{MetricFamily, MetricKind, MetricsSnapshot, Sample};
+pub use metrics::{Counter, Gauge, MetricsRegistry, PipelineMetrics, Summary, SUMMARY_QUANTILES};
 pub use progress::ProgressLine;
+pub use sketch::{QuantileSketch, SketchSnapshot, N_SKETCH_BUCKETS, RELATIVE_ERROR};
 pub use trace::{
     Exemplar, Span, SpanEvent, SpanOutcome, StageExemplars, TraceTimeline, Tracer,
     EXEMPLARS_PER_STAGE,
 };
+pub use window::{MetricsWindow, WindowEntry};
 
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A [`Duration`] as saturating nanoseconds — the span/histogram currency.
 pub fn nanos_of(elapsed: Duration) -> u64 {
     u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
 }
-
-/// Number of log₂ histogram buckets: bucket `i` counts durations in
-/// `[2^i, 2^(i+1))` nanoseconds, so 40 buckets span 1 ns to ~18 minutes.
-pub const N_BUCKETS: usize = 40;
 
 /// The pipeline stages instrumented by the executor, in processing order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -96,36 +105,18 @@ impl std::fmt::Display for Stage {
 }
 
 /// Lock-free accumulator for one stage: call count, total/max nanoseconds,
-/// bytes moved and a log₂ latency histogram. All fields use relaxed atomics
-/// — the counts are telemetry, not synchronization points.
-#[derive(Debug)]
+/// bytes moved and a log-linear [`QuantileSketch`] latency histogram. All
+/// fields use relaxed atomics — the counts are telemetry, not
+/// synchronization points. Calls and nanos are kept as dedicated counters
+/// (not derived from the sketch) so hot readers like the progress line
+/// never scan the sketch's buckets.
+#[derive(Debug, Default)]
 pub struct StageStats {
     calls: AtomicU64,
     nanos: AtomicU64,
     max_nanos: AtomicU64,
     bytes: AtomicU64,
-    buckets: [AtomicU64; N_BUCKETS],
-}
-
-impl Default for StageStats {
-    fn default() -> Self {
-        StageStats {
-            calls: AtomicU64::new(0),
-            nanos: AtomicU64::new(0),
-            max_nanos: AtomicU64::new(0),
-            bytes: AtomicU64::new(0),
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-}
-
-/// Histogram bucket for a duration: `floor(log2(nanos))`, clamped.
-fn bucket_of(nanos: u64) -> usize {
-    if nanos == 0 {
-        0
-    } else {
-        ((63 - nanos.leading_zeros()) as usize).min(N_BUCKETS - 1)
-    }
+    sketch: QuantileSketch,
 }
 
 impl StageStats {
@@ -142,8 +133,7 @@ impl StageStats {
         if bytes > 0 {
             self.bytes.fetch_add(bytes, Ordering::Relaxed);
         }
-        // lint: allow(panic, "bucket_of() clamps to N_BUCKETS - 1 == buckets.len() - 1")
-        self.buckets[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.sketch.record(nanos);
     }
 
     /// Bytes recorded so far.
@@ -161,35 +151,27 @@ impl StageStats {
         self.nanos.load(Ordering::Relaxed)
     }
 
+    /// The latency sketch (nanosecond samples), for merging or direct
+    /// quantile queries beyond the snapshot's p50/p99.
+    pub fn sketch(&self) -> &QuantileSketch {
+        &self.sketch
+    }
+
     /// Consistent-enough snapshot for reporting (individual fields are read
     /// relaxed; exactness across fields is not required of telemetry).
+    /// Quantiles come from the sketch and are within [`RELATIVE_ERROR`] of
+    /// the true order statistics.
     pub fn snapshot(&self, stage: Stage) -> StageSnapshot {
         let calls = self.calls.load(Ordering::Relaxed);
         let nanos = self.nanos.load(Ordering::Relaxed);
-        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let quantile = |q: f64| -> f64 {
-            let total: u64 = buckets.iter().sum();
-            if total == 0 {
-                return 0.0;
-            }
-            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-            let mut seen = 0u64;
-            for (i, &count) in buckets.iter().enumerate() {
-                seen += count;
-                if seen >= rank {
-                    // Geometric midpoint of bucket [2^i, 2^(i+1)).
-                    return 1.5 * (1u64 << i) as f64 / 1_000.0;
-                }
-            }
-            1.5 * (1u64 << (N_BUCKETS - 1)) as f64 / 1_000.0
-        };
+        let sketch = self.sketch.snapshot();
         StageSnapshot {
             stage: stage.name().to_owned(),
             calls,
             total_seconds: nanos as f64 / 1e9,
             mean_micros: if calls == 0 { 0.0 } else { nanos as f64 / calls as f64 / 1_000.0 },
-            p50_micros: quantile(0.50),
-            p99_micros: quantile(0.99),
+            p50_micros: sketch.quantile(0.50) / 1_000.0,
+            p99_micros: sketch.quantile(0.99) / 1_000.0,
             max_micros: self.max_nanos.load(Ordering::Relaxed) as f64 / 1_000.0,
             bytes: self.bytes.load(Ordering::Relaxed),
         }
@@ -207,9 +189,11 @@ pub struct StageSnapshot {
     pub total_seconds: f64,
     /// Mean call duration in microseconds.
     pub mean_micros: f64,
-    /// Median call duration in microseconds (log₂-bucket estimate).
+    /// Median call duration in microseconds (sketch estimate, within
+    /// [`RELATIVE_ERROR`]).
     pub p50_micros: f64,
-    /// 99th-percentile call duration in microseconds (log₂-bucket estimate).
+    /// 99th-percentile call duration in microseconds (sketch estimate,
+    /// within [`RELATIVE_ERROR`]).
     pub p99_micros: f64,
     /// Slowest observed call in microseconds.
     pub max_micros: f64,
@@ -297,13 +281,15 @@ impl MetricsReport {
 
 /// The shared, thread-safe metrics sink: one [`StageStats`] per stage, a
 /// live eviction counter, the run's start instant, and (optionally) a
-/// structured [`Tracer`]. Workers record through `&Recorder`; the executor
-/// snapshots with [`Recorder::finish`] once all workers are done.
+/// structured [`Tracer`] and a [`PipelineMetrics`] registry. Workers record
+/// through `&Recorder`; the executor snapshots with [`Recorder::finish`]
+/// once all workers are done.
 #[derive(Debug)]
 pub struct Recorder {
     stages: [StageStats; Stage::ALL.len()],
     evictions: AtomicU64,
     tracer: Option<Tracer>,
+    metrics: Option<Arc<PipelineMetrics>>,
     started: Instant,
 }
 
@@ -324,6 +310,7 @@ impl Recorder {
             // lint: allow(nondeterminism, "the Recorder exists to measure wall-clock; its metrics are excluded from ResultSnapshot digests")
             started: Instant::now(),
             tracer: None,
+            metrics: None,
         }
     }
 
@@ -332,6 +319,19 @@ impl Recorder {
     /// [`Recorder::timeline`].
     pub fn with_tracer(capacity: usize) -> Recorder {
         Recorder { tracer: Some(Tracer::new(capacity)), ..Recorder::new() }
+    }
+
+    /// Attach a [`PipelineMetrics`] registry: spans start feeding per-worker
+    /// busy counters and [`Recorder::export_metrics`] includes the
+    /// registry's families. Builder-style, composes with
+    /// [`Recorder::with_tracer`].
+    pub fn with_pipeline_metrics(self, metrics: Arc<PipelineMetrics>) -> Recorder {
+        Recorder { metrics: Some(metrics), ..self }
+    }
+
+    /// The attached pipeline metrics registry, when metrics are enabled.
+    pub fn pipeline_metrics(&self) -> Option<&PipelineMetrics> {
+        self.metrics.as_deref()
     }
 
     /// `true` when structured span tracing is enabled.
@@ -355,6 +355,13 @@ impl Recorder {
     /// one method, so tracing on/off cannot diverge in what is counted.
     pub fn span(&self, span: Span<'_>) {
         self.record_nanos(span.stage, span.duration_ns, span.bytes);
+        if let Some(metrics) = &self.metrics {
+            if let Some(busy) =
+                usize::try_from(span.worker).ok().and_then(|lane| metrics.worker_busy(lane))
+            {
+                busy.add(span.duration_ns);
+            }
+        }
         if let Some(tracer) = &self.tracer {
             tracer.record(span);
         }
@@ -421,23 +428,77 @@ impl Recorder {
             stages,
         }
     }
+
+    /// Freeze everything this recorder measures into one ordering-stable
+    /// [`MetricsSnapshot`]: the per-stage families (calls, busy time, bytes,
+    /// and the latency summary backed by the sketch) merged with the
+    /// attached registry's families, sorted by name. Deliberately excludes
+    /// wall-clock so identical recorded workloads export identical bytes.
+    pub fn export_metrics(&self) -> MetricsSnapshot {
+        let mut calls = Vec::with_capacity(Stage::ALL.len());
+        let mut busy = Vec::with_capacity(Stage::ALL.len());
+        let mut bytes = Vec::with_capacity(Stage::ALL.len());
+        let mut latency = Vec::with_capacity(Stage::ALL.len());
+        for &stage in Stage::ALL.iter() {
+            let stats = self.stage(stage);
+            let labels = vec![("stage".to_owned(), stage.name().to_owned())];
+            let plain = |value: u64| Sample {
+                labels: labels.clone(),
+                value: value as f64,
+                quantiles: Vec::new(),
+                count: 0,
+            };
+            calls.push(plain(stats.calls()));
+            busy.push(plain(stats.nanos()));
+            bytes.push(plain(stats.bytes()));
+            let sketch = stats.sketch().snapshot();
+            latency.push(Sample {
+                labels,
+                value: stats.nanos() as f64,
+                quantiles: SUMMARY_QUANTILES.iter().map(|&q| (q, sketch.quantile(q))).collect(),
+                count: stats.calls(),
+            });
+        }
+        let mut families = vec![
+            MetricFamily {
+                name: "mosaic.stage.calls".to_owned(),
+                kind: MetricKind::Counter,
+                help: "Instrumented calls per pipeline stage".to_owned(),
+                samples: calls,
+            },
+            MetricFamily {
+                name: "mosaic.stage.busy_ns".to_owned(),
+                kind: MetricKind::Counter,
+                help: "Nanoseconds spent per pipeline stage, summed over workers".to_owned(),
+                samples: busy,
+            },
+            MetricFamily {
+                name: "mosaic.stage.bytes".to_owned(),
+                kind: MetricKind::Counter,
+                help: "Bytes processed per pipeline stage".to_owned(),
+                samples: bytes,
+            },
+            MetricFamily {
+                name: "mosaic.stage.latency_ns".to_owned(),
+                kind: MetricKind::Summary,
+                help: "Per-call stage latency (sketch quantiles)".to_owned(),
+                samples: latency,
+            },
+        ];
+        for family in &mut families {
+            family.samples.sort_by(|a, b| a.labels.cmp(&b.labels));
+        }
+        if let Some(metrics) = &self.metrics {
+            families.extend(metrics.snapshot().families);
+        }
+        families.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot { families }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn bucket_edges() {
-        assert_eq!(bucket_of(0), 0);
-        assert_eq!(bucket_of(1), 0);
-        assert_eq!(bucket_of(2), 1);
-        assert_eq!(bucket_of(3), 1);
-        assert_eq!(bucket_of(4), 2);
-        assert_eq!(bucket_of(1023), 9);
-        assert_eq!(bucket_of(1024), 10);
-        assert_eq!(bucket_of(u64::MAX), N_BUCKETS - 1);
-    }
 
     #[test]
     fn stage_order_and_names() {
@@ -512,34 +573,35 @@ mod tests {
     }
 
     #[test]
-    fn quantiles_interpolate_to_the_bucket_midpoint_at_boundaries() {
-        // A duration of exactly 2^i ns lands on a bucket's *lower* edge.
-        // Reporting that edge would bias p50/p99 low by up to 2×; the
-        // estimate must be the midpoint of [2^i, 2^(i+1)) instead, which
-        // never under-reports the true value.
+    fn quantiles_stay_within_the_sketch_error_band_at_octave_edges() {
+        // A duration of exactly 2^i ns was the old log₂ scheme's worst
+        // case: the octave midpoint over-reported it by 50%. The sketch's
+        // linear sub-buckets pin the estimate within RELATIVE_ERROR, and
+        // midpoint reporting still never under-reports the true value.
         for i in [4u32, 10, 17, 25] {
             let s = StageStats::new();
             for _ in 0..100 {
                 s.record(1u64 << i, 0);
             }
             let snap = s.snapshot(Stage::Parse);
-            let lower_edge_us = (1u64 << i) as f64 / 1_000.0;
-            let midpoint_us = 1.5 * lower_edge_us;
-            assert_eq!(snap.p50_micros, midpoint_us, "p50 at 2^{i} ns");
-            assert_eq!(snap.p99_micros, midpoint_us, "p99 at 2^{i} ns");
-            // Midpoint reporting keeps the estimate within the bucket:
-            // never below the true duration, never 2× above it.
-            assert!(snap.p50_micros >= lower_edge_us);
-            assert!(snap.p50_micros < 2.0 * lower_edge_us);
+            let true_us = (1u64 << i) as f64 / 1_000.0;
+            let expect_us = true_us * 33.0 / 32.0; // sub-bucket [2^i, 2^i + 2^(i-4)) midpoint
+            assert_eq!(snap.p50_micros, expect_us, "p50 at 2^{i} ns");
+            assert_eq!(snap.p99_micros, expect_us, "p99 at 2^{i} ns");
+            assert!(snap.p50_micros >= true_us, "midpoint never under-reports");
+            assert!(snap.p50_micros <= true_us * (1.0 + RELATIVE_ERROR));
         }
     }
 
     #[test]
     fn top_bucket_quantile_reports_its_midpoint() {
         let s = StageStats::new();
-        s.record(u64::MAX, 0); // clamped into the last bucket
+        s.record(u64::MAX, 0); // clamped into the last sketch bucket
         let snap = s.snapshot(Stage::Fetch);
-        assert_eq!(snap.p99_micros, 1.5 * (1u64 << (N_BUCKETS - 1)) as f64 / 1_000.0);
+        // Top bucket is [31·2^59, 2^64): midpoint 31.5·2^59 ns.
+        assert_eq!(snap.p99_micros, 31.5 * (1u64 << 59) as f64 / 1_000.0);
+        let err = (snap.p99_micros - u64::MAX as f64 / 1_000.0).abs() / (u64::MAX as f64 / 1_000.0);
+        assert!(err <= RELATIVE_ERROR);
     }
 
     #[test]
@@ -568,6 +630,51 @@ mod tests {
         let plain = Recorder::new();
         assert!(!plain.tracing());
         assert!(plain.timeline().is_none());
+    }
+
+    #[test]
+    fn recorder_exports_stage_families_and_registry_sorted_by_name() {
+        let rec = Recorder::new().with_pipeline_metrics(Arc::new(PipelineMetrics::new(2)));
+        rec.record_nanos(Stage::Parse, 1_000, 64);
+        rec.span(Span {
+            trace: 1,
+            stage: Stage::Categorize,
+            start_ns: 0,
+            duration_ns: 2_000,
+            bytes: 0,
+            worker: 1,
+            outcome: SpanOutcome::Ok,
+            detail: None,
+        });
+        let metrics = rec.pipeline_metrics().expect("metrics attached");
+        metrics.count_eviction("io-error");
+        assert_eq!(metrics.worker_busy(1).map(Counter::get), Some(2_000), "span fed lane 1");
+        let snap = rec.export_metrics();
+        let names: Vec<&str> = snap.families.iter().map(|f| f.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "families are sorted by name");
+        assert!(names.contains(&"mosaic.stage.latency_ns"));
+        assert!(names.contains(&"mosaic.pipeline.evictions"));
+        let latency = snap
+            .families
+            .iter()
+            .find(|f| f.name == "mosaic.stage.latency_ns")
+            .expect("stage latency family");
+        assert_eq!(latency.kind, MetricKind::Summary);
+        let parse = latency
+            .samples
+            .iter()
+            .find(|s| s.labels.iter().any(|(_, v)| v == "parse"))
+            .expect("parse sample");
+        assert_eq!(parse.count, 1);
+        assert_eq!(parse.value, 1_000.0);
+        // Without metrics attached, export still carries the stage families.
+        let plain = Recorder::new();
+        assert!(plain.pipeline_metrics().is_none());
+        assert_eq!(plain.export_metrics().families.len(), 4);
+        // Identical recorded workloads export identical bytes.
+        assert_eq!(rec.export_metrics().to_openmetrics(), rec.export_metrics().to_openmetrics());
     }
 
     #[test]

@@ -1,0 +1,523 @@
+//! The unified metrics registry: counters, gauges, and quantile sketches
+//! under stable dotted names with sorted static labels.
+//!
+//! The registry is the naming layer over the lock-free primitives. Handles
+//! ([`Counter`], [`Gauge`], [`Summary`]) are `Arc`s of pure atomics —
+//! recording through one never takes the registry lock, so the hot path
+//! stays wait-free exactly like `StageStats`. The lock (a plain `Mutex`
+//! around a `BTreeMap`) is touched only at registration and snapshot time,
+//! both of which happen a handful of times per run.
+//!
+//! Naming rules (enforced by sanitization, not panics — registration is
+//! reachable from ingest):
+//!
+//! * names are lowercase dotted paths over `[a-z0-9_.]`: `mosaic.<area>.<measure>`;
+//!   any other character is replaced with `_`;
+//! * label keys follow the same alphabet (dots excluded); label sets are
+//!   sorted by key at registration so exposition order is byte-stable;
+//! * registering the same name with a different kind yields a *detached*
+//!   handle: it records into thin air rather than corrupting the family or
+//!   panicking on a worker thread.
+
+use crate::expo::{MetricFamily, MetricKind, MetricsSnapshot, Sample};
+use crate::sketch::QuantileSketch;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Monotonically increasing counter. Pure telemetry: all operations are
+/// relaxed and results are never consumed for control flow.
+#[derive(Debug, Default)]
+pub struct Counter {
+    hits: AtomicU64,
+}
+
+impl Counter {
+    /// Fresh zeroed counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add `n` to the total. Wait-free.
+    pub fn add(&self, n: u64) {
+        self.hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous level (resident bytes, in-flight traces, set sizes).
+/// Supports two-way movement plus a monotonic watermark mode via
+/// [`Gauge::set_max`]. Pure telemetry — relaxed, results discarded.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    level: AtomicU64,
+}
+
+impl Gauge {
+    /// Fresh zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrite the level.
+    pub fn set(&self, v: u64) {
+        self.level.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the level by `n`.
+    pub fn add(&self, n: u64) {
+        self.level.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lower the level by `n` (saturating is the caller's concern; in-flight
+    /// style gauges pair every `sub` with a prior `add`).
+    pub fn sub(&self, n: u64) {
+        self.level.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Raise the level to at least `v` — the monotonic-watermark mode used
+    /// for peak trackers.
+    pub fn set_max(&self, v: u64) {
+        self.level.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.level.load(Ordering::Relaxed)
+    }
+}
+
+/// A registered quantile sketch plus the running sum and count that
+/// OpenMetrics summaries expose — kept as dedicated counters so reading
+/// them does not scan the sketch's 976 buckets.
+#[derive(Debug, Default)]
+pub struct Summary {
+    sketch: QuantileSketch,
+    sum: Counter,
+    n: Counter,
+}
+
+/// Quantiles every registered summary exposes, ascending.
+pub const SUMMARY_QUANTILES: [f64; 3] = [0.5, 0.9, 0.99];
+
+impl Summary {
+    /// Fresh empty summary.
+    pub fn new() -> Summary {
+        Summary::default()
+    }
+
+    /// Record one observation. Wait-free.
+    pub fn observe(&self, v: u64) {
+        self.sketch.record(v);
+        self.sum.add(v);
+        self.n.inc();
+    }
+
+    /// The underlying sketch (for merging or direct quantile queries).
+    pub fn sketch(&self) -> &QuantileSketch {
+        &self.sketch
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.n.get()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.get()
+    }
+}
+
+/// A single family's registered handles, keyed by sorted label set.
+#[derive(Debug)]
+enum Slots {
+    Counter(BTreeMap<Vec<(String, String)>, Arc<Counter>>),
+    Gauge(BTreeMap<Vec<(String, String)>, Arc<Gauge>>),
+    Summary(BTreeMap<Vec<(String, String)>, Arc<Summary>>),
+}
+
+impl Slots {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Slots::Counter(_) => MetricKind::Counter,
+            Slots::Gauge(_) => MetricKind::Gauge,
+            Slots::Summary(_) => MetricKind::Summary,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    slots: Slots,
+}
+
+/// Sanitize a dotted metric name: lowercase, `[a-z0-9_.]` only.
+fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| match c {
+            'a'..='z' | '0'..='9' | '_' | '.' => c,
+            'A'..='Z' => c.to_ascii_lowercase(),
+            _ => '_',
+        })
+        .collect()
+}
+
+/// Sanitize one label key (like names, but dots are invalid too).
+fn sanitize_label_key(key: &str) -> String {
+    sanitize_name(key).replace('.', "_")
+}
+
+/// Normalize a label set: sanitized keys, sorted by key.
+fn normalize_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> =
+        labels.iter().map(|(k, v)| (sanitize_label_key(k), (*v).to_owned())).collect();
+    out.sort();
+    out
+}
+
+/// The unified registry: dotted names → kinds → labelled handles. Cheap to
+/// share (`Arc` it), cheap to record through (handles are lock-free);
+/// the internal lock guards only registration and snapshotting.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl MetricsRegistry {
+    /// Fresh empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or register the counter `name{labels}`. On a kind conflict the
+    /// returned handle is detached (records, but is never exported).
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = sanitize_name(name);
+        let labels = normalize_labels(labels);
+        let mut families = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        let family = families.entry(key).or_insert_with(|| Family {
+            help: help.to_owned(),
+            slots: Slots::Counter(BTreeMap::new()),
+        });
+        match &mut family.slots {
+            Slots::Counter(slots) => Arc::clone(slots.entry(labels).or_default()),
+            _ => Arc::new(Counter::new()),
+        }
+    }
+
+    /// Get or register the gauge `name{labels}`; detached on kind conflict.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = sanitize_name(name);
+        let labels = normalize_labels(labels);
+        let mut families = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        let family = families.entry(key).or_insert_with(|| Family {
+            help: help.to_owned(),
+            slots: Slots::Gauge(BTreeMap::new()),
+        });
+        match &mut family.slots {
+            Slots::Gauge(slots) => Arc::clone(slots.entry(labels).or_default()),
+            _ => Arc::new(Gauge::new()),
+        }
+    }
+
+    /// Get or register the summary `name{labels}`; detached on kind conflict.
+    pub fn summary(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Summary> {
+        let key = sanitize_name(name);
+        let labels = normalize_labels(labels);
+        let mut families = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        let family = families.entry(key).or_insert_with(|| Family {
+            help: help.to_owned(),
+            slots: Slots::Summary(BTreeMap::new()),
+        });
+        match &mut family.slots {
+            Slots::Summary(slots) => Arc::clone(slots.entry(labels).or_default()),
+            _ => Arc::new(Summary::new()),
+        }
+    }
+
+    /// Freeze every family into an ordering-stable [`MetricsSnapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let families = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = Vec::with_capacity(families.len());
+        for (name, family) in families.iter() {
+            let samples = match &family.slots {
+                Slots::Counter(slots) => slots
+                    .iter()
+                    .map(|(labels, c)| Sample {
+                        labels: labels.clone(),
+                        value: c.get() as f64,
+                        quantiles: Vec::new(),
+                        count: 0,
+                    })
+                    .collect(),
+                Slots::Gauge(slots) => slots
+                    .iter()
+                    .map(|(labels, g)| Sample {
+                        labels: labels.clone(),
+                        value: g.get() as f64,
+                        quantiles: Vec::new(),
+                        count: 0,
+                    })
+                    .collect(),
+                Slots::Summary(slots) => slots
+                    .iter()
+                    .map(|(labels, s)| {
+                        let sketch = s.sketch().snapshot();
+                        Sample {
+                            labels: labels.clone(),
+                            value: s.sum() as f64,
+                            quantiles: SUMMARY_QUANTILES
+                                .iter()
+                                .map(|&q| (q, sketch.quantile(q)))
+                                .collect(),
+                            count: s.count(),
+                        }
+                    })
+                    .collect(),
+            };
+            out.push(MetricFamily {
+                name: name.clone(),
+                kind: family.slots.kind(),
+                help: family.help.clone(),
+                samples,
+            });
+        }
+        MetricsSnapshot { families: out }
+    }
+}
+
+/// The pipeline's standard metric set, pre-registered so worker threads
+/// record through cached `Arc` handles and never take the registry lock.
+/// Carried by the `Recorder` when `--metrics-out` (or the incremental
+/// window) is active; absent otherwise, so the metrics-off hot path is
+/// untouched.
+#[derive(Debug)]
+pub struct PipelineMetrics {
+    registry: MetricsRegistry,
+    inflight: Arc<Gauge>,
+    arena_resident: Arc<Gauge>,
+    arena_peak: Arc<Gauge>,
+    dedup_apps: Arc<Gauge>,
+    worker_busy: Vec<Arc<Counter>>,
+}
+
+impl PipelineMetrics {
+    /// Build the standard set for `lanes` worker lanes (lane 0 is the
+    /// coordinating thread; rayon workers are 1-based).
+    pub fn new(lanes: usize) -> PipelineMetrics {
+        let registry = MetricsRegistry::new();
+        let inflight = registry.gauge(
+            "mosaic.pipeline.traces.inflight",
+            "Traces currently being parsed or categorized",
+            &[],
+        );
+        let arena_resident = registry.gauge(
+            "mosaic.arena.resident_bytes",
+            "Bytes resident in the reporting worker's trace arena",
+            &[],
+        );
+        let arena_peak = registry.gauge(
+            "mosaic.arena.peak_bytes",
+            "High-water mark of any single trace arena",
+            &[],
+        );
+        let dedup_apps = registry.gauge(
+            "mosaic.dedup.apps",
+            "Distinct application keys currently held by deduplication",
+            &[],
+        );
+        let worker_busy = (0..lanes.max(1))
+            .map(|lane| {
+                let lane = lane.to_string();
+                registry.counter(
+                    "mosaic.worker.busy_ns",
+                    "Nanoseconds each worker lane spent inside instrumented stages",
+                    &[("worker", lane.as_str())],
+                )
+            })
+            .collect();
+        PipelineMetrics { registry, inflight, arena_resident, arena_peak, dedup_apps, worker_busy }
+    }
+
+    /// The in-flight traces gauge.
+    pub fn inflight(&self) -> &Gauge {
+        &self.inflight
+    }
+
+    /// The arena resident-bytes gauge (instantaneous).
+    pub fn arena_resident(&self) -> &Gauge {
+        &self.arena_resident
+    }
+
+    /// The arena peak-bytes watermark (update with [`Gauge::set_max`]).
+    pub fn arena_peak(&self) -> &Gauge {
+        &self.arena_peak
+    }
+
+    /// The dedup set-size gauge.
+    pub fn dedup_apps(&self) -> &Gauge {
+        &self.dedup_apps
+    }
+
+    /// Busy-time counter for `lane`, if it exists (out-of-range lanes —
+    /// possible if rayon grows its pool mid-run — are dropped, not panicked
+    /// on).
+    pub fn worker_busy(&self, lane: usize) -> Option<&Counter> {
+        self.worker_busy.get(lane).map(Arc::as_ref)
+    }
+
+    /// Count one eviction under its typed reason slug.
+    pub fn count_eviction(&self, reason: &str) {
+        self.registry
+            .counter(
+                "mosaic.pipeline.evictions",
+                "Funnel evictions by reason",
+                &[("reason", reason)],
+            )
+            .inc();
+    }
+
+    /// The underlying registry, for callers registering their own series.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Snapshot the registry (stage families are added by
+    /// `Recorder::export_metrics`, which owns the stage stats).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        assert_eq!(g.get(), 12);
+        g.set_max(7);
+        assert_eq!(g.get(), 12, "set_max never lowers");
+        g.set_max(99);
+        assert_eq!(g.get(), 99);
+    }
+
+    #[test]
+    fn registry_returns_the_same_handle_for_the_same_series() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("mosaic.test.hits", "h", &[("k", "v")]);
+        let b = r.counter("mosaic.test.hits", "h", &[("k", "v")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "both handles alias one counter");
+        let other = r.counter("mosaic.test.hits", "h", &[("k", "w")]);
+        other.inc();
+        assert_eq!(other.get(), 1, "different labels, different series");
+    }
+
+    #[test]
+    fn kind_conflict_detaches_instead_of_corrupting() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("mosaic.test.metric", "h", &[]);
+        c.add(7);
+        let g = r.gauge("mosaic.test.metric", "h", &[]);
+        g.set(100);
+        let snap = r.snapshot();
+        assert_eq!(snap.families.len(), 1);
+        assert_eq!(snap.families[0].kind, MetricKind::Counter);
+        assert_eq!(snap.families[0].samples[0].value, 7.0, "gauge write went to a detached handle");
+    }
+
+    #[test]
+    fn names_and_label_keys_are_sanitized_and_sorted() {
+        let r = MetricsRegistry::new();
+        r.counter("Mosaic.Weird Name!", "h", &[("z.key", "1"), ("a key", "2")]).inc();
+        let snap = r.snapshot();
+        assert_eq!(snap.families[0].name, "mosaic.weird_name_");
+        assert_eq!(
+            snap.families[0].samples[0].labels,
+            vec![("a_key".to_owned(), "2".to_owned()), ("z_key".to_owned(), "1".to_owned())]
+        );
+    }
+
+    #[test]
+    fn snapshot_orders_families_by_name() {
+        let r = MetricsRegistry::new();
+        r.gauge("mosaic.b", "h", &[]).set(1);
+        r.counter("mosaic.a", "h", &[]).inc();
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.families.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["mosaic.a", "mosaic.b"]);
+    }
+
+    #[test]
+    fn summary_exposes_quantiles_sum_and_count() {
+        let r = MetricsRegistry::new();
+        let s = r.summary("mosaic.test.latency_ns", "h", &[]);
+        for v in [100u64, 200, 300, 400] {
+            s.observe(v);
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.sum(), 1000);
+        let snap = r.snapshot();
+        let sample = &snap.families[0].samples[0];
+        assert_eq!(sample.count, 4);
+        assert_eq!(sample.value, 1000.0);
+        assert_eq!(sample.quantiles.len(), SUMMARY_QUANTILES.len());
+        assert!(sample.quantiles[0].1 <= sample.quantiles[2].1, "quantiles are monotone");
+    }
+
+    #[test]
+    fn pipeline_metrics_standard_set() {
+        let m = PipelineMetrics::new(2);
+        m.inflight().add(3);
+        m.inflight().sub(1);
+        m.arena_resident().set(4096);
+        m.arena_peak().set_max(4096);
+        m.dedup_apps().set(5);
+        m.count_eviction("io-error");
+        m.count_eviction("io-error");
+        assert!(m.worker_busy(1).is_some());
+        assert!(m.worker_busy(99).is_none());
+        if let Some(w) = m.worker_busy(0) {
+            w.add(500);
+        }
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.families.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "mosaic.arena.peak_bytes",
+                "mosaic.arena.resident_bytes",
+                "mosaic.dedup.apps",
+                "mosaic.pipeline.evictions",
+                "mosaic.pipeline.traces.inflight",
+                "mosaic.worker.busy_ns",
+            ]
+        );
+        let evictions = &snap.families[3];
+        assert_eq!(evictions.samples[0].labels[0].1, "io-error");
+        assert_eq!(evictions.samples[0].value, 2.0);
+        let inflight = &snap.families[4];
+        assert_eq!(inflight.samples[0].value, 2.0);
+    }
+}

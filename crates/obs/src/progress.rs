@@ -109,6 +109,12 @@ impl ProgressLine {
             let _ = write!(line, " {} {:.1}µs", stage.name(), state.ewma_micros[i]);
         }
         let _ = write!(line, " · {} evicted", recorder.evictions());
+        // The completion tick is the line that stays on screen: surface the
+        // contention-skip count there so a starved redraw loop is visible
+        // without cluttering every intermediate frame.
+        if done >= total {
+            let _ = write!(line, " · {} frames skipped", self.skipped());
+        }
         Some(line)
     }
 }
@@ -136,6 +142,15 @@ mod tests {
             assert!(rendered.contains(stage.name()), "{rendered}");
         }
         assert!(rendered.contains("1 evicted"), "{rendered}");
+        assert!(rendered.contains("0 frames skipped"), "{rendered}");
+    }
+
+    #[test]
+    fn intermediate_ticks_omit_the_skip_count() {
+        let rec = Recorder::new();
+        let line = ProgressLine::new(Duration::ZERO);
+        let rendered = line.tick(1, 10, &rec).expect("zero interval renders");
+        assert!(!rendered.contains("skipped"), "{rendered}");
     }
 
     #[test]
@@ -152,9 +167,12 @@ mod tests {
             assert_eq!(line.skipped(), 1, "the skipped frame must be observable");
         }
         // Once the lock is free the same tick renders, and the skip count
-        // stays at the one contended frame.
+        // stays at the one contended frame — and the completion tick
+        // surfaces it to the user.
         assert!(line.tick(2, 10, &rec).is_some());
         assert_eq!(line.skipped(), 1);
+        let last = line.tick(10, 10, &rec).expect("final tick renders");
+        assert!(last.contains("1 frames skipped"), "{last}");
     }
 
     #[test]

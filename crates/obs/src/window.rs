@@ -1,0 +1,167 @@
+//! Bounded ring of per-interval metrics snapshots — the queryable
+//! health-history primitive the incremental path maintains and a future
+//! `mosaic serve` shard will expose.
+//!
+//! A [`MetricsWindow`] takes a full [`MetricsSnapshot`] every `every`
+//! ingested traces and keeps the most recent `capacity` of them. Memory is
+//! strictly bounded: old entries are dropped (and counted) as new ones
+//! arrive, mirroring the `Tracer` ring's drop accounting. Snapshots are
+//! only *taken* when an interval boundary passes — [`MetricsWindow::offer`]
+//! takes a closure, so skipped offers cost one comparison and zero
+//! allocation.
+
+use crate::expo::MetricsSnapshot;
+use std::collections::VecDeque;
+
+/// One health-history entry: the registry state as of `at_trace` ingests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowEntry {
+    /// Total traces ingested when the snapshot was taken.
+    pub at_trace: u64,
+    /// The frozen registry state.
+    pub snapshot: MetricsSnapshot,
+}
+
+/// A bounded ring of per-interval [`MetricsSnapshot`]s.
+#[derive(Debug)]
+pub struct MetricsWindow {
+    every: u64,
+    capacity: usize,
+    entries: VecDeque<WindowEntry>,
+    last_at: Option<u64>,
+    dropped: u64,
+}
+
+impl MetricsWindow {
+    /// A window snapshotting every `every` traces (clamped to ≥ 1), keeping
+    /// the latest `capacity` entries (clamped to ≥ 1).
+    pub fn new(every: u64, capacity: usize) -> MetricsWindow {
+        MetricsWindow {
+            every: every.max(1),
+            capacity: capacity.max(1),
+            entries: VecDeque::new(),
+            last_at: None,
+            dropped: 0,
+        }
+    }
+
+    /// The snapshot interval in traces.
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Offer a snapshot opportunity at `at_trace` total ingests. If an
+    /// interval boundary has been reached since the last accepted offer,
+    /// `make` is invoked, the entry stored (evicting the oldest beyond
+    /// capacity), and `true` returned; otherwise nothing happens.
+    pub fn offer(&mut self, at_trace: u64, make: impl FnOnce() -> MetricsSnapshot) -> bool {
+        let due = match self.last_at {
+            None => at_trace >= self.every,
+            Some(last) => at_trace >= last + self.every,
+        };
+        if !due {
+            return false;
+        }
+        self.last_at = Some(at_trace);
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(WindowEntry { at_trace, snapshot: make() });
+        true
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &WindowEntry> {
+        self.entries.iter()
+    }
+
+    /// The most recent entry, if any.
+    pub fn latest(&self) -> Option<&WindowEntry> {
+        self.entries.back()
+    }
+
+    /// Retained entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no snapshot has been taken yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted to honor the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_snap() -> MetricsSnapshot {
+        MetricsSnapshot { families: Vec::new() }
+    }
+
+    #[test]
+    fn offers_fire_only_on_interval_boundaries() {
+        let mut w = MetricsWindow::new(10, 4);
+        assert!(!w.offer(1, empty_snap));
+        assert!(!w.offer(9, empty_snap));
+        assert!(w.offer(10, empty_snap));
+        assert!(!w.offer(11, empty_snap), "interval restarts from the accepted offer");
+        assert!(!w.offer(19, empty_snap));
+        assert!(w.offer(20, empty_snap));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.latest().map(|e| e.at_trace), Some(20));
+    }
+
+    #[test]
+    fn skipped_offers_never_invoke_the_closure() {
+        let mut w = MetricsWindow::new(100, 4);
+        let mut calls = 0;
+        for i in 1..100 {
+            w.offer(i, || {
+                calls += 1;
+                empty_snap()
+            });
+        }
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn capacity_bounds_memory_and_counts_drops() {
+        let mut w = MetricsWindow::new(1, 3);
+        for i in 1..=5 {
+            assert!(w.offer(i, empty_snap));
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.dropped(), 2);
+        let ats: Vec<u64> = w.entries().map(|e| e.at_trace).collect();
+        assert_eq!(ats, [3, 4, 5], "oldest evicted first");
+    }
+
+    #[test]
+    fn degenerate_parameters_are_clamped() {
+        let mut w = MetricsWindow::new(0, 0);
+        assert_eq!(w.every(), 1);
+        assert!(w.offer(1, empty_snap));
+        assert!(w.offer(2, empty_snap));
+        assert_eq!(w.len(), 1, "capacity clamps to 1");
+        assert_eq!(w.dropped(), 1);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn coarse_ingest_jumps_still_snapshot() {
+        // Batched ingestion can jump past several boundaries at once; the
+        // window takes one snapshot per offer, not per boundary.
+        let mut w = MetricsWindow::new(10, 8);
+        assert!(w.offer(35, empty_snap));
+        assert!(!w.offer(44, empty_snap));
+        assert!(w.offer(45, empty_snap));
+        assert_eq!(w.len(), 2);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the quantile sketch: the advertised
+//! relative-error bound and the merge law must hold for *any* sample
+//! stream, not just the octave-edge fixtures in the unit tests.
+
+use mosaic_obs::{QuantileSketch, RELATIVE_ERROR};
+use proptest::prelude::*;
+
+/// Sample streams biased toward the places the sketch can get wrong:
+/// the exact region below 16, powers of two sitting on bucket edges,
+/// heavy duplicates, and the extremes 0 / 1 / `u64::MAX`.
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec((0u8..8, any::<u64>()), 1..250).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(sel, raw)| match sel {
+                0 => 0,
+                1 => 1,
+                2 => u64::MAX,
+                3 => 1_000_000,          // heavy duplicates: ~1/8 of every stream
+                4 => raw % 16,           // exact region
+                5 => 1u64 << (raw % 64), // bucket lower edges
+                _ => raw,
+            })
+            .collect()
+    })
+}
+
+/// The exact quantile under the sketch's own rank definition:
+/// `rank = ceil(q·n)` clamped to `1..=n`, value = `sorted[rank - 1]`.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantiles_stay_within_the_advertised_relative_error(
+        samples in arb_samples(),
+        q_raw in 0.0f64..1.0,
+    ) {
+        let sketch = QuantileSketch::new();
+        for &v in &samples {
+            sketch.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        // The sampled q plus the quantiles the registry actually exports.
+        for q in [q_raw, 0.5, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let est = sketch.quantile(q);
+            if exact < 16 {
+                // Values below 16 get a bucket each: the estimate is exact.
+                prop_assert_eq!(est, exact as f64, "q={} exact={}", q, exact);
+            } else {
+                let err = (est - exact as f64).abs() / exact as f64;
+                prop_assert!(
+                    err <= RELATIVE_ERROR,
+                    "q={} exact={} est={} rel_err={} > {}",
+                    q, exact, est, err, RELATIVE_ERROR
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_equals_feeding_the_concatenated_stream(
+        xs in arb_samples(),
+        ys in arb_samples(),
+    ) {
+        let a = QuantileSketch::new();
+        let b = QuantileSketch::new();
+        let both = QuantileSketch::new();
+        for &v in &xs {
+            a.record(v);
+            both.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge_from(&b);
+        prop_assert_eq!(a.snapshot(), both.snapshot());
+        prop_assert_eq!(a.count(), (xs.len() + ys.len()) as u64);
+    }
+
+    #[test]
+    fn quantile_estimates_are_monotone_in_q(samples in arb_samples()) {
+        let sketch = QuantileSketch::new();
+        for &v in &samples {
+            sketch.record(v);
+        }
+        let mut prev = 0.0f64;
+        for i in 0..=20 {
+            let q = f64::from(i) / 20.0;
+            let est = sketch.quantile(q.max(0.01));
+            prop_assert!(est >= prev, "quantile({}) = {} < {}", q, est, prev);
+            prev = est;
+        }
+    }
+}

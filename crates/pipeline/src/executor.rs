@@ -8,7 +8,10 @@ use mosaic_core::report::CategoryCounts;
 use mosaic_core::{Categorizer, CategorizerConfig, JaccardMatrix, TraceReport};
 use mosaic_darshan::convert::usize_to_u64;
 use mosaic_darshan::{mdf, validate, EvictClass, EvictReason, TraceLog};
-use mosaic_obs::{MetricsReport, Recorder, Span, SpanOutcome, Stage, TraceTimeline};
+use mosaic_obs::{
+    MetricsReport, MetricsSnapshot, PipelineMetrics, Recorder, Span, SpanOutcome, Stage,
+    TraceTimeline,
+};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -57,6 +60,13 @@ pub struct PipelineConfig {
     pub trace_capacity: Option<usize>,
     /// Parse/carry strategy for byte-fed traces; see [`ParseMode`].
     pub parse_mode: ParseMode,
+    /// Unified metrics registry: `true` attaches a
+    /// [`mosaic_obs::PipelineMetrics`] (gauges, eviction-by-reason
+    /// counters, per-worker utilization) and exports a
+    /// [`MetricsSnapshot`] on the [`PipelineResult`]. `false` (the default)
+    /// keeps the hot path allocation-free and byte-identical — the
+    /// `metrics-on-vs-off` differential oracle pins this.
+    pub metrics: bool,
 }
 
 impl std::fmt::Debug for PipelineConfig {
@@ -67,6 +77,7 @@ impl std::fmt::Debug for PipelineConfig {
             .field("progress", &self.progress.is_some())
             .field("trace_capacity", &self.trace_capacity)
             .field("parse_mode", &self.parse_mode)
+            .field("metrics", &self.metrics)
             .finish()
     }
 }
@@ -108,6 +119,10 @@ pub struct PipelineResult {
     /// `ResultSnapshot`: timelines carry wall-clock values and must never
     /// feed the determinism oracles.
     pub timeline: Option<TraceTimeline>,
+    /// The unified registry export, present when the run was configured
+    /// with [`PipelineConfig::metrics`]. Like the timeline, it carries
+    /// timing telemetry and is excluded from every `ResultSnapshot`.
+    pub registry: Option<MetricsSnapshot>,
 }
 
 impl PipelineResult {
@@ -209,7 +224,8 @@ impl<'a> SpanScope<'a> {
 
     /// Record a stage span that ends in eviction, count the eviction, and
     /// produce the funnel fate. The typed slug is materialized only when a
-    /// tracer is attached to keep it.
+    /// tracer or a metrics registry is attached to consume it — the
+    /// metrics-off hot path stays allocation-free.
     fn evict(
         &self,
         stage: Stage,
@@ -219,7 +235,12 @@ impl<'a> SpanScope<'a> {
         reason: EvictReason,
     ) -> Ingested {
         self.recorder.count_eviction();
-        let slug = if self.recorder.tracing() { Some(reason.slug()) } else { None };
+        let metrics = self.recorder.pipeline_metrics();
+        let slug =
+            if self.recorder.tracing() || metrics.is_some() { Some(reason.slug()) } else { None };
+        if let (Some(metrics), Some(slug)) = (metrics, slug.as_deref()) {
+            metrics.count_eviction(slug);
+        }
         self.emit(stage, start_ns, duration_ns, bytes, outcome_of(reason), slug.as_deref());
         Ingested::Evicted(reason)
     }
@@ -270,6 +291,11 @@ fn ingest_zero_copy(
     ARENA.with(|cell| {
         let mut arena = cell.borrow_mut();
         arena.trace.load(&view, &report);
+        if let Some(metrics) = recorder.pipeline_metrics() {
+            let resident = arena.resident_bytes();
+            metrics.arena_resident().set(resident);
+            metrics.arena_peak().set_max(resident);
+        }
         let t0 = recorder.now_ns();
         let (trace_report, timings) = categorizer.categorize_arena_timed(&mut arena);
         scope.emit(Stage::Merge, t0, timings.merge_nanos, 0, SpanOutcome::Ok, None);
@@ -309,6 +335,9 @@ pub(crate) fn ingest_one(
         Ok(input) => input,
         Err(_) => {
             recorder.count_eviction();
+            if let Some(metrics) = recorder.pipeline_metrics() {
+                metrics.count_eviction(&EvictReason::IoError.slug());
+            }
             return Ingested::Evicted(EvictReason::IoError);
         }
     };
@@ -404,10 +433,17 @@ fn pool_for(n: usize) -> Arc<rayon::ThreadPool> {
 /// Run the full pipeline over a source.
 pub fn process<S: TraceSource>(source: &S, config: &PipelineConfig) -> PipelineResult {
     let categorizer = Categorizer::new(config.categorizer.clone());
-    let recorder = match config.trace_capacity {
+    let mut recorder = match config.trace_capacity {
         Some(capacity) => Recorder::with_tracer(capacity),
         None => Recorder::new(),
     };
+    if config.metrics {
+        // Worker lanes are 1-based (lane 0 is a caller outside any pool),
+        // so size for the pool width plus the coordinator lane.
+        let lanes = config.threads.map_or_else(rayon::current_num_threads, |n| n.max(1));
+        recorder = recorder.with_pipeline_metrics(Arc::new(PipelineMetrics::new(lanes + 1)));
+    }
+    let recorder = recorder;
     let done = AtomicUsize::new(0);
     let total = source.len();
     let run = || {
@@ -415,6 +451,10 @@ pub fn process<S: TraceSource>(source: &S, config: &PipelineConfig) -> PipelineR
             .into_par_iter()
             .map(|i| {
                 let scope = SpanScope::current(&recorder, i);
+                let metrics = recorder.pipeline_metrics();
+                if let Some(metrics) = metrics {
+                    metrics.inflight().add(1);
+                }
                 let t0 = recorder.now_ns();
                 let fetched = source.fetch(i);
                 let dur = recorder.now_ns().saturating_sub(t0);
@@ -422,6 +462,9 @@ pub fn process<S: TraceSource>(source: &S, config: &PipelineConfig) -> PipelineR
                 let outcome = if fetched.is_ok() { SpanOutcome::Ok } else { SpanOutcome::IoError };
                 scope.emit(Stage::Fetch, t0, dur, wire, outcome, None);
                 let out = ingest_one(fetched, i, &categorizer, &recorder, config.parse_mode);
+                if let Some(metrics) = metrics {
+                    metrics.inflight().sub(1);
+                }
                 if let Some(progress) = &config.progress {
                     // lint: allow(sync, "pure progress counter: the value only feeds the monotonic done/total display and guards no shared state; ingest results flow through the scoped-join, not this count")
                     let n = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -449,9 +492,13 @@ pub fn process<S: TraceSource>(source: &S, config: &PipelineConfig) -> PipelineR
     let representatives = heaviest_per_app(outcomes.iter().map(|o| (o.app_key.clone(), o.weight)));
     funnel.unique_apps = representatives.len();
 
+    let registry = recorder.pipeline_metrics().map(|m| {
+        m.dedup_apps().set(usize_to_u64(representatives.len()));
+        recorder.export_metrics()
+    });
     let metrics = recorder.finish(usize_to_u64(total), workers);
     let timeline = recorder.timeline();
-    PipelineResult { funnel, outcomes, representatives, metrics, timeline }
+    PipelineResult { funnel, outcomes, representatives, metrics, timeline, registry }
 }
 
 #[cfg(test)]
@@ -736,6 +783,54 @@ mod tests {
             .slowest
             .iter()
             .any(|e| e.trace == 2 && e.outcome == "validation:non_positive_runtime"));
+    }
+
+    #[test]
+    fn metrics_yield_identical_results_plus_a_registry_export() {
+        let inputs: Vec<TraceInput> = (0..10)
+            .map(|i| TraceInput::bytes(mdf::to_bytes(&log_for(i, &format!("/bin/app{i}"), 1000))))
+            .chain(std::iter::once(TraceInput::bytes(b"garbage".to_vec())))
+            .collect();
+        let plain = process(&VecSource::new(inputs.clone()), &PipelineConfig::default());
+        assert!(plain.registry.is_none(), "metrics off must attach no registry");
+
+        let cfg = PipelineConfig { metrics: true, ..Default::default() };
+        let metered = process(&VecSource::new(inputs), &cfg);
+
+        // The analytical result is byte-for-byte unaffected by metrics.
+        assert_eq!(plain.funnel, metered.funnel);
+        assert_eq!(plain.outcomes, metered.outcomes);
+        assert_eq!(plain.representatives, metered.representatives);
+
+        let registry = metered.registry.expect("metrics on must attach a registry");
+        let family = |name: &str| {
+            registry.families.iter().find(|f| f.name == name).unwrap_or_else(|| {
+                panic!("missing family {name}");
+            })
+        };
+        assert_eq!(family("mosaic.dedup.apps").samples[0].value, 10.0);
+        assert_eq!(family("mosaic.pipeline.traces.inflight").samples[0].value, 0.0);
+        let evictions = family("mosaic.pipeline.evictions");
+        assert_eq!(evictions.samples.len(), 1);
+        assert_eq!(evictions.samples[0].labels[0], ("reason".to_owned(), "truncated".to_owned()));
+        assert_eq!(evictions.samples[0].value, 1.0);
+        assert!(
+            family("mosaic.arena.peak_bytes").samples[0].value > 0.0,
+            "zero-copy default must report arena residency"
+        );
+        let latency = family("mosaic.stage.latency_ns");
+        let parse = latency
+            .samples
+            .iter()
+            .find(|s| s.labels.iter().any(|(_, v)| v == "parse"))
+            .expect("parse latency sample");
+        assert_eq!(parse.count, 11, "every input reaches parse");
+        let busy: f64 = family("mosaic.worker.busy_ns").samples.iter().map(|s| s.value).sum();
+        assert!(busy > 0.0, "span durations must feed worker lanes");
+        // Exposition of the export is valid OpenMetrics.
+        let text = registry.to_openmetrics();
+        assert!(text.contains("# TYPE mosaic_stage_latency_ns summary"));
+        assert!(text.ends_with("# EOF\n"));
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! * **traced vs untraced** — a run with structured span tracing enabled
 //!   must snapshot byte-identically to one without: the timeline is
 //!   observability, never part of the answer;
+//! * **metrics on vs off** — a run with the metrics registry enabled must
+//!   snapshot byte-identically to one without, and must actually attach a
+//!   registry export: gauges, sketches, and eviction counters are
+//!   telemetry, never part of the answer;
 //! * **zero-copy vs owned** — the borrowed-view/columnar parse mode against
 //!   the owned reference path, over the same wire bytes: per corpus, and
 //!   once over a 2 000-trace mixed-corruption synthetic sweep. The hot-path
@@ -156,6 +160,34 @@ pub fn run(report: &mut VerifyReport) {
             },
         );
 
+        // Metrics on vs off: the snapshot may not move by a byte, and the
+        // metered run must actually have exported a registry.
+        let metered_config = PipelineConfig { metrics: true, ..config(Some(2)) };
+        let metered_result = process(&VecSource::new(inputs.clone()), &metered_config);
+        let has_registry = metered_result.registry.is_some();
+        let metered = ResultSnapshot::of(&metered_result);
+        let unmetered =
+            ResultSnapshot::of(&process(&VecSource::new(inputs.clone()), &config(Some(2))));
+        let identical = metered.to_canonical_json() == unmetered.to_canonical_json();
+        report.check(
+            format!("differential/metrics-on-vs-off/{}", corpus.name()),
+            identical && has_registry,
+            if identical && has_registry {
+                format!(
+                    "snapshots byte-identical with metrics on, digest {:016x}; registry exported",
+                    metered.digest()
+                )
+            } else if !has_registry {
+                "metrics were requested but no registry export was attached".to_owned()
+            } else {
+                format!(
+                    "metrics perturbed the snapshot: digest {:016x} vs {:016x}",
+                    metered.digest(),
+                    unmetered.digest()
+                )
+            },
+        );
+
         // A pipeline fed wire bytes answers exactly like one fed logs.
         let byte_inputs: Vec<TraceInput> =
             (0..corpus.len()).map(|i| TraceInput::bytes(corpus.mdf_bytes(i))).collect();
@@ -206,10 +238,11 @@ mod tests {
         let mut report = VerifyReport::default();
         run(&mut report);
         assert!(report.passed(), "{}", report.render());
-        // 8 checks per corpus (3 pool comparisons, incremental, roundtrip,
-        // traced-vs-untraced, bytes-source, zerocopy-vs-owned) × 3 corpora,
-        // plus the 2k-sweep zerocopy-vs-owned check.
-        assert_eq!(report.checks.len(), 25);
+        // 9 checks per corpus (3 pool comparisons, incremental, roundtrip,
+        // traced-vs-untraced, metrics-on-vs-off, bytes-source,
+        // zerocopy-vs-owned) × 3 corpora, plus the 2k-sweep
+        // zerocopy-vs-owned check.
+        assert_eq!(report.checks.len(), 28);
     }
 
     #[test]
